@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the substrate extensions: the syndrome
+//! decoder, physical lowering, the state-vector simulator, and the
+//! peephole optimizer.
+
+use autobraid_circuit::generators::random::random_circuit;
+use autobraid_circuit::sim::StateVector;
+use autobraid_circuit::transform::optimize;
+use autobraid_lattice::decoder::Patch;
+use autobraid_lattice::physical::PhysicalLayout;
+use autobraid_lattice::{Cell, Grid, Occupancy};
+use autobraid_router::astar::{find_path, SearchLimits};
+use autobraid_router::lowering::lower_braid;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_decoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decoder");
+    for d in [5u32, 9, 13] {
+        let patch = Patch::new(d).unwrap();
+        let n_links = patch.links().len();
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<f64> = (0..n_links).map(|_| rng.gen()).collect();
+        group.bench_with_input(BenchmarkId::new("round_p3pct", d), &d, |b, _| {
+            b.iter(|| patch.sample_round(0.03, &samples))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowering");
+    let grid = Grid::new(10).unwrap();
+    let occ = Occupancy::new(&grid);
+    let path =
+        find_path(&grid, &occ, Cell::new(0, 0), Cell::new(9, 9), SearchLimits::default()).unwrap();
+    for d in [9u32, 21, 33] {
+        let layout = PhysicalLayout::new(10, d).unwrap();
+        group.bench_with_input(BenchmarkId::new("corner_braid", d), &d, |b, _| {
+            b.iter(|| lower_braid(&layout, &path))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_and_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_tools");
+    group.sample_size(20);
+    let sim_target = random_circuit(14, 400, 0.5, 3).unwrap();
+    group.bench_function("simulate_14q_400g", |b| b.iter(|| StateVector::run(&sim_target)));
+    let opt_target = random_circuit(12, 5000, 0.5, 4).unwrap();
+    group.bench_function("optimize_5000g", |b| b.iter(|| optimize(&opt_target, 1e-12)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoder, bench_lowering, bench_sim_and_transform);
+criterion_main!(benches);

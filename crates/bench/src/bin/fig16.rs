@@ -1,0 +1,53 @@
+//! Regenerates **Figure 16**: physical execution time (seconds) versus
+//! computation size (`1/P_L`) for QFT, the Ising model (IM), and QAOA,
+//! comparing baseline, autobraid-sp, autobraid-full, and the critical
+//! path. The code distance grows with `1/P_L` via the surface-code error
+//! model.
+//!
+//! Run with `cargo run --release -p autobraid-bench --bin fig16`
+//! (`--full` extends the sweep to larger sizes).
+
+use autobraid::report::Table;
+use autobraid_bench::{eval_config, full_run_requested, scale_points, timing_for, Comparison};
+use autobraid_circuit::generators;
+
+/// (label, generator key, qubit sizes, gate-count function).
+type AppSpec = (&'static str, &'static str, &'static [u32], fn(u32) -> u64);
+
+fn main() {
+    let full = full_run_requested();
+    let qft_sizes: &[u32] = if full { &[50, 100, 200, 400, 800] } else { &[50, 100, 200] };
+    let im_sizes: &[u32] = if full { &[100, 200, 400, 800, 1600] } else { &[100, 200, 400] };
+    let qaoa_sizes: &[u32] = if full { &[100, 200, 400, 800] } else { &[100, 200, 400] };
+
+    let apps: [AppSpec; 3] = [
+        ("QFT", "qft", qft_sizes, |n| u64::from(n) * u64::from(n - 1) / 2 + u64::from(n)),
+        ("IM", "im", im_sizes, |n| 8 * u64::from(n)),
+        ("QAOA", "qaoa", qaoa_sizes, |n| 44 * u64::from(n)),
+    ];
+
+    for (label, kind, sizes, gates_for) in apps {
+        let mut table = Table::new([
+            "n", "1/P_L", "d", "baseline (s)", "autobraid-sp (s)", "autobraid-full (s)",
+            "CP (s)",
+        ]);
+        for point in scale_points(sizes, gates_for) {
+            let timing = timing_for(point.p_l);
+            let config = eval_config().with_timing(timing);
+            let circuit = generators::by_name(kind, point.n).expect("generator sizes valid");
+            let cmp = Comparison::run(&circuit, &config);
+            table.add_row([
+                point.n.to_string(),
+                format!("{:.2e}", 1.0 / point.p_l),
+                timing.params().distance().to_string(),
+                format!("{:.4}", cmp.baseline.time_seconds()),
+                format!("{:.4}", cmp.sp.time_seconds()),
+                format!("{:.4}", cmp.best().time_seconds()),
+                format!("{:.4}", timing.cycles_to_seconds(cmp.cp_cycles)),
+            ]);
+            eprintln!("done: {label}-{}", point.n);
+        }
+        println!("\nFigure 16 ({label}): execution time vs computation size\n");
+        println!("{}", table.render());
+    }
+}

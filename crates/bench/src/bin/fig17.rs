@@ -1,0 +1,58 @@
+//! Regenerates **Figure 17**: routing-resource utilization (%) versus
+//! computation size (`1/P_L`) — occupied routing vertices over available
+//! vertices, peak across braid steps, for the baseline and both AutoBraid
+//! variants. The paper reports AutoBraid reaching ~70% while the baseline
+//! stays near ~37%.
+//!
+//! Run with `cargo run --release -p autobraid-bench --bin fig17`.
+
+use autobraid::report::Table;
+use autobraid_bench::{eval_config, full_run_requested, scale_points, timing_for, Comparison};
+use autobraid_circuit::generators;
+
+/// (label, generator key, qubit sizes, gate-count function).
+type AppSpec = (&'static str, &'static str, &'static [u32], fn(u32) -> u64);
+
+fn main() {
+    let full = full_run_requested();
+    let qft_sizes: &[u32] = if full { &[50, 100, 200, 400] } else { &[50, 100, 200] };
+    let im_sizes: &[u32] = if full { &[100, 200, 400, 800] } else { &[100, 200, 400] };
+    let qaoa_sizes: &[u32] = if full { &[100, 200, 400, 800] } else { &[100, 200, 400] };
+
+    let apps: [AppSpec; 3] = [
+        ("QFT", "qft", qft_sizes, |n| u64::from(n) * u64::from(n - 1) / 2 + u64::from(n)),
+        ("IM", "im", im_sizes, |n| 8 * u64::from(n)),
+        ("QAOA", "qaoa", qaoa_sizes, |n| 44 * u64::from(n)),
+    ];
+
+    for (label, kind, sizes, gates_for) in apps {
+        let mut table = Table::new([
+            "n",
+            "1/P_L",
+            "baseline peak%",
+            "sp peak%",
+            "full peak%",
+            "baseline mean%",
+            "full mean%",
+        ]);
+        for point in scale_points(sizes, gates_for) {
+            let timing = timing_for(point.p_l);
+            let config = eval_config().with_timing(timing);
+            let circuit = generators::by_name(kind, point.n).expect("generator sizes valid");
+            let cmp = Comparison::run(&circuit, &config);
+            let pct = |x: f64| format!("{:.1}", 100.0 * x);
+            table.add_row([
+                point.n.to_string(),
+                format!("{:.2e}", 1.0 / point.p_l),
+                pct(cmp.baseline.peak_utilization),
+                pct(cmp.sp.peak_utilization),
+                pct(cmp.best().peak_utilization),
+                pct(cmp.baseline.mean_utilization),
+                pct(cmp.best().mean_utilization),
+            ]);
+            eprintln!("done: {label}-{}", point.n);
+        }
+        println!("\nFigure 17 ({label}): resource utilization vs computation size\n");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,22 @@
+use autobraid::config::{Recording, ScheduleConfig};
+use autobraid::{critical_path_cycles, AutoBraid};
+use autobraid_circuit::generators;
+use autobraid_circuit::{DependenceDag, Gate};
+
+fn main() {
+    let cfg = ScheduleConfig::default().with_recording(Recording::StatsOnly);
+    let compiler = AutoBraid::new(cfg.clone());
+    for name in ["urf2_277", "4gt11_8", "sqrt8_260"] {
+        let c = generators::by_name(name, 0).unwrap();
+        let sp = compiler.schedule_sp(&c).result;
+        let cp = critical_path_cycles(&c, sp.timing());
+        let dag = DependenceDag::new(&c);
+        // Ideal step decomposition: longest chain counted in braid/local units.
+        let cx_depth = dag.critical_path_weight(&c, |g: &Gate| u64::from(g.is_two_qubit()));
+        let total_depth = dag.depth();
+        println!(
+            "{name}: cp={cp} engine={} (braid_steps={} local_steps={}) cx_depth={cx_depth} dag_depth={total_depth}",
+            sp.total_cycles, sp.braid_steps, sp.local_steps
+        );
+    }
+}

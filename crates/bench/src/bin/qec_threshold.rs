@@ -1,0 +1,66 @@
+//! Empirical check of the paper's Eq. 1 (substrate extension): Monte-Carlo
+//! logical error rates of the planar-patch decoder versus code distance
+//! and physical error rate. Below threshold the logical rate must fall
+//! exponentially with `d`; near/above threshold increasing `d` stops
+//! helping — the Threshold Theorem the whole platform rests on.
+//!
+//! Run with `cargo run --release -p autobraid-bench --bin qec_threshold`
+//! (`--full` increases trials and distances).
+
+use autobraid::report::Table;
+use autobraid_bench::full_run_requested;
+use autobraid_lattice::decoder::Patch;
+use autobraid_lattice::CodeParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn logical_rate(d: u32, p: f64, trials: usize, seed: u64) -> f64 {
+    let patch = Patch::new(d).expect("odd d >= 3");
+    let n_links = patch.links().len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let failures = (0..trials)
+        .filter(|_| {
+            let samples: Vec<f64> = (0..n_links).map(|_| rng.gen::<f64>()).collect();
+            patch.sample_round(p, &samples)
+        })
+        .count();
+    failures as f64 / trials as f64
+}
+
+fn main() {
+    let full = full_run_requested();
+    let trials = if full { 4000 } else { 1000 };
+    let distances: &[u32] = if full { &[3, 5, 7, 9, 11] } else { &[3, 5, 7] };
+    let rates: &[f64] = &[0.01, 0.03, 0.08, 0.15];
+
+    let mut table = Table::new({
+        let mut h = vec!["p_phys".to_string()];
+        h.extend(distances.iter().map(|d| format!("d={d}")));
+        h.push("Eq.1 model (d=max)".into());
+        h
+    });
+    for &p in rates {
+        let mut row = vec![format!("{p:.2}")];
+        for &d in distances {
+            let rate = logical_rate(d, p, trials, 42 + d as u64);
+            row.push(format!("{rate:.4}"));
+        }
+        // Eq. 1 with p_th = 0.57% is calibrated for circuit-level noise;
+        // print the analytic value at the largest d for shape comparison
+        // only when p < p_th of *this* toy model (~0.10 phenomenological).
+        let model = CodeParams::new(p.min(0.09), 0.10, *distances.last().unwrap())
+            .map(|c| format!("{:.2e}", c.logical_error_rate()))
+            .unwrap_or_else(|_| "-".into());
+        row.push(model);
+        table.add_row(row);
+        eprintln!("done: p = {p}");
+    }
+
+    println!("\nLogical error rate vs code distance ({trials} trials/cell)\n");
+    println!("{}", table.render());
+    println!(
+        "Below threshold (~0.10 for this phenomenological model) the rate \n\
+         falls with d — the Threshold Theorem / Eq. 1 regime the scheduler \n\
+         assumes. Near threshold the columns flatten; above it they invert."
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table 2**: the evaluation overview — critical path (CP),
+//! the greedy baseline ("GP w. initM"), and AutoBraid-full for every
+//! benchmark, with speedups.
+//!
+//! Run with `cargo run --release -p autobraid-bench --bin table2`
+//! (`--full` adds the slowest instances: large urf blocks, QFT-500, Shor).
+
+use autobraid::report::{format_us, Table};
+use autobraid_bench::{eval_config, full_run_requested, Comparison, SLOW_LABELS, TABLE2};
+use autobraid_circuit::CircuitStats;
+
+fn main() {
+    let full = full_run_requested();
+    let config = eval_config();
+    let mut table = Table::new([
+        "Type", "Name", "#qubit", "#gate", "CP", "GP w initM", "AutoBraid", "Speedup",
+    ]);
+
+    for entry in TABLE2 {
+        if !full && SLOW_LABELS.contains(&entry.label) {
+            continue;
+        }
+        let circuit = entry.build().expect("registry entries build");
+        let stats = CircuitStats::of(&circuit);
+        let cmp = Comparison::run(&circuit, &config);
+        table.add_row([
+            entry.category.to_string(),
+            entry.label.to_string(),
+            stats.qubits.to_string(),
+            stats.gates.to_string(),
+            format_us(cmp.cp_us()),
+            format_us(cmp.baseline.time_us()),
+            format_us(cmp.best().time_us()),
+            format!("{:.2}", cmp.speedup()),
+        ]);
+        eprintln!("done: {}", entry.label);
+    }
+
+    println!("\nTable 2: Overview of Experiment Results\n");
+    println!("{}", table.render());
+    if !full {
+        println!("(slow instances skipped: {SLOW_LABELS:?} — pass --full to include)");
+    }
+}

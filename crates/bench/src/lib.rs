@@ -1,0 +1,235 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one experiment (see DESIGN.md §6):
+//! `table1`, `table2`, `fig16`, `fig17`, `fig18`, `compile_time`. This
+//! library holds the benchmark registry and the common run helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use autobraid::config::{Recording, ScheduleConfig};
+use autobraid::critical_path::critical_path_cycles;
+use autobraid::{schedule_async, schedule_baseline, AutoBraid, ScheduleResult};
+use autobraid_lattice::Grid;
+use autobraid_circuit::{generators, Circuit, CircuitError};
+use autobraid_lattice::{CodeParams, TimingModel};
+
+/// One benchmark instance of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Printable name (matches the paper's tables).
+    pub label: &'static str,
+    /// Generator key for [`generators::by_name`].
+    pub kind: &'static str,
+    /// Qubit count for sized generators (ignored by fixed-size ones).
+    pub n: u32,
+    /// `"block"` (building blocks) or `"app"` (real-world applications).
+    pub category: &'static str,
+}
+
+impl BenchEntry {
+    const fn new(label: &'static str, kind: &'static str, n: u32, category: &'static str) -> Self {
+        BenchEntry { label, kind, n, category }
+    }
+
+    /// Builds the circuit for this entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors ([`CircuitError`]).
+    pub fn build(&self) -> Result<Circuit, CircuitError> {
+        let mut c = generators::by_name(self.kind, self.n)?;
+        c.set_name(self.label);
+        Ok(c)
+    }
+}
+
+/// The Table 2 benchmark suite. The default subset (everything except the
+/// largest urf blocks and Shor) finishes quickly; pass `--full` to the
+/// binaries to run everything.
+pub const TABLE2: &[BenchEntry] = &[
+    // Building blocks.
+    BenchEntry::new("4gt11_8", "4gt11_8", 0, "block"),
+    BenchEntry::new("4gt5_75", "4gt5_75", 0, "block"),
+    BenchEntry::new("alu-v0_26", "alu-v0_26", 0, "block"),
+    BenchEntry::new("rd32-v0", "rd32-v0", 0, "block"),
+    BenchEntry::new("sqrt8_260", "sqrt8_260", 0, "block"),
+    BenchEntry::new("squar5_261", "squar5_261", 0, "block"),
+    BenchEntry::new("squar7", "squar7", 0, "block"),
+    BenchEntry::new("urf1_278", "urf1_278", 0, "block"),
+    BenchEntry::new("urf2_277", "urf2_277", 0, "block"),
+    BenchEntry::new("urf5_158", "urf5_158", 0, "block"),
+    BenchEntry::new("urf5_280", "urf5_280", 0, "block"),
+    // Real-world applications.
+    BenchEntry::new("QFT-200", "qft", 200, "app"),
+    BenchEntry::new("QFT-400", "qft", 400, "app"),
+    BenchEntry::new("QFT-500", "qft", 500, "app"),
+    BenchEntry::new("BV-100", "bv", 100, "app"),
+    BenchEntry::new("BV-150", "bv", 150, "app"),
+    BenchEntry::new("BV-200", "bv", 200, "app"),
+    BenchEntry::new("CC-100", "cc", 100, "app"),
+    BenchEntry::new("CC-200", "cc", 200, "app"),
+    BenchEntry::new("CC-300", "cc", 300, "app"),
+    BenchEntry::new("IM-10", "im", 10, "app"),
+    BenchEntry::new("IM-500", "im", 500, "app"),
+    BenchEntry::new("IM-1000", "im", 1000, "app"),
+    BenchEntry::new("BWT-179", "bwt", 179, "app"),
+    BenchEntry::new("BWT-240", "bwt", 240, "app"),
+    BenchEntry::new("QAOA-100", "qaoa", 100, "app"),
+    BenchEntry::new("QAOA-200", "qaoa", 200, "app"),
+    BenchEntry::new("QAOA-300", "qaoa", 300, "app"),
+    BenchEntry::new("Shor-471", "shor", 0, "app"),
+];
+
+/// Entries whose scheduling cost makes them opt-in (`--full`).
+pub const SLOW_LABELS: &[&str] = &["urf1_278", "urf5_158", "QFT-500", "Shor-471"];
+
+/// The Table 1 subset (LLG initial-layout impact).
+pub const TABLE1: &[BenchEntry] = &[
+    BenchEntry::new("qft16", "qft", 16, "app"),
+    BenchEntry::new("qft50", "qft", 50, "app"),
+    BenchEntry::new("urf2", "urf2_277", 0, "block"),
+    BenchEntry::new("IM16", "im", 16, "app"),
+    BenchEntry::new("IM10", "im", 10, "app"),
+    BenchEntry::new("Shors", "shor", 0, "app"),
+    BenchEntry::new("BWT", "bwt", 179, "app"),
+    BenchEntry::new("Sqrt8", "sqrt8_260", 0, "block"),
+];
+
+/// The default evaluation configuration: paper timing (d = 33, 2.2 µs
+/// cycles), stats-only recording (the experiment binaries re-verify
+/// correctness elsewhere; see `tests/`).
+pub fn eval_config() -> ScheduleConfig {
+    ScheduleConfig::default().with_recording(Recording::StatsOnly)
+}
+
+/// A full comparison for one circuit: CP cycles, baseline, autobraid-sp,
+/// autobraid-full, and the event-driven engine.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Critical-path cycles (the ideal lower bound).
+    pub cp_cycles: u64,
+    /// Baseline ("GP w. initM") result.
+    pub baseline: ScheduleResult,
+    /// AutoBraid-sp result.
+    pub sp: ScheduleResult,
+    /// AutoBraid-full result.
+    pub full: ScheduleResult,
+    /// Event-driven engine result (static placement).
+    pub asynchronous: ScheduleResult,
+}
+
+impl Comparison {
+    /// Runs all schedulers on `circuit` under `config`.
+    pub fn run(circuit: &Circuit, config: &ScheduleConfig) -> Self {
+        let compiler = AutoBraid::new(config.clone());
+        let (baseline, _) = schedule_baseline(circuit, config);
+        let sp = compiler.schedule_sp(circuit).result;
+        let full = compiler.schedule_full(circuit).result;
+        let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+        let placement = compiler.initial_placement(circuit, &grid);
+        let asynchronous = schedule_async(circuit, &grid, placement, config).result;
+        let cp_cycles = critical_path_cycles(circuit, &config.timing);
+        Comparison { cp_cycles, baseline, sp, full, asynchronous }
+    }
+
+    /// The framework's best strategy for this circuit (what the paper's
+    /// "AutoBraid" column reports): minimum cycles over autobraid-full and
+    /// the event-driven engine.
+    pub fn best(&self) -> &ScheduleResult {
+        if self.asynchronous.total_cycles < self.full.total_cycles {
+            &self.asynchronous
+        } else {
+            &self.full
+        }
+    }
+
+    /// CP in microseconds under the comparison's timing model.
+    pub fn cp_us(&self) -> f64 {
+        self.baseline.timing().cycles_to_us(self.cp_cycles)
+    }
+
+    /// Baseline-over-best speedup (the paper's headline column).
+    pub fn speedup(&self) -> f64 {
+        self.best().speedup_over(&self.baseline)
+    }
+}
+
+/// Scaling model for Fig. 16/17: a target logical error rate `P_L`
+/// determines both the code distance (hence the timing model) and the
+/// problem size (the paper: "circuit size is inversely proportional to
+/// P_L"). We allocate a fixed total failure budget of 1% across all
+/// `gates × qubits` error opportunities, so bigger instances demand
+/// smaller `P_L` and larger `d`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Logical qubit count at this computation size.
+    pub n: u32,
+    /// Target logical error rate.
+    pub p_l: f64,
+}
+
+/// Builds the scale sweep for an application family from its qubit sizes
+/// and gate-count function.
+pub fn scale_points(sizes: &[u32], gates_for: impl Fn(u32) -> u64) -> Vec<ScalePoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let opportunities = gates_for(n).max(1) as f64 * f64::from(n);
+            ScalePoint { n, p_l: (0.01 / opportunities).min(1e-4) }
+        })
+        .collect()
+}
+
+/// Timing model whose code distance achieves `p_l`.
+pub fn timing_for(p_l: f64) -> TimingModel {
+    let params = CodeParams::for_target_error(p_l).expect("valid target error rate");
+    TimingModel::new(params)
+}
+
+/// Simple `--full` flag detection for the experiment binaries.
+pub fn full_run_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_everything() {
+        for entry in TABLE2.iter().chain(TABLE1) {
+            let c = entry.build().unwrap_or_else(|e| panic!("{}: {e}", entry.label));
+            assert!(!c.is_empty(), "{} is empty", entry.label);
+        }
+    }
+
+    #[test]
+    fn paper_qubit_counts() {
+        let by_label = |l: &str| TABLE2.iter().find(|e| e.label == l).unwrap().build().unwrap();
+        assert_eq!(by_label("QFT-200").num_qubits(), 200);
+        assert_eq!(by_label("Shor-471").num_qubits(), 471);
+        assert_eq!(by_label("urf2_277").num_qubits(), 8);
+        assert_eq!(by_label("BWT-179").num_qubits(), 179);
+    }
+
+    #[test]
+    fn comparison_runs_and_orders() {
+        let c = TABLE1[0].build().unwrap(); // qft16
+        let cmp = Comparison::run(&c, &eval_config());
+        assert!(cmp.cp_cycles > 0);
+        assert!(cmp.full.total_cycles >= cmp.cp_cycles);
+        assert!(cmp.baseline.total_cycles >= cmp.cp_cycles);
+        assert!(cmp.speedup() > 0.0);
+    }
+
+    #[test]
+    fn scale_points_monotone() {
+        let pts = scale_points(&[50, 100, 200], |n| u64::from(n) * u64::from(n) / 2);
+        assert!(pts.windows(2).all(|w| w[0].p_l > w[1].p_l));
+        for p in pts {
+            let t = timing_for(p.p_l);
+            assert!(t.params().logical_error_rate() <= p.p_l);
+        }
+    }
+}

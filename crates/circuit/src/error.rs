@@ -1,0 +1,65 @@
+//! Error types for circuit construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate references a qubit outside the circuit's register.
+    QubitOutOfRange {
+        /// Index of the offending gate.
+        gate: usize,
+        /// The out-of-range qubit.
+        qubit: u32,
+        /// The circuit's register size.
+        num_qubits: u32,
+    },
+    /// The OpenQASM source failed to parse.
+    Parse {
+        /// 1-based source line of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A generator was asked for a size it cannot produce.
+    InvalidSize(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { gate, qubit, num_qubits } => write!(
+                f,
+                "gate {gate} references qubit {qubit} but the register holds {num_qubits} qubits"
+            ),
+            CircuitError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            CircuitError::InvalidSize(msg) => write!(f, "invalid benchmark size: {msg}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = CircuitError::QubitOutOfRange { gate: 3, qubit: 9, num_qubits: 4 };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('4'));
+        let p = CircuitError::Parse { line: 12, message: "unknown gate foo".into() };
+        assert!(p.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<E: Error + Send + Sync + 'static>(_: E) {}
+        check(CircuitError::InvalidSize("n must be > 1".into()));
+    }
+}

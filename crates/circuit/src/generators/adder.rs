@@ -1,0 +1,106 @@
+//! Cuccaro ripple-carry adder.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+
+/// The Cuccaro ripple-carry adder computing `b += a` over two `bits`-bit
+/// registers with one ancilla carry and one carry-out qubit
+/// (`2·bits + 2` qubits total).
+///
+/// Layout: `[carry_in, a0, b0, a1, b1, …, carry_out]` so the MAJ/UMA
+/// ladder touches only nearby qubits — reversible arithmetic of exactly
+/// the kind the RevLib building blocks package, useful for scheduling
+/// tests with realistic locality.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `bits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators::adder::cuccaro_adder;
+///
+/// let c = cuccaro_adder(4)?;
+/// assert_eq!(c.num_qubits(), 10);
+/// # Ok::<(), autobraid_circuit::CircuitError>(())
+/// ```
+pub fn cuccaro_adder(bits: u32) -> Result<Circuit, CircuitError> {
+    if bits == 0 {
+        return Err(CircuitError::InvalidSize("adder needs bits >= 1".into()));
+    }
+    let n = 2 * bits + 2;
+    let mut c = Circuit::named(n, format!("add{bits}"));
+    let a = |i: u32| 1 + 2 * i; // a_i
+    let b = |i: u32| 2 + 2 * i; // b_i
+    let carry_in = 0;
+    let carry_out = n - 1;
+
+    // MAJ(x, y, z): majority-in-place.
+    let maj = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    // UMA(x, y, z): un-majority and add.
+    let uma = |c: &mut Circuit, x: u32, y: u32, z: u32| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    maj(&mut c, carry_in, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(bits - 1), carry_out);
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, carry_in, b(0), a(0));
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_and_gate_counts() {
+        let c = cuccaro_adder(8).unwrap();
+        assert_eq!(c.num_qubits(), 18);
+        // Each MAJ/UMA is 2 CX + 1 Toffoli (6 CX) = 8 CX; 2·bits blocks
+        // plus the carry-out CX.
+        assert_eq!(c.two_qubit_count() as u32, 16 * 8 + 1);
+    }
+
+    #[test]
+    fn ripple_carry_is_deep_and_serial() {
+        use crate::stats::CircuitStats;
+        let c = cuccaro_adder(6).unwrap();
+        let stats = CircuitStats::of(&c);
+        assert!(stats.depth > 20, "ripple carry is deep: {}", stats.depth);
+        // The carry chain serializes most of the circuit: depth stays a
+        // large fraction of the gate count.
+        assert!(stats.depth * 2 > stats.gates, "{} depth vs {} gates", stats.depth, stats.gates);
+    }
+
+    #[test]
+    fn interleaved_layout_keeps_operands_close() {
+        let c = cuccaro_adder(6).unwrap();
+        let max_span = c
+            .gates()
+            .iter()
+            .filter_map(|g| g.pair())
+            .map(|(x, y)| x.abs_diff(y))
+            .max()
+            .unwrap();
+        assert!(max_span <= 3, "MAJ/UMA ladder is local: span {max_span}");
+    }
+
+    #[test]
+    fn rejects_zero() {
+        assert!(cuccaro_adder(0).is_err());
+        assert!(cuccaro_adder(1).is_ok());
+    }
+}

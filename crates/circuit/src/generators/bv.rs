@@ -1,0 +1,96 @@
+//! Bernstein–Vazirani.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+
+/// Bernstein–Vazirani over `n` qubits (`n - 1` data qubits plus one
+/// ancilla) with the given secret string (one bit per data qubit).
+///
+/// The oracle CXs all target the ancilla, so there is **zero CX
+/// parallelism** (paper Fig. 6) — braiding for BV never congests and every
+/// scheduler should hit the critical path.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 2` or the secret length is
+/// not `n - 1`.
+pub fn bv(n: u32, secret: &[bool]) -> Result<Circuit, CircuitError> {
+    if n < 2 {
+        return Err(CircuitError::InvalidSize(format!("bv needs n >= 2, got {n}")));
+    }
+    if secret.len() as u32 != n - 1 {
+        return Err(CircuitError::InvalidSize(format!(
+            "bv secret must have {} bits, got {}",
+            n - 1,
+            secret.len()
+        )));
+    }
+    let mut c = Circuit::named(n, format!("bv{n}"));
+    let ancilla = n - 1;
+    for q in 0..n - 1 {
+        c.h(q);
+    }
+    c.x(ancilla).h(ancilla);
+    for (q, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cx(q as u32, ancilla);
+        }
+    }
+    for q in 0..n - 1 {
+        c.h(q);
+    }
+    Ok(c)
+}
+
+/// BV with the all-ones secret — the worst case (longest CX chain) and the
+/// configuration whose gate count matches the paper's Table 2
+/// (`3n - 1` gates; BV-100 → 299).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators::bv::bv_all_ones;
+///
+/// assert_eq!(bv_all_ones(100)?.len(), 299);
+/// assert_eq!(bv_all_ones(200)?.len(), 599);
+/// # Ok::<(), autobraid_circuit::error::CircuitError>(())
+/// ```
+pub fn bv_all_ones(n: u32) -> Result<Circuit, CircuitError> {
+    bv(n, &vec![true; (n - 1).max(1) as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::ParallelismProfile;
+
+    #[test]
+    fn paper_gate_counts() {
+        assert_eq!(bv_all_ones(100).unwrap().len(), 299);
+        assert_eq!(bv_all_ones(150).unwrap().len(), 449);
+        assert_eq!(bv_all_ones(200).unwrap().len(), 599);
+    }
+
+    #[test]
+    fn zero_cx_parallelism() {
+        let c = bv_all_ones(50).unwrap();
+        let profile = ParallelismProfile::analyze(&c);
+        assert!(!profile.has_cx_parallelism(), "BV has no concurrent CX gates");
+    }
+
+    #[test]
+    fn secret_controls_cx_count() {
+        let c = bv(6, &[true, false, true, false, true]).unwrap();
+        assert_eq!(c.two_qubit_count(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(bv(1, &[]).is_err());
+        assert!(bv(4, &[true]).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Binary welded tree walk circuit.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+
+/// Edge list of a welded pair of (possibly incomplete, heap-ordered)
+/// binary trees over `n` nodes: nodes `0..a` form tree A, `a..n` form tree
+/// B, and the leaves of the two trees are welded pairwise.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 4`.
+pub fn welded_tree_edges(n: u32) -> Result<Vec<(u32, u32)>, CircuitError> {
+    if n < 4 {
+        return Err(CircuitError::InvalidSize(format!("bwt needs n >= 4, got {n}")));
+    }
+    let a = n / 2;
+    let b = n - a;
+    let mut edges = Vec::new();
+    // Heap-order parent→child edges inside each tree.
+    let tree = |base: u32, size: u32, edges: &mut Vec<(u32, u32)>| {
+        for i in 0..size {
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < size {
+                    edges.push((base + i, base + child));
+                }
+            }
+        }
+    };
+    tree(0, a, &mut edges);
+    tree(a, b, &mut edges);
+    // Welding: leaves (nodes with no children in heap order) of A join
+    // leaves of B cyclically, two welds per leaf as in the welded tree.
+    let leaves = |base: u32, size: u32| -> Vec<u32> {
+        (0..size).filter(|i| 2 * i + 1 >= size).map(|i| base + i).collect()
+    };
+    let la = leaves(0, a);
+    let lb = leaves(a, b);
+    for (k, &leaf) in la.iter().enumerate() {
+        let first = lb[k % lb.len()];
+        let second = lb[(k + 1) % lb.len()];
+        edges.push((leaf, first));
+        if second != first {
+            edges.push((leaf, second));
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    Ok(edges)
+}
+
+/// Quantum-walk circuit on the binary welded tree: an entry Hadamard on
+/// each tree's root followed by one CX per tree/weld edge per walk step.
+///
+/// The structure is tree-local (low, bounded interference), matching the
+/// near-critical-path behaviour the paper reports for BWT. One walk step
+/// over `n = 179` qubits lands near the paper's 260 gates.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 4` or `steps == 0`.
+pub fn bwt(n: u32, steps: u32) -> Result<Circuit, CircuitError> {
+    if steps == 0 {
+        return Err(CircuitError::InvalidSize("bwt needs steps >= 1".into()));
+    }
+    let edges = welded_tree_edges(n)?;
+    let mut c = Circuit::named(n, format!("bwt{n}"));
+    c.h(0); // entrance root
+    c.h(n / 2); // exit root
+    for _ in 0..steps {
+        for &(u, v) in &edges {
+            c.cx(u, v);
+        }
+    }
+    Ok(c)
+}
+
+/// The paper's BWT instances (179 and 240 qubits): a single walk step.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 4`.
+pub fn bwt_paper(n: u32) -> Result<Circuit, CircuitError> {
+    bwt(n, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_tree_plus_weld() {
+        let edges = welded_tree_edges(20).unwrap();
+        // Two trees of 10 nodes: 9 + 9 internal edges, plus welds.
+        let internal = edges
+            .iter()
+            .filter(|&&(u, v)| (u < 10 && v < 10) || (u >= 10 && v >= 10))
+            .count();
+        assert_eq!(internal, 18);
+        assert!(edges.len() > internal, "weld edges exist");
+    }
+
+    #[test]
+    fn paper_sizes_are_close() {
+        let c179 = bwt_paper(179).unwrap();
+        assert!((230..=300).contains(&c179.len()), "bwt179: {}", c179.len());
+        let c240 = bwt_paper(240).unwrap();
+        assert!((320..=420).contains(&c240.len()), "bwt240: {}", c240.len());
+    }
+
+    #[test]
+    fn every_node_is_touched() {
+        let n = 30;
+        let edges = welded_tree_edges(n).unwrap();
+        let mut seen = vec![false; n as usize];
+        for (u, v) in edges {
+            seen[u as usize] = true;
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "welded tree is connected over all qubits");
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(bwt(3, 1).is_err());
+        assert!(bwt(16, 0).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Counterfeit-coin finding.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+
+/// The counterfeit-coin finding circuit over `n` qubits (`n - 1` coin
+/// qubits plus one balance ancilla).
+///
+/// Superposes a subset of coins on the balance via a CX fan-in, exactly
+/// the structure of the IBM Qiskit reference: one H per coin followed by a
+/// CX onto the ancilla, giving `2(n - 1)` gates (paper Table 2: CC-100 →
+/// 198 gates). Like BV, all CXs share the ancilla — no CX parallelism.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators::cc::counterfeit_coin;
+///
+/// assert_eq!(counterfeit_coin(100)?.len(), 198);
+/// assert_eq!(counterfeit_coin(300)?.len(), 598);
+/// # Ok::<(), autobraid_circuit::error::CircuitError>(())
+/// ```
+pub fn counterfeit_coin(n: u32) -> Result<Circuit, CircuitError> {
+    if n < 2 {
+        return Err(CircuitError::InvalidSize(format!("cc needs n >= 2, got {n}")));
+    }
+    let mut c = Circuit::named(n, format!("cc{n}"));
+    let balance = n - 1;
+    for coin in 0..n - 1 {
+        c.h(coin);
+    }
+    for coin in 0..n - 1 {
+        c.cx(coin, balance);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::ParallelismProfile;
+
+    #[test]
+    fn paper_gate_counts() {
+        assert_eq!(counterfeit_coin(100).unwrap().len(), 198);
+        assert_eq!(counterfeit_coin(200).unwrap().len(), 398);
+        assert_eq!(counterfeit_coin(300).unwrap().len(), 598);
+    }
+
+    #[test]
+    fn serial_communication() {
+        let p = ParallelismProfile::analyze(&counterfeit_coin(40).unwrap());
+        assert!(!p.has_cx_parallelism());
+    }
+
+    #[test]
+    fn rejects_tiny() {
+        assert!(counterfeit_coin(1).is_err());
+        assert!(counterfeit_coin(2).is_ok());
+    }
+}

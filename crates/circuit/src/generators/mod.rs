@@ -1,0 +1,80 @@
+//! Benchmark circuit generators for the paper's evaluation suite.
+//!
+//! Two categories, as in Table 2:
+//!
+//! * **Building blocks** — RevLib-style reversible functions
+//!   ([`revlib`]): compare/ALU/adder/square/sqrt skeletons built from
+//!   Toffoli networks plus *unstructured reversible functions* (urf) as
+//!   seeded random CX netlists. The original RevLib files are not
+//!   available offline; these generators match the published qubit counts
+//!   and approximate gate counts (see DESIGN.md §3).
+//! * **Real-world applications** — QFT ([`qft`]), Bernstein-Vazirani
+//!   ([`bv`]), counterfeit-coin finding ([`cc`]), the Ising model
+//!   ([`ising`]), QAOA ([`qaoa`]), binary welded tree ([`bwt`]), and a
+//!   Shor-like modular-exponentiation skeleton ([`shor`]).
+
+pub mod adder;
+pub mod bv;
+pub mod bwt;
+pub mod cc;
+pub mod ising;
+pub mod qaoa;
+pub mod qft;
+pub mod qpe;
+pub mod random;
+pub mod revlib;
+pub mod shor;
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+
+/// Builds a benchmark by its paper name, e.g. `"qft"`, `"bv"`, `"cc"`,
+/// `"im"` (Ising model), `"qaoa"`, `"bwt"`, `"shor"`, or any RevLib block
+/// name from [`revlib::NAMES`]. Sized benchmarks take `n` as the qubit
+/// count; RevLib blocks and `shor` ignore it (their sizes are fixed by the
+/// paper).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] for unknown names or sizes the
+/// generator cannot produce.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators;
+///
+/// let qft16 = generators::by_name("qft", 16)?;
+/// assert_eq!(qft16.num_qubits(), 16);
+/// let shors = generators::by_name("shor", 0)?;
+/// assert_eq!(shors.num_qubits(), 471);
+/// # Ok::<(), autobraid_circuit::error::CircuitError>(())
+/// ```
+pub fn by_name(name: &str, n: u32) -> Result<Circuit, CircuitError> {
+    match name {
+        "qft" => qft::qft(n),
+        "qpe" => qpe::qpe(n, 0.375),
+        "adder" => adder::cuccaro_adder(n),
+        "bv" => bv::bv_all_ones(n),
+        "cc" => cc::counterfeit_coin(n),
+        "im" | "ising" => ising::ising_paper(n),
+        "qaoa" => qaoa::qaoa_paper(n),
+        "bwt" => bwt::bwt_paper(n),
+        "shor" => shor::shor_paper(),
+        other => revlib::build(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_dispatches() {
+        assert_eq!(by_name("qft", 8).unwrap().num_qubits(), 8);
+        assert_eq!(by_name("bv", 100).unwrap().len(), 299);
+        assert_eq!(by_name("im", 10).unwrap().num_qubits(), 10);
+        assert!(by_name("urf2_277", 0).is_ok());
+        assert!(by_name("nonexistent", 4).is_err());
+    }
+}

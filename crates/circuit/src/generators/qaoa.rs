@@ -1,0 +1,145 @@
+//! QAOA for MaxCut on random regular graphs.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random `degree`-regular graph on `n` vertices via the
+/// pairing model (retrying until simple), returning its edge list.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n * degree` is odd, or
+/// `degree >= n`.
+pub fn random_regular_graph(
+    n: u32,
+    degree: u32,
+    seed: u64,
+) -> Result<Vec<(u32, u32)>, CircuitError> {
+    if degree >= n || !(n * degree).is_multiple_of(2) {
+        return Err(CircuitError::InvalidSize(format!(
+            "no simple {degree}-regular graph on {n} vertices"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..200 {
+        // Pairing model: each vertex contributes `degree` stubs.
+        let mut stubs: Vec<u32> =
+            (0..n).flat_map(|v| std::iter::repeat_n(v, degree as usize)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges = Vec::with_capacity(stubs.len() / 2);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b {
+                continue 'attempt;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                continue 'attempt;
+            }
+            edges.push(key);
+        }
+        return Ok(edges);
+    }
+    Err(CircuitError::InvalidSize(format!(
+        "failed to sample a simple {degree}-regular graph on {n} vertices"
+    )))
+}
+
+/// QAOA MaxCut ansatz: `rounds` alternating cost/mixer layers over a random
+/// `degree`-regular interaction graph.
+///
+/// Each edge's cost term is `CX · Rz · CX`; the mixer is an `Rx` layer.
+/// Disjoint edges are theoretically concurrent, so QAOA exercises both the
+/// path finder (medium-density interference) and the layout optimizer.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] for impossible graph parameters or
+/// `rounds == 0`.
+pub fn qaoa(n: u32, rounds: u32, degree: u32, seed: u64) -> Result<Circuit, CircuitError> {
+    if rounds == 0 {
+        return Err(CircuitError::InvalidSize("qaoa needs rounds >= 1".into()));
+    }
+    let edges = random_regular_graph(n, degree, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut c = Circuit::named(n, format!("qaoa{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..rounds {
+        let gamma: f64 = rng.gen_range(0.1..1.0);
+        let beta: f64 = rng.gen_range(0.1..1.0);
+        for &(a, b) in &edges {
+            c.cx(a, b).rz(gamma, b).cx(a, b);
+        }
+        for q in 0..n {
+            c.rx(beta, q);
+        }
+    }
+    Ok(c)
+}
+
+/// The paper's QAOA instances: 3-regular MaxCut, with round counts chosen
+/// to land near Table 2's gate counts (QAOA-100 → ≈4.5K gates).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if no simple 3-regular graph
+/// exists on `n` vertices (odd `n`).
+pub fn qaoa_paper(n: u32) -> Result<Circuit, CircuitError> {
+    qaoa(n, 8, 3, 2021)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_degrees() {
+        let edges = random_regular_graph(20, 3, 7).unwrap();
+        assert_eq!(edges.len(), 30);
+        let mut deg = [0u32; 20];
+        for (a, b) in edges {
+            assert_ne!(a, b);
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn regular_graph_is_simple() {
+        let edges = random_regular_graph(30, 4, 42).unwrap();
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len(), "no duplicate edges");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(
+            random_regular_graph(16, 3, 5).unwrap(),
+            random_regular_graph(16, 3, 5).unwrap()
+        );
+        let c1 = qaoa(16, 2, 3, 5).unwrap();
+        let c2 = qaoa(16, 2, 3, 5).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn paper_qaoa100_gate_count() {
+        // 100 H + 8 rounds × (150 edges × 3 + 100 Rx) = 4500.
+        let c = qaoa_paper(100).unwrap();
+        assert!((4200..=4800).contains(&c.len()), "got {}", c.len());
+    }
+
+    #[test]
+    fn rejects_impossible() {
+        assert!(random_regular_graph(5, 3, 1).is_err(), "odd stub total");
+        assert!(random_regular_graph(4, 4, 1).is_err(), "degree >= n");
+        assert!(qaoa(8, 0, 3, 1).is_err());
+    }
+}

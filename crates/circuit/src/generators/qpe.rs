@@ -1,0 +1,91 @@
+//! Quantum phase estimation.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use std::f64::consts::PI;
+
+/// Quantum phase estimation with `precision` counting qubits estimating
+/// the eigenphase `phase` (in turns) of a single-qubit diagonal unitary
+/// on one target qubit.
+///
+/// Structure: H layer on the counting register, controlled powers
+/// `U^(2^k)` (each a controlled phase — one two-qubit gate), then the
+/// inverse QFT on the counting register. QPE is one of the exponential-
+/// speedup applications the paper's introduction motivates; its
+/// communication pattern is a fan-in onto the target plus the QFT's
+/// all-to-all cascade.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `precision < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators::qpe::qpe;
+///
+/// let c = qpe(8, 0.375)?;
+/// assert_eq!(c.num_qubits(), 9); // 8 counting + 1 target
+/// # Ok::<(), autobraid_circuit::CircuitError>(())
+/// ```
+pub fn qpe(precision: u32, phase: f64) -> Result<Circuit, CircuitError> {
+    if precision < 2 {
+        return Err(CircuitError::InvalidSize(format!(
+            "qpe needs precision >= 2, got {precision}"
+        )));
+    }
+    let n = precision + 1;
+    let target = precision;
+    let mut c = Circuit::named(n, format!("qpe{precision}"));
+    for q in 0..precision {
+        c.h(q);
+    }
+    c.x(target); // eigenstate preparation (|1⟩ of a diagonal unitary)
+    for k in 0..precision {
+        // Controlled-U^(2^k): phase kickback of 2^k * phase turns.
+        let angle = 2.0 * PI * phase * f64::from(1u32 << k.min(30));
+        c.cphase(angle, k, target);
+    }
+    // Inverse QFT on the counting register.
+    for i in (0..precision).rev() {
+        for j in (i + 1..precision).rev() {
+            let angle = -PI / f64::from(1u32 << (j - i).min(30));
+            c.cphase(angle, j, i);
+        }
+        c.h(i);
+    }
+    for q in 0..precision {
+        c.measure(q);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_budget() {
+        let p = 10u32;
+        let c = qpe(p, 0.25).unwrap();
+        // H(p) + X + controlled powers (p) + iQFT (p(p-1)/2 cp + p H) +
+        // measures (p).
+        let expected = p + 1 + p + p * (p - 1) / 2 + p + p;
+        assert_eq!(c.len() as u32, expected);
+        assert_eq!(c.two_qubit_count() as u32, p + p * (p - 1) / 2);
+    }
+
+    #[test]
+    fn has_fanin_and_cascade() {
+        use crate::layers::ParallelismProfile;
+        let c = qpe(8, 0.1).unwrap();
+        let profile = ParallelismProfile::analyze(&c);
+        assert!(profile.layer_count() > 8, "iQFT cascade is deep");
+    }
+
+    #[test]
+    fn rejects_tiny() {
+        assert!(qpe(1, 0.5).is_err());
+        assert!(qpe(2, 0.5).is_ok());
+    }
+}

@@ -1,0 +1,125 @@
+//! Random circuit generators for tests and stress benchmarks.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random circuit: `num_gates` gates, each two-qubit with
+/// probability `two_qubit_fraction` (uniform random distinct operands)
+/// and otherwise a uniform random single-qubit Clifford+T gate.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `n < 2` or the fraction is
+/// outside `[0, 1]`.
+pub fn random_circuit(
+    n: u32,
+    num_gates: usize,
+    two_qubit_fraction: f64,
+    seed: u64,
+) -> Result<Circuit, CircuitError> {
+    if n < 2 {
+        return Err(CircuitError::InvalidSize(format!("need n >= 2, got {n}")));
+    }
+    if !(0.0..=1.0).contains(&two_qubit_fraction) {
+        return Err(CircuitError::InvalidSize(format!(
+            "two_qubit_fraction must be in [0,1], got {two_qubit_fraction}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::named(n, format!("random{n}"));
+    for _ in 0..num_gates {
+        if rng.gen_bool(two_qubit_fraction) {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n);
+            while b == a {
+                b = rng.gen_range(0..n);
+            }
+            c.cx(a, b);
+        } else {
+            let q = rng.gen_range(0..n);
+            match rng.gen_range(0..5) {
+                0 => c.h(q),
+                1 => c.t(q),
+                2 => c.s(q),
+                3 => c.x(q),
+                _ => c.z(q),
+            };
+        }
+    }
+    Ok(c)
+}
+
+/// One maximally parallel layer of CX gates over disjoint random pairs:
+/// `pairs` gates touching `2 × pairs` distinct qubits. All gates are
+/// theoretically concurrent — the router stress case.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `2 * pairs > n`.
+pub fn random_cx_layer(n: u32, pairs: u32, seed: u64) -> Result<Circuit, CircuitError> {
+    if 2 * pairs > n {
+        return Err(CircuitError::InvalidSize(format!(
+            "{pairs} disjoint pairs need {} qubits, have {n}",
+            2 * pairs
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut qubits: Vec<u32> = (0..n).collect();
+    qubits.shuffle(&mut rng);
+    let mut c = Circuit::named(n, format!("cxlayer{n}x{pairs}"));
+    for chunk in qubits.chunks(2).take(pairs as usize) {
+        c.cx(chunk[0], chunk[1]);
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::ParallelismProfile;
+
+    #[test]
+    fn respects_gate_count_and_fraction() {
+        let c = random_circuit(10, 1000, 0.5, 42).unwrap();
+        assert_eq!(c.len(), 1000);
+        let frac = c.two_qubit_count() as f64 / 1000.0;
+        assert!((0.4..=0.6).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn extremes_of_fraction() {
+        assert_eq!(random_circuit(5, 100, 0.0, 1).unwrap().two_qubit_count(), 0);
+        assert_eq!(random_circuit(5, 100, 1.0, 1).unwrap().two_qubit_count(), 100);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(
+            random_circuit(8, 50, 0.4, 9).unwrap(),
+            random_circuit(8, 50, 0.4, 9).unwrap()
+        );
+        assert_ne!(
+            random_circuit(8, 50, 0.4, 9).unwrap(),
+            random_circuit(8, 50, 0.4, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn cx_layer_is_fully_parallel() {
+        let c = random_cx_layer(20, 10, 3).unwrap();
+        assert_eq!(c.len(), 10);
+        let p = ParallelismProfile::analyze(&c);
+        assert_eq!(p.layer_count(), 1);
+        assert_eq!(p.max_concurrent_cx(), 10);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(random_circuit(1, 10, 0.5, 0).is_err());
+        assert!(random_circuit(4, 10, 1.5, 0).is_err());
+        assert!(random_cx_layer(5, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! RevLib-style reversible building-block circuits.
+//!
+//! The paper's first benchmark category comes from RevLib \[28\]; the
+//! original netlists are not available offline, so each block is
+//! regenerated with the published qubit count, a gate count close to Table
+//! 2, and the structural character of its family (see DESIGN.md §3):
+//!
+//! * arithmetic blocks (`4gt*`, `alu*`, `rd32*`, `sqrt*`, `squar*`) are
+//!   deterministic Toffoli networks over sliding operand windows — the
+//!   shape MCT synthesis produces for comparators/adders/squarers;
+//! * `urf*` (*unstructured reversible functions*) are seeded uniform
+//!   random CX/X/Toffoli netlists, which is what "unstructured" denotes.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One catalog entry: `(name, qubits, target_gates, family)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// RevLib benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Logical qubit count (exact, from Table 2).
+    pub qubits: u32,
+    /// Published gate count to approximate.
+    pub target_gates: usize,
+    /// Structured Toffoli network vs unstructured random netlist.
+    pub family: Family,
+}
+
+/// Structural family of a reversible block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Windowed Toffoli network (comparators, adders, squarers, roots).
+    Arithmetic,
+    /// Unstructured reversible function: uniform random netlist.
+    Unstructured,
+}
+
+/// The catalog of building blocks evaluated in Table 2 (plus `urf5_158`).
+pub const CATALOG: &[BlockSpec] = &[
+    BlockSpec { name: "4gt11_8", qubits: 5, target_gates: 20, family: Family::Arithmetic },
+    BlockSpec { name: "4gt5_75", qubits: 5, target_gates: 48, family: Family::Arithmetic },
+    BlockSpec { name: "alu-v0_26", qubits: 5, target_gates: 48, family: Family::Arithmetic },
+    BlockSpec { name: "rd32-v0", qubits: 4, target_gates: 34, family: Family::Arithmetic },
+    BlockSpec { name: "sqrt8_260", qubits: 12, target_gates: 3_090, family: Family::Arithmetic },
+    BlockSpec { name: "squar5_261", qubits: 13, target_gates: 1_110, family: Family::Arithmetic },
+    BlockSpec { name: "squar7", qubits: 15, target_gates: 4_070, family: Family::Arithmetic },
+    BlockSpec { name: "urf1_278", qubits: 9, target_gates: 54_800, family: Family::Unstructured },
+    BlockSpec { name: "urf2_277", qubits: 8, target_gates: 20_100, family: Family::Unstructured },
+    BlockSpec { name: "urf5_158", qubits: 9, target_gates: 160_000, family: Family::Unstructured },
+    BlockSpec { name: "urf5_280", qubits: 9, target_gates: 49_800, family: Family::Unstructured },
+];
+
+/// All catalog names, for harness iteration.
+pub const NAMES: [&str; 11] = [
+    "4gt11_8",
+    "4gt5_75",
+    "alu-v0_26",
+    "rd32-v0",
+    "sqrt8_260",
+    "squar5_261",
+    "squar7",
+    "urf1_278",
+    "urf2_277",
+    "urf5_158",
+    "urf5_280",
+];
+
+/// Looks up a catalog entry by name (short aliases like `"urf2"` and
+/// `"sqrt8"` resolve to their unique catalog entry).
+pub fn spec(name: &str) -> Option<&'static BlockSpec> {
+    CATALOG
+        .iter()
+        .find(|s| s.name == name)
+        .or_else(|| CATALOG.iter().find(|s| s.name.starts_with(name)))
+}
+
+/// Builds a catalog block by name.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators::revlib;
+///
+/// let c = revlib::build("rd32-v0")?;
+/// assert_eq!(c.num_qubits(), 4);
+/// # Ok::<(), autobraid_circuit::error::CircuitError>(())
+/// ```
+pub fn build(name: &str) -> Result<Circuit, CircuitError> {
+    let spec = spec(name)
+        .ok_or_else(|| CircuitError::InvalidSize(format!("unknown benchmark '{name}'")))?;
+    let seed = stable_seed(spec.name);
+    let mut c = Circuit::named(spec.qubits, spec.name);
+    match spec.family {
+        Family::Arithmetic => fill_arithmetic(&mut c, spec.target_gates, seed),
+        Family::Unstructured => fill_unstructured(&mut c, spec.target_gates, seed),
+    }
+    Ok(c)
+}
+
+/// FNV-1a so block contents are stable across runs and platforms.
+fn stable_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Windowed Toffoli network: MCT synthesis for arithmetic walks operand
+/// windows across the register (carry chains, partial products), which is
+/// what we emit — a deterministic sweep of CCX/CX/X over sliding windows.
+fn fill_arithmetic(c: &mut Circuit, target_gates: usize, seed: u64) {
+    let n = c.num_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut window = 0u32;
+    while c.len() < target_gates {
+        let a = window % n;
+        let b = (window + 1) % n;
+        let t = (window + 2) % n;
+        // Period-4 pattern: carry (ccx), propagate (cx), flip (x), sum (cx).
+        match rng.gen_range(0..4) {
+            0 if n >= 3 && c.len() + 15 <= target_gates + 7 => {
+                c.ccx(a, b, t);
+            }
+            1 => {
+                c.cx(a, t.max(b));
+            }
+            2 => {
+                c.x(t);
+            }
+            _ => {
+                c.cx(b.min(t), (b.min(t) + 1) % n.max(2));
+            }
+        }
+        window += 1;
+    }
+}
+
+/// Unstructured reversible function: uniform random reversible netlist.
+fn fill_unstructured(c: &mut Circuit, target_gates: usize, seed: u64) {
+    let n = c.num_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let random_pair = |rng: &mut StdRng| {
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n);
+        while b == a {
+            b = rng.gen_range(0..n);
+        }
+        (a, b)
+    };
+    while c.len() < target_gates {
+        match rng.gen_range(0..10) {
+            0..=6 => {
+                let (a, b) = random_pair(&mut rng);
+                c.cx(a, b);
+            }
+            7 if n >= 3 && c.len() + 15 <= target_gates + 7 => {
+                let (a, b) = random_pair(&mut rng);
+                let mut t = rng.gen_range(0..n);
+                while t == a || t == b {
+                    t = rng.gen_range(0..n);
+                }
+                c.ccx(a, b, t);
+            }
+            _ => {
+                c.x(rng.gen_range(0..n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_with_exact_qubits() {
+        for spec in CATALOG {
+            let c = build(spec.name).unwrap();
+            assert_eq!(c.num_qubits(), spec.qubits, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn gate_counts_are_close_to_published() {
+        for spec in CATALOG {
+            let c = build(spec.name).unwrap();
+            let lo = spec.target_gates;
+            let hi = spec.target_gates + 16; // may overshoot by < 1 Toffoli
+            assert!(
+                (lo..=hi).contains(&c.len()),
+                "{}: {} gates, want ≈{}",
+                spec.name,
+                c.len(),
+                spec.target_gates
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(build("urf2_277").unwrap(), build("urf2_277").unwrap());
+        assert_eq!(build("sqrt8_260").unwrap(), build("sqrt8_260").unwrap());
+    }
+
+    #[test]
+    fn short_aliases_resolve() {
+        assert_eq!(spec("urf2").unwrap().name, "urf2_277");
+        assert_eq!(spec("sqrt8").unwrap().name, "sqrt8_260");
+        assert!(spec("zzz").is_none());
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        assert!(build("missing_bench").is_err());
+    }
+
+    #[test]
+    fn urf_blocks_are_cx_heavy() {
+        let c = build("urf2_277").unwrap();
+        let frac = c.two_qubit_count() as f64 / c.len() as f64;
+        assert!(frac > 0.5, "unstructured blocks are communication heavy: {frac}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Shor's algorithm skeleton (Beauregard-style modular exponentiation).
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use std::f64::consts::PI;
+
+/// A Shor's-algorithm skeleton for factoring a `bits`-bit modulus using the
+/// Beauregard layout: a `2·bits` control register driving controlled
+/// QFT-adder cascades on a `bits + 3` work register.
+///
+/// Real controlled modular addition applies a phase cascade from the
+/// control to every work qubit; following standard practice (and to match
+/// the paper's ScaffCC-generated gate count of 36.5K for 471 qubits) the
+/// cascade is truncated at `cutoff` rotations — the *approximate QFT*
+/// optimization, which drops rotations below machine precision.
+///
+/// The communication pattern — long-range fan-out from each control into a
+/// sliding window of the work register, chained sequentially — is what the
+/// schedulers observe; it is preserved exactly by the skeleton.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidSize`] if `bits < 2` or `cutoff == 0`.
+pub fn shor_like(bits: u32, cutoff: u32) -> Result<Circuit, CircuitError> {
+    if bits < 2 {
+        return Err(CircuitError::InvalidSize(format!("shor needs bits >= 2, got {bits}")));
+    }
+    if cutoff == 0 {
+        return Err(CircuitError::InvalidSize("shor needs cutoff >= 1".into()));
+    }
+    let controls = 2 * bits;
+    let work = bits + 3;
+    shor_registers(controls, work, cutoff)
+}
+
+fn shor_registers(controls: u32, work: u32, cutoff: u32) -> Result<Circuit, CircuitError> {
+    let n = controls + work;
+    let mut c = Circuit::named(n, format!("shor{n}"));
+    // Phase-estimation superposition over the control register.
+    for q in 0..controls {
+        c.h(q);
+    }
+    // One controlled (truncated) QFT-adder per control qubit.
+    for j in 0..controls {
+        let width = cutoff.min(work);
+        // The adder window slides across the work register as the
+        // exponentiation proceeds (mod-multiply by a^2^j).
+        let offset = j % (work - width + 1).max(1);
+        for i in 0..width {
+            let target = controls + offset + i;
+            let angle = PI / f64::from(1u32 << i.min(30));
+            c.cphase(angle, j, target);
+        }
+    }
+    // Inverse QFT on the control register (truncated the same way).
+    for i in (0..controls).rev() {
+        for j in (i + 1..controls.min(i + 1 + cutoff)).rev() {
+            let angle = -PI / f64::from(1u32 << (j - i).min(30));
+            c.cphase(angle, j, i);
+        }
+        c.h(i);
+    }
+    for q in 0..controls {
+        c.measure(q);
+    }
+    Ok(c)
+}
+
+/// The paper's Shor instance: 471 qubits (a 312-qubit phase-estimation
+/// control register over a 159-qubit work register, i.e. `bits = 156`),
+/// with the cutoff chosen so the total lands near Table 2's 36.5K gates.
+///
+/// # Examples
+///
+/// ```
+/// let c = autobraid_circuit::generators::shor::shor_paper()?;
+/// assert_eq!(c.num_qubits(), 471);
+/// assert!((30_000..=45_000).contains(&c.len()));
+/// # Ok::<(), autobraid_circuit::error::CircuitError>(())
+/// ```
+pub fn shor_paper() -> Result<Circuit, CircuitError> {
+    shor_registers(312, 159, 57)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_layout() {
+        let c = shor_like(8, 4).unwrap();
+        assert_eq!(c.num_qubits(), 2 * 8 + 8 + 3);
+    }
+
+    #[test]
+    fn paper_size() {
+        let c = shor_paper().unwrap();
+        assert_eq!(c.num_qubits(), 471);
+        // Table 2: 36.5K gates; the skeleton must land in the same regime.
+        assert!((30_000..=45_000).contains(&c.len()), "got {}", c.len());
+    }
+
+    #[test]
+    fn cutoff_bounds_gate_count() {
+        let small = shor_like(16, 2).unwrap();
+        let large = shor_like(16, 16).unwrap();
+        assert!(small.len() < large.len());
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(shor_like(1, 4).is_err());
+        assert!(shor_like(8, 0).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Logical quantum circuit substrate for the AutoBraid scheduler.
+//!
+//! Provides the circuit IR ([`circuit::Circuit`], [`gate::Gate`]), the
+//! dependence analysis every scheduler drains ([`dag`], [`layers`]), an
+//! OpenQASM 2.0 subset reader/writer ([`qasm`]), composite-gate lowering
+//! ([`decompose`]), and the paper's full benchmark suite ([`generators`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use autobraid_circuit::circuit::Circuit;
+//! use autobraid_circuit::dag::DependenceDag;
+//! use autobraid_circuit::generators::qft::qft;
+//!
+//! let c: Circuit = qft(16)?;
+//! let dag = DependenceDag::new(&c);
+//! // The ideal "CP" lower bound used throughout the paper:
+//! let cp = dag.critical_path_weight(&c, |g| if g.is_two_qubit() { 2 } else { 1 });
+//! assert!(cp > 0);
+//! # Ok::<(), autobraid_circuit::error::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod commutation;
+pub mod dag;
+pub mod decompose;
+pub mod error;
+pub mod gate;
+pub mod generators;
+pub mod layers;
+pub mod qasm;
+pub mod sim;
+pub mod stats;
+pub mod transform;
+
+pub use circuit::{Circuit, GateId};
+pub use dag::{DependenceDag, Frontier};
+pub use error::CircuitError;
+pub use gate::{Gate, QubitId, SingleKind, TwoKind};
+pub use layers::ParallelismProfile;
+pub use stats::CircuitStats;

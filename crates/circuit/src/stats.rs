@@ -1,0 +1,104 @@
+//! Summary statistics used by reports and the evaluation harness.
+
+use crate::circuit::Circuit;
+use crate::dag::DependenceDag;
+use crate::layers::ParallelismProfile;
+use std::fmt;
+
+/// A one-line summary of a circuit's size and communication structure.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::{generators::qft::qft, stats::CircuitStats};
+///
+/// let stats = CircuitStats::of(&qft(16)?);
+/// assert_eq!(stats.qubits, 16);
+/// assert_eq!(stats.gates, 136);
+/// assert_eq!(stats.two_qubit_gates, 120);
+/// # Ok::<(), autobraid_circuit::error::CircuitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Benchmark name, if any.
+    pub name: String,
+    /// Logical qubit count.
+    pub qubits: u32,
+    /// Total gate count.
+    pub gates: usize,
+    /// Braided (two-qubit) gate count.
+    pub two_qubit_gates: usize,
+    /// Dependence-DAG depth in gates.
+    pub depth: usize,
+    /// Maximum theoretically concurrent CX gates in any ASAP layer.
+    pub max_concurrent_cx: usize,
+    /// Mean concurrent CX gates per ASAP layer.
+    pub mean_concurrent_cx: f64,
+}
+
+impl CircuitStats {
+    /// Computes all statistics in one pass over the circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let dag = DependenceDag::new(circuit);
+        let profile = ParallelismProfile::analyze(circuit);
+        CircuitStats {
+            name: circuit.name().to_string(),
+            qubits: circuit.num_qubits(),
+            gates: circuit.len(),
+            two_qubit_gates: circuit.two_qubit_count(),
+            depth: dag.depth(),
+            max_concurrent_cx: profile.max_concurrent_cx(),
+            mean_concurrent_cx: profile.mean_concurrent_cx(),
+        }
+    }
+
+    /// Fraction of gates requiring braiding.
+    pub fn communication_fraction(&self) -> f64 {
+        if self.gates == 0 {
+            0.0
+        } else {
+            self.two_qubit_gates as f64 / self.gates as f64
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} qubits, {} gates ({} CX, depth {}, ≤{} concurrent CX)",
+            if self.name.is_empty() { "circuit" } else { &self.name },
+            self.qubits,
+            self.gates,
+            self.two_qubit_gates,
+            self.depth,
+            self.max_concurrent_cx
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_circuit() {
+        let mut c = Circuit::named(4, "demo");
+        c.h(0).cx(0, 1).cx(2, 3);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.qubits, 4);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.two_qubit_gates, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.max_concurrent_cx, 1);
+        assert!((s.communication_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.to_string().contains("demo"));
+    }
+
+    #[test]
+    fn empty_circuit_stats() {
+        let s = CircuitStats::of(&Circuit::new(2));
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.communication_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The comparison baseline: "GP w. initM" after Javadi-Abhari et al. \[10\].
+//!
+//! Greedy shortest-distance-first braiding with a static initial placement
+//! from the graph partitioner (METIS in the original; our multilevel
+//! partitioner here). The qubit layout never changes during execution —
+//! the design decision AutoBraid's dynamic placement overturns.
+
+use crate::config::ScheduleConfig;
+use crate::metrics::ScheduleResult;
+use crate::scheduler::{run, GreedyPolicy};
+use autobraid_circuit::Circuit;
+use autobraid_lattice::Grid;
+use autobraid_placement::{initial::partition_placement, Placement};
+
+/// Schedules `circuit` with the baseline greedy policy on the smallest
+/// square grid, returning the result and the (static) placement used.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid::baseline::schedule_baseline;
+/// use autobraid::config::ScheduleConfig;
+/// use autobraid_circuit::generators::bv::bv_all_ones;
+///
+/// let circuit = bv_all_ones(20)?;
+/// let (result, _) = schedule_baseline(&circuit, &ScheduleConfig::default());
+/// assert_eq!(result.scheduler, "baseline");
+/// assert!(result.total_cycles > 0);
+/// # Ok::<(), autobraid_circuit::CircuitError>(())
+/// ```
+pub fn schedule_baseline(
+    circuit: &Circuit,
+    config: &ScheduleConfig,
+) -> (ScheduleResult, Placement) {
+    let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+    let placement = partition_placement(circuit, &grid);
+    let (result, _) =
+        run("baseline", circuit, &grid, placement.clone(), &GreedyPolicy, false, config);
+    (result, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical_path::critical_path_cycles;
+    use crate::metrics::verify_schedule;
+    use autobraid_circuit::generators::{cc::counterfeit_coin, qft::qft};
+
+    #[test]
+    fn baseline_schedules_verify() {
+        for circuit in [qft(10).unwrap(), counterfeit_coin(12).unwrap()] {
+            let config = ScheduleConfig::default();
+            let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+            let (result, placement) = schedule_baseline(&circuit, &config);
+            verify_schedule(&circuit, &grid, &placement, &result).unwrap();
+            assert!(result.total_cycles >= critical_path_cycles(&circuit, result.timing()));
+        }
+    }
+
+    #[test]
+    fn never_inserts_swaps() {
+        let circuit = qft(12).unwrap();
+        let (result, _) = schedule_baseline(&circuit, &ScheduleConfig::default());
+        assert_eq!(result.swap_layers, 0);
+        assert_eq!(result.swap_count, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # AutoBraid
+//!
+//! A framework for efficient surface-code communication scheduling — a
+//! from-scratch reproduction of Hua et al., *AutoBraid: A Framework for
+//! Enabling Efficient Surface Code Communication in Quantum Computing*
+//! (MICRO 2021).
+//!
+//! Two-qubit gates on a double-defect surface code execute as *braiding
+//! paths* routed through the channels of a tile grid; simultaneous paths
+//! must be vertex-disjoint. This crate schedules those paths:
+//!
+//! * [`autobraid::AutoBraid`] — the paper's scheduler, in its
+//!   `schedule_sp` (stack-based path finder) and `schedule_full`
+//!   (+ dynamic qubit placement) configurations;
+//! * [`baseline::schedule_baseline`] — the greedy "GP w. initM"
+//!   comparison point of Javadi-Abhari et al.;
+//! * [`maslov::schedule_maslov`] — the linear-depth swap-network
+//!   specialization for all-to-all patterns;
+//! * [`critical_path`] — the ideal lower bound ("CP");
+//! * [`metrics::verify_schedule`] — exhaustive schedule validation.
+//!
+//! # Quick example
+//!
+//! ```
+//! use autobraid::{AutoBraid, config::ScheduleConfig};
+//! use autobraid::critical_path::critical_path_cycles;
+//! use autobraid_circuit::generators::ising::ising;
+//!
+//! let circuit = ising(16, 2)?;
+//! let compiler = AutoBraid::new(ScheduleConfig::default());
+//! let outcome = compiler.schedule_full(&circuit);
+//! // The Ising model schedules at exactly the critical path (Table 2).
+//! let cp = critical_path_cycles(&circuit, outcome.result.timing());
+//! assert_eq!(outcome.result.total_cycles, cp);
+//! # Ok::<(), autobraid_circuit::CircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_engine;
+pub mod autobraid;
+pub mod baseline;
+pub mod config;
+pub mod emit;
+pub mod critical_path;
+pub mod magic;
+pub mod maslov;
+pub mod metrics;
+pub mod pipeline;
+pub mod render;
+pub mod report;
+pub mod scheduler;
+pub mod swap;
+
+pub use async_engine::{schedule_async, verify_async, AsyncSchedule};
+pub use autobraid::{AutoBraid, ScheduleOutcome};
+pub use baseline::schedule_baseline;
+pub use config::{Recording, ScheduleConfig};
+pub use critical_path::{critical_path_cycles, critical_path_cycles_relaxed, critical_path_us};
+pub use metrics::{verify_schedule, verify_schedule_with_dag, ScheduleResult, Step, SwapOp};
+pub use scheduler::{run, run_with_base_occupancy, GreedyPolicy, RoutePolicy, ScheduleError, StackPolicy};

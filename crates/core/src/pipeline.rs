@@ -1,0 +1,282 @@
+//! The end-to-end compiler pipeline: one façade over parsing, peephole
+//! optimization, placement, scheduling, and verification, with per-stage
+//! timing — the shape a downstream tool would embed.
+
+use crate::autobraid::ScheduleOutcome;
+use crate::baseline::schedule_baseline;
+use crate::config::{Recording, ScheduleConfig};
+use crate::maslov::schedule_maslov;
+use crate::metrics::verify_schedule_with_dag;
+use crate::AutoBraid;
+use autobraid_circuit::{qasm, Circuit, CircuitError, CircuitStats, DependenceDag};
+use autobraid_lattice::Grid;
+use std::time::Instant;
+
+/// Which scheduler the pipeline drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// AutoBraid with dynamic placement (the paper's best configuration).
+    #[default]
+    Full,
+    /// Stack-based path finder only.
+    StackOnly,
+    /// The greedy comparison baseline.
+    Baseline,
+    /// The Maslov swap network.
+    Maslov,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: ScheduleConfig,
+    strategy: Strategy,
+    optimize: bool,
+    verify: bool,
+}
+
+/// Errors a pipeline run can produce.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The OpenQASM source failed to parse.
+    Parse(CircuitError),
+    /// The produced schedule failed verification (a compiler bug — please
+    /// report it).
+    Verification(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse stage failed: {e}"),
+            PipelineError::Verification(msg) => {
+                write!(f, "schedule verification failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Verification(_) => None,
+        }
+    }
+}
+
+/// Per-stage wall-clock timings of one compile.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Parsing (0 when a circuit was supplied directly).
+    pub parse_seconds: f64,
+    /// Peephole optimization (0 when disabled).
+    pub optimize_seconds: f64,
+    /// Placement + scheduling.
+    pub schedule_seconds: f64,
+    /// Verification (0 when disabled).
+    pub verify_seconds: f64,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total_seconds(&self) -> f64 {
+        self.parse_seconds + self.optimize_seconds + self.schedule_seconds + self.verify_seconds
+    }
+}
+
+/// Everything one compile produces.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// The circuit actually scheduled (post-optimization).
+    pub circuit: Circuit,
+    /// Statistics of the scheduled circuit.
+    pub stats: CircuitStats,
+    /// Gates removed by the optimizer.
+    pub gates_removed: usize,
+    /// The schedule and its context.
+    pub outcome: ScheduleOutcome,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+}
+
+impl Pipeline {
+    /// A pipeline with default configuration (autobraid-full, optimizer
+    /// and verifier enabled).
+    pub fn new() -> Self {
+        Pipeline {
+            config: ScheduleConfig::default(),
+            strategy: Strategy::Full,
+            optimize: true,
+            verify: true,
+        }
+    }
+
+    /// Replaces the scheduling configuration.
+    pub fn with_config(mut self, config: ScheduleConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Chooses the scheduler.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables the peephole optimizer.
+    pub fn with_optimizer(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+
+    /// Enables/disables post-scheduling verification (requires
+    /// [`Recording::Full`]; the pipeline skips the check otherwise).
+    pub fn with_verification(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// Compiles an OpenQASM 2.0 program.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Parse`] on malformed input, or
+    /// [`PipelineError::Verification`] if the schedule fails its own
+    /// machine check (a bug).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use autobraid::pipeline::Pipeline;
+    ///
+    /// let report = Pipeline::new()
+    ///     .compile_qasm("qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];")?;
+    /// assert!(report.outcome.result.total_cycles > 0);
+    /// # Ok::<(), autobraid::pipeline::PipelineError>(())
+    /// ```
+    pub fn compile_qasm(&self, source: &str) -> Result<CompileReport, PipelineError> {
+        let started = Instant::now();
+        let circuit = qasm::parse(source).map_err(PipelineError::Parse)?;
+        let parse_seconds = started.elapsed().as_secs_f64();
+        let mut report = self.compile(&circuit)?;
+        report.timings.parse_seconds = parse_seconds;
+        Ok(report)
+    }
+
+    /// Compiles a circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Verification`] if the schedule fails its own
+    /// machine check (a bug).
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompileReport, PipelineError> {
+        let mut timings = StageTimings::default();
+
+        let started = Instant::now();
+        let (circuit, gates_removed) = if self.optimize {
+            let (optimized, stats) = autobraid_circuit::transform::optimize(circuit, 1e-12);
+            (optimized, stats.gates_removed())
+        } else {
+            (circuit.clone(), 0)
+        };
+        timings.optimize_seconds = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let compiler = AutoBraid::new(self.config.clone());
+        let outcome = match self.strategy {
+            Strategy::Full => compiler.schedule_full(&circuit),
+            Strategy::StackOnly => compiler.schedule_sp(&circuit),
+            Strategy::Baseline => {
+                let (result, placement) = schedule_baseline(&circuit, &self.config);
+                let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+                ScheduleOutcome { result, grid, initial_placement: placement }
+            }
+            Strategy::Maslov => {
+                let (result, placement) = schedule_maslov(&circuit, &self.config);
+                let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+                ScheduleOutcome { result, grid, initial_placement: placement }
+            }
+        };
+        timings.schedule_seconds = started.elapsed().as_secs_f64();
+
+        if self.verify && self.config.recording == Recording::Full {
+            let started = Instant::now();
+            let dag = if self.config.commutation_aware {
+                DependenceDag::with_commutation(&circuit)
+            } else {
+                DependenceDag::new(&circuit)
+            };
+            verify_schedule_with_dag(
+                &circuit,
+                &dag,
+                &outcome.grid,
+                &outcome.initial_placement,
+                &outcome.result,
+            )
+            .map_err(PipelineError::Verification)?;
+            timings.verify_seconds = started.elapsed().as_secs_f64();
+        }
+
+        let stats = CircuitStats::of(&circuit);
+        Ok(CompileReport { circuit, stats, gates_removed, outcome, timings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_circuit::generators::qft::qft;
+
+    #[test]
+    fn qasm_to_schedule() {
+        let report = Pipeline::new()
+            .compile_qasm("qreg q[4]; h q[0]; cx q[0],q[1]; cx q[1],q[2]; cx q[2],q[3];")
+            .unwrap();
+        assert_eq!(report.stats.qubits, 4);
+        assert!(report.outcome.result.total_cycles > 0);
+        assert!(report.timings.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let err = Pipeline::new().compile_qasm("qreg q[2]; frob q[0];").unwrap_err();
+        assert!(matches!(err, PipelineError::Parse(_)));
+        assert!(err.to_string().contains("parse stage"));
+    }
+
+    #[test]
+    fn optimizer_shrinks_redundant_circuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1).cx(0, 1).t(1);
+        let with = Pipeline::new().compile(&c).unwrap();
+        assert_eq!(with.gates_removed, 4);
+        assert_eq!(with.circuit.len(), 1);
+        let without = Pipeline::new().with_optimizer(false).compile(&c).unwrap();
+        assert_eq!(without.gates_removed, 0);
+        assert!(with.outcome.result.total_cycles <= without.outcome.result.total_cycles);
+    }
+
+    #[test]
+    fn all_strategies_compile_qft() {
+        let c = qft(10).unwrap();
+        for strategy in
+            [Strategy::Full, Strategy::StackOnly, Strategy::Baseline, Strategy::Maslov]
+        {
+            let report =
+                Pipeline::new().with_strategy(strategy).compile(&c).unwrap();
+            assert!(report.outcome.result.total_cycles > 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn commutation_mode_verifies_through_pipeline() {
+        let c = qft(8).unwrap();
+        let report = Pipeline::new()
+            .with_config(ScheduleConfig::default().with_commutation_aware(true))
+            .compile(&c)
+            .unwrap();
+        assert!(report.outcome.result.total_cycles > 0);
+    }
+}

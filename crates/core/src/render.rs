@@ -1,0 +1,143 @@
+//! ASCII rendering of grids, placements, and braiding steps — for
+//! examples, debugging, and documentation.
+//!
+//! Tiles render as a 2-character cell (`q7`, `..` when empty); channel
+//! vertices render as `+` (free) or the path label occupying them.
+
+use crate::metrics::Step;
+use autobraid_lattice::{Grid, Vertex};
+use autobraid_placement::Placement;
+use std::collections::HashMap;
+
+/// Renders the tile grid with its qubit placement.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::Grid;
+/// use autobraid_placement::Placement;
+/// use autobraid::render::render_placement;
+///
+/// let grid = Grid::with_capacity_for(4);
+/// let p = Placement::row_major(&grid, 4);
+/// let art = render_placement(&grid, &p);
+/// assert!(art.contains("q0"));
+/// assert!(art.contains("q3"));
+/// ```
+pub fn render_placement(grid: &Grid, placement: &Placement) -> String {
+    render(grid, placement, &HashMap::new())
+}
+
+/// Renders one braiding step: qubit tiles plus every path's vertices
+/// marked with the gate's label (`a`, `b`, … in routing order).
+pub fn render_step(grid: &Grid, placement: &Placement, step: &Step) -> String {
+    let mut occupied: HashMap<Vertex, char> = HashMap::new();
+    let mut mark_path = |vertices: &[Vertex], label: char| {
+        for &v in vertices {
+            occupied.insert(v, label);
+        }
+    };
+    match step {
+        Step::Braid { braids, .. } => {
+            for (i, (_, path)) in braids.iter().enumerate() {
+                mark_path(path.vertices(), label_for(i));
+            }
+        }
+        Step::SwapLayer { swaps } => {
+            for (i, swap) in swaps.iter().enumerate() {
+                mark_path(swap.path.vertices(), label_for(i));
+            }
+        }
+        Step::Local { .. } => {}
+    }
+    render(grid, placement, &occupied)
+}
+
+fn label_for(i: usize) -> char {
+    let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    letters.chars().nth(i % letters.len()).expect("alphabet is non-empty")
+}
+
+fn render(grid: &Grid, placement: &Placement, occupied: &HashMap<Vertex, char>) -> String {
+    let l = grid.cells_per_side();
+    let mut out = String::new();
+    for vr in 0..=l {
+        // Vertex row: vertices and horizontal channel segments.
+        for vc in 0..=l {
+            let v = Vertex::new(vr, vc);
+            match occupied.get(&v) {
+                Some(&label) => out.push(label),
+                None => out.push('+'),
+            }
+            if vc < l {
+                out.push_str("----");
+            }
+        }
+        out.push('\n');
+        // Cell row: tiles between vertical channel segments.
+        if vr < l {
+            for vc in 0..=l {
+                out.push('|');
+                if vc < l {
+                    let cell = autobraid_lattice::Cell::new(vr, vc);
+                    match placement.qubit_at(grid, cell) {
+                        Some(q) if q < 100 => {
+                            let text = format!("q{q:<3}");
+                            out.push_str(&text[..4.min(text.len())]);
+                        }
+                        Some(_) => out.push_str("q.. "),
+                        None => out.push_str(" .. "),
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_lattice::Cell;
+    use autobraid_router::BraidPath;
+
+    #[test]
+    fn placement_render_shows_qubits_and_structure() {
+        let grid = Grid::new(3).unwrap();
+        let p = Placement::row_major(&grid, 5);
+        let art = render_placement(&grid, &p);
+        assert!(art.contains("q0"));
+        assert!(art.contains("q4"));
+        assert!(art.contains(" .. "), "empty tiles shown");
+        assert_eq!(art.lines().count(), 2 * 3 + 1);
+        // All grid rows are equally wide.
+        let widths: Vec<usize> =
+            art.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{art}");
+    }
+
+    #[test]
+    fn step_render_marks_paths() {
+        let grid = Grid::new(3).unwrap();
+        let p = Placement::row_major(&grid, 9);
+        let path = BraidPath::new(
+            &grid,
+            Cell::new(0, 0),
+            Cell::new(0, 2),
+            vec![Vertex::new(0, 1), Vertex::new(0, 2)],
+        )
+        .unwrap();
+        let step = Step::Braid { braids: vec![(0, path)], locals: vec![] };
+        let art = render_step(&grid, &p, &step);
+        assert_eq!(art.matches('a').count(), 2, "{art}");
+    }
+
+    #[test]
+    fn labels_cycle_safely() {
+        assert_eq!(label_for(0), 'a');
+        assert_eq!(label_for(25), 'z');
+        assert_eq!(label_for(26), 'A');
+        assert_eq!(label_for(52), 'a');
+    }
+}

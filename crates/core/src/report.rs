@@ -1,0 +1,171 @@
+//! Plain-text table rendering for evaluation reports.
+
+use crate::metrics::ScheduleResult;
+use std::fmt::Write;
+
+/// Formats a duration in microseconds the way the paper's tables do:
+/// `745`, `1.28K`, `1.34M`.
+pub fn format_us(us: f64) -> String {
+    let trim = |s: String| {
+        if s.contains('.') {
+            s.trim_end_matches('0').trim_end_matches('.').to_string()
+        } else {
+            s
+        }
+    };
+    if us >= 1e8 {
+        trim(format!("{:.0}", us / 1e6)) + "M"
+    } else if us >= 1e6 {
+        trim(format!("{:.2}", us / 1e6)) + "M"
+    } else if us >= 1e5 {
+        trim(format!("{:.0}", us / 1e3)) + "K"
+    } else if us >= 1e4 {
+        trim(format!("{:.1}", us / 1e3)) + "K"
+    } else if us >= 1e3 {
+        trim(format!("{:.2}", us / 1e3)) + "K"
+    } else {
+        format!("{us:.0}")
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<width$} ", cell, width = widths[c]);
+            }
+            out.push_str("|\n");
+        };
+        line(&self.header, &mut out);
+        for (c, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = w + 2);
+            if c == cols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// One comparison row: benchmark metadata plus per-scheduler times, in the
+/// shape of the paper's Table 2.
+pub fn comparison_row(
+    circuit_stats: &autobraid_circuit::CircuitStats,
+    cp_us: f64,
+    baseline: &ScheduleResult,
+    ours: &ScheduleResult,
+) -> Vec<String> {
+    vec![
+        circuit_stats.name.clone(),
+        circuit_stats.qubits.to_string(),
+        circuit_stats.gates.to_string(),
+        format_us(cp_us),
+        format_us(baseline.time_us()),
+        format_us(ours.time_us()),
+        format!("{:.2}", ours.speedup_over(baseline)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_matches_paper_style() {
+        assert_eq!(format_us(745.0), "745");
+        assert_eq!(format_us(1280.0), "1.28K");
+        assert_eq!(format_us(21_000.0), "21K");
+        assert_eq!(format_us(135_000.0), "135K");
+        assert_eq!(format_us(1_340_000.0), "1.34M");
+        // Trailing zeros of integer renderings must survive.
+        assert_eq!(format_us(320_456.0), "320K");
+        assert_eq!(format_us(200_000.0), "200K");
+        assert_eq!(format_us(70_400_000.0), "70.4M");
+        assert_eq!(format_us(300_000_000.0), "300M");
+        assert_eq!(format_us(10_000.0), "10K");
+        assert_eq!(format_us(2_000.0), "2K");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.add_row(["qft16", "1.28K"]);
+        t.add_row(["a-long-benchmark-name", "9"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{text}");
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn comparison_row_shape() {
+        use autobraid_circuit::generators::qft::qft;
+        use autobraid_lattice::TimingModel;
+        let c = qft(8).unwrap();
+        let stats = autobraid_circuit::CircuitStats::of(&c);
+        let timing = TimingModel::default();
+        let mut fast = ScheduleResult::new("ours", "qft8", timing);
+        fast.total_cycles = 500;
+        let mut slow = ScheduleResult::new("base", "qft8", timing);
+        slow.total_cycles = 1500;
+        let row = comparison_row(&stats, 900.0, &slow, &fast);
+        assert_eq!(row.len(), 7);
+        assert_eq!(row[1], "8");
+        assert_eq!(row[6], "3.00");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.add_row(["only-one"]);
+    }
+}

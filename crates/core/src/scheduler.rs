@@ -1,0 +1,353 @@
+//! The shared scheduling engine.
+//!
+//! Every scheduler in this crate — AutoBraid-sp, AutoBraid-full, and the
+//! greedy baseline — drains the dependence DAG through the same engine and
+//! is charged by the same timing model; they differ only in routing policy,
+//! initial placement, and whether the dynamic layout optimizer may run.
+//! This makes every reported speedup a pure algorithm comparison.
+
+use crate::config::{Recording, ScheduleConfig};
+use crate::metrics::{ScheduleResult, Step};
+use crate::swap::plan_swap_layer;
+use autobraid_circuit::{Circuit, DependenceDag, Frontier, GateId};
+use autobraid_lattice::{Grid, Occupancy};
+use autobraid_placement::Placement;
+use autobraid_router::stack_finder::{route_concurrent, route_greedy, RouteOutcome};
+use autobraid_router::CxRequest;
+use std::time::Instant;
+
+/// Errors the scheduling engine can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A ready two-qubit gate can never be routed: the defective channel
+    /// vertices disconnect its operand tiles even on an otherwise empty
+    /// grid.
+    UnroutableGate {
+        /// The stuck gate's id.
+        gate: GateId,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::UnroutableGate { gate } => write!(
+                f,
+                "gate {gate} is permanently unroutable under the defective channel map"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A routing-order policy for one concurrent batch of CX gates.
+pub trait RoutePolicy {
+    /// Policy name used in result labels.
+    fn name(&self) -> &'static str;
+
+    /// Routes the batch, reserving paths in `occupancy`.
+    fn route(&self, grid: &Grid, occupancy: &mut Occupancy, requests: &[CxRequest])
+        -> RouteOutcome;
+}
+
+/// The paper's stack-based path finder (Fig. 13).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackPolicy;
+
+impl RoutePolicy for StackPolicy {
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+
+    fn route(
+        &self,
+        grid: &Grid,
+        occupancy: &mut Occupancy,
+        requests: &[CxRequest],
+    ) -> RouteOutcome {
+        route_concurrent(grid, occupancy, requests)
+    }
+}
+
+/// The greedy shortest-distance-first policy of the baseline \[10\].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPolicy;
+
+impl RoutePolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn route(
+        &self,
+        grid: &Grid,
+        occupancy: &mut Occupancy,
+        requests: &[CxRequest],
+    ) -> RouteOutcome {
+        route_greedy(grid, occupancy, requests)
+    }
+}
+
+/// Runs the engine: drains `circuit` on `grid` starting from `placement`,
+/// using `policy` for path search; when `allow_layout_optimizer` is set,
+/// steps whose scheduled ratio falls below the configured `p` trigger
+/// swap-insertion layout changes.
+///
+/// Returns the result and the final placement.
+pub fn run(
+    scheduler_name: &str,
+    circuit: &Circuit,
+    grid: &Grid,
+    placement: Placement,
+    policy: &dyn RoutePolicy,
+    allow_layout_optimizer: bool,
+    config: &ScheduleConfig,
+) -> (ScheduleResult, Placement) {
+    let base = Occupancy::new(grid);
+    run_with_base_occupancy(
+        scheduler_name,
+        circuit,
+        grid,
+        placement,
+        policy,
+        allow_layout_optimizer,
+        config,
+        &base,
+    )
+    .expect("an empty base occupancy never makes a gate unroutable")
+}
+
+/// [`run`] on a lattice with *defective channels*: every vertex reserved
+/// in `base` is permanently unavailable (broken measurement hardware, a
+/// region reserved for magic-state distillation, …). Each braiding step
+/// starts from a copy of `base` instead of an empty map.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::UnroutableGate`] when a ready gate cannot be
+/// routed even alone on the defective lattice and the layout optimizer
+/// cannot move its operands together — progress is impossible.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_base_occupancy(
+    scheduler_name: &str,
+    circuit: &Circuit,
+    grid: &Grid,
+    mut placement: Placement,
+    policy: &dyn RoutePolicy,
+    allow_layout_optimizer: bool,
+    config: &ScheduleConfig,
+    base: &Occupancy,
+) -> Result<(ScheduleResult, Placement), ScheduleError> {
+    let started = Instant::now();
+    let mut result = ScheduleResult::new(scheduler_name, circuit.name(), config.timing);
+    let dag = if config.commutation_aware {
+        DependenceDag::with_commutation(circuit)
+    } else {
+        DependenceDag::new(circuit)
+    };
+    let mut frontier = Frontier::new(&dag);
+    let mut occupancy = Occupancy::new(grid);
+    let mut utilization_sum = 0.0;
+    let mut consecutive_swap_rounds = 0usize;
+    let record = config.recording == Recording::Full;
+
+    // Remaining critical-path weight of each gate (itself included):
+    // routing priority, so congestion defers slack-rich gates instead of
+    // dependence-critical ones.
+    let remaining_cp: Vec<u64> = {
+        let mut remaining = vec![0u64; circuit.len()];
+        for g in (0..circuit.len()).rev() {
+            let tail = dag.successors(g).iter().map(|&s| remaining[s]).max().unwrap_or(0);
+            remaining[g] =
+                tail + crate::critical_path::gate_cycles(circuit.gate(g), &config.timing);
+        }
+        remaining
+    };
+
+    while !frontier.is_drained() {
+        let ready: Vec<GateId> = frontier.ready().to_vec();
+        let locals: Vec<GateId> =
+            ready.iter().copied().filter(|&g| !circuit.gate(g).is_two_qubit()).collect();
+        let braids: Vec<GateId> =
+            ready.iter().copied().filter(|&g| circuit.gate(g).is_two_qubit()).collect();
+
+        if braids.is_empty() {
+            debug_assert!(!locals.is_empty(), "frontier non-empty but nothing ready");
+            for &g in &locals {
+                frontier.complete(g);
+            }
+            result.local_steps += 1;
+            result.total_cycles += config.timing.local_step_cycles();
+            if record {
+                result.steps.push(Step::Local { gates: locals });
+            }
+            continue;
+        }
+
+        let requests: Vec<CxRequest> = braids
+            .iter()
+            .map(|&g| {
+                let (a, b) = circuit.gate(g).pair().expect("braid gates are two-qubit");
+                CxRequest::new(g, placement.cell_of(a), placement.cell_of(b))
+                    .with_priority(remaining_cp[g] as i64)
+            })
+            .collect();
+
+        occupancy.clone_from(base);
+        let outcome = policy.route(grid, &mut occupancy, &requests);
+
+        // Dynamic layout optimization (AutoBraid-full): if too few gates
+        // scheduled, spend a swap layer instead of committing this step.
+        if allow_layout_optimizer
+            && outcome.ratio() < config.layout_threshold
+            && consecutive_swap_rounds < config.max_consecutive_swap_rounds
+        {
+            let swaps =
+                plan_swap_layer(grid, &placement, &requests, config.max_swaps_per_round, base);
+            if !swaps.is_empty() {
+                for swap in &swaps {
+                    placement.swap_qubits(swap.a, swap.b);
+                }
+                result.swap_layers += 1;
+                result.swap_count += swaps.len() as u64;
+                result.total_cycles += 3 * config.timing.braid_step_cycles();
+                consecutive_swap_rounds += 1;
+                if record {
+                    result.steps.push(Step::SwapLayer { swaps });
+                }
+                continue;
+            }
+        }
+        consecutive_swap_rounds = 0;
+
+        if outcome.routed.is_empty() {
+            // On a defect-free lattice at least one gate always routes; a
+            // defective channel map can disconnect operand tiles for good.
+            return Err(ScheduleError::UnroutableGate {
+                gate: requests.first().map(|r| r.id).unwrap_or_default(),
+            });
+        }
+
+        let utilization = occupancy.utilization();
+        result.peak_utilization = result.peak_utilization.max(utilization);
+        utilization_sum += utilization;
+
+        for routed in &outcome.routed {
+            frontier.complete(routed.request.id);
+        }
+        for &g in &locals {
+            frontier.complete(g);
+        }
+        result.braid_steps += 1;
+        result.total_cycles += config.timing.braid_step_cycles();
+        if record {
+            result.steps.push(Step::Braid {
+                braids: outcome
+                    .routed
+                    .into_iter()
+                    .map(|r| (r.request.id, r.path))
+                    .collect(),
+                locals,
+            });
+        }
+    }
+
+    if result.braid_steps > 0 {
+        result.mean_utilization = utilization_sum / result.braid_steps as f64;
+    }
+    result.compile_seconds = started.elapsed().as_secs_f64();
+    Ok((result, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::verify_schedule;
+    use autobraid_circuit::generators::{bv::bv_all_ones, ising::ising, qft::qft};
+
+    fn schedule(circuit: &Circuit, policy: &dyn RoutePolicy, layout: bool) -> ScheduleResult {
+        let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+        let placement = Placement::row_major(&grid, circuit.num_qubits());
+        let config = ScheduleConfig::default();
+        let (result, _) =
+            run("test", circuit, &grid, placement.clone(), policy, layout, &config);
+        verify_schedule(circuit, &grid, &placement, &result).expect("schedule verifies");
+        result
+    }
+
+    #[test]
+    fn drains_bv_at_critical_path() {
+        let c = bv_all_ones(20).unwrap();
+        let r = schedule(&c, &StackPolicy, false);
+        let cp = crate::critical_path::critical_path_cycles(&c, r.timing());
+        assert_eq!(r.total_cycles, cp, "BV has no congestion: engine must hit CP");
+    }
+
+    #[test]
+    fn drains_qft_correctly_with_both_policies() {
+        let c = qft(12).unwrap();
+        let stack = schedule(&c, &StackPolicy, false);
+        let greedy = schedule(&c, &GreedyPolicy, false);
+        let cp = crate::critical_path::critical_path_cycles(&c, stack.timing());
+        assert!(stack.total_cycles >= cp);
+        assert!(greedy.total_cycles >= cp);
+    }
+
+    #[test]
+    fn ising_parallel_layers_get_packed() {
+        let c = ising(16, 1).unwrap();
+        let r = schedule(&c, &StackPolicy, false);
+        // 16-qubit Ising on a 4×4 row-major grid: coupled pairs are near
+        // each other, braids pack densely; the step count must be far
+        // below the serial count of 30 CXs.
+        assert!(r.braid_steps <= 12, "got {} braid steps", r.braid_steps);
+    }
+
+    #[test]
+    fn layout_optimizer_does_not_break_verification() {
+        let c = qft(16).unwrap();
+        let r = schedule(&c, &StackPolicy, true);
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn stats_only_recording_skips_steps() {
+        let c = qft(8).unwrap();
+        let grid = Grid::with_capacity_for(8);
+        let placement = Placement::row_major(&grid, 8);
+        let config = ScheduleConfig::default().with_recording(Recording::StatsOnly);
+        let (r, _) = run("t", &c, &grid, placement, &StackPolicy, false, &config);
+        assert!(r.steps.is_empty());
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn commutation_aware_mode_schedules_faster_or_equal() {
+        use crate::metrics::verify_schedule_with_dag;
+        let c = bv_all_ones(24).unwrap();
+        let grid = Grid::with_capacity_for(24);
+        let placement = Placement::row_major(&grid, 24);
+        let plain_cfg = ScheduleConfig::default();
+        let relaxed_cfg = ScheduleConfig::default().with_commutation_aware(true);
+        let (plain, _) =
+            run("t", &c, &grid, placement.clone(), &StackPolicy, false, &plain_cfg);
+        let (relaxed, _) =
+            run("t", &c, &grid, placement.clone(), &StackPolicy, false, &relaxed_cfg);
+        // BV's CX fan-in fully commutes: massive win.
+        assert!(relaxed.total_cycles * 2 < plain.total_cycles);
+        let dag = autobraid_circuit::DependenceDag::with_commutation(&c);
+        verify_schedule_with_dag(&c, &dag, &grid, &placement, &relaxed).unwrap();
+        let cp = crate::critical_path::critical_path_cycles_relaxed(&c, relaxed.timing());
+        assert!(relaxed.total_cycles >= cp);
+    }
+
+    #[test]
+    fn utilization_is_within_bounds() {
+        let c = ising(25, 2).unwrap();
+        let r = schedule(&c, &StackPolicy, false);
+        assert!(r.peak_utilization > 0.0 && r.peak_utilization <= 1.0);
+        assert!(r.mean_utilization > 0.0 && r.mean_utilization <= r.peak_utilization + 1e-12);
+    }
+}

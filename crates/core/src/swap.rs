@@ -1,0 +1,319 @@
+//! The swap-insertion layout optimizer (paper §3.3.2, "Layout Optimizer").
+//!
+//! When most theoretically concurrent CX gates cannot be routed, the
+//! qubit layout itself is the bottleneck (paper Fig. 9/15). The optimizer
+//! picks the most-interfering CX gate, then a second gate interfering with
+//! it, and swaps one qubit of each to untangle their bounding boxes. Each
+//! accepted swap must keep the whole swap layer simultaneously routable;
+//! the layer is charged 3 CX braiding steps.
+//!
+//! Selection is incremental: a swap exchanges the tiles of exactly two
+//! qubits, so only the two involved requests' bounding boxes change and
+//! the interference delta is computable in `O(batch)` per candidate.
+
+use crate::metrics::SwapOp;
+use autobraid_circuit::QubitId;
+use autobraid_lattice::{BBox, Grid, Occupancy};
+use autobraid_placement::Placement;
+use autobraid_router::stack_finder::route_concurrent;
+use autobraid_router::CxRequest;
+
+/// Plans one layer of simultaneous swaps that reduces CX interference for
+/// the given concurrent batch. Returns routed, pairwise-disjoint
+/// [`SwapOp`]s (possibly empty when no improving, routable swap exists).
+/// `placement` is *not* modified — the caller applies the swaps.
+///
+/// The selection follows the paper: repeatedly take the CX gate with the
+/// highest interference degree (ties to the largest bounding box), a
+/// second gate interfering with it (most interference with the rest), and
+/// the best of the four cross-qubit exchanges; a swap is kept only if it
+/// strictly lowers total interference. The accumulated layer is then
+/// routed simultaneously, dropping trailing swaps until it fits.
+pub fn plan_swap_layer(
+    grid: &Grid,
+    placement: &Placement,
+    requests: &[CxRequest],
+    max_swaps: usize,
+    base: &Occupancy,
+) -> Vec<SwapOp> {
+    let k = requests.len();
+    if k < 2 {
+        return Vec::new();
+    }
+
+    // Recover operand qubits so boxes can be re-projected through a
+    // hypothetical placement.
+    let pairs: Vec<(QubitId, QubitId)> = requests
+        .iter()
+        .map(|r| {
+            let a = placement.qubit_at(grid, r.a).expect("request tile holds a qubit");
+            let b = placement.qubit_at(grid, r.b).expect("request tile holds a qubit");
+            (a, b)
+        })
+        .collect();
+
+    let mut hypothetical = placement.clone();
+    let box_of = |pl: &Placement, i: usize| -> BBox {
+        let (a, b) = pairs[i];
+        BBox::of_gate(pl.cell_of(a), pl.cell_of(b))
+    };
+    let mut boxes: Vec<BBox> = (0..k).map(|i| box_of(&hypothetical, i)).collect();
+
+    // Degrees of the interference graph over `boxes`.
+    let degree = |boxes: &[BBox], i: usize| -> usize {
+        (0..k).filter(|&j| j != i && boxes[i].overlaps_open(&boxes[j])).count()
+    };
+    let mut degrees: Vec<usize> = (0..k).map(|i| degree(&boxes, i)).collect();
+
+    let mut chosen: Vec<(QubitId, QubitId)> = Vec::new();
+    let mut used: std::collections::HashSet<QubitId> = std::collections::HashSet::new();
+
+    for _ in 0..max_swaps {
+        // First gate: highest degree, ties to largest bounding box.
+        let Some(first) = (0..k)
+            .filter(|&i| degrees[i] > 0)
+            .max_by_key(|&i| (degrees[i], boxes[i].area(), std::cmp::Reverse(i)))
+        else {
+            break;
+        };
+        // Second gate: interferes with the first; most interference with
+        // the rest.
+        let Some(second) = (0..k)
+            .filter(|&j| j != first && boxes[first].overlaps_open(&boxes[j]))
+            .max_by_key(|&j| (degrees[j], boxes[j].area(), std::cmp::Reverse(j)))
+        else {
+            break;
+        };
+
+        let (a1, a2) = pairs[first];
+        let (b1, b2) = pairs[second];
+
+        // Evaluate the four cross exchanges by interference delta; only
+        // the two involved requests' boxes move.
+        let mut best: Option<((QubitId, QubitId), i64, BBox, BBox)> = None;
+        for (x, y) in [(a1, b1), (a1, b2), (a2, b1), (a2, b2)] {
+            if x == y || used.contains(&x) || used.contains(&y) {
+                continue;
+            }
+            hypothetical.swap_qubits(x, y);
+            let new_first = box_of(&hypothetical, first);
+            let new_second = box_of(&hypothetical, second);
+            hypothetical.swap_qubits(x, y); // undo
+            let delta = edge_delta(&boxes, first, second, &new_first, &new_second);
+            if delta < 0 && best.as_ref().is_none_or(|&(_, d, _, _)| delta < d) {
+                best = Some(((x, y), delta, new_first, new_second));
+            }
+        }
+        let Some(((x, y), _, new_first, new_second)) = best else { break };
+
+        chosen.push((x, y));
+        used.insert(x);
+        used.insert(y);
+        hypothetical.swap_qubits(x, y);
+        boxes[first] = new_first;
+        boxes[second] = new_second;
+        // Refresh affected degrees: recompute the two movers, adjust the
+        // rest by membership change.
+        for (j, slot) in degrees.iter_mut().enumerate() {
+            if j != first && j != second {
+                *slot = degree(&boxes, j);
+            }
+        }
+        degrees[first] = degree(&boxes, first);
+        degrees[second] = degree(&boxes, second);
+    }
+
+    // Route the accumulated layer once; drop trailing swaps (the least
+    // valuable, added last) until it routes simultaneously.
+    loop {
+        match route_swaps(grid, placement, &chosen, base) {
+            Some(ops) => return ops,
+            None => {
+                chosen.pop();
+                if chosen.is_empty() {
+                    return Vec::new();
+                }
+            }
+        }
+    }
+}
+
+/// Interference-edge delta when request boxes `first`/`second` become
+/// `new_first`/`new_second` (all other boxes unchanged).
+fn edge_delta(
+    boxes: &[BBox],
+    first: usize,
+    second: usize,
+    new_first: &BBox,
+    new_second: &BBox,
+) -> i64 {
+    let mut delta = 0i64;
+    for j in 0..boxes.len() {
+        if j == first || j == second {
+            continue;
+        }
+        delta += i64::from(new_first.overlaps_open(&boxes[j]))
+            - i64::from(boxes[first].overlaps_open(&boxes[j]));
+        delta += i64::from(new_second.overlaps_open(&boxes[j]))
+            - i64::from(boxes[second].overlaps_open(&boxes[j]));
+    }
+    delta += i64::from(new_first.overlaps_open(new_second))
+        - i64::from(boxes[first].overlaps_open(&boxes[second]));
+    delta
+}
+
+/// Routes the swap braids simultaneously (stack-based finder on a fresh
+/// occupancy). Returns `None` when they cannot all be placed.
+fn route_swaps(
+    grid: &Grid,
+    placement: &Placement,
+    swaps: &[(QubitId, QubitId)],
+    base: &Occupancy,
+) -> Option<Vec<SwapOp>> {
+    if swaps.is_empty() {
+        return Some(Vec::new());
+    }
+    let requests: Vec<CxRequest> = swaps
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| CxRequest::new(i, placement.cell_of(a), placement.cell_of(b)))
+        .collect();
+    let mut occupancy = base.clone();
+    let outcome = route_concurrent(grid, &mut occupancy, &requests);
+    if !outcome.is_complete() {
+        return None;
+    }
+    let mut ops: Vec<Option<SwapOp>> = vec![None; swaps.len()];
+    for routed in outcome.routed {
+        let (a, b) = swaps[routed.request.id];
+        ops[routed.request.id] = Some(SwapOp { a, b, path: routed.path });
+    }
+    Some(ops.into_iter().map(|op| op.expect("complete outcome")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_router::InterferenceGraph;
+
+    fn interference_edges(requests: &[CxRequest]) -> usize {
+        let graph = InterferenceGraph::build(requests);
+        (0..graph.len()).map(|i| graph.degree(i)).sum::<usize>() / 2
+    }
+
+    /// The paper's Fig. 9(a) pathological layout: four CX gates whose
+    /// straight-line paths mutually separate each other's operands.
+    fn crossing_requests(grid_side: u32) -> (Grid, Placement, Vec<CxRequest>) {
+        let grid = Grid::new(grid_side).unwrap();
+        let m = grid_side - 1;
+        let cells = vec![
+            autobraid_lattice::Cell::new(0, m / 2),
+            autobraid_lattice::Cell::new(m, m / 2),
+            autobraid_lattice::Cell::new(m / 2, 0),
+            autobraid_lattice::Cell::new(m / 2, m),
+            autobraid_lattice::Cell::new(0, m / 2 + 1),
+            autobraid_lattice::Cell::new(m, m / 2 - 1),
+            autobraid_lattice::Cell::new(m / 2 + 1, 0),
+            autobraid_lattice::Cell::new(m / 2 - 1, m),
+        ];
+        let placement = Placement::from_cells(&grid, cells);
+        let requests = (0..4)
+            .map(|i| {
+                CxRequest::new(
+                    i,
+                    placement.cell_of(2 * i as u32),
+                    placement.cell_of(2 * i as u32 + 1),
+                )
+            })
+            .collect();
+        (grid, placement, requests)
+    }
+
+    #[test]
+    fn reduces_interference_on_crossing_layout() {
+        let (grid, placement, requests) = crossing_requests(9);
+        let before = interference_edges(&requests);
+        assert!(before >= 4, "the crossing layout must interfere heavily: {before}");
+        let swaps = plan_swap_layer(&grid, &placement, &requests, 8, &Occupancy::new(&grid));
+        assert!(!swaps.is_empty(), "optimizer must find improving swaps");
+        let mut after_placement = placement.clone();
+        for s in &swaps {
+            after_placement.swap_qubits(s.a, s.b);
+        }
+        let after: Vec<CxRequest> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let a = placement.qubit_at(&grid, r.a).unwrap();
+                let b = placement.qubit_at(&grid, r.b).unwrap();
+                CxRequest::new(i, after_placement.cell_of(a), after_placement.cell_of(b))
+            })
+            .collect();
+        assert!(
+            interference_edges(&after) < before,
+            "interference must drop: {} -> {}",
+            before,
+            interference_edges(&after)
+        );
+    }
+
+    #[test]
+    fn swap_paths_are_disjoint_and_valid() {
+        let (grid, placement, requests) = crossing_requests(9);
+        let swaps = plan_swap_layer(&grid, &placement, &requests, 8, &Occupancy::new(&grid));
+        for (i, s) in swaps.iter().enumerate() {
+            for t in &swaps[i + 1..] {
+                assert!(!s.path.intersects(&t.path));
+            }
+            let (ca, cb) = (placement.cell_of(s.a), placement.cell_of(s.b));
+            assert!(autobraid_router::BraidPath::new(
+                &grid,
+                ca,
+                cb,
+                s.path.vertices().to_vec()
+            )
+            .is_some());
+        }
+    }
+
+    #[test]
+    fn qubit_used_at_most_once() {
+        let (grid, placement, requests) = crossing_requests(9);
+        let swaps = plan_swap_layer(&grid, &placement, &requests, 8, &Occupancy::new(&grid));
+        let mut seen = std::collections::HashSet::new();
+        for s in &swaps {
+            assert!(seen.insert(s.a), "qubit {} in two swaps", s.a);
+            assert!(seen.insert(s.b), "qubit {} in two swaps", s.b);
+        }
+    }
+
+    #[test]
+    fn no_swaps_for_disjoint_gates() {
+        let grid = Grid::new(8).unwrap();
+        let placement = Placement::row_major(&grid, 16);
+        let requests = vec![
+            CxRequest::new(0, placement.cell_of(0), placement.cell_of(1)),
+            CxRequest::new(1, placement.cell_of(14), placement.cell_of(15)),
+        ];
+        let swaps = plan_swap_layer(&grid, &placement, &requests, 8, &Occupancy::new(&grid));
+        assert!(swaps.is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_no_swaps() {
+        let grid = Grid::new(4).unwrap();
+        let placement = Placement::row_major(&grid, 4);
+        assert!(plan_swap_layer(&grid, &placement, &[], 8, &Occupancy::new(&grid)).is_empty());
+        let one = vec![CxRequest::new(0, placement.cell_of(0), placement.cell_of(3))];
+        assert!(plan_swap_layer(&grid, &placement, &one, 8, &Occupancy::new(&grid)).is_empty());
+    }
+
+    #[test]
+    fn max_swaps_is_respected() {
+        let (grid, placement, requests) = crossing_requests(13);
+        for cap in [0usize, 1, 2] {
+            let swaps = plan_swap_layer(&grid, &placement, &requests, cap, &Occupancy::new(&grid));
+            assert!(swaps.len() <= cap, "cap {cap}: got {}", swaps.len());
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Syndrome extraction and decoding for one error sector of a planar
+//! surface-code patch.
+//!
+//! The scheduler treats error correction as a substrate that simply works
+//! (Threshold Theorem, paper §2); this module makes that substrate
+//! concrete enough to *measure*: X errors on a distance-`d` patch flip
+//! Z-check syndromes, a greedy matching decoder pairs the defects, and
+//! Monte-Carlo sweeps reproduce the exponential logical-error suppression
+//! of Eq. 1 (see the `qec_threshold` experiment binary).
+//!
+//! Model: the Z-checks of the patch form a `d × (d-1)` grid. Data qubits
+//! sit on the horizontal links (including one boundary link at each end
+//! of every row — `d` per row) and the vertical links between checks. An
+//! X error on a link flips the checks it touches; boundary links flip
+//! only their single interior check. A logical X is any left-to-right
+//! chain, so a residual error is logical iff the combined
+//! (error ⊕ correction) chain crosses the patch an odd number of times.
+
+use std::collections::BTreeSet;
+
+/// One data-qubit site of the patch (a link of the check grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Link {
+    /// Horizontal link in check row `row`, between check columns
+    /// `col - 1` and `col` (so `col = 0` is the left boundary link and
+    /// `col = width` the right boundary link). `0 ≤ col ≤ width`.
+    Horizontal {
+        /// Check row.
+        row: u32,
+        /// Link column in `0..=width`.
+        col: u32,
+    },
+    /// Vertical link between check rows `row` and `row + 1` in check
+    /// column `col`.
+    Vertical {
+        /// Upper check row.
+        row: u32,
+        /// Check column.
+        col: u32,
+    },
+}
+
+/// One decoding action over the defect list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Match {
+    /// Pair two defects (indices into the syndrome list).
+    Pair(usize, usize),
+    /// Send one defect to its nearest boundary.
+    Boundary(usize),
+}
+
+/// A distance-`d` planar patch (one error sector).
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::decoder::{Link, Patch};
+///
+/// let patch = Patch::new(5)?;
+/// let error = [Link::Horizontal { row: 2, col: 2 }];
+/// let syndrome = patch.syndrome(&error);
+/// let correction = patch.decode(&syndrome);
+/// assert!(!patch.is_logical_error(&error, &correction));
+/// # Ok::<(), autobraid_lattice::LatticeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Patch {
+    distance: u32,
+}
+
+impl Patch {
+    /// Creates a distance-`d` patch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LatticeError::InvalidCodeParams`] unless `d` is odd
+    /// and at least 3.
+    pub fn new(distance: u32) -> Result<Self, crate::LatticeError> {
+        if distance < 3 || distance.is_multiple_of(2) {
+            return Err(crate::LatticeError::InvalidCodeParams(format!(
+                "patch distance must be odd and >= 3, got {distance}"
+            )));
+        }
+        Ok(Patch { distance })
+    }
+
+    /// Code distance.
+    pub fn distance(&self) -> u32 {
+        self.distance
+    }
+
+    /// Check grid rows (`d`).
+    pub fn check_rows(&self) -> u32 {
+        self.distance
+    }
+
+    /// Check grid columns (`d - 1`).
+    pub fn check_cols(&self) -> u32 {
+        self.distance - 1
+    }
+
+    /// Every data-qubit link of the patch.
+    pub fn links(&self) -> Vec<Link> {
+        let mut out = Vec::new();
+        for row in 0..self.check_rows() {
+            for col in 0..=self.check_cols() {
+                out.push(Link::Horizontal { row, col });
+            }
+        }
+        for row in 0..self.check_rows() - 1 {
+            for col in 0..self.check_cols() {
+                out.push(Link::Vertical { row, col });
+            }
+        }
+        out
+    }
+
+    /// The interior checks a link touches (one for boundary links, two
+    /// otherwise).
+    pub fn touched_checks(&self, link: Link) -> Vec<(u32, u32)> {
+        match link {
+            Link::Horizontal { row, col } => {
+                let mut checks = Vec::new();
+                if col > 0 {
+                    checks.push((row, col - 1));
+                }
+                if col < self.check_cols() {
+                    checks.push((row, col));
+                }
+                checks
+            }
+            Link::Vertical { row, col } => vec![(row, col), (row + 1, col)],
+        }
+    }
+
+    /// Syndrome of an error set: the checks flipped an odd number of
+    /// times.
+    pub fn syndrome(&self, errors: &[Link]) -> Vec<(u32, u32)> {
+        let mut flipped: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for &link in errors {
+            for check in self.touched_checks(link) {
+                if !flipped.insert(check) {
+                    flipped.remove(&check);
+                }
+            }
+        }
+        flipped.into_iter().collect()
+    }
+
+    /// Minimum-weight matching decoder. Each defect is either paired with
+    /// another defect (cost = Manhattan distance) or matched to its
+    /// nearest boundary; up to 16 defects the matching is *exact* (bitmask
+    /// dynamic programming, the MWPM solution), beyond that a greedy
+    /// min-edge loop takes over. Always clears the syndrome; exactness on
+    /// sparse syndromes guarantees every error of weight ≤ (d-1)/2 decodes
+    /// without a logical fault.
+    pub fn decode(&self, syndrome: &[(u32, u32)]) -> Vec<Link> {
+        let defects: Vec<(u32, u32)> = syndrome.to_vec();
+        let pairs = if defects.len() <= 16 {
+            self.match_exact(&defects)
+        } else {
+            self.match_greedy(&defects)
+        };
+        let mut correction = Vec::new();
+        for action in pairs {
+            match action {
+                Match::Pair(i, j) => self.correct_between(defects[j], defects[i], &mut correction),
+                Match::Boundary(i) => self.correct_to_boundary(defects[i], &mut correction),
+            }
+        }
+        correction
+    }
+
+    fn boundary_cost(&self, d: (u32, u32)) -> u32 {
+        (d.1 + 1).min(self.check_cols() - d.1)
+    }
+
+    /// Exact minimum-weight matching over ≤ 16 defects: `f(S)` = cheapest
+    /// clearing cost of defect subset `S`; the lowest defect of `S` either
+    /// exits to its boundary or pairs with another member.
+    fn match_exact(&self, defects: &[(u32, u32)]) -> Vec<Match> {
+        let n = defects.len();
+        debug_assert!(n <= 16);
+        let full = (1usize << n) - 1;
+        let pair_cost =
+            |a: (u32, u32), b: (u32, u32)| -> u64 { u64::from(a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) };
+        let mut best: Vec<u64> = vec![u64::MAX; full + 1];
+        let mut choice: Vec<Match> = vec![Match::Boundary(0); full + 1];
+        best[0] = 0;
+        for mask in 1..=full {
+            let i = mask.trailing_zeros() as usize;
+            // Boundary exit for defect i.
+            let sub = mask & !(1 << i);
+            if best[sub] != u64::MAX {
+                let cost = best[sub] + u64::from(self.boundary_cost(defects[i]));
+                if cost < best[mask] {
+                    best[mask] = cost;
+                    choice[mask] = Match::Boundary(i);
+                }
+            }
+            // Pair i with any other member j.
+            for j in (i + 1)..n {
+                if mask & (1 << j) == 0 {
+                    continue;
+                }
+                let sub = mask & !(1 << i) & !(1 << j);
+                if best[sub] == u64::MAX {
+                    continue;
+                }
+                let cost = best[sub] + pair_cost(defects[i], defects[j]);
+                if cost < best[mask] {
+                    best[mask] = cost;
+                    choice[mask] = Match::Pair(i, j);
+                }
+            }
+        }
+        // Reconstruct.
+        let mut actions = Vec::new();
+        let mut mask = full;
+        while mask != 0 {
+            let action = choice[mask];
+            match action {
+                Match::Boundary(i) => mask &= !(1 << i),
+                Match::Pair(i, j) => mask &= !(1 << i) & !(1 << j),
+            }
+            actions.push(action);
+        }
+        actions
+    }
+
+    /// Greedy fallback for dense syndromes: repeatedly apply the globally
+    /// cheapest single action (closest pair, or cheapest boundary exit).
+    fn match_greedy(&self, defects: &[(u32, u32)]) -> Vec<Match> {
+        let n = defects.len();
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut remaining = n;
+        let mut actions = Vec::new();
+        let pair_cost =
+            |a: (u32, u32), b: (u32, u32)| -> u32 { a.0.abs_diff(b.0) + a.1.abs_diff(b.1) };
+        while remaining > 0 {
+            let mut best: Option<(Match, u32)> = None;
+            for i in 0..n {
+                if !alive[i] {
+                    continue;
+                }
+                let bc = self.boundary_cost(defects[i]);
+                if best.as_ref().is_none_or(|&(_, c)| bc < c) {
+                    best = Some((Match::Boundary(i), bc));
+                }
+                for j in (i + 1)..n {
+                    if !alive[j] {
+                        continue;
+                    }
+                    let pc = pair_cost(defects[i], defects[j]);
+                    if best.as_ref().is_none_or(|&(_, c)| pc < c) {
+                        best = Some((Match::Pair(i, j), pc));
+                    }
+                }
+            }
+            let (action, _) = best.expect("remaining > 0");
+            match action {
+                Match::Boundary(i) => {
+                    alive[i] = false;
+                    remaining -= 1;
+                }
+                Match::Pair(i, j) => {
+                    alive[i] = false;
+                    alive[j] = false;
+                    remaining -= 2;
+                }
+            }
+            actions.push(action);
+        }
+        actions
+    }
+
+    /// Appends an L-shaped correction chain between two checks.
+    fn correct_between(&self, a: (u32, u32), b: (u32, u32), out: &mut Vec<Link>) {
+        // Vertical leg in a's column, then horizontal leg in b's row.
+        let (r0, r1) = (a.0.min(b.0), a.0.max(b.0));
+        for row in r0..r1 {
+            out.push(Link::Vertical { row, col: a.1 });
+        }
+        let (c0, c1) = (a.1.min(b.1), a.1.max(b.1));
+        for col in c0..c1 {
+            out.push(Link::Horizontal { row: b.0, col: col + 1 });
+        }
+    }
+
+    /// Appends a straight chain from a check to its nearest boundary.
+    fn correct_to_boundary(&self, d: (u32, u32), out: &mut Vec<Link>) {
+        let (row, col) = d;
+        if col < self.check_cols() - col {
+            // Left boundary: links col, col-1, …, 0.
+            for c in 0..=col {
+                out.push(Link::Horizontal { row, col: c });
+            }
+        } else {
+            for c in col + 1..=self.check_cols() {
+                out.push(Link::Horizontal { row, col: c });
+            }
+        }
+    }
+
+    /// Whether `errors ⊕ correction` implements a logical X: the combined
+    /// chain crosses the patch left-to-right an odd number of times
+    /// (parity of horizontal links crossing the vertical cut after link
+    /// column 0, which equals the crossing parity of any cut for a closed
+    /// chain).
+    pub fn is_logical_error(&self, errors: &[Link], correction: &[Link]) -> bool {
+        let mut combined: BTreeSet<Link> = BTreeSet::new();
+        for &l in errors.iter().chain(correction) {
+            if !combined.insert(l) {
+                combined.remove(&l);
+            }
+        }
+        debug_assert!(
+            self.syndrome(&combined.iter().copied().collect::<Vec<_>>()).is_empty(),
+            "correction must return the syndrome to zero"
+        );
+        // Count crossings of the leftmost cut: boundary links at col 0.
+        combined
+            .iter()
+            .filter(|l| matches!(l, Link::Horizontal { col: 0, .. }))
+            .count()
+            % 2
+            == 1
+    }
+
+    /// One Monte-Carlo round: each link errs independently with
+    /// probability `p` (driven by the caller-provided uniform samples in
+    /// `[0,1)`, one per link in [`Patch::links`] order). Returns whether
+    /// decoding left a logical error.
+    pub fn sample_round(&self, p: f64, uniform_samples: &[f64]) -> bool {
+        let links = self.links();
+        assert_eq!(
+            uniform_samples.len(),
+            links.len(),
+            "need one uniform sample per link ({})",
+            links.len()
+        );
+        let errors: Vec<Link> = links
+            .into_iter()
+            .zip(uniform_samples)
+            .filter(|&(_, &u)| u < p)
+            .map(|(l, _)| l)
+            .collect();
+        let syndrome = self.syndrome(&errors);
+        let correction = self.decode(&syndrome);
+        self.is_logical_error(&errors, &correction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_validation() {
+        assert!(Patch::new(2).is_err());
+        assert!(Patch::new(4).is_err());
+        assert!(Patch::new(1).is_err());
+        assert!(Patch::new(3).is_ok());
+    }
+
+    #[test]
+    fn link_and_check_counts() {
+        let p = Patch::new(5).unwrap();
+        // Horizontal: d rows × (d-1+1+... ) = d × d; vertical: (d-1)(d-1).
+        assert_eq!(p.links().len(), (5 * 5 + 4 * 4) as usize);
+        let unique: BTreeSet<Link> = p.links().into_iter().collect();
+        assert_eq!(unique.len(), p.links().len());
+    }
+
+    #[test]
+    fn empty_error_empty_syndrome() {
+        let p = Patch::new(5).unwrap();
+        assert!(p.syndrome(&[]).is_empty());
+        assert!(p.decode(&[]).is_empty());
+        assert!(!p.is_logical_error(&[], &[]));
+    }
+
+    #[test]
+    fn every_single_error_is_corrected() {
+        for d in [3u32, 5, 7] {
+            let p = Patch::new(d).unwrap();
+            for link in p.links() {
+                let errors = [link];
+                let syndrome = p.syndrome(&errors);
+                assert!(!syndrome.is_empty(), "{link:?} must flip a check");
+                let correction = p.decode(&syndrome);
+                assert!(
+                    !p.is_logical_error(&errors, &correction),
+                    "d={d}: single error {link:?} decoded into a logical error"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_pair_errors_are_corrected() {
+        let p = Patch::new(5).unwrap();
+        for row in 0..p.check_rows() {
+            for col in 1..p.check_cols() {
+                let errors = [
+                    Link::Horizontal { row, col },
+                    Link::Horizontal { row, col: col + 1 },
+                ];
+                let correction = p.decode(&p.syndrome(&errors));
+                assert!(!p.is_logical_error(&errors, &correction));
+            }
+        }
+    }
+
+    #[test]
+    fn full_row_is_a_logical_operator() {
+        let p = Patch::new(5).unwrap();
+        let row_chain: Vec<Link> =
+            (0..=p.check_cols()).map(|col| Link::Horizontal { row: 2, col }).collect();
+        assert!(p.syndrome(&row_chain).is_empty(), "logical operators commute with checks");
+        assert!(p.is_logical_error(&row_chain, &[]));
+    }
+
+    #[test]
+    fn all_weight_two_errors_are_corrected() {
+        // d = 7 tolerates any weight ≤ 3 error; check every weight-2
+        // combination exhaustively (exact matching must never produce a
+        // logical fault).
+        let p = Patch::new(7).unwrap();
+        let links = p.links();
+        for i in 0..links.len() {
+            for j in i + 1..links.len() {
+                let errors = [links[i], links[j]];
+                let correction = p.decode(&p.syndrome(&errors));
+                assert!(
+                    !p.is_logical_error(&errors, &correction),
+                    "weight-2 error {errors:?} mis-decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_weight_three_errors_are_corrected() {
+        use rand::rngs::StdRng;
+        use rand::{seq::SliceRandom, SeedableRng};
+        let p = Patch::new(7).unwrap();
+        let links = p.links();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let errors: Vec<Link> = links.choose_multiple(&mut rng, 3).copied().collect();
+            let correction = p.decode(&p.syndrome(&errors));
+            assert!(
+                !p.is_logical_error(&errors, &correction),
+                "weight-3 error {errors:?} mis-decoded at d=7"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_always_clears_the_syndrome() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let p = Patch::new(7).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..50 {
+            let errors: Vec<Link> =
+                p.links().into_iter().filter(|_| rng.gen_bool(0.08)).collect();
+            let syndrome = p.syndrome(&errors);
+            let correction = p.decode(&syndrome);
+            // is_logical_error debug-asserts the syndrome clears; verify
+            // explicitly too.
+            let mut combined = errors.clone();
+            combined.extend(&correction);
+            let residual: Vec<Link> = {
+                let mut set: BTreeSet<Link> = BTreeSet::new();
+                for l in combined {
+                    if !set.insert(l) {
+                        set.remove(&l);
+                    }
+                }
+                set.into_iter().collect()
+            };
+            assert!(p.syndrome(&residual).is_empty());
+        }
+    }
+
+    #[test]
+    fn logical_error_rate_drops_with_distance() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Physical error rate well below threshold: bigger codes must fail
+        // less often — the Threshold Theorem in action (paper Eq. 1).
+        let p_phys = 0.02;
+        let trials = 400;
+        let mut rates = Vec::new();
+        for d in [3u32, 5, 7] {
+            let patch = Patch::new(d).unwrap();
+            let n_links = patch.links().len();
+            let mut rng = StdRng::seed_from_u64(1000 + u64::from(d));
+            let failures = (0..trials)
+                .filter(|_| {
+                    let samples: Vec<f64> = (0..n_links).map(|_| rng.gen::<f64>()).collect();
+                    patch.sample_round(p_phys, &samples)
+                })
+                .count();
+            rates.push(failures as f64 / trials as f64);
+        }
+        assert!(
+            rates[0] > rates[2],
+            "logical error rate must drop from d=3 to d=7: {rates:?}"
+        );
+    }
+}

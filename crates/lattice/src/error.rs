@@ -1,0 +1,51 @@
+//! Error types for lattice construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by lattice construction and surface-code parameter
+/// validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LatticeError {
+    /// A grid must have at least one cell per side.
+    EmptyGrid,
+    /// Surface-code parameters violate the model's preconditions.
+    InvalidCodeParams(String),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::EmptyGrid => write!(f, "grid must have at least one cell per side"),
+            LatticeError::InvalidCodeParams(msg) => {
+                write!(f, "invalid surface code parameters: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for LatticeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for e in [
+            LatticeError::EmptyGrid,
+            LatticeError::InvalidCodeParams("p out of range".into()),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(LatticeError::EmptyGrid);
+    }
+}

@@ -1,0 +1,44 @@
+//! Surface-code lattice substrate for the AutoBraid scheduler.
+//!
+//! This crate models the hardware platform the paper schedules onto: an
+//! `L × L` grid of logical-qubit tiles ([`grid::Grid`]), the channel
+//! routing graph between them ([`geometry`]), per-step vertex reservations
+//! ([`occupancy::Occupancy`]), and the surface-code error/timing math
+//! ([`surface_code`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use autobraid_lattice::grid::Grid;
+//! use autobraid_lattice::occupancy::Occupancy;
+//! use autobraid_lattice::surface_code::{CodeParams, TimingModel};
+//!
+//! // The smallest square grid holding 100 logical qubits.
+//! let grid = Grid::with_capacity_for(100);
+//! assert_eq!(grid.cells_per_side(), 10);
+//!
+//! // Fresh reservation map for one braiding step.
+//! let occ = Occupancy::new(&grid);
+//! assert_eq!(occ.occupied_count(), 0);
+//!
+//! // Paper defaults: d = 33, one cycle = 2.2 µs.
+//! let timing = TimingModel::new(CodeParams::default());
+//! assert!(timing.params().logical_error_rate() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod geometry;
+pub mod grid;
+pub mod decoder;
+pub mod occupancy;
+pub mod physical;
+pub mod surface_code;
+
+pub use error::LatticeError;
+pub use geometry::{BBox, Cell, Vertex};
+pub use grid::Grid;
+pub use occupancy::Occupancy;
+pub use surface_code::{CodeParams, TimingModel};

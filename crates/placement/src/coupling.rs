@@ -1,0 +1,206 @@
+//! Qubit coupling graph: two qubits are adjacent iff a two-qubit gate acts
+//! on them; edge weights count interactions.
+
+use autobraid_circuit::{Circuit, QubitId};
+use std::collections::BTreeMap;
+
+/// Weighted interaction graph of a circuit's two-qubit gates.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::Circuit;
+/// use autobraid_placement::coupling::CouplingGraph;
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1).cx(0, 1).cx(1, 2);
+/// let g = CouplingGraph::of(&c);
+/// assert_eq!(g.weight(0, 1), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.is_linear()); // path 0-1-2
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingGraph {
+    num_qubits: u32,
+    weights: BTreeMap<(QubitId, QubitId), u64>,
+    adjacency: Vec<Vec<QubitId>>,
+}
+
+impl CouplingGraph {
+    /// Builds the coupling graph of `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut weights: BTreeMap<(QubitId, QubitId), u64> = BTreeMap::new();
+        for gate in circuit.gates() {
+            if let Some((a, b)) = gate.pair() {
+                let key = (a.min(b), a.max(b));
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+        let mut adjacency = vec![Vec::new(); circuit.num_qubits() as usize];
+        for &(a, b) in weights.keys() {
+            adjacency[a as usize].push(b);
+            adjacency[b as usize].push(a);
+        }
+        CouplingGraph { num_qubits: circuit.num_qubits(), weights, adjacency }
+    }
+
+    /// Number of qubits (nodes), including isolated ones.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of distinct interacting pairs (edges).
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Interaction count between `a` and `b` (0 when they never interact).
+    pub fn weight(&self, a: QubitId, b: QubitId) -> u64 {
+        self.weights.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
+    }
+
+    /// Distinct interaction partners of `q`.
+    pub fn neighbors(&self, q: QubitId) -> &[QubitId] {
+        &self.adjacency[q as usize]
+    }
+
+    /// Number of distinct partners of `q`.
+    pub fn degree(&self, q: QubitId) -> usize {
+        self.adjacency[q as usize].len()
+    }
+
+    /// Maximum degree over all qubits.
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over `(a, b, weight)` edges with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (QubitId, QubitId, u64)> + '_ {
+        self.weights.iter().map(|(&(a, b), &w)| (a, b, w))
+    }
+
+    /// Whether every qubit has degree ≤ 2 — the "special graphs" case the
+    /// paper optimizes with a dedicated linear layout (paths and cycles,
+    /// e.g. the 1-D Ising model).
+    pub fn is_linear(&self) -> bool {
+        self.max_degree() <= 2
+    }
+
+    /// Extracts the qubit ordering along a degree-≤2 coupling graph:
+    /// concatenated path traversals (cycles are cut at their smallest
+    /// node). Returns `None` if any qubit has degree > 2.
+    pub fn linear_order(&self) -> Option<Vec<QubitId>> {
+        if !self.is_linear() {
+            return None;
+        }
+        let n = self.num_qubits as usize;
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        // Path endpoints first (degree ≤ 1), then cycle cuts, then isolated.
+        let mut starts: Vec<QubitId> = (0..self.num_qubits).collect();
+        starts.sort_by_key(|&q| (self.degree(q), q));
+        for start in starts {
+            if visited[start as usize] {
+                continue;
+            }
+            let mut current = start;
+            visited[current as usize] = true;
+            order.push(current);
+            loop {
+                let next = self
+                    .neighbors(current)
+                    .iter()
+                    .copied()
+                    .find(|&m| !visited[m as usize]);
+                match next {
+                    Some(m) => {
+                        visited[m as usize] = true;
+                        order.push(m);
+                        current = m;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Some(order)
+    }
+
+    /// Fraction of total interaction weight between qubit pairs — used by
+    /// reports.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_circuit::generators::{ising::ising, qft::qft};
+
+    #[test]
+    fn weights_accumulate() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 0).cz(2, 3).h(0);
+        let g = CouplingGraph::of(&c);
+        assert_eq!(g.weight(0, 1), 2, "direction-insensitive");
+        assert_eq!(g.weight(2, 3), 1);
+        assert_eq!(g.weight(0, 2), 0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.total_weight(), 3);
+    }
+
+    #[test]
+    fn ising_is_linear() {
+        let g = CouplingGraph::of(&ising(12, 2).unwrap());
+        assert!(g.is_linear());
+        let order = g.linear_order().unwrap();
+        assert_eq!(order.len(), 12);
+        // Consecutive qubits in the order are coupled.
+        for w in order.windows(2) {
+            assert!(g.weight(w[0], w[1]) > 0, "{w:?} not coupled");
+        }
+    }
+
+    #[test]
+    fn qft_is_complete_graph() {
+        let g = CouplingGraph::of(&qft(8).unwrap());
+        assert_eq!(g.edge_count(), 28);
+        assert_eq!(g.max_degree(), 7);
+        assert!(!g.is_linear());
+        assert!(g.linear_order().is_none());
+    }
+
+    #[test]
+    fn cycle_coupling_linearizes() {
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.cx(q, (q + 1) % 5);
+        }
+        let g = CouplingGraph::of(&c);
+        assert!(g.is_linear());
+        let order = g.linear_order().unwrap();
+        assert_eq!(order.len(), 5);
+        // A cut cycle keeps all but one adjacency consecutive.
+        let adjacent_pairs =
+            order.windows(2).filter(|w| g.weight(w[0], w[1]) > 0).count();
+        assert_eq!(adjacent_pairs, 4);
+    }
+
+    #[test]
+    fn isolated_qubits_included() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 1);
+        let g = CouplingGraph::of(&c);
+        assert!(g.is_linear());
+        let order = g.linear_order().unwrap();
+        assert_eq!(order.len(), 5, "isolated qubits still get positions");
+    }
+
+    #[test]
+    fn empty_circuit_graph() {
+        let g = CouplingGraph::of(&Circuit::new(3));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.linear_order().unwrap(), vec![0, 1, 2]);
+    }
+}

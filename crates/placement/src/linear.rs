@@ -1,0 +1,127 @@
+//! Serpentine placement for maximal-degree-2 coupling graphs.
+//!
+//! The paper's second initial-mapping fine-tuner: when the coupling graph
+//! is a set of paths/cycles (e.g. the 1-D Ising model), laying the qubits
+//! along a boustrophedon (snake) through the grid makes every coupled
+//! pair grid-adjacent, so disjoint pairs always route simultaneously and
+//! the schedule hits the critical path.
+
+use crate::coupling::CouplingGraph;
+use crate::place::Placement;
+use autobraid_circuit::{Circuit, QubitId};
+use autobraid_lattice::{Cell, Grid};
+
+/// The serpentine cell sequence of a grid: row 0 left→right, row 1
+/// right→left, and so on. Consecutive cells are always grid-adjacent.
+pub fn serpentine_cells(grid: &Grid) -> Vec<Cell> {
+    let l = grid.cells_per_side();
+    let mut cells = Vec::with_capacity(grid.cell_count());
+    for r in 0..l {
+        if r % 2 == 0 {
+            for c in 0..l {
+                cells.push(Cell::new(r, c));
+            }
+        } else {
+            for c in (0..l).rev() {
+                cells.push(Cell::new(r, c));
+            }
+        }
+    }
+    cells
+}
+
+/// Places `order[i]` on the `i`-th serpentine cell.
+///
+/// # Panics
+///
+/// Panics if the order does not fit the grid or repeats a qubit.
+pub fn place_along_serpentine(grid: &Grid, order: &[QubitId]) -> Placement {
+    let cells = serpentine_cells(grid);
+    assert!(order.len() <= cells.len(), "order longer than the grid");
+    let mut qubit_to_cell = vec![None; order.len()];
+    for (i, &q) in order.iter().enumerate() {
+        let slot = &mut qubit_to_cell[q as usize];
+        assert!(slot.is_none(), "qubit {q} appears twice in the order");
+        *slot = Some(cells[i]);
+    }
+    Placement::from_cells(
+        grid,
+        qubit_to_cell.into_iter().map(|c| c.expect("order covers all qubits")).collect(),
+    )
+}
+
+/// If the circuit's coupling graph has maximal degree ≤ 2, returns the
+/// serpentine placement along its linear order; otherwise `None`.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_circuit::generators::ising::ising;
+/// use autobraid_lattice::Grid;
+/// use autobraid_placement::linear::linear_placement;
+///
+/// let c = ising(9, 1)?;
+/// let grid = Grid::with_capacity_for(9);
+/// let placement = linear_placement(&c, &grid).expect("Ising couples as a path");
+/// // Every coupled pair ends up on adjacent tiles.
+/// # Ok::<(), autobraid_circuit::CircuitError>(())
+/// ```
+pub fn linear_placement(circuit: &Circuit, grid: &Grid) -> Option<Placement> {
+    let coupling = CouplingGraph::of(circuit);
+    let order = coupling.linear_order()?;
+    Some(place_along_serpentine(grid, &order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_circuit::generators::{ising::ising, qft::qft};
+
+    #[test]
+    fn serpentine_is_contiguous() {
+        let grid = Grid::new(4).unwrap();
+        let cells = serpentine_cells(&grid);
+        assert_eq!(cells.len(), 16);
+        for w in cells.windows(2) {
+            assert_eq!(w[0].manhattan_distance(w[1]), 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn ising_neighbours_become_adjacent() {
+        let c = ising(16, 1).unwrap();
+        let grid = Grid::with_capacity_for(16);
+        let p = linear_placement(&c, &grid).unwrap();
+        let coupling = CouplingGraph::of(&c);
+        for (a, b, _) in coupling.edges() {
+            assert_eq!(
+                p.cell_of(a).manhattan_distance(p.cell_of(b)),
+                1,
+                "coupled pair ({a},{b}) not adjacent"
+            );
+        }
+        assert!(p.is_consistent(&grid));
+    }
+
+    #[test]
+    fn dense_graphs_are_rejected() {
+        let c = qft(8).unwrap();
+        let grid = Grid::with_capacity_for(8);
+        assert!(linear_placement(&c, &grid).is_none());
+    }
+
+    #[test]
+    fn non_square_counts() {
+        let c = ising(7, 1).unwrap();
+        let grid = Grid::with_capacity_for(7); // 3×3 grid, 2 empty tiles
+        let p = linear_placement(&c, &grid).unwrap();
+        assert!(p.is_consistent(&grid));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn repeated_qubit_in_order_panics() {
+        let grid = Grid::new(2).unwrap();
+        let _ = place_along_serpentine(&grid, &[0, 0, 1]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Initial bisection by BFS region growing, plus balance bounds.
+
+use crate::partition::graph::PartGraph;
+use std::collections::VecDeque;
+
+/// Balance constraint for a bisection: side `false` must carry a vertex
+/// weight in `[min_side0, max_side0]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Balance {
+    /// Minimum total vertex weight on side `false`.
+    pub min_side0: u64,
+    /// Maximum total vertex weight on side `false`.
+    pub max_side0: u64,
+}
+
+impl Balance {
+    /// An even split with a slack of `tolerance` weight units on either
+    /// side.
+    pub fn even(total: u64, tolerance: u64) -> Self {
+        let half = total / 2;
+        Balance {
+            min_side0: half.saturating_sub(tolerance),
+            max_side0: (half + tolerance).min(total),
+        }
+    }
+
+    /// Exact capacities: side `false` must hold exactly enough weight to
+    /// fill a region of capacity `cap0` given `total` weight and capacity
+    /// `cap0 + cap1`. Used when embedding partitions into grid rectangles.
+    pub fn capacities(total: u64, cap0: u64, cap1: u64) -> Self {
+        assert!(cap0 + cap1 >= total, "regions too small: {cap0}+{cap1} < {total}");
+        Balance { min_side0: total.saturating_sub(cap1), max_side0: cap0.min(total) }
+    }
+
+    /// Whether `w0` satisfies the constraint.
+    pub fn admits(&self, w0: u64) -> bool {
+        (self.min_side0..=self.max_side0).contains(&w0)
+    }
+}
+
+/// A pseudo-peripheral vertex: run BFS twice from the minimum-degree
+/// vertex; the farthest vertex found is a good bisection seed.
+fn pseudo_peripheral(graph: &PartGraph) -> usize {
+    let n = graph.num_vertices();
+    let start = (0..n).min_by_key(|&v| (graph.degree(v), v)).unwrap_or(0);
+    let mut far = start;
+    for _ in 0..2 {
+        let mut dist = vec![usize::MAX; n];
+        dist[far] = 0;
+        let mut q = VecDeque::from([far]);
+        let mut last = far;
+        while let Some(v) = q.pop_front() {
+            last = v;
+            for &(m, _) in graph.neighbors(v) {
+                if dist[m] == usize::MAX {
+                    dist[m] = dist[v] + 1;
+                    q.push_back(m);
+                }
+            }
+        }
+        far = last;
+    }
+    far
+}
+
+/// Grows side `false` by BFS from a pseudo-peripheral seed until its
+/// weight reaches the balance target, then assigns the rest to side
+/// `true`. Disconnected graphs are handled by reseeding.
+///
+/// The result satisfies `balance` whenever the vertex weights make that
+/// possible (unit weights always do; coarse weights may overshoot by one
+/// vertex, which the FM refinement pass repairs).
+pub fn grow_bisection(graph: &PartGraph, balance: Balance) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut side = vec![true; n];
+    if n == 0 {
+        return side;
+    }
+    let target = balance.min_side0.midpoint(balance.max_side0);
+    let mut weight0 = 0u64;
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::from([pseudo_peripheral(graph)]);
+    visited[queue[0]] = true;
+    loop {
+        let Some(v) = queue.pop_front() else {
+            // Disconnected: reseed from any unvisited vertex.
+            match (0..n).find(|&v| !visited[v]) {
+                Some(seed) if weight0 < target => {
+                    visited[seed] = true;
+                    queue.push_back(seed);
+                    continue;
+                }
+                _ => break,
+            }
+        };
+        if weight0 >= target {
+            break;
+        }
+        side[v] = false;
+        weight0 += graph.vertex_weight(v);
+        for &(m, _) in graph.neighbors(v) {
+            if !visited[m] {
+                visited[m] = true;
+                queue.push_back(m);
+            }
+        }
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_even() {
+        let b = Balance::even(10, 1);
+        assert!(b.admits(4));
+        assert!(b.admits(5));
+        assert!(b.admits(6));
+        assert!(!b.admits(3));
+        assert!(!b.admits(7));
+    }
+
+    #[test]
+    fn balance_capacities() {
+        // 7 qubits into regions of 4 + 4 cells.
+        let b = Balance::capacities(7, 4, 4);
+        assert_eq!(b.min_side0, 3);
+        assert_eq!(b.max_side0, 4);
+        assert!(b.admits(3) && b.admits(4));
+        assert!(!b.admits(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "regions too small")]
+    fn capacities_reject_overflow() {
+        let _ = Balance::capacities(10, 4, 4);
+    }
+
+    #[test]
+    fn grow_splits_path_contiguously() {
+        // Path of 8: growing from an end gives a contiguous prefix.
+        let edges: Vec<(usize, usize, u64)> = (0..7).map(|i| (i, i + 1, 1)).collect();
+        let g = PartGraph::from_edges(8, &edges);
+        let side = grow_bisection(&g, Balance::even(8, 0));
+        assert_eq!(g.side_weight(&side), 4);
+        assert_eq!(g.edge_cut(&side), 1, "a contiguous split cuts exactly one path edge");
+    }
+
+    #[test]
+    fn grow_handles_disconnected() {
+        let g = PartGraph::from_edges(6, &[(0, 1, 1), (2, 3, 1), (4, 5, 1)]);
+        let side = grow_bisection(&g, Balance::even(6, 0));
+        assert_eq!(g.side_weight(&side), 3);
+    }
+
+    #[test]
+    fn grow_empty_graph() {
+        let g = PartGraph::new(0);
+        assert!(grow_bisection(&g, Balance::even(0, 0)).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Weighted undirected graph used by the multilevel partitioner.
+
+/// An undirected graph with vertex and edge weights, stored as adjacency
+/// lists. Vertices are `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_placement::partition::graph::PartGraph;
+///
+/// let g = PartGraph::from_edges(4, &[(0, 1, 3), (1, 2, 1), (2, 3, 3)]);
+/// assert_eq!(g.num_vertices(), 4);
+/// // Cutting the middle edge costs 1; cutting elsewhere costs 3.
+/// assert_eq!(g.edge_cut(&[false, false, true, true]), 1);
+/// assert_eq!(g.edge_cut(&[false, true, true, true]), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartGraph {
+    vertex_weight: Vec<u64>,
+    adjacency: Vec<Vec<(usize, u64)>>,
+}
+
+impl PartGraph {
+    /// Creates an edgeless graph with `n` unit-weight vertices.
+    pub fn new(n: usize) -> Self {
+        PartGraph { vertex_weight: vec![1; n], adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Builds a graph from weighted edges (`u < v` not required; parallel
+    /// edges accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, u64)]) -> Self {
+        let mut g = PartGraph::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Adds (or accumulates onto) an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: u64) {
+        assert_ne!(u, v, "self-loop at {u}");
+        assert!(u < self.num_vertices() && v < self.num_vertices());
+        for &mut (m, ref mut weight) in &mut self.adjacency[u] {
+            if m == v {
+                *weight += w;
+                for &mut (m2, ref mut w2) in &mut self.adjacency[v] {
+                    if m2 == u {
+                        *w2 += w;
+                    }
+                }
+                return;
+            }
+        }
+        self.adjacency[u].push((v, w));
+        self.adjacency[v].push((u, w));
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weight.len()
+    }
+
+    /// Weight of vertex `v` (1 for original qubits; coarse vertices carry
+    /// the summed weight of the fine vertices they represent).
+    pub fn vertex_weight(&self, v: usize) -> u64 {
+        self.vertex_weight[v]
+    }
+
+    /// Sets a vertex weight (used during coarsening).
+    pub fn set_vertex_weight(&mut self, v: usize, w: u64) {
+        self.vertex_weight[v] = w;
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vertex_weight.iter().sum()
+    }
+
+    /// Weighted neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[(usize, u64)] {
+        &self.adjacency[v]
+    }
+
+    /// Degree (distinct neighbours) of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Total weight of edges crossing the bisection `side` (vertex `v` is
+    /// on side `side[v]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side.len() != num_vertices()`.
+    pub fn edge_cut(&self, side: &[bool]) -> u64 {
+        assert_eq!(side.len(), self.num_vertices());
+        let mut cut = 0;
+        for v in 0..self.num_vertices() {
+            for &(m, w) in &self.adjacency[v] {
+                if v < m && side[v] != side[m] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Sum of vertex weights on side `false` of the bisection.
+    pub fn side_weight(&self, side: &[bool]) -> u64 {
+        (0..self.num_vertices()).filter(|&v| !side[v]).map(|v| self.vertex_weight[v]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = PartGraph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 0, 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[(1, 5)]);
+        assert_eq!(g.neighbors(1), &[(0, 5)]);
+    }
+
+    #[test]
+    fn cut_and_weights() {
+        let g = PartGraph::from_edges(4, &[(0, 1, 1), (1, 2, 5), (2, 3, 1), (0, 3, 2)]);
+        assert_eq!(g.edge_cut(&[false, false, true, true]), 5 + 2);
+        assert_eq!(g.edge_cut(&[false, false, false, false]), 0);
+        assert_eq!(g.total_vertex_weight(), 4);
+        assert_eq!(g.side_weight(&[false, false, true, true]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = PartGraph::new(2);
+        g.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = PartGraph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edge_cut(&[]), 0);
+        assert_eq!(g.total_vertex_weight(), 0);
+    }
+}

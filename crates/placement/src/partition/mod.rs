@@ -1,0 +1,13 @@
+//! Multilevel graph partitioner — the workspace's METIS \[12\] substitute.
+//!
+//! Pipeline per bisection: heavy-edge matching ([`coarsen`]) descends to a
+//! small graph, BFS region growing ([`bisect`]) seeds the split, and FM
+//! refinement ([`refine`]) repairs it at every uncoarsening level.
+//! [`recursive`] composes bisections into k-way partitions with arbitrary
+//! per-part capacities, which is what the grid embedding needs.
+
+pub mod bisect;
+pub mod coarsen;
+pub mod graph;
+pub mod recursive;
+pub mod refine;

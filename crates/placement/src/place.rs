@@ -1,0 +1,200 @@
+//! The qubit → tile placement map.
+
+use autobraid_circuit::QubitId;
+use autobraid_lattice::{Cell, Grid};
+
+/// A bijection-onto-its-image mapping every logical qubit to a distinct
+/// tile of the grid. Supports the dynamic remapping (SWAP insertion) at
+/// the heart of AutoBraid-full.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::Grid;
+/// use autobraid_placement::place::Placement;
+///
+/// let grid = Grid::with_capacity_for(4);
+/// let mut p = Placement::row_major(&grid, 4);
+/// let c0 = p.cell_of(0);
+/// let c3 = p.cell_of(3);
+/// p.swap_qubits(0, 3);
+/// assert_eq!(p.cell_of(0), c3);
+/// assert_eq!(p.cell_of(3), c0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    qubit_to_cell: Vec<Cell>,
+    cell_to_qubit: Vec<Option<QubitId>>,
+    cells_per_side: u32,
+}
+
+impl Placement {
+    /// Row-major default placement: qubit `q` at cell `(q / L, q % L)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot hold `num_qubits`.
+    pub fn row_major(grid: &Grid, num_qubits: u32) -> Self {
+        let cells: Vec<Cell> = (0..num_qubits as usize).map(|i| grid.cell_at(i)).collect();
+        Placement::from_cells(grid, cells)
+    }
+
+    /// Builds a placement from an explicit qubit → cell assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell is outside the grid or assigned twice.
+    pub fn from_cells(grid: &Grid, qubit_to_cell: Vec<Cell>) -> Self {
+        assert!(
+            qubit_to_cell.len() <= grid.cell_count(),
+            "{} qubits cannot fit {} tiles",
+            qubit_to_cell.len(),
+            grid.cell_count()
+        );
+        let mut cell_to_qubit: Vec<Option<QubitId>> = vec![None; grid.cell_count()];
+        for (q, &cell) in qubit_to_cell.iter().enumerate() {
+            assert!(grid.contains_cell(cell), "{cell} outside the grid");
+            let slot = &mut cell_to_qubit[grid.cell_index(cell)];
+            assert!(slot.is_none(), "{cell} assigned to two qubits");
+            *slot = Some(q as QubitId);
+        }
+        Placement { qubit_to_cell, cell_to_qubit, cells_per_side: grid.cells_per_side() }
+    }
+
+    /// Number of placed qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.qubit_to_cell.len() as u32
+    }
+
+    /// The tile currently holding `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a placed qubit.
+    pub fn cell_of(&self, q: QubitId) -> Cell {
+        self.qubit_to_cell[q as usize]
+    }
+
+    /// The qubit at `cell`, if any.
+    pub fn qubit_at(&self, grid: &Grid, cell: Cell) -> Option<QubitId> {
+        self.cell_to_qubit[grid.cell_index(cell)]
+    }
+
+    /// Exchanges the tiles of two qubits (a logical SWAP's effect on the
+    /// layout).
+    pub fn swap_qubits(&mut self, a: QubitId, b: QubitId) {
+        if a == b {
+            return;
+        }
+        let (ca, cb) = (self.qubit_to_cell[a as usize], self.qubit_to_cell[b as usize]);
+        self.qubit_to_cell[a as usize] = cb;
+        self.qubit_to_cell[b as usize] = ca;
+        let ia = self.index_of(ca);
+        let ib = self.index_of(cb);
+        self.cell_to_qubit.swap(ia, ib);
+    }
+
+    /// Moves qubit `q` to a currently empty cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is occupied.
+    pub fn move_to_empty(&mut self, grid: &Grid, q: QubitId, target: Cell) {
+        let ti = grid.cell_index(target);
+        assert!(self.cell_to_qubit[ti].is_none(), "{target} is occupied");
+        let from = self.qubit_to_cell[q as usize];
+        let fi = grid.cell_index(from);
+        self.cell_to_qubit[fi] = None;
+        self.cell_to_qubit[ti] = Some(q);
+        self.qubit_to_cell[q as usize] = target;
+    }
+
+    /// The qubit → cell assignment as a slice.
+    pub fn cells(&self) -> &[Cell] {
+        &self.qubit_to_cell
+    }
+
+    fn index_of(&self, cell: Cell) -> usize {
+        cell.row as usize * self.cells_per_side as usize + cell.col as usize
+    }
+
+    /// Checks internal consistency (each qubit on a distinct tile, reverse
+    /// map agrees). Intended for tests and debug assertions.
+    pub fn is_consistent(&self, grid: &Grid) -> bool {
+        let mut seen = vec![false; grid.cell_count()];
+        for (q, &cell) in self.qubit_to_cell.iter().enumerate() {
+            if !grid.contains_cell(cell) {
+                return false;
+            }
+            let i = grid.cell_index(cell);
+            if seen[i] || self.cell_to_qubit[i] != Some(q as QubitId) {
+                return false;
+            }
+            seen[i] = true;
+        }
+        let placed = self.cell_to_qubit.iter().flatten().count();
+        placed == self.qubit_to_cell.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let grid = Grid::new(3).unwrap();
+        let p = Placement::row_major(&grid, 7);
+        assert_eq!(p.cell_of(0), Cell::new(0, 0));
+        assert_eq!(p.cell_of(4), Cell::new(1, 1));
+        assert_eq!(p.qubit_at(&grid, Cell::new(2, 0)), Some(6));
+        assert_eq!(p.qubit_at(&grid, Cell::new(2, 2)), None);
+        assert!(p.is_consistent(&grid));
+    }
+
+    #[test]
+    fn swap_updates_both_maps() {
+        let grid = Grid::new(3).unwrap();
+        let mut p = Placement::row_major(&grid, 5);
+        p.swap_qubits(1, 4);
+        assert_eq!(p.cell_of(1), Cell::new(1, 1));
+        assert_eq!(p.cell_of(4), Cell::new(0, 1));
+        assert_eq!(p.qubit_at(&grid, Cell::new(1, 1)), Some(1));
+        assert!(p.is_consistent(&grid));
+        p.swap_qubits(2, 2); // no-op
+        assert!(p.is_consistent(&grid));
+    }
+
+    #[test]
+    fn move_to_empty_cell() {
+        let grid = Grid::new(3).unwrap();
+        let mut p = Placement::row_major(&grid, 4);
+        p.move_to_empty(&grid, 0, Cell::new(2, 2));
+        assert_eq!(p.cell_of(0), Cell::new(2, 2));
+        assert_eq!(p.qubit_at(&grid, Cell::new(0, 0)), None);
+        assert!(p.is_consistent(&grid));
+    }
+
+    #[test]
+    #[should_panic(expected = "is occupied")]
+    fn move_to_occupied_panics() {
+        let grid = Grid::new(2).unwrap();
+        let mut p = Placement::row_major(&grid, 4);
+        p.move_to_empty(&grid, 0, Cell::new(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two qubits")]
+    fn duplicate_cells_rejected() {
+        let grid = Grid::new(2).unwrap();
+        let _ = Placement::from_cells(&grid, vec![Cell::new(0, 0), Cell::new(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn overfull_rejected() {
+        let grid = Grid::new(2).unwrap();
+        let cells: Vec<Cell> = (0..5).map(|i| Cell::new(i / 2, i % 2)).collect();
+        let _ = Placement::from_cells(&grid, cells);
+    }
+}

@@ -1,0 +1,346 @@
+//! A* search for congestion-free braiding paths.
+//!
+//! A braiding path may start at **any** free corner of the source tile and
+//! end at any free corner of the destination tile (16 endpoint
+//! combinations, paper §3.1), so the search is multi-source /
+//! multi-target. Braiding is latency-insensitive, but shorter paths
+//! consume fewer routing vertices, so A* still minimizes length to
+//! preserve resources for other gates.
+
+use crate::path::BraidPath;
+use autobraid_lattice::{BBox, Cell, Grid, Occupancy, Vertex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchLimits {
+    /// If set, the path must stay inside or on the boundary of this box
+    /// (used to confine LLG-local routing and in theorem tests).
+    pub region: Option<BBox>,
+}
+
+/// Finds a shortest free braiding path from tile `a` to tile `b` with A*.
+///
+/// Occupied vertices are impassable; the returned path's vertices are
+/// **not** reserved — callers reserve via [`Occupancy::try_reserve`].
+/// Returns `None` when the two tiles are disconnected under the current
+/// occupancy (or the region constraint).
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::{Cell, Grid, Occupancy};
+/// use autobraid_router::astar::{find_path, SearchLimits};
+///
+/// let grid = Grid::new(4)?;
+/// let occ = Occupancy::new(&grid);
+/// let path = find_path(&grid, &occ, Cell::new(0, 0), Cell::new(3, 3), SearchLimits::default())
+///     .expect("empty grid always routes");
+/// assert!(path.len() >= 5); // closest corners are 4 apart
+/// # Ok::<(), autobraid_lattice::LatticeError>(())
+/// ```
+pub fn find_path(
+    grid: &Grid,
+    occupancy: &Occupancy,
+    a: Cell,
+    b: Cell,
+    limits: SearchLimits,
+) -> Option<BraidPath> {
+    let allowed = |v: Vertex| -> bool {
+        occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
+    };
+    let targets: Vec<Vertex> = b.corners().into_iter().filter(|&v| allowed(v)).collect();
+    if targets.is_empty() {
+        return None;
+    }
+    let heuristic =
+        |v: Vertex| -> u32 { targets.iter().map(|t| v.manhattan_distance(*t)).min().unwrap() };
+
+    let n = grid.vertex_count();
+    let mut g_cost: Vec<u32> = vec![u32::MAX; n];
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    // (f, g, vertex_index): ties broken on g then index for determinism.
+    let mut open: BinaryHeap<Reverse<(u32, u32, usize)>> = BinaryHeap::new();
+
+    for start in a.corners() {
+        if allowed(start) {
+            let i = grid.vertex_index(start);
+            g_cost[i] = 0;
+            open.push(Reverse((heuristic(start), 0, i)));
+        }
+    }
+
+    while let Some(Reverse((_, g, idx))) = open.pop() {
+        if g > g_cost[idx] {
+            continue; // stale entry
+        }
+        let v = grid.vertex_at(idx);
+        if b.has_corner(v) {
+            return Some(reconstruct(grid, a, b, &parent, idx));
+        }
+        for next in grid.neighbors(v) {
+            if !allowed(next) {
+                continue;
+            }
+            let ni = grid.vertex_index(next);
+            let ng = g + 1;
+            if ng < g_cost[ni] {
+                g_cost[ni] = ng;
+                parent[ni] = idx;
+                open.push(Reverse((ng + heuristic(next), ng, ni)));
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(grid: &Grid, a: Cell, b: Cell, parent: &[usize], mut idx: usize) -> BraidPath {
+    let mut vertices = vec![grid.vertex_at(idx)];
+    while parent[idx] != usize::MAX {
+        idx = parent[idx];
+        vertices.push(grid.vertex_at(idx));
+    }
+    vertices.reverse();
+    BraidPath::new(grid, a, b, vertices).expect("A* reconstruction yields a valid path")
+}
+
+/// Free-space connectivity labels for fast reachability prechecks.
+///
+/// A failed A* must explore the entire reachable region before giving up;
+/// when many gates in a congested batch cannot route, those failures
+/// dominate. Routers compute the free-vertex connected components once,
+/// answer "could these tiles possibly connect?" in O(1) per query, and
+/// recompute only after reservations change the free space.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::{Cell, Grid, Occupancy, Vertex};
+/// use autobraid_router::astar::Connectivity;
+///
+/// let grid = Grid::new(4)?;
+/// let mut occ = Occupancy::new(&grid);
+/// for r in 0..=4 {
+///     occ.reserve(&grid, Vertex::new(r, 2)); // wall splits the grid
+/// }
+/// let conn = Connectivity::compute(&grid, &occ);
+/// assert!(!conn.may_connect(&grid, Cell::new(0, 0), Cell::new(0, 3)));
+/// assert!(conn.may_connect(&grid, Cell::new(0, 0), Cell::new(3, 1)));
+/// # Ok::<(), autobraid_lattice::LatticeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    labels: Vec<u32>,
+}
+
+impl Connectivity {
+    /// Label reserved/unreachable vertices carry.
+    const BLOCKED: u32 = u32::MAX;
+
+    /// Labels the free connected components of the grid in O(vertices).
+    pub fn compute(grid: &Grid, occupancy: &Occupancy) -> Self {
+        let n = grid.vertex_count();
+        let mut labels = vec![Self::BLOCKED; n];
+        let mut next = 0u32;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if labels[start] != Self::BLOCKED
+                || occupancy.is_occupied(grid, grid.vertex_at(start))
+            {
+                continue;
+            }
+            labels[start] = next;
+            queue.push_back(start);
+            while let Some(i) = queue.pop_front() {
+                for v in grid.neighbors(grid.vertex_at(i)) {
+                    let j = grid.vertex_index(v);
+                    if labels[j] == Self::BLOCKED && occupancy.is_free(grid, v) {
+                        labels[j] = next;
+                        queue.push_back(j);
+                    }
+                }
+            }
+            next += 1;
+        }
+        Connectivity { labels }
+    }
+
+    /// Whether some free corner of `a` shares a component with some free
+    /// corner of `b`. `false` means [`find_path`] (without a region
+    /// limit) is guaranteed to fail; `true` means it may succeed.
+    pub fn may_connect(&self, grid: &Grid, a: Cell, b: Cell) -> bool {
+        let labels_of = |cell: Cell| {
+            cell.corners()
+                .into_iter()
+                .map(|v| self.labels[grid.vertex_index(v)])
+                .filter(|&l| l != Self::BLOCKED)
+        };
+        labels_of(a).any(|la| labels_of(b).any(|lb| la == lb))
+    }
+}
+
+/// Reference shortest path by plain BFS — used to cross-check A*
+/// optimality in tests. Same semantics as [`find_path`].
+pub fn find_path_bfs(
+    grid: &Grid,
+    occupancy: &Occupancy,
+    a: Cell,
+    b: Cell,
+    limits: SearchLimits,
+) -> Option<BraidPath> {
+    let allowed = |v: Vertex| -> bool {
+        occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
+    };
+    let n = grid.vertex_count();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in a.corners() {
+        if allowed(start) {
+            let i = grid.vertex_index(start);
+            if !visited[i] {
+                visited[i] = true;
+                queue.push_back(i);
+            }
+        }
+    }
+    while let Some(idx) = queue.pop_front() {
+        let v = grid.vertex_at(idx);
+        if b.has_corner(v) {
+            return Some(reconstruct(grid, a, b, &parent, idx));
+        }
+        for next in grid.neighbors(v) {
+            let ni = grid.vertex_index(next);
+            if allowed(next) && !visited[ni] {
+                visited[ni] = true;
+                parent[ni] = idx;
+                queue.push_back(ni);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(l: u32) -> (Grid, Occupancy) {
+        let g = Grid::new(l).unwrap();
+        let occ = Occupancy::new(&g);
+        (g, occ)
+    }
+
+    #[test]
+    fn shortest_on_empty_grid() {
+        let (g, occ) = setup(5);
+        let p = find_path(&g, &occ, Cell::new(0, 0), Cell::new(0, 4), SearchLimits::default())
+            .unwrap();
+        // Closest corners (0,1)→(0,4): 3 edges = 4 vertices.
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn adjacent_cells_share_corner() {
+        let (g, occ) = setup(3);
+        let p = find_path(&g, &occ, Cell::new(0, 0), Cell::new(0, 1), SearchLimits::default())
+            .unwrap();
+        assert_eq!(p.len(), 1, "shared corner is a 1-vertex path");
+    }
+
+    #[test]
+    fn routes_around_blockage() {
+        let (g, mut occ) = setup(4);
+        // Wall down column 2 except the last row.
+        for r in 0..4 {
+            occ.reserve(&g, Vertex::new(r, 2));
+        }
+        let p = find_path(&g, &occ, Cell::new(1, 0), Cell::new(1, 3), SearchLimits::default())
+            .unwrap();
+        assert!(p.vertices().iter().all(|&v| occ.is_free(&g, v)));
+        assert!(p.len() > 3, "detour is longer than the straight line");
+    }
+
+    #[test]
+    fn fully_blocked_returns_none() {
+        let (g, mut occ) = setup(4);
+        for r in 0..=4 {
+            occ.reserve(&g, Vertex::new(r, 2));
+        }
+        assert!(find_path(&g, &occ, Cell::new(1, 0), Cell::new(1, 3), SearchLimits::default())
+            .is_none());
+    }
+
+    #[test]
+    fn blocked_target_corners_return_none() {
+        let (g, mut occ) = setup(4);
+        for v in Cell::new(2, 2).corners() {
+            occ.reserve(&g, v);
+        }
+        assert!(find_path(&g, &occ, Cell::new(0, 0), Cell::new(2, 2), SearchLimits::default())
+            .is_none());
+    }
+
+    #[test]
+    fn region_confinement() {
+        let (g, occ) = setup(6);
+        let region = BBox::new(0, 0, 2, 6);
+        let p = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(1, 5),
+            SearchLimits { region: Some(region) },
+        )
+        .unwrap();
+        assert!(p.confined_to(&region));
+        // An unreachable region constraint fails cleanly.
+        let tiny = BBox::new(0, 0, 1, 1);
+        assert!(find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(1, 5),
+            SearchLimits { region: Some(tiny) }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn astar_matches_bfs_length_on_random_obstacles() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..50 {
+            let (g, mut occ) = setup(8);
+            for v in g.vertices() {
+                if rng.gen_bool(0.25) {
+                    occ.reserve(&g, v);
+                }
+            }
+            let a = Cell::new(rng.gen_range(0..8), rng.gen_range(0..8));
+            let mut b = a;
+            while b == a {
+                b = Cell::new(rng.gen_range(0..8), rng.gen_range(0..8));
+            }
+            let astar = find_path(&g, &occ, a, b, SearchLimits::default());
+            let bfs = find_path_bfs(&g, &occ, a, b, SearchLimits::default());
+            match (astar, bfs) {
+                (Some(p1), Some(p2)) => {
+                    assert_eq!(p1.len(), p2.len(), "trial {trial}: suboptimal A*")
+                }
+                (None, None) => {}
+                (x, y) => panic!("trial {trial}: A*={:?} BFS={:?} disagree", x.map(|p| p.len()), y.map(|p| p.len())),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (g, occ) = setup(6);
+        let p1 = find_path(&g, &occ, Cell::new(0, 0), Cell::new(5, 5), SearchLimits::default());
+        let p2 = find_path(&g, &occ, Cell::new(0, 0), Cell::new(5, 5), SearchLimits::default());
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,47 @@
+//! Braiding-path routing for the AutoBraid surface-code scheduler.
+//!
+//! Everything between "a set of concurrent CX gates" and "a set of
+//! vertex-disjoint braiding paths" lives here:
+//!
+//! * [`path`] — validated [`path::BraidPath`]s and [`path::CxRequest`]s;
+//! * [`astar`] — multi-source/multi-target A* (plus a BFS reference);
+//! * [`interference`] — the CX interference graph of §3.3.2;
+//! * [`llg`] — local parallel group decomposition and the Theorem 1/2
+//!   schedulability predicates of §3.3.1;
+//! * [`stack_finder`] — the paper's Fig. 13 stack-based path finder and
+//!   the greedy (GP) baseline ordering of Javadi-Abhari et al.
+//!
+//! # Quick example
+//!
+//! ```
+//! use autobraid_lattice::{Cell, Grid, Occupancy};
+//! use autobraid_router::path::CxRequest;
+//! use autobraid_router::stack_finder::route_concurrent;
+//!
+//! let grid = Grid::new(8)?;
+//! let mut occ = Occupancy::new(&grid);
+//! let batch = vec![
+//!     CxRequest::new(0, Cell::new(0, 0), Cell::new(0, 7)),
+//!     CxRequest::new(1, Cell::new(0, 2), Cell::new(0, 3)),
+//! ];
+//! let outcome = route_concurrent(&grid, &mut occ, &batch);
+//! assert!(outcome.is_complete());
+//! # Ok::<(), autobraid_lattice::LatticeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astar;
+pub mod interference;
+pub mod lowering;
+pub mod llg;
+pub mod path;
+pub mod stack_finder;
+pub mod topology;
+
+pub use astar::{find_path, SearchLimits};
+pub use interference::InterferenceGraph;
+pub use llg::{decompose, Llg};
+pub use path::{BraidPath, CxRequest};
+pub use stack_finder::{route_concurrent, route_greedy, route_stack_flat, RouteOutcome, RoutedGate};

@@ -1,0 +1,252 @@
+//! Local parallel group (LLG) decomposition — the paper's key analysis.
+//!
+//! An LLG is a *minimal* set of concurrent CX gates whose joint bounding
+//! box does not overlap any other LLG's joint bounding box (§3.3.1).
+//! Theorem 1 guarantees any LLG of ≤ 3 gates schedules simultaneously
+//! inside its box; Theorem 2 extends this to strictly-nested LLGs of any
+//! size. The initial-placement optimizer minimizes the number of LLGs
+//! that satisfy neither condition.
+
+use crate::path::CxRequest;
+use autobraid_lattice::BBox;
+
+/// One local parallel group: member requests and their joint bounding box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Llg {
+    /// Indices into the request slice the decomposition was built from.
+    pub members: Vec<usize>,
+    /// Joint bounding box of all members.
+    pub bbox: BBox,
+}
+
+impl Llg {
+    /// Number of CX gates in the group.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether Theorem 1 applies: at most 3 gates (such groups always
+    /// schedule simultaneously inside their box).
+    pub fn satisfies_theorem1(&self) -> bool {
+        self.size() <= 3
+    }
+
+    /// Whether Theorem 2 applies: the members' outer bounding boxes form a
+    /// strictly nested chain (each box strictly inside the next).
+    pub fn is_strictly_nested(&self, requests: &[CxRequest]) -> bool {
+        if self.size() <= 1 {
+            return true;
+        }
+        let mut boxes: Vec<BBox> =
+            self.members.iter().map(|&i| requests[i].outer_bbox()).collect();
+        boxes.sort_by_key(|b| (b.area(), b.width(), b.min_row, b.min_col));
+        boxes.windows(2).all(|w| w[1].strictly_nests(&w[0]))
+    }
+
+    /// Whether the group is guaranteed schedulable by Theorem 1 or 2.
+    pub fn guaranteed_schedulable(&self, requests: &[CxRequest]) -> bool {
+        self.satisfies_theorem1() || self.is_strictly_nested(requests)
+    }
+}
+
+/// Decomposes a set of concurrent CX requests into LLGs: the finest
+/// partition whose parts have pairwise-disjoint joint bounding boxes.
+///
+/// Implemented as overlap-merging to a fixpoint with union-find; the
+/// result is unique (it is the transitive closure of bounding-box
+/// overlap under box joining), so iteration order does not matter.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::Cell;
+/// use autobraid_router::llg::decompose;
+/// use autobraid_router::path::CxRequest;
+///
+/// let requests = vec![
+///     CxRequest::new(0, Cell::new(0, 0), Cell::new(0, 1)), // top-left pair
+///     CxRequest::new(1, Cell::new(0, 1), Cell::new(1, 1)), // overlaps it
+///     CxRequest::new(2, Cell::new(5, 5), Cell::new(5, 6)), // far away
+/// ];
+/// let llgs = decompose(&requests);
+/// assert_eq!(llgs.len(), 2);
+/// assert_eq!(llgs.iter().map(|g| g.size()).max(), Some(2));
+/// ```
+pub fn decompose(requests: &[CxRequest]) -> Vec<Llg> {
+    let n = requests.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut boxes: Vec<Option<BBox>> = requests.iter().map(|r| Some(r.outer_bbox())).collect();
+
+    // Merge any two groups whose joint boxes overlap, until stable. The
+    // box of a merged group grows, which can create new overlaps, hence
+    // the fixpoint loop; each round merges every overlapping pair it sees,
+    // so the number of rounds is small in practice.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let roots: Vec<usize> =
+            (0..n).filter(|&i| find(&mut parent, i) == i && boxes[i].is_some()).collect();
+        for i in 0..roots.len() {
+            let ri = find(&mut parent, roots[i]);
+            for &root_j in &roots[i + 1..] {
+                let rj = find(&mut parent, root_j);
+                if ri == rj {
+                    continue;
+                }
+                let (bi, bj) =
+                    (boxes[ri].expect("root has box"), boxes[rj].expect("root has box"));
+                if bi.overlaps_open(&bj) {
+                    parent[rj] = ri;
+                    boxes[ri] = Some(bi.union(&bj));
+                    boxes[rj] = None;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    groups
+        .into_iter()
+        .map(|(root, members)| Llg { members, bbox: boxes[root].expect("root has box") })
+        .collect()
+}
+
+/// Number of LLGs of size > 3 that are not strictly nested — the paper's
+/// Table 1 metric and the simulated-annealing objective for initial
+/// placement.
+pub fn count_unguaranteed(requests: &[CxRequest]) -> usize {
+    decompose(requests).iter().filter(|g| !g.guaranteed_schedulable(requests)).count()
+}
+
+/// Number of LLGs with size > 3 (the raw "# of LLG's (size > 3)" column of
+/// Table 1).
+pub fn count_oversized(requests: &[CxRequest]) -> usize {
+    decompose(requests).iter().filter(|g| g.size() > 3).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_lattice::Cell;
+
+    fn req(id: usize, a: (u32, u32), b: (u32, u32)) -> CxRequest {
+        CxRequest::new(id, Cell::new(a.0, a.1), Cell::new(b.0, b.1))
+    }
+
+    #[test]
+    fn disjoint_gates_are_singleton_llgs() {
+        let rs = vec![req(0, (0, 0), (0, 1)), req(1, (4, 4), (4, 5)), req(2, (8, 0), (8, 1))];
+        let llgs = decompose(&rs);
+        assert_eq!(llgs.len(), 3);
+        assert!(llgs.iter().all(|g| g.size() == 1));
+        assert!(llgs.iter().all(|g| g.satisfies_theorem1()));
+    }
+
+    #[test]
+    fn overlapping_gates_merge() {
+        let rs = vec![req(0, (0, 0), (2, 2)), req(1, (1, 1), (3, 3))];
+        let llgs = decompose(&rs);
+        assert_eq!(llgs.len(), 1);
+        assert_eq!(llgs[0].size(), 2);
+        assert_eq!(llgs[0].bbox, BBox::new(0, 0, 4, 4));
+    }
+
+    #[test]
+    fn transitive_merge_via_grown_box() {
+        // A (box (0,0)-(2,2)) overlaps B (box (1,1)-(4,4)), merging into
+        // the joint box (0,0)-(4,4). C's box (0,3)-(1,5) overlaps neither A
+        // nor B individually, but does overlap the joint box — the
+        // fixpoint loop must pull it in (LLG minimality).
+        let rs = vec![req(0, (0, 0), (1, 1)), req(1, (1, 1), (3, 3)), req(2, (0, 3), (0, 4))];
+        assert!(!rs[0].outer_bbox().overlaps_open(&rs[2].outer_bbox()));
+        assert!(!rs[1].outer_bbox().overlaps_open(&rs[2].outer_bbox()));
+        let llgs = decompose(&rs);
+        assert_eq!(llgs.len(), 1, "fixpoint merging pulls C in");
+        assert_eq!(llgs[0].size(), 3);
+    }
+
+    #[test]
+    fn touching_boxes_stay_separate() {
+        // Chained neighbour pairs (Ising row): boxes share a boundary line
+        // only — each pair routes inside its own box, so they must remain
+        // independent singleton LLGs (cf. paper Fig. 7).
+        let rs: Vec<CxRequest> =
+            (0..4).map(|i| req(i, (0, 2 * i as u32), (0, 2 * i as u32 + 1))).collect();
+        let llgs = decompose(&rs);
+        assert_eq!(llgs.len(), 4);
+        assert!(llgs.iter().all(|g| g.size() == 1));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(decompose(&[]).is_empty());
+        assert_eq!(count_oversized(&[]), 0);
+    }
+
+    #[test]
+    fn members_partition_input() {
+        let rs: Vec<CxRequest> =
+            (0..10).map(|i| req(i, (i as u32, 0), (i as u32, 3))).collect();
+        let llgs = decompose(&rs);
+        let mut all: Vec<usize> = llgs.iter().flat_map(|g| g.members.clone()).collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_llg_detected() {
+        // Paper Fig. 12 LLG1: A inside B inside C (strictly nested).
+        let rs = vec![
+            req(0, (4, 4), (4, 5)), // A: box (4,4)-(5,6)
+            req(1, (3, 3), (6, 6)), // B: box (3,3)-(7,7) strictly nests A
+            req(2, (1, 1), (8, 8)), // C: box (1,1)-(9,9) strictly nests B
+            req(3, (0, 0), (10, 10)),
+        ];
+        let llgs = decompose(&rs);
+        assert_eq!(llgs.len(), 1);
+        assert_eq!(llgs[0].size(), 4);
+        assert!(!llgs[0].satisfies_theorem1());
+        assert!(llgs[0].is_strictly_nested(&rs));
+        assert!(llgs[0].guaranteed_schedulable(&rs));
+        assert_eq!(count_oversized(&rs), 1);
+        assert_eq!(count_unguaranteed(&rs), 0);
+    }
+
+    #[test]
+    fn non_nested_large_llg_is_unguaranteed() {
+        // Four mutually overlapping same-size boxes (Fig. 9 pattern).
+        let rs = vec![
+            req(0, (0, 0), (0, 5)),
+            req(1, (0, 0), (5, 0)),
+            req(2, (5, 0), (5, 5)),
+            req(3, (0, 5), (5, 5)),
+        ];
+        assert_eq!(count_oversized(&rs), 1);
+        assert_eq!(count_unguaranteed(&rs), 1);
+        let llgs = decompose(&rs);
+        assert!(!llgs[0].is_strictly_nested(&rs));
+    }
+
+    #[test]
+    fn singletons_and_pairs_always_guaranteed() {
+        let rs = vec![req(0, (0, 0), (3, 3))];
+        let llgs = decompose(&rs);
+        assert!(llgs[0].is_strictly_nested(&rs), "singleton is trivially nested");
+        assert!(llgs[0].guaranteed_schedulable(&rs));
+    }
+}

@@ -1,0 +1,244 @@
+//! Lowering braiding paths to physical lattice instructions.
+//!
+//! A braid does not move qubits: it disables the measurement ancillas
+//! along the path (extending one defect through the channels), stabilizes
+//! for `d` cycles, then re-enables them in reverse (contracting the
+//! defect back). This module turns a scheduled [`BraidPath`] into that
+//! instruction timeline — the stream a hardware micro-controller would
+//! consume, and the quantity instruction-bandwidth studies (Tannu et al.)
+//! optimize.
+
+use crate::path::BraidPath;
+use autobraid_lattice::physical::{PhysicalLayout, PhysicalQubit};
+
+/// One timed control instruction for the lattice controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatticeInstruction {
+    /// Surface-code cycle (relative to the braid's start) at which the
+    /// instruction applies.
+    pub cycle: u64,
+    /// What to do.
+    pub op: LatticeOp,
+}
+
+/// Lattice control operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticeOp {
+    /// Stop stabilizing this measurement ancilla (punch/extend a defect).
+    DisableStabilizer(PhysicalQubit),
+    /// Resume stabilizing this ancilla (heal/contract the defect).
+    EnableStabilizer(PhysicalQubit),
+}
+
+/// A braid lowered to its physical instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BraidProgram {
+    instructions: Vec<LatticeInstruction>,
+    duration_cycles: u64,
+}
+
+impl BraidProgram {
+    /// The instructions, ordered by cycle.
+    pub fn instructions(&self) -> &[LatticeInstruction] {
+        &self.instructions
+    }
+
+    /// Total duration in surface-code cycles (`2d`: extend-and-hold for
+    /// `d`, then contract for `d` — matching the scheduler's charge of
+    /// one braiding step).
+    pub fn duration_cycles(&self) -> u64 {
+        self.duration_cycles
+    }
+
+    /// Peak number of instructions issued in any single cycle — the
+    /// controller bandwidth requirement.
+    pub fn peak_instructions_per_cycle(&self) -> usize {
+        let mut best = 0;
+        let mut i = 0;
+        let ins = &self.instructions;
+        while i < ins.len() {
+            let cycle = ins[i].cycle;
+            let mut j = i;
+            while j < ins.len() && ins[j].cycle == cycle {
+                j += 1;
+            }
+            best = best.max(j - i);
+            i = j;
+        }
+        best
+    }
+}
+
+/// Lowers one braiding path on `layout` to its instruction stream.
+///
+/// All ancillas along the path are disabled at cycle 0 (defect extension
+/// is a single lattice deformation — this is why braiding is
+/// latency-insensitive in path length), held for `d` cycles of
+/// stabilization, then re-enabled at cycle `d`; the braid completes at
+/// cycle `2d`.
+///
+/// # Panics
+///
+/// Panics if `layout.distance() < 3`: with `d = 1` the channel geometry
+/// degenerates and vertex-disjoint paths no longer map to disjoint
+/// physical ancilla sets.
+pub fn lower_braid(layout: &PhysicalLayout, path: &BraidPath) -> BraidProgram {
+    assert!(layout.distance() >= 3, "lowering requires code distance >= 3");
+    let d = u64::from(layout.distance());
+    let mut ancillas: Vec<PhysicalQubit> = Vec::new();
+    // The path's vertices chain through channel segments; each segment
+    // contributes the ancillas between its endpoints, plus each vertex
+    // contributes its own site if it is a measurement ancilla.
+    for window in path.vertices().windows(2) {
+        ancillas.extend(layout.segment_ancillas(window[0], window[1]));
+    }
+    // Each channel intersection the path turns through must open too: the
+    // measurement ancillas immediately around the vertex site (the vertex
+    // itself sits on data parity). This also covers single-vertex paths
+    // between corner-sharing tiles.
+    let side = layout.physical_side();
+    for &v in path.vertices() {
+        let q = layout.channel_vertex(v);
+        let offsets: [(i64, i64); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+        for (dr, dc) in offsets {
+            let (r, c) = (i64::from(q.row) + dr, i64::from(q.col) + dc);
+            if r >= 0 && c >= 0 && (r as u32) < side && (c as u32) < side {
+                ancillas.push(PhysicalQubit { row: r as u32, col: c as u32 });
+            }
+        }
+    }
+    ancillas.sort();
+    ancillas.dedup();
+
+    let mut instructions = Vec::with_capacity(2 * ancillas.len());
+    for &q in &ancillas {
+        instructions.push(LatticeInstruction { cycle: 0, op: LatticeOp::DisableStabilizer(q) });
+    }
+    for &q in &ancillas {
+        instructions.push(LatticeInstruction { cycle: d, op: LatticeOp::EnableStabilizer(q) });
+    }
+    BraidProgram { instructions, duration_cycles: 2 * d }
+}
+
+/// Lowers every braid of one step, checking that no two braids touch the
+/// same ancilla (the physical counterpart of vertex-disjointness).
+///
+/// # Panics
+///
+/// Panics if two paths share a physical ancilla — scheduled steps from
+/// this workspace never do.
+pub fn lower_step(layout: &PhysicalLayout, paths: &[&BraidPath]) -> Vec<BraidProgram> {
+    let programs: Vec<BraidProgram> = paths.iter().map(|p| lower_braid(layout, p)).collect();
+    let mut seen = std::collections::HashSet::new();
+    for program in &programs {
+        for ins in program.instructions() {
+            if let LatticeOp::DisableStabilizer(q) = ins.op {
+                assert!(seen.insert(q), "braids overlap on physical ancilla {q:?}");
+            }
+        }
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_lattice::{Cell, Grid, Occupancy, Vertex};
+
+    fn layout() -> PhysicalLayout {
+        PhysicalLayout::new(4, 5).unwrap()
+    }
+
+    fn path(vertices: Vec<Vertex>, a: Cell, b: Cell) -> BraidPath {
+        let grid = Grid::new(4).unwrap();
+        BraidPath::new(&grid, a, b, vertices).expect("valid path")
+    }
+
+    #[test]
+    fn disable_enable_balanced() {
+        let p = path(
+            vec![Vertex::new(0, 1), Vertex::new(0, 2), Vertex::new(1, 2)],
+            Cell::new(0, 0),
+            Cell::new(1, 2),
+        );
+        let program = lower_braid(&layout(), &p);
+        let disables = program
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i.op, LatticeOp::DisableStabilizer(_)))
+            .count();
+        let enables = program
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i.op, LatticeOp::EnableStabilizer(_)))
+            .count();
+        assert_eq!(disables, enables);
+        assert!(disables > 0);
+        assert_eq!(program.duration_cycles(), 10);
+    }
+
+    #[test]
+    fn instruction_count_scales_with_path_length() {
+        let short = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let long = path(
+            (1..=4).map(|c| Vertex::new(0, c)).collect(),
+            Cell::new(0, 0),
+            Cell::new(0, 3),
+        );
+        let l = layout();
+        assert!(
+            lower_braid(&l, &long).instructions().len()
+                > lower_braid(&l, &short).instructions().len()
+        );
+    }
+
+    #[test]
+    fn duration_is_constant_in_path_length() {
+        // Latency insensitivity: longer paths, same duration.
+        let l = layout();
+        let short = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let long = path(
+            (1..=4).map(|c| Vertex::new(0, c)).collect(),
+            Cell::new(0, 0),
+            Cell::new(0, 3),
+        );
+        assert_eq!(
+            lower_braid(&l, &short).duration_cycles(),
+            lower_braid(&l, &long).duration_cycles()
+        );
+    }
+
+    #[test]
+    fn peak_bandwidth_counts_cycle_bursts() {
+        let p = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let program = lower_braid(&layout(), &p);
+        // All disables land on cycle 0, all enables on cycle d.
+        assert_eq!(
+            program.peak_instructions_per_cycle(),
+            program.instructions().len() / 2
+        );
+    }
+
+    #[test]
+    fn disjoint_paths_lower_without_overlap() {
+        let grid = Grid::new(4).unwrap();
+        let mut occ = Occupancy::new(&grid);
+        let requests = vec![
+            crate::path::CxRequest::new(0, Cell::new(0, 0), Cell::new(0, 3)),
+            crate::path::CxRequest::new(1, Cell::new(3, 0), Cell::new(3, 3)),
+        ];
+        let outcome = crate::stack_finder::route_concurrent(&grid, &mut occ, &requests);
+        assert!(outcome.is_complete());
+        let paths: Vec<&BraidPath> = outcome.routed.iter().map(|r| &r.path).collect();
+        let programs = lower_step(&layout(), &paths);
+        assert_eq!(programs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_paths_rejected() {
+        let l = layout();
+        let p = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let _ = lower_step(&l, &[&p, &p]);
+    }
+}

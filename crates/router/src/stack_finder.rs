@@ -1,0 +1,643 @@
+//! The stack-based path finder (paper Fig. 13).
+//!
+//! Order matters: routing greedy-shortest-first can disconnect the lattice
+//! and starve later gates (paper Fig. 8). The stack-based finder instead:
+//!
+//! 1. builds the CX interference graph,
+//! 2. repeatedly removes the maximum-degree node (ties broken toward the
+//!    largest-area bounding box) onto a stack until max degree ≤ 2 — a
+//!    relaxation of the Theorem 1 condition,
+//! 3. routes the residual low-interference gates first (small, local
+//!    bounding boxes get their short paths),
+//! 4. pops the stack LIFO, so the most-interfering, largest gates route
+//!    last, along whatever boundary capacity remains — which also handles
+//!    the strictly-nested case of Theorem 2, since an enclosing gate is
+//!    always handled after everything it encloses.
+
+use crate::astar::{find_path, Connectivity, SearchLimits};
+use crate::interference::InterferenceGraph;
+use crate::path::{BraidPath, CxRequest};
+use autobraid_lattice::{Grid, Occupancy};
+
+/// One successfully routed gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedGate {
+    /// The originating request.
+    pub request: CxRequest,
+    /// The congestion-free path it was assigned.
+    pub path: BraidPath,
+}
+
+/// Result of routing one concurrent batch.
+#[derive(Debug, Clone, Default)]
+pub struct RouteOutcome {
+    /// Gates that received vertex-disjoint paths, in routing order.
+    pub routed: Vec<RoutedGate>,
+    /// Request ids that could not be routed this step.
+    pub failed: Vec<usize>,
+}
+
+impl RouteOutcome {
+    /// Scheduled gates over total gates (the `ratio` of Fig. 13, used to
+    /// trigger the layout optimizer).
+    pub fn ratio(&self) -> f64 {
+        let total = self.routed.len() + self.failed.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.routed.len() as f64 / total as f64
+        }
+    }
+
+    /// Whether every requested gate was routed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Deterministic priority for the peeling tie-break: larger outer area
+/// first, then wider, then lower id.
+fn tie_break_key(r: &CxRequest) -> (u64, u32, std::cmp::Reverse<usize>) {
+    let b = r.outer_bbox();
+    (b.area(), b.width(), std::cmp::Reverse(r.id))
+}
+
+/// Lazily recomputed free-space connectivity, shared across one routing
+/// pass: `may_connect` answers reachability prechecks in O(1); every
+/// committed reservation invalidates the labels. The precheck only arms
+/// itself after the first A* failure of the pass — uncongested passes pay
+/// nothing, congested tails (where failures cluster) skip their
+/// whole-grid explorations.
+#[derive(Default)]
+struct ConnCache {
+    labels: Option<Connectivity>,
+    armed: bool,
+}
+
+impl ConnCache {
+    fn may_connect(
+        &mut self,
+        grid: &Grid,
+        occupancy: &Occupancy,
+        a: autobraid_lattice::Cell,
+        b: autobraid_lattice::Cell,
+    ) -> bool {
+        if !self.armed {
+            return true;
+        }
+        self.labels
+            .get_or_insert_with(|| Connectivity::compute(grid, occupancy))
+            .may_connect(grid, a, b)
+    }
+
+    fn invalidate(&mut self) {
+        self.labels = None;
+    }
+
+    fn note_failure(&mut self) {
+        self.armed = true;
+    }
+}
+
+/// Routes a batch of concurrent CX requests with the stack-based path
+/// finder, reserving every assigned path in `occupancy`.
+///
+/// The caller owns the occupancy lifecycle: pass a fresh (or pre-seeded)
+/// map per braiding step and clear it between steps.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::{Cell, Grid, Occupancy};
+/// use autobraid_router::path::CxRequest;
+/// use autobraid_router::stack_finder::route_concurrent;
+///
+/// let grid = Grid::new(4)?;
+/// let mut occ = Occupancy::new(&grid);
+/// let requests = vec![
+///     CxRequest::new(0, Cell::new(0, 0), Cell::new(0, 3)),
+///     CxRequest::new(1, Cell::new(3, 0), Cell::new(3, 3)),
+/// ];
+/// let outcome = route_concurrent(&grid, &mut occ, &requests);
+/// assert!(outcome.is_complete());
+/// # Ok::<(), autobraid_lattice::LatticeError>(())
+/// ```
+pub fn route_concurrent(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+) -> RouteOutcome {
+    let snapshot = occupancy.clone();
+    let outcome = route_stack_order(grid, occupancy, requests);
+    if outcome.is_complete() {
+        return outcome;
+    }
+    // The stack order is not always dominant on large, dense interference
+    // graphs; when it leaves gates unrouted, also try the plain
+    // shortest-distance order and keep whichever step schedules more.
+    let mut greedy_occupancy = snapshot;
+    let greedy = route_greedy(grid, &mut greedy_occupancy, requests);
+    if greedy.routed.len() > outcome.routed.len() {
+        *occupancy = greedy_occupancy;
+        greedy
+    } else {
+        outcome
+    }
+}
+
+/// The stack-based finder *without* the hierarchical LLG-local stage or
+/// greedy fallback: interference peeling + LIFO only, exactly Fig. 13.
+/// Exposed for the ablation study; [`route_concurrent`] composes this
+/// with LLG-local routing and is what the schedulers use.
+pub fn route_stack_flat(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+) -> RouteOutcome {
+    let mut outcome = RouteOutcome::default();
+    let mut graph = InterferenceGraph::build(requests);
+    let mut stack: Vec<usize> = Vec::new();
+    while graph.max_degree() > 2 {
+        let candidates = graph.max_degree_nodes();
+        let &chosen = candidates
+            .iter()
+            .max_by_key(|&&i| tie_break_key(&requests[i]))
+            .expect("max_degree > 2 implies a live node");
+        stack.push(chosen);
+        graph.remove(chosen);
+    }
+    let mut residual = graph.live_nodes();
+    residual.sort_by_key(|&i| {
+        let b = requests[i].outer_bbox();
+        (std::cmp::Reverse(requests[i].priority), b.area(), b.width(), i)
+    });
+    let mut conn = ConnCache::default();
+    let order: Vec<usize> = residual.into_iter().chain(stack.into_iter().rev()).collect();
+    for i in order {
+        let r = requests[i];
+        if !conn.may_connect(grid, occupancy, r.a, r.b) {
+            outcome.failed.push(r.id);
+            continue;
+        }
+        match find_path(grid, occupancy, r.a, r.b, SearchLimits::default()) {
+            Some(path) => {
+                let reserved = occupancy.try_reserve(grid, path.vertices().iter().copied());
+                debug_assert!(reserved, "A* returned a path through reserved vertices");
+                outcome.routed.push(RoutedGate { request: r, path });
+                conn.invalidate();
+            }
+            None => {
+                conn.note_failure();
+                outcome.failed.push(r.id);
+            }
+        }
+    }
+    outcome
+}
+
+fn route_stack_order(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+) -> RouteOutcome {
+    let mut outcome = RouteOutcome::default();
+
+    // Hierarchical, distributive handling: LLGs of ≤ 3 gates route
+    // *locally*, confined to their own bounding boxes (Theorem 1 — no
+    // cross-LLG contention is possible because LLG boxes have no open
+    // overlap), smallest groups first. Larger LLGs fall through to the
+    // global stack-based search.
+    let llgs = crate::llg::decompose(requests);
+    let mut small: Vec<&crate::llg::Llg> = llgs.iter().filter(|g| g.size() <= 3).collect();
+    small.sort_by_key(|g| (g.bbox.area(), g.bbox.min_row, g.bbox.min_col));
+    for group in small {
+        route_small_llg(grid, occupancy, requests, group, &mut outcome);
+    }
+
+    let mut is_deferred = vec![false; requests.len()];
+    for group in llgs.iter().filter(|g| g.size() > 3) {
+        for &i in &group.members {
+            is_deferred[i] = true;
+        }
+    }
+    if !is_deferred.iter().any(|&d| d) {
+        return outcome;
+    }
+
+    // Peel max-degree nodes of the residual interference graph onto the
+    // stack until max degree ≤ 2 (paper Fig. 13). The graph is built over
+    // all requests; small-LLG members are already routed and isolated, so
+    // only deferred nodes matter.
+    let mut graph = InterferenceGraph::build(requests);
+    for (i, deferred) in is_deferred.iter().enumerate() {
+        if !deferred {
+            graph.remove(i);
+        }
+    }
+    let mut stack: Vec<usize> = Vec::new();
+    while graph.max_degree() > 2 {
+        let candidates = graph.max_degree_nodes();
+        let &chosen = candidates
+            .iter()
+            .max_by_key(|&&i| tie_break_key(&requests[i]))
+            .expect("max_degree > 2 implies a live node");
+        stack.push(chosen);
+        graph.remove(chosen);
+    }
+
+    // Route the residual graph, smallest bounding boxes first so short
+    // local pairs keep their short paths.
+    let mut residual = graph.live_nodes();
+    residual.sort_by_key(|&i| {
+        let b = requests[i].outer_bbox();
+        (std::cmp::Reverse(requests[i].priority), b.area(), b.width(), i)
+    });
+
+    let mut conn = ConnCache::default();
+    let try_route = |i: usize,
+                     outcome: &mut RouteOutcome,
+                     occupancy: &mut Occupancy,
+                     conn: &mut ConnCache| {
+        let r = requests[i];
+        if !conn.may_connect(grid, occupancy, r.a, r.b) {
+            outcome.failed.push(r.id);
+            return;
+        }
+        match find_path(grid, occupancy, r.a, r.b, SearchLimits::default()) {
+            Some(path) => {
+                let reserved = occupancy.try_reserve(grid, path.vertices().iter().copied());
+                debug_assert!(reserved, "A* returned a path through reserved vertices");
+                outcome.routed.push(RoutedGate { request: r, path });
+                conn.invalidate();
+            }
+            None => {
+                conn.note_failure();
+                outcome.failed.push(r.id);
+            }
+        }
+    };
+
+    for i in residual {
+        try_route(i, &mut outcome, occupancy, &mut conn);
+    }
+    // LIFO order: the last (most interfering / largest) removed routes last.
+    while let Some(i) = stack.pop() {
+        try_route(i, &mut outcome, occupancy, &mut conn);
+    }
+    repair_failures(grid, occupancy, requests, &mut outcome);
+    outcome
+}
+
+/// Rip-up-and-reroute repair: for every gate left unrouted, tentatively
+/// release one nearby committed path, route the failed gate, and re-route
+/// the released gate; keep the exchange only when both succeed. One
+/// successful repair routes a strictly additional gate, so the outcome
+/// only improves. Candidates are limited to paths touching the failed
+/// gate's (expanded) bounding box.
+fn repair_failures(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    outcome: &mut RouteOutcome,
+) {
+    const MAX_CANDIDATES: usize = 8;
+    if outcome.failed.is_empty() {
+        return;
+    }
+    let request_by_id = |id: usize| -> &CxRequest {
+        requests.iter().find(|r| r.id == id).expect("failed id came from requests")
+    };
+    let mut failed = std::mem::take(&mut outcome.failed);
+    failed.sort_by_key(|&id| std::cmp::Reverse(request_by_id(id).priority));
+
+    for id in failed {
+        let req = *request_by_id(id);
+        let zone = req.outer_bbox().expanded(1, grid.cells_per_side());
+        let candidates: Vec<usize> = (0..outcome.routed.len())
+            .rev()
+            .filter(|&j| outcome.routed[j].path.vertices().iter().any(|&v| zone.contains(v)))
+            .take(MAX_CANDIDATES)
+            .collect();
+        let mut fixed = false;
+        for j in candidates {
+            let victim = outcome.routed[j].clone();
+            occupancy.release_path(grid, victim.path.vertices().iter().copied());
+            let Some(new_path) = find_path(grid, occupancy, req.a, req.b, SearchLimits::default())
+            else {
+                let restored =
+                    occupancy.try_reserve(grid, victim.path.vertices().iter().copied());
+                debug_assert!(restored, "rollback re-reserves the released path");
+                continue;
+            };
+            let reserved = occupancy.try_reserve(grid, new_path.vertices().iter().copied());
+            debug_assert!(reserved);
+            if let Some(victim_path) = find_path(
+                grid,
+                occupancy,
+                victim.request.a,
+                victim.request.b,
+                SearchLimits::default(),
+            ) {
+                let reserved =
+                    occupancy.try_reserve(grid, victim_path.vertices().iter().copied());
+                debug_assert!(reserved);
+                outcome.routed[j].path = victim_path;
+                outcome.routed.push(RoutedGate { request: req, path: new_path });
+                fixed = true;
+                break;
+            }
+            // The victim can no longer route: undo the exchange.
+            occupancy.release_path(grid, new_path.vertices().iter().copied());
+            let restored = occupancy.try_reserve(grid, victim.path.vertices().iter().copied());
+            debug_assert!(restored);
+        }
+        if !fixed {
+            outcome.failed.push(id);
+        }
+    }
+}
+
+/// Routes every member of a ≤3-gate LLG simultaneously, preferring paths
+/// confined to the group's bounding box. Tries all member orderings
+/// (≤ 3! = 6) confined first, then unconfined; commits the first ordering
+/// that routes the whole group, otherwise routes best-effort and records
+/// failures.
+fn route_small_llg(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    group: &crate::llg::Llg,
+    outcome: &mut RouteOutcome,
+) {
+    debug_assert!(group.size() <= 3);
+    let orders = permutations(&group.members);
+    let limit_options =
+        [SearchLimits { region: Some(group.bbox) }, SearchLimits::default()];
+    for limits in limit_options {
+        for order in &orders {
+            if let Some(paths) = try_route_all(grid, occupancy, requests, order, limits) {
+                for (i, path) in order.iter().zip(paths) {
+                    outcome.routed.push(RoutedGate { request: requests[*i], path });
+                }
+                return;
+            }
+        }
+    }
+    // No full simultaneous routing found: commit whatever fits,
+    // highest-priority first, largest boxes last.
+    let mut order = group.members.clone();
+    order.sort_by_key(|&i| {
+        let b = requests[i].outer_bbox();
+        (std::cmp::Reverse(requests[i].priority), b.area(), b.width(), i)
+    });
+    for i in order {
+        let r = requests[i];
+        match find_path(grid, occupancy, r.a, r.b, SearchLimits::default()) {
+            Some(path) => {
+                occupancy.try_reserve(grid, path.vertices().iter().copied());
+                outcome.routed.push(RoutedGate { request: r, path });
+            }
+            None => outcome.failed.push(r.id),
+        }
+    }
+}
+
+/// Tentatively routes `order` in sequence; on total success the paths stay
+/// reserved and are returned, otherwise every reservation is rolled back.
+fn try_route_all(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    order: &[usize],
+    limits: SearchLimits,
+) -> Option<Vec<BraidPath>> {
+    let mut paths: Vec<BraidPath> = Vec::with_capacity(order.len());
+    for &i in order {
+        let r = requests[i];
+        match find_path(grid, occupancy, r.a, r.b, limits) {
+            Some(path) => {
+                let reserved = occupancy.try_reserve(grid, path.vertices().iter().copied());
+                debug_assert!(reserved, "A* avoids reserved vertices");
+                paths.push(path);
+            }
+            None => {
+                for path in &paths {
+                    occupancy.release_path(grid, path.vertices().iter().copied());
+                }
+                return None;
+            }
+        }
+    }
+    Some(paths)
+}
+
+/// All orderings of up to 3 elements.
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    match items {
+        [] => vec![vec![]],
+        [a] => vec![vec![*a]],
+        [a, b] => vec![vec![*a, *b], vec![*b, *a]],
+        [a, b, c] => vec![
+            vec![*a, *b, *c],
+            vec![*a, *c, *b],
+            vec![*b, *a, *c],
+            vec![*b, *c, *a],
+            vec![*c, *a, *b],
+            vec![*c, *b, *a],
+        ],
+        _ => unreachable!("small LLGs have at most 3 members"),
+    }
+}
+
+/// The baseline greedy policy (GP) of Javadi-Abhari et al. \[10\]: route in
+/// ascending shortest-distance order, each gate taking its shortest free
+/// path at the time it is considered. Used as the paper's comparison
+/// point; identical path search, different ordering, no stack.
+pub fn route_greedy(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+) -> RouteOutcome {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| (requests[i].a.corner_distance(requests[i].b), i));
+    let mut outcome = RouteOutcome::default();
+    let mut conn = ConnCache::default();
+    for i in order {
+        let r = requests[i];
+        if !conn.may_connect(grid, occupancy, r.a, r.b) {
+            outcome.failed.push(r.id);
+            continue;
+        }
+        match find_path(grid, occupancy, r.a, r.b, SearchLimits::default()) {
+            Some(path) => {
+                let reserved = occupancy.try_reserve(grid, path.vertices().iter().copied());
+                debug_assert!(reserved, "A* returned a path through reserved vertices");
+                outcome.routed.push(RoutedGate { request: r, path });
+                conn.invalidate();
+            }
+            None => {
+                conn.note_failure();
+                outcome.failed.push(r.id);
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_lattice::Cell;
+
+    fn setup(l: u32) -> (Grid, Occupancy) {
+        let g = Grid::new(l).unwrap();
+        let occ = Occupancy::new(&g);
+        (g, occ)
+    }
+
+    fn assert_disjoint(outcome: &RouteOutcome) {
+        for (i, a) in outcome.routed.iter().enumerate() {
+            for b in &outcome.routed[i + 1..] {
+                assert!(
+                    !a.path.intersects(&b.path),
+                    "paths for gates {} and {} cross",
+                    a.request.id,
+                    b.request.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (g, mut occ) = setup(3);
+        let out = route_concurrent(&g, &mut occ, &[]);
+        assert!(out.is_complete());
+        assert_eq!(out.ratio(), 1.0);
+    }
+
+    #[test]
+    fn parallel_rows_all_route() {
+        let (g, mut occ) = setup(6);
+        let rs: Vec<CxRequest> = (0..6)
+            .map(|r| CxRequest::new(r, Cell::new(r as u32, 0), Cell::new(r as u32, 5)))
+            .collect();
+        let out = route_concurrent(&g, &mut occ, &rs);
+        assert!(out.is_complete(), "failed: {:?}", out.failed);
+        assert_disjoint(&out);
+    }
+
+    #[test]
+    fn fig8_order_sensitivity_is_solved_by_stack() {
+        // Five nested/crossing gates in one row band (paper Fig. 8 spirit):
+        // a long gate A spanning everything plus four short gates under it.
+        let (g, mut occ) = setup(10);
+        let rs = vec![
+            CxRequest::new(0, Cell::new(1, 0), Cell::new(1, 9)), // A: long
+            CxRequest::new(1, Cell::new(1, 1), Cell::new(1, 2)),
+            CxRequest::new(2, Cell::new(1, 3), Cell::new(1, 4)),
+            CxRequest::new(3, Cell::new(1, 5), Cell::new(1, 6)),
+            CxRequest::new(4, Cell::new(1, 7), Cell::new(1, 8)),
+        ];
+        let out = route_concurrent(&g, &mut occ, &rs);
+        assert!(out.is_complete(), "stack finder should route all 5: {:?}", out.failed);
+        assert_disjoint(&out);
+        // The long gate A is peeled (degree 4) and routed last.
+        assert_eq!(out.routed.last().unwrap().request.id, 0);
+    }
+
+    #[test]
+    fn nested_gates_route_inner_first() {
+        // Theorem 2 shape: strictly nested boxes.
+        let (g, mut occ) = setup(12);
+        let rs = vec![
+            CxRequest::new(0, Cell::new(5, 5), Cell::new(5, 6)),
+            CxRequest::new(1, Cell::new(4, 4), Cell::new(7, 7)),
+            CxRequest::new(2, Cell::new(2, 2), Cell::new(9, 9)),
+            CxRequest::new(3, Cell::new(0, 0), Cell::new(11, 11)),
+        ];
+        let out = route_concurrent(&g, &mut occ, &rs);
+        assert!(out.is_complete(), "nested LLG must fully route: {:?}", out.failed);
+        assert_disjoint(&out);
+    }
+
+    #[test]
+    fn paths_avoid_preexisting_reservations() {
+        let (g, mut occ) = setup(5);
+        for r in 0..=5 {
+            if r != 5 {
+                occ.reserve(&g, autobraid_lattice::Vertex::new(r, 2));
+            }
+        }
+        let rs = vec![CxRequest::new(0, Cell::new(0, 0), Cell::new(0, 4))];
+        let out = route_concurrent(&g, &mut occ, &rs);
+        assert!(out.is_complete());
+        assert!(out.routed[0]
+            .path
+            .vertices()
+            .iter()
+            .all(|v| !(v.col == 2 && v.row < 5)));
+    }
+
+    #[test]
+    fn ratio_reflects_partial_failure() {
+        // 1×1 grid … impossible; use a saturated small grid instead: on a
+        // 2-cell-wide grid, three gates between the same two columns cannot
+        // all route (only 3 rows of vertices exist on a 2x1... use 2x2).
+        let (g, mut occ) = setup(2);
+        // Gates between all 4 cells pairwise — more demand than vertices.
+        let rs = vec![
+            CxRequest::new(0, Cell::new(0, 0), Cell::new(1, 1)),
+            CxRequest::new(1, Cell::new(0, 1), Cell::new(1, 0)),
+            CxRequest::new(2, Cell::new(0, 0), Cell::new(0, 1)),
+            CxRequest::new(3, Cell::new(1, 0), Cell::new(1, 1)),
+        ];
+        let out = route_concurrent(&g, &mut occ, &rs);
+        assert!(!out.routed.is_empty(), "at least one gate routes on an empty grid");
+        let ratio = out.ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+        assert_eq!(out.routed.len() + out.failed.len(), 4);
+    }
+
+    #[test]
+    fn greedy_baseline_routes_disjoint_too() {
+        let (g, mut occ) = setup(6);
+        let rs: Vec<CxRequest> = (0..6)
+            .map(|r| CxRequest::new(r, Cell::new(r as u32, 0), Cell::new(r as u32, 5)))
+            .collect();
+        let out = route_greedy(&g, &mut occ, &rs);
+        assert!(out.is_complete());
+        assert_disjoint(&out);
+    }
+
+    #[test]
+    fn greedy_orders_by_distance() {
+        let (g, mut occ) = setup(8);
+        let rs = vec![
+            CxRequest::new(0, Cell::new(0, 0), Cell::new(0, 7)), // far
+            CxRequest::new(1, Cell::new(4, 0), Cell::new(4, 1)), // near
+        ];
+        let out = route_greedy(&g, &mut occ, &rs);
+        assert_eq!(out.routed[0].request.id, 1, "nearest first");
+    }
+
+    #[test]
+    fn stack_beats_greedy_on_fig8_style_batch() {
+        // The Fig. 8 scenario: greedy (shortest first) can still succeed
+        // here, so instead check the documented guarantee — the stack
+        // finder never schedules FEWER gates than greedy on this family.
+        for seed_rows in 0..4u32 {
+            let (g, mut occ1) = setup(10);
+            let mut occ2 = Occupancy::new(&g);
+            let rs = vec![
+                CxRequest::new(0, Cell::new(seed_rows, 0), Cell::new(seed_rows, 9)),
+                CxRequest::new(1, Cell::new(seed_rows, 1), Cell::new(seed_rows, 2)),
+                CxRequest::new(2, Cell::new(seed_rows, 4), Cell::new(seed_rows, 5)),
+                CxRequest::new(3, Cell::new(seed_rows, 7), Cell::new(seed_rows, 8)),
+            ];
+            let stack = route_concurrent(&g, &mut occ1, &rs);
+            let greedy = route_greedy(&g, &mut occ2, &rs);
+            assert!(stack.routed.len() >= greedy.routed.len());
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Topological equivalence of braiding paths (paper §2, Fig. 5).
+//!
+//! Braiding follows topological rules: two braiding paths between the same
+//! pair of tiles implement the same logical operation iff they are
+//! homotopic in the lattice punctured at the other logical qubits — i.e.
+//! the loop formed by one path followed by the reverse of the other winds
+//! around no occupied tile. This module computes winding numbers of such
+//! loops over tiles and decides equivalence, which is what lets a
+//! scheduler freely pick among the 16 endpoint configurations and any
+//! detour shape.
+
+use crate::path::BraidPath;
+use autobraid_lattice::{Cell, Grid, Vertex};
+
+/// A closed walk on the routing grid (consecutive vertices adjacent, last
+/// adjacent to first). The walk need not be simple — connector detours may
+/// retrace edges; winding numbers handle that correctly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedWalk {
+    vertices: Vec<Vertex>,
+}
+
+impl ClosedWalk {
+    /// Validates a closed walk.
+    ///
+    /// Returns `None` if fewer than 2 vertices, any consecutive pair
+    /// (including last→first) is non-adjacent and non-equal, or a vertex
+    /// leaves the grid.
+    pub fn new(grid: &Grid, vertices: Vec<Vertex>) -> Option<Self> {
+        if vertices.len() < 2 {
+            return None;
+        }
+        if !vertices.iter().all(|&v| grid.contains_vertex(v)) {
+            return None;
+        }
+        let ok = |a: Vertex, b: Vertex| a == b || a.is_adjacent(b);
+        if vertices.windows(2).any(|w| !ok(w[0], w[1])) {
+            return None;
+        }
+        let (&first, &last) = (vertices.first()?, vertices.last()?);
+        if !ok(last, first) {
+            return None;
+        }
+        Some(ClosedWalk { vertices })
+    }
+
+    /// The vertices of the walk.
+    pub fn vertices(&self) -> &[Vertex] {
+        &self.vertices
+    }
+
+    /// Winding number of the walk around the centre of `cell`, by
+    /// leftward ray casting: sum of signed crossings of vertical walk
+    /// edges at columns ≤ the cell's column over the cell-centre row line.
+    pub fn winding_number(&self, cell: Cell) -> i64 {
+        let mut winding = 0i64;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.col != b.col || a.row == b.row {
+                continue; // horizontal or stationary: no vertical crossing
+            }
+            // Vertical edge at column a.col spanning rows a.row..b.row.
+            let (lo, hi) = (a.row.min(b.row), a.row.max(b.row));
+            // It crosses the horizontal line y = cell.row + 0.5 iff
+            // lo ≤ cell.row < hi, and sits on the leftward ray iff its
+            // column ≤ cell.col (cell centre x = cell.col + 0.5).
+            if lo <= cell.row && cell.row < hi && a.col <= cell.col {
+                winding += if b.row > a.row { 1 } else { -1 };
+            }
+        }
+        winding
+    }
+
+    /// Tiles with non-zero winding number — the tiles the walk encloses.
+    pub fn enclosed_cells(&self, grid: &Grid) -> Vec<Cell> {
+        grid.cells().filter(|&c| self.winding_number(c) != 0).collect()
+    }
+}
+
+/// Walks along the corner ring of `cell` from corner `from` to corner
+/// `to` (clockwise: tl → tr → br → bl → tl).
+fn corner_walk(cell: Cell, from: Vertex, to: Vertex) -> Vec<Vertex> {
+    let [tl, tr, bl, br] = cell.corners();
+    let ring = [tl, tr, br, bl];
+    let pos = |v: Vertex| ring.iter().position(|&r| r == v);
+    let (Some(mut i), Some(j)) = (pos(from), pos(to)) else {
+        panic!("corner_walk endpoints must be corners of {cell}");
+    };
+    let mut walk = vec![ring[i]];
+    while i != j {
+        i = (i + 1) % 4;
+        walk.push(ring[i]);
+    }
+    walk
+}
+
+/// Builds the closed walk `p1 · (connector at b) · p2⁻¹ · (connector at
+/// a)` from two braiding paths between tiles `a` and `b`. Both paths may
+/// start and end at any corners (and in either direction).
+///
+/// Returns `None` if either path does not connect `a` and `b` on `grid`.
+pub fn loop_between(
+    grid: &Grid,
+    a: Cell,
+    b: Cell,
+    p1: &BraidPath,
+    p2: &BraidPath,
+) -> Option<ClosedWalk> {
+    // Orient both paths a → b.
+    let orient = |p: &BraidPath| -> Option<Vec<Vertex>> {
+        let v = p.vertices().to_vec();
+        if a.has_corner(p.start()) && b.has_corner(p.end()) {
+            Some(v)
+        } else if b.has_corner(p.start()) && a.has_corner(p.end()) {
+            Some(v.into_iter().rev().collect())
+        } else {
+            None
+        }
+    };
+    let q1 = orient(p1)?;
+    let q2 = orient(p2)?;
+
+    let mut walk = q1.clone();
+    // Connector at b: from q1's end to q2's end along b's corner ring.
+    walk.extend(corner_walk(b, *q1.last()?, *q2.last()?).into_iter().skip(1));
+    // q2 reversed back to a.
+    walk.extend(q2.iter().rev().skip(1));
+    // Connector at a: from q2's start back to q1's start.
+    walk.extend(corner_walk(a, q2[0], q1[0]).into_iter().skip(1));
+    // Drop the duplicated closing vertex if present.
+    if walk.len() > 1 && walk.last() == walk.first() {
+        walk.pop();
+    }
+    ClosedWalk::new(grid, walk)
+}
+
+/// Whether two braiding paths between tiles `a` and `b` are topologically
+/// equivalent given the other occupied tiles (`punctures`): the loop they
+/// bound must wind around none of them. The operand tiles themselves are
+/// never punctures.
+///
+/// # Examples
+///
+/// ```
+/// use autobraid_lattice::{Cell, Grid, Vertex};
+/// use autobraid_router::path::BraidPath;
+/// use autobraid_router::topology::equivalent;
+///
+/// let grid = Grid::new(4)?;
+/// let (a, b) = (Cell::new(1, 0), Cell::new(1, 3));
+/// let straight = BraidPath::new(&grid, a, b,
+///     (1..=3).map(|c| Vertex::new(1, c)).collect()).unwrap();
+/// let low = BraidPath::new(&grid, a, b,
+///     vec![Vertex::new(2, 1), Vertex::new(2, 2), Vertex::new(2, 3)]).unwrap();
+/// // Equivalent when tile (1,1)/(1,2) are free; inequivalent when the
+/// // enclosed tile holds a qubit.
+/// assert!(equivalent(&grid, a, b, &straight, &low, &[]));
+/// assert!(!equivalent(&grid, a, b, &straight, &low, &[Cell::new(1, 1)]));
+/// # Ok::<(), autobraid_lattice::LatticeError>(())
+/// ```
+pub fn equivalent(
+    grid: &Grid,
+    a: Cell,
+    b: Cell,
+    p1: &BraidPath,
+    p2: &BraidPath,
+    punctures: &[Cell],
+) -> bool {
+    let Some(walk) = loop_between(grid, a, b, p1, p2) else {
+        return false;
+    };
+    punctures
+        .iter()
+        .filter(|&&c| c != a && c != b)
+        .all(|&c| walk.winding_number(c) == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::new(5).unwrap()
+    }
+
+    fn path(a: Cell, b: Cell, vs: Vec<Vertex>) -> BraidPath {
+        BraidPath::new(&grid(), a, b, vs).expect("valid path")
+    }
+
+    #[test]
+    fn unit_square_winds_once() {
+        let walk = ClosedWalk::new(
+            &grid(),
+            vec![Vertex::new(1, 1), Vertex::new(1, 2), Vertex::new(2, 2), Vertex::new(2, 1)],
+        )
+        .unwrap();
+        assert_eq!(walk.winding_number(Cell::new(1, 1)), -1, "counterclockwise ring");
+        assert_eq!(walk.winding_number(Cell::new(0, 0)), 0);
+        assert_eq!(walk.enclosed_cells(&grid()), vec![Cell::new(1, 1)]);
+    }
+
+    #[test]
+    fn orientation_flips_sign() {
+        let cw = ClosedWalk::new(
+            &grid(),
+            vec![Vertex::new(1, 1), Vertex::new(2, 1), Vertex::new(2, 2), Vertex::new(1, 2)],
+        )
+        .unwrap();
+        assert_eq!(cw.winding_number(Cell::new(1, 1)), 1);
+    }
+
+    #[test]
+    fn degenerate_retrace_winds_zero() {
+        // Out-and-back walk encloses nothing.
+        let walk = ClosedWalk::new(
+            &grid(),
+            vec![Vertex::new(1, 1), Vertex::new(1, 2), Vertex::new(1, 3), Vertex::new(1, 2)],
+        )
+        .unwrap();
+        for c in grid().cells() {
+            assert_eq!(walk.winding_number(c), 0, "{c}");
+        }
+    }
+
+    #[test]
+    fn closed_walk_validation() {
+        let g = grid();
+        assert!(ClosedWalk::new(&g, vec![Vertex::new(0, 0)]).is_none());
+        assert!(
+            ClosedWalk::new(&g, vec![Vertex::new(0, 0), Vertex::new(2, 2)]).is_none(),
+            "gap"
+        );
+        assert!(ClosedWalk::new(
+            &g,
+            vec![Vertex::new(0, 0), Vertex::new(0, 3)]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn same_path_is_equivalent_to_itself() {
+        let (a, b) = (Cell::new(0, 0), Cell::new(0, 3));
+        let p = path(a, b, (1..=3).map(|c| Vertex::new(0, c)).collect());
+        assert!(equivalent(&grid(), a, b, &p, &p, &[Cell::new(2, 2)]));
+    }
+
+    #[test]
+    fn detour_around_free_space_is_equivalent() {
+        let (a, b) = (Cell::new(1, 0), Cell::new(1, 3));
+        let straight = path(a, b, (1..=3).map(|c| Vertex::new(1, c)).collect());
+        let detour = path(
+            a,
+            b,
+            vec![
+                Vertex::new(1, 1),
+                Vertex::new(0, 1),
+                Vertex::new(0, 2),
+                Vertex::new(0, 3),
+                Vertex::new(1, 3),
+            ],
+        );
+        // Enclosed region is tiles (0,1)-(0,2); equivalent while they are
+        // free, inequivalent once one holds a qubit.
+        assert!(equivalent(&grid(), a, b, &straight, &detour, &[Cell::new(3, 3)]));
+        assert!(!equivalent(&grid(), a, b, &straight, &detour, &[Cell::new(0, 2)]));
+    }
+
+    #[test]
+    fn opposite_detours_differ_by_enclosed_tile() {
+        let (a, b) = (Cell::new(2, 0), Cell::new(2, 4));
+        let above = path(
+            a,
+            b,
+            vec![
+                Vertex::new(2, 1),
+                Vertex::new(1, 1),
+                Vertex::new(1, 2),
+                Vertex::new(1, 3),
+                Vertex::new(1, 4),
+                Vertex::new(2, 4),
+            ],
+        );
+        let below = path(
+            a,
+            b,
+            vec![
+                Vertex::new(2, 1),
+                Vertex::new(3, 1),
+                Vertex::new(3, 2),
+                Vertex::new(3, 3),
+                Vertex::new(3, 4),
+                Vertex::new(2, 4),
+            ],
+        );
+        // The loop above+below encloses rows 1–2 tiles between cols 1–3.
+        for blocked in [Cell::new(1, 2), Cell::new(2, 2)] {
+            assert!(!equivalent(&grid(), a, b, &above, &below, &[blocked]), "{blocked}");
+        }
+        assert!(equivalent(&grid(), a, b, &above, &below, &[Cell::new(4, 4)]));
+    }
+
+    #[test]
+    fn operand_tiles_are_not_punctures() {
+        let (a, b) = (Cell::new(1, 0), Cell::new(1, 3));
+        let straight = path(a, b, (1..=3).map(|c| Vertex::new(1, c)).collect());
+        let detour = path(
+            a,
+            b,
+            vec![
+                Vertex::new(2, 1),
+                Vertex::new(2, 2),
+                Vertex::new(2, 3),
+                Vertex::new(1, 3),
+            ],
+        );
+        // Even if a/b are listed, they are ignored as punctures.
+        assert!(equivalent(&grid(), a, b, &straight, &detour, &[a, b]));
+    }
+
+    #[test]
+    fn reversed_second_path_is_handled() {
+        let (a, b) = (Cell::new(0, 0), Cell::new(0, 2));
+        let forward = path(a, b, vec![Vertex::new(0, 1), Vertex::new(0, 2)]);
+        let backward = path(b, a, vec![Vertex::new(1, 2), Vertex::new(1, 1)]);
+        assert!(equivalent(&grid(), a, b, &forward, &backward, &[]));
+    }
+}

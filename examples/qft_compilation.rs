@@ -1,0 +1,42 @@
+//! The paper's motivating workload: compile the quantum Fourier transform
+//! and compare the greedy baseline, AutoBraid-sp, AutoBraid-full, and the
+//! ideal critical path across sizes — a miniature of Table 2 / Fig. 16.
+//!
+//! Run with `cargo run --release --example qft_compilation`.
+
+use autobraid::config::{Recording, ScheduleConfig};
+use autobraid::critical_path::critical_path_us;
+use autobraid::report::{format_us, Table};
+use autobraid::{schedule_baseline, AutoBraid};
+use autobraid_circuit::generators::qft::qft;
+
+fn main() {
+    let config = ScheduleConfig::default().with_recording(Recording::StatsOnly);
+    let compiler = AutoBraid::new(config.clone());
+
+    let mut table = Table::new([
+        "n", "gates", "CP", "baseline", "autobraid-sp", "autobraid-full", "speedup",
+    ]);
+    for n in [16u32, 50, 100, 200] {
+        let circuit = qft(n).expect("n >= 2");
+        let (baseline, _) = schedule_baseline(&circuit, &config);
+        let sp = compiler.schedule_sp(&circuit).result;
+        let full = compiler.schedule_full(&circuit).result;
+        table.add_row([
+            n.to_string(),
+            circuit.len().to_string(),
+            format_us(critical_path_us(&circuit, &config.timing)),
+            format_us(baseline.time_us()),
+            format_us(sp.time_us()),
+            format_us(full.time_us()),
+            format!("{:.2}x", full.speedup_over(&baseline)),
+        ]);
+    }
+    println!("\nQFT compilation under surface-code braiding (d = 33, 2.2 µs cycles)\n");
+    println!("{}", table.render());
+    println!(
+        "The speedup of autobraid-full over the baseline grows with the qubit \n\
+         count: the QFT's all-to-all pattern bottlenecks static layouts, while \n\
+         dynamic placement (the Maslov swap network) keeps the depth linear."
+    );
+}

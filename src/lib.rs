@@ -1,0 +1,14 @@
+//! Umbrella crate for the AutoBraid workspace.
+//!
+//! Re-exports the component crates so the repo-root `examples/` and
+//! `tests/` can exercise the whole stack through one dependency. Library
+//! users should depend on the individual crates (most importantly
+//! [`autobraid`]) directly.
+
+#![forbid(unsafe_code)]
+
+pub use autobraid;
+pub use autobraid_circuit as circuit;
+pub use autobraid_lattice as lattice;
+pub use autobraid_placement as placement;
+pub use autobraid_router as router;

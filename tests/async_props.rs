@@ -1,0 +1,87 @@
+//! Property tests for the event-driven engine: CP bounds, verification,
+//! and agreement with the synchronous engine's semantics.
+
+use autobraid::async_engine::{schedule_async, verify_async};
+use autobraid::config::ScheduleConfig;
+use autobraid::critical_path::critical_path_cycles;
+use autobraid::AutoBraid;
+use autobraid_circuit::generators::random::random_circuit;
+use autobraid_circuit::sim::circuits_equivalent;
+use autobraid_circuit::{Circuit, Gate};
+use autobraid_lattice::Grid;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interval schedules verify, bound CP from above, and beat (or tie)
+    /// the synchronous engine.
+    #[test]
+    fn async_schedules_verify_and_bound(
+        gates in 5usize..120,
+        frac in 0.1f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(8, gates, frac, seed).unwrap();
+        let config = ScheduleConfig::default();
+        let compiler = AutoBraid::new(config.clone());
+        let grid = Grid::with_capacity_for(8);
+        let placement = compiler.initial_placement(&circuit, &grid);
+        let schedule = schedule_async(&circuit, &grid, placement, &config);
+        verify_async(&circuit, &schedule).map_err(|e| TestCaseError::fail(e))?;
+
+        let cp = critical_path_cycles(&circuit, schedule.result.timing());
+        prop_assert!(schedule.result.total_cycles >= cp);
+        let sync = compiler.schedule_sp(&circuit).result.total_cycles;
+        prop_assert!(schedule.result.total_cycles <= sync);
+    }
+
+    /// Sorting assignments by start slot yields a semantics-preserving
+    /// execution order (ties are simultaneous, hence independent — any
+    /// tie-break is valid).
+    #[test]
+    fn async_execution_order_preserves_semantics(
+        gates in 5usize..60,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(6, gates, 0.5, seed).unwrap();
+        let config = ScheduleConfig::default();
+        let compiler = AutoBraid::new(config.clone());
+        let grid = Grid::with_capacity_for(6);
+        let placement = compiler.initial_placement(&circuit, &grid);
+        let schedule = schedule_async(&circuit, &grid, placement, &config);
+        let mut order: Vec<_> = schedule.assignments.clone();
+        order.sort_by_key(|a| (a.start_slot, a.gate));
+        let gates: Vec<Gate> = order.iter().map(|a| *circuit.gate(a.gate)).collect();
+        let replay = Circuit::from_gates(circuit.num_qubits(), gates).unwrap();
+        prop_assert!(circuits_equivalent(&circuit, &replay, 1e-9));
+    }
+}
+
+#[test]
+fn async_is_strictly_better_on_mixed_chains() {
+    // A serial T chain running beside a braid chain is exactly where step
+    // quantization hurts: the synchronous engine advances the T chain one
+    // gate per 2d-cycle braid window, the async engine one per d-cycle
+    // slot.
+    let mut circuit = Circuit::new(6);
+    for round in 0..10u32 {
+        circuit.cx(round % 2, 2 + round % 2); // braid chain keeps windows busy
+    }
+    for _ in 0..20 {
+        circuit.t(5); // independent serial T chain
+    }
+    let config = ScheduleConfig::default();
+    let compiler = AutoBraid::new(config.clone());
+    let grid = Grid::with_capacity_for(6);
+    let placement = compiler.initial_placement(&circuit, &grid);
+    let asynchronous = schedule_async(&circuit, &grid, placement, &config);
+    let sync = compiler.schedule_sp(&circuit).result.total_cycles;
+    assert!(
+        asynchronous.result.total_cycles < sync,
+        "async {} should beat sync {sync} on mixed chains",
+        asynchronous.result.total_cycles
+    );
+    let cp = critical_path_cycles(&circuit, asynchronous.result.timing());
+    assert_eq!(asynchronous.result.total_cycles, cp, "and meet CP outright");
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the circuit layer: QASM round-trips, DAG
+//! invariants, and schedule/DAG agreement.
+
+use autobraid_circuit::dag::{bfs_levels, is_valid_execution_order, DependenceDag, Frontier};
+use autobraid_circuit::generators::random::random_circuit;
+use autobraid_circuit::{qasm, Circuit, Gate, ParallelismProfile};
+use proptest::prelude::*;
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2u32..20, 0usize..200, 0.0f64..1.0, any::<u64>())
+        .prop_map(|(n, gates, frac, seed)| random_circuit(n, gates, frac, seed).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// emit → parse is the identity on the braided gate set.
+    #[test]
+    fn qasm_roundtrip(circuit in arb_circuit()) {
+        let text = qasm::emit(&circuit);
+        let back = qasm::parse(&text).expect("emitted programs parse");
+        prop_assert_eq!(back.gates(), circuit.gates());
+        prop_assert_eq!(back.num_qubits(), circuit.num_qubits());
+    }
+
+    /// DAG edges only connect gates sharing a qubit, in program order.
+    #[test]
+    fn dag_edges_share_qubits(circuit in arb_circuit()) {
+        let dag = DependenceDag::new(&circuit);
+        for g in 0..circuit.len() {
+            for &p in dag.predecessors(g) {
+                prop_assert!(p < g, "predecessor after successor");
+                let share = circuit.gate(g).qubits().iter().any(|&q| circuit.gate(p).acts_on(q));
+                prop_assert!(share, "edge without shared qubit: {p} -> {g}");
+            }
+        }
+    }
+
+    /// ASAP levels computed two ways agree, and layer draining respects
+    /// them.
+    #[test]
+    fn asap_levels_agree(circuit in arb_circuit()) {
+        let dag = DependenceDag::new(&circuit);
+        prop_assert_eq!(dag.asap_levels(), bfs_levels(&dag));
+        let layers = Frontier::new(&dag).drain_layers();
+        let mut order = Vec::new();
+        for layer in &layers {
+            order.extend(layer.iter().copied());
+        }
+        prop_assert!(is_valid_execution_order(&circuit, &order));
+    }
+
+    /// Depth bounds: depth ≤ gates; gates ≤ depth × max-layer-width.
+    #[test]
+    fn depth_and_width_bounds(circuit in arb_circuit()) {
+        let dag = DependenceDag::new(&circuit);
+        let profile = ParallelismProfile::analyze(&circuit);
+        prop_assert!(dag.depth() <= circuit.len());
+        let max_width = profile.layers().iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert!(circuit.len() <= dag.depth() * max_width.max(1));
+    }
+
+    /// Critical path with uniform weight 1 equals DAG depth.
+    #[test]
+    fn unit_critical_path_is_depth(circuit in arb_circuit()) {
+        let dag = DependenceDag::new(&circuit);
+        prop_assert_eq!(dag.critical_path_weight(&circuit, |_| 1) as usize, dag.depth());
+    }
+
+    /// Critical path is monotone in gate weights.
+    #[test]
+    fn critical_path_monotone(circuit in arb_circuit()) {
+        let dag = DependenceDag::new(&circuit);
+        let light = dag.critical_path_weight(&circuit, |g: &Gate| if g.is_two_qubit() { 2 } else { 1 });
+        let heavy = dag.critical_path_weight(&circuit, |g: &Gate| if g.is_two_qubit() { 4 } else { 2 });
+        prop_assert!(heavy >= light);
+        prop_assert!(heavy <= 2 * light + 2);
+    }
+}
+
+#[test]
+fn qasm_parses_generated_qft() {
+    let circuit = autobraid_circuit::generators::qft::qft(20).unwrap();
+    let text = qasm::emit(&circuit);
+    let back = qasm::parse(&text).unwrap();
+    assert_eq!(back.gates().len(), circuit.gates().len());
+}

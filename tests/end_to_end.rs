@@ -1,0 +1,135 @@
+//! End-to-end integration tests: every benchmark family, every scheduler,
+//! every schedule machine-verified.
+
+use autobraid::config::ScheduleConfig;
+use autobraid::critical_path::critical_path_cycles;
+use autobraid::maslov::schedule_maslov;
+use autobraid::metrics::verify_schedule;
+use autobraid::{schedule_baseline, AutoBraid};
+use autobraid_circuit::{generators, Circuit};
+use autobraid_lattice::Grid;
+
+fn workloads() -> Vec<Circuit> {
+    vec![
+        generators::qft::qft(14).unwrap(),
+        generators::bv::bv_all_ones(18).unwrap(),
+        generators::cc::counterfeit_coin(15).unwrap(),
+        generators::ising::ising(18, 2).unwrap(),
+        generators::qaoa::qaoa(16, 2, 3, 11).unwrap(),
+        generators::bwt::bwt(20, 1).unwrap(),
+        generators::shor::shor_like(5, 3).unwrap(),
+        generators::revlib::build("rd32-v0").unwrap(),
+        generators::qpe::qpe(8, 0.375).unwrap(),
+        generators::adder::cuccaro_adder(5).unwrap(),
+        generators::revlib::build("4gt11_8").unwrap(),
+        generators::random::random_circuit(12, 300, 0.6, 5).unwrap(),
+    ]
+}
+
+#[test]
+fn every_scheduler_produces_a_verified_schedule_on_every_family() {
+    let config = ScheduleConfig::default();
+    let compiler = AutoBraid::new(config.clone());
+    for circuit in workloads() {
+        let name = circuit.name().to_string();
+        let cp = critical_path_cycles(&circuit, &config.timing);
+
+        let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+        let (baseline, base_placement) = schedule_baseline(&circuit, &config);
+        verify_schedule(&circuit, &grid, &base_placement, &baseline)
+            .unwrap_or_else(|e| panic!("{name}/baseline: {e}"));
+        assert!(baseline.total_cycles >= cp, "{name}: baseline below CP");
+
+        let sp = compiler.schedule_sp(&circuit);
+        verify_schedule(&circuit, &sp.grid, &sp.initial_placement, &sp.result)
+            .unwrap_or_else(|e| panic!("{name}/sp: {e}"));
+        assert!(sp.result.total_cycles >= cp, "{name}: sp below CP");
+
+        let full = compiler.schedule_full(&circuit);
+        verify_schedule(&circuit, &full.grid, &full.initial_placement, &full.result)
+            .unwrap_or_else(|e| panic!("{name}/full: {e}"));
+        assert!(full.result.total_cycles >= cp, "{name}: full below CP");
+        assert!(
+            full.result.total_cycles <= sp.result.total_cycles,
+            "{name}: full ({}) must not lose to sp ({})",
+            full.result.total_cycles,
+            sp.result.total_cycles
+        );
+
+        let (maslov, maslov_placement) = schedule_maslov(&circuit, &config);
+        verify_schedule(&circuit, &grid, &maslov_placement, &maslov)
+            .unwrap_or_else(|e| panic!("{name}/maslov: {e}"));
+        assert!(maslov.total_cycles >= cp, "{name}: maslov below CP");
+    }
+}
+
+#[test]
+fn serial_communication_families_hit_critical_path() {
+    // BV and CC have zero CX parallelism: every scheduler should reach CP,
+    // and AutoBraid must (Table 2).
+    let config = ScheduleConfig::default();
+    let compiler = AutoBraid::new(config.clone());
+    for circuit in
+        [generators::bv::bv_all_ones(40).unwrap(), generators::cc::counterfeit_coin(40).unwrap()]
+    {
+        let cp = critical_path_cycles(&circuit, &config.timing);
+        let full = compiler.schedule_full(&circuit);
+        assert_eq!(full.result.total_cycles, cp, "{}", circuit.name());
+    }
+}
+
+#[test]
+fn linear_chain_families_hit_critical_path() {
+    let config = ScheduleConfig::default();
+    let compiler = AutoBraid::new(config.clone());
+    for n in [9u32, 16, 30, 50] {
+        let circuit = generators::ising::ising(n, 2).unwrap();
+        let cp = critical_path_cycles(&circuit, &config.timing);
+        let full = compiler.schedule_full(&circuit);
+        assert_eq!(full.result.total_cycles, cp, "ising-{n}");
+    }
+}
+
+#[test]
+fn schedulers_are_deterministic_across_processes_worth_of_calls() {
+    let config = ScheduleConfig::default();
+    let compiler = AutoBraid::new(config.clone());
+    let circuit = generators::qaoa::qaoa(16, 2, 3, 99).unwrap();
+    let runs: Vec<u64> =
+        (0..3).map(|_| compiler.schedule_full(&circuit).result.total_cycles).collect();
+    assert!(runs.windows(2).all(|w| w[0] == w[1]), "{runs:?}");
+    let base: Vec<u64> =
+        (0..3).map(|_| schedule_baseline(&circuit, &config).0.total_cycles).collect();
+    assert!(base.windows(2).all(|w| w[0] == w[1]), "{base:?}");
+}
+
+#[test]
+fn gate_conservation_in_recorded_schedules() {
+    let config = ScheduleConfig::default();
+    let compiler = AutoBraid::new(config.clone());
+    let circuit = generators::qft::qft(12).unwrap();
+    let outcome = compiler.schedule_sp(&circuit);
+    let mut executed = 0usize;
+    for step in &outcome.result.steps {
+        executed += match step {
+            autobraid::Step::Local { gates } => gates.len(),
+            autobraid::Step::Braid { braids, locals } => braids.len() + locals.len(),
+            autobraid::Step::SwapLayer { .. } => 0,
+        };
+    }
+    assert_eq!(executed, circuit.len());
+}
+
+#[test]
+fn bigger_code_distance_means_longer_wall_clock() {
+    use autobraid_lattice::{CodeParams, TimingModel};
+    let circuit = generators::qft::qft(10).unwrap();
+    let mut times = Vec::new();
+    for d in [13u32, 33, 55] {
+        let config = ScheduleConfig::default()
+            .with_timing(TimingModel::new(CodeParams::with_distance(d).unwrap()));
+        let compiler = AutoBraid::new(config);
+        times.push(compiler.schedule_sp(&circuit).result.time_us());
+    }
+    assert!(times[0] < times[1] && times[1] < times[2], "{times:?}");
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the A* router against a BFS reference, and
+//! for occupancy bookkeeping.
+
+use autobraid_lattice::{Cell, Grid, Occupancy, Vertex};
+use autobraid_router::astar::{find_path, find_path_bfs, SearchLimits};
+use proptest::prelude::*;
+
+fn arb_cell(l: u32) -> impl Strategy<Value = Cell> {
+    (0..l, 0..l).prop_map(|(r, c)| Cell::new(r, c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A* returns a shortest path: its length always matches BFS, and both
+    /// agree on reachability, under random obstacles.
+    #[test]
+    fn astar_is_optimal_under_obstacles(
+        a in arb_cell(8),
+        b in arb_cell(8),
+        obstacle_bits in proptest::collection::vec(any::<bool>(), 81),
+    ) {
+        prop_assume!(a != b);
+        let grid = Grid::new(8).unwrap();
+        let mut occ = Occupancy::new(&grid);
+        for (i, &blocked) in obstacle_bits.iter().enumerate() {
+            if blocked {
+                occ.reserve(&grid, grid.vertex_at(i));
+            }
+        }
+        let astar = find_path(&grid, &occ, a, b, SearchLimits::default());
+        let bfs = find_path_bfs(&grid, &occ, a, b, SearchLimits::default());
+        match (astar, bfs) {
+            (Some(p), Some(q)) => {
+                prop_assert_eq!(p.len(), q.len());
+                // Both paths avoid all obstacles.
+                for v in p.vertices() {
+                    prop_assert!(occ.is_free(&grid, *v));
+                }
+            }
+            (None, None) => {}
+            (p, q) => prop_assert!(
+                false,
+                "reachability disagreement: astar={:?} bfs={:?}",
+                p.map(|x| x.len()),
+                q.map(|x| x.len())
+            ),
+        }
+    }
+
+    /// On an empty grid a path always exists and has exactly
+    /// `corner_distance + 1` vertices (shortest possible).
+    #[test]
+    fn empty_grid_paths_are_tight(a in arb_cell(9), b in arb_cell(9)) {
+        prop_assume!(a != b);
+        let grid = Grid::new(9).unwrap();
+        let occ = Occupancy::new(&grid);
+        let p = find_path(&grid, &occ, a, b, SearchLimits::default()).expect("reachable");
+        prop_assert_eq!(p.len() as u32, a.corner_distance(b) + 1);
+    }
+
+    /// Region-limited search never leaves the region and never beats the
+    /// unconstrained shortest path.
+    #[test]
+    fn region_constrained_search(a in arb_cell(6), b in arb_cell(6)) {
+        prop_assume!(a != b);
+        let grid = Grid::new(6).unwrap();
+        let occ = Occupancy::new(&grid);
+        let region = a.corners().iter().chain(b.corners().iter()).fold(
+            autobraid_lattice::BBox::of_cell(a),
+            |acc, &v| acc.union(&autobraid_lattice::BBox::of_vertex(v)),
+        );
+        let limits = SearchLimits { region: Some(region) };
+        if let Some(p) = find_path(&grid, &occ, a, b, limits) {
+            prop_assert!(p.confined_to(&region));
+            let free = find_path(&grid, &occ, a, b, SearchLimits::default()).expect("reachable");
+            prop_assert!(p.len() >= free.len());
+        }
+    }
+
+    /// Occupancy reserve/release bookkeeping is exact under random
+    /// operation sequences.
+    #[test]
+    fn occupancy_bookkeeping(ops in proptest::collection::vec((0usize..49, any::<bool>()), 1..200)) {
+        let grid = Grid::new(6).unwrap();
+        let mut occ = Occupancy::new(&grid);
+        let mut model = std::collections::HashSet::new();
+        for (idx, reserve) in ops {
+            let v: Vertex = grid.vertex_at(idx);
+            if reserve {
+                let did = occ.reserve(&grid, v);
+                prop_assert_eq!(did, model.insert(idx));
+            } else if model.remove(&idx) {
+                occ.release(&grid, v);
+            }
+            prop_assert_eq!(occ.occupied_count(), model.len());
+        }
+        for idx in 0..grid.vertex_count() {
+            prop_assert_eq!(occ.is_occupied(&grid, grid.vertex_at(idx)), model.contains(&idx));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the paper's theorems and the routing
+//! invariants they rest on (Appendix A–D).
+
+use autobraid_lattice::{BBox, Cell, Grid, Occupancy};
+use autobraid_router::llg::{decompose, Llg};
+use autobraid_router::path::CxRequest;
+use autobraid_router::stack_finder::route_concurrent;
+use proptest::prelude::*;
+
+/// Strategy: `k` CX gates over distinct random cells of an `l × l` grid.
+fn distinct_cell_pairs(l: u32, k: usize) -> impl Strategy<Value = Vec<CxRequest>> {
+    let cell_count = (l * l) as usize;
+    proptest::sample::subsequence((0..cell_count).collect::<Vec<_>>(), 2 * k).prop_map(
+        move |mut picked| {
+            // Shuffle-by-sort on a derived key keeps it deterministic but
+            // varied; subsequence returns sorted indices.
+            picked.sort_by_key(|&i| (i * 2654435761) % cell_count);
+            picked
+                .chunks(2)
+                .enumerate()
+                .map(|(id, pair)| {
+                    let to_cell = |i: usize| Cell::new(i as u32 / l, i as u32 % l);
+                    CxRequest::new(id, to_cell(pair[0]), to_cell(pair[1]))
+                })
+                .collect()
+        },
+    )
+}
+
+fn assert_disjoint_and_valid(grid: &Grid, requests: &[CxRequest]) -> usize {
+    let mut occ = Occupancy::new(grid);
+    let outcome = route_concurrent(grid, &mut occ, requests);
+    for (i, a) in outcome.routed.iter().enumerate() {
+        // Paths are valid for their request endpoints…
+        assert!(autobraid_router::BraidPath::new(
+            grid,
+            a.request.a,
+            a.request.b,
+            a.path.vertices().to_vec()
+        )
+        .is_some());
+        // …and pairwise vertex-disjoint.
+        for b in &outcome.routed[i + 1..] {
+            assert!(!a.path.intersects(&b.path));
+        }
+    }
+    outcome.routed.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: any LLG of ≤ 3 CX gates routes fully, whatever the
+    /// placement. We sample 3 gates anywhere on the grid (any LLG of ≤ 3
+    /// is a sub-case) and demand a complete simultaneous schedule.
+    #[test]
+    fn theorem1_three_gates_always_route(requests in distinct_cell_pairs(7, 3)) {
+        let grid = Grid::new(7).unwrap();
+        let routed = assert_disjoint_and_valid(&grid, &requests);
+        prop_assert_eq!(routed, requests.len(), "Theorem 1 violated: {:?}", requests);
+    }
+
+    /// Theorem 1 also promises one- and two-gate groups route.
+    #[test]
+    fn theorem1_two_gates_always_route(requests in distinct_cell_pairs(5, 2)) {
+        let grid = Grid::new(5).unwrap();
+        let routed = assert_disjoint_and_valid(&grid, &requests);
+        prop_assert_eq!(routed, requests.len());
+    }
+
+    /// Theorem 2: strictly nested gate chains route fully. Build a nest of
+    /// boxes by picking nesting offsets.
+    #[test]
+    fn theorem2_nested_gates_always_route(depth in 2usize..5, jitter in 0u32..2) {
+        let l = 2 * depth as u32 + 4;
+        let grid = Grid::new(l).unwrap();
+        let requests: Vec<CxRequest> = (0..depth as u32)
+            .map(|k| {
+                let inset = k + 1;
+                CxRequest::new(
+                    k as usize,
+                    Cell::new(inset, inset + jitter.min(l - 2 * inset - 1)),
+                    Cell::new(l - 1 - inset, l - 1 - inset),
+                )
+            })
+            .collect();
+        // Confirm the construction is strictly nested (outermost first).
+        for w in requests.windows(2) {
+            prop_assert!(w[0].outer_bbox().strictly_nests(&w[1].outer_bbox()));
+        }
+        let routed = assert_disjoint_and_valid(&grid, &requests);
+        prop_assert_eq!(routed, requests.len(), "Theorem 2 violated");
+    }
+
+    /// Simultaneity invariant: whatever the batch, routed paths are
+    /// vertex-disjoint and at least one gate routes (grids start empty).
+    #[test]
+    fn routed_paths_always_disjoint(requests in distinct_cell_pairs(8, 8)) {
+        let grid = Grid::new(8).unwrap();
+        let routed = assert_disjoint_and_valid(&grid, &requests);
+        prop_assert!(routed >= 1);
+    }
+
+    /// The LLG decomposition is a partition with pairwise non-overlapping
+    /// joint boxes that cover their members.
+    #[test]
+    fn llg_decomposition_invariants(requests in distinct_cell_pairs(9, 7)) {
+        let llgs: Vec<Llg> = decompose(&requests);
+        // Partition.
+        let mut all: Vec<usize> = llgs.iter().flat_map(|g| g.members.clone()).collect();
+        all.sort();
+        prop_assert_eq!(all, (0..requests.len()).collect::<Vec<_>>());
+        // Joint boxes cover members and do not openly overlap each other.
+        for (i, g) in llgs.iter().enumerate() {
+            for &m in &g.members {
+                prop_assert!(g.bbox.contains_box(&requests[m].outer_bbox()));
+            }
+            for h in &llgs[i + 1..] {
+                prop_assert!(!g.bbox.overlaps_open(&h.bbox), "LLG boxes overlap");
+            }
+        }
+    }
+
+    /// Theorem 1 corollary used by the framework: if every LLG has ≤ 3
+    /// gates, the whole layer schedules simultaneously. Construct layers
+    /// with guaranteed-small LLGs by sampling ≤ 3 gates inside each of
+    /// four well-separated grid quadrants.
+    #[test]
+    fn small_llgs_imply_full_layer(
+        quadrant_batches in proptest::collection::vec(distinct_cell_pairs(5, 3), 4),
+    ) {
+        let grid = Grid::new(12).unwrap();
+        let offsets = [(0u32, 0u32), (0, 7), (7, 0), (7, 7)];
+        let mut requests = Vec::new();
+        for (batch, (dr, dc)) in quadrant_batches.iter().zip(offsets) {
+            for r in batch {
+                requests.push(CxRequest::new(
+                    requests.len(),
+                    Cell::new(r.a.row + dr, r.a.col + dc),
+                    Cell::new(r.b.row + dr, r.b.col + dc),
+                ));
+            }
+        }
+        let llgs = decompose(&requests);
+        prop_assert!(llgs.iter().all(|g| g.size() <= 3), "construction keeps LLGs small");
+        let routed = assert_disjoint_and_valid(&grid, &requests);
+        prop_assert_eq!(routed, requests.len(), "layer with small LLGs failed");
+    }
+}
+
+#[test]
+fn fig9_pathological_layout_cannot_fully_route() {
+    // The paper's Fig. 9(a): four boundary-pinned crossing pairs admit at
+    // most 3 simultaneous braids no matter the grid size.
+    for l in [6u32, 10, 14] {
+        let grid = Grid::new(l).unwrap();
+        let m = l - 1;
+        let requests = vec![
+            CxRequest::new(0, Cell::new(0, m / 2), Cell::new(m, m / 2)),
+            CxRequest::new(1, Cell::new(m / 2, 0), Cell::new(m / 2, m)),
+            CxRequest::new(2, Cell::new(0, m / 2 + 1), Cell::new(m, m / 2 - 1)),
+            CxRequest::new(3, Cell::new(m / 2 + 1, 0), Cell::new(m / 2 - 1, m)),
+        ];
+        let mut occ = Occupancy::new(&grid);
+        let outcome = route_concurrent(&grid, &mut occ, &requests);
+        assert!(
+            outcome.routed.len() < 4,
+            "l={l}: the crossing layout must not fully route"
+        );
+        assert!(!outcome.routed.is_empty());
+    }
+}
+
+#[test]
+fn theorem3_witness_4cx_llg_can_fail() {
+    // Theorem 3: a 4-CX LLG is NOT guaranteed routable inside its joint
+    // box. The Fig. 9 witness above is exactly such an LLG.
+    let grid = Grid::new(8).unwrap();
+    let requests = vec![
+        CxRequest::new(0, Cell::new(0, 3), Cell::new(7, 3)),
+        CxRequest::new(1, Cell::new(3, 0), Cell::new(3, 7)),
+        CxRequest::new(2, Cell::new(0, 4), Cell::new(7, 2)),
+        CxRequest::new(3, Cell::new(4, 0), Cell::new(2, 7)),
+    ];
+    let llgs = decompose(&requests);
+    assert_eq!(llgs.len(), 1);
+    assert_eq!(llgs[0].size(), 4);
+    assert!(!llgs[0].guaranteed_schedulable(&requests));
+    let mut occ = Occupancy::new(&grid);
+    let outcome = route_concurrent(&grid, &mut occ, &requests);
+    assert!(outcome.routed.len() < 4);
+}
+
+#[test]
+fn bbox_relations_sane_under_sampling() {
+    // Closed intersection is implied by open overlap, never vice versa.
+    let boxes = [
+        BBox::new(0, 0, 2, 2),
+        BBox::new(2, 2, 4, 4),
+        BBox::new(1, 1, 3, 3),
+        BBox::new(0, 3, 2, 5),
+        BBox::new(5, 5, 6, 6),
+    ];
+    for a in &boxes {
+        for b in &boxes {
+            if a.overlaps_open(b) {
+                assert!(a.intersects(b));
+            }
+            assert_eq!(a.intersects(b), b.intersects(a));
+            assert_eq!(a.overlaps_open(b), b.overlaps_open(a));
+        }
+    }
+}
