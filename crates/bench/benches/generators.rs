@@ -1,27 +1,27 @@
-//! Criterion micro-benchmarks for circuit generation and analysis.
+//! Micro-benchmarks for circuit generation and analysis.
 
 use autobraid_circuit::generators::{qaoa::qaoa, qft::qft, revlib, shor::shor_paper};
 use autobraid_circuit::{DependenceDag, ParallelismProfile};
-use criterion::{criterion_group, criterion_main, Criterion};
+use autobraid_telemetry::bench::BenchGroup;
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
-    group.sample_size(20);
-    group.bench_function("qft200", |b| b.iter(|| qft(200).unwrap()));
-    group.bench_function("qaoa200", |b| b.iter(|| qaoa(200, 8, 3, 2021).unwrap()));
-    group.bench_function("urf2_277", |b| b.iter(|| revlib::build("urf2_277").unwrap()));
-    group.bench_function("shor471", |b| b.iter(|| shor_paper().unwrap()));
+fn bench_generators() {
+    let mut group = BenchGroup::new("generate");
+    group.bench("qft200", || qft(200).unwrap());
+    group.bench("qaoa200", || qaoa(200, 8, 3, 2021).unwrap());
+    group.bench("urf2_277", || revlib::build("urf2_277").unwrap());
+    group.bench("shor471", || shor_paper().unwrap());
     group.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis");
-    group.sample_size(20);
+fn bench_analysis() {
+    let mut group = BenchGroup::new("analysis");
     let circuit = qft(200).unwrap();
-    group.bench_function("dag/qft200", |b| b.iter(|| DependenceDag::new(&circuit)));
-    group.bench_function("profile/qft200", |b| b.iter(|| ParallelismProfile::analyze(&circuit)));
+    group.bench("dag/qft200", || DependenceDag::new(&circuit));
+    group.bench("profile/qft200", || ParallelismProfile::analyze(&circuit));
     group.finish();
 }
 
-criterion_group!(benches, bench_generators, bench_analysis);
-criterion_main!(benches);
+fn main() {
+    bench_generators();
+    bench_analysis();
+}

@@ -1,4 +1,4 @@
-//! Criterion micro-benchmarks for the multilevel partitioner (the METIS
+//! Micro-benchmarks for the multilevel partitioner (the METIS
 //! substitute) and the placement pipeline.
 
 use autobraid_circuit::generators::{qaoa::qaoa, qft::qft};
@@ -7,47 +7,46 @@ use autobraid_placement::initial::partition_placement;
 use autobraid_placement::partition::bisect::Balance;
 use autobraid_placement::partition::graph::PartGraph;
 use autobraid_placement::partition::recursive::bisect_multilevel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::bench::BenchGroup;
+use autobraid_telemetry::Rng64;
 
 fn random_graph(n: usize, degree: usize, seed: u64) -> PartGraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut edges = Vec::new();
     for v in 0..n {
         for _ in 0..degree {
             let u = rng.gen_range(0..n);
             if u != v {
-                edges.push((v, u, rng.gen_range(1..10)));
+                edges.push((v, u, rng.gen_range(1..10u64)));
             }
         }
     }
     PartGraph::from_edges(n, &edges)
 }
 
-fn bench_bisection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bisect_multilevel");
-    group.sample_size(20);
+fn bench_bisection() {
+    let mut group = BenchGroup::new("bisect_multilevel");
     for n in [200usize, 1000, 4000] {
         let g = random_graph(n, 4, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| bisect_multilevel(g, Balance::even(g.total_vertex_weight(), 2)))
+        group.bench(&n.to_string(), || {
+            bisect_multilevel(&g, Balance::even(g.total_vertex_weight(), 2))
         });
     }
     group.finish();
 }
 
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition_placement");
-    group.sample_size(10);
+fn bench_placement() {
+    let mut group = BenchGroup::new("partition_placement");
     let qft_c = qft(200).unwrap();
     let qft_grid = Grid::with_capacity_for(200);
-    group.bench_function("qft200", |b| b.iter(|| partition_placement(&qft_c, &qft_grid)));
+    group.bench("qft200", || partition_placement(&qft_c, &qft_grid));
     let qaoa_c = qaoa(300, 4, 3, 9).unwrap();
     let qaoa_grid = Grid::with_capacity_for(300);
-    group.bench_function("qaoa300", |b| b.iter(|| partition_placement(&qaoa_c, &qaoa_grid)));
+    group.bench("qaoa300", || partition_placement(&qaoa_c, &qaoa_grid));
     group.finish();
 }
 
-criterion_group!(benches, bench_bisection, bench_placement);
-criterion_main!(benches);
+fn main() {
+    bench_bisection();
+    bench_placement();
+}

@@ -1,21 +1,19 @@
-//! Criterion micro-benchmarks for the routing layer: A* search and the
+//! Micro-benchmarks for the routing layer: A* search and the
 //! stack-based vs greedy batch routers.
 
 use autobraid_lattice::{Cell, Grid, Occupancy};
 use autobraid_router::astar::{find_path, SearchLimits};
 use autobraid_router::path::CxRequest;
 use autobraid_router::stack_finder::{route_concurrent, route_greedy};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::bench::BenchGroup;
+use autobraid_telemetry::Rng64;
 
 fn random_batch(grid_side: u32, pairs: usize, seed: u64) -> Vec<CxRequest> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut cells: Vec<Cell> = (0..grid_side)
         .flat_map(|r| (0..grid_side).map(move |c| Cell::new(r, c)))
         .collect();
-    cells.shuffle(&mut rng);
+    rng.shuffle(&mut cells);
     cells
         .chunks(2)
         .take(pairs)
@@ -24,62 +22,49 @@ fn random_batch(grid_side: u32, pairs: usize, seed: u64) -> Vec<CxRequest> {
         .collect()
 }
 
-fn bench_astar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("astar");
+fn bench_astar() {
+    let mut group = BenchGroup::new("astar");
     for side in [10u32, 30, 70] {
         let grid = Grid::new(side).unwrap();
         let mut occ = Occupancy::new(&grid);
         // 20% random obstacles.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         for v in grid.vertices().collect::<Vec<_>>() {
             if rng.gen_bool(0.2) {
                 occ.reserve(&grid, v);
             }
         }
-        group.bench_with_input(BenchmarkId::new("corner_to_corner", side), &side, |b, _| {
-            b.iter(|| {
-                find_path(
-                    &grid,
-                    &occ,
-                    Cell::new(0, 0),
-                    Cell::new(side - 1, side - 1),
-                    SearchLimits::default(),
-                )
-            })
+        group.bench(&format!("corner_to_corner/{side}"), || {
+            find_path(
+                &grid,
+                &occ,
+                Cell::new(0, 0),
+                Cell::new(side - 1, side - 1),
+                SearchLimits::default(),
+            )
         });
     }
     group.finish();
 }
 
-fn bench_batch_routers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batch_route");
-    group.sample_size(20);
+fn bench_batch_routers() {
+    let mut group = BenchGroup::new("batch_route");
     for (side, pairs) in [(10u32, 20usize), (22, 100), (32, 300)] {
         let grid = Grid::new(side).unwrap();
         let batch = random_batch(side, pairs, 42);
-        group.bench_with_input(
-            BenchmarkId::new("stack", format!("{side}x{side}_{pairs}")),
-            &batch,
-            |b, batch| {
-                b.iter(|| {
-                    let mut occ = Occupancy::new(&grid);
-                    route_concurrent(&grid, &mut occ, batch)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("greedy", format!("{side}x{side}_{pairs}")),
-            &batch,
-            |b, batch| {
-                b.iter(|| {
-                    let mut occ = Occupancy::new(&grid);
-                    route_greedy(&grid, &mut occ, batch)
-                })
-            },
-        );
+        group.bench(&format!("stack/{side}x{side}_{pairs}"), || {
+            let mut occ = Occupancy::new(&grid);
+            route_concurrent(&grid, &mut occ, &batch)
+        });
+        group.bench(&format!("greedy/{side}x{side}_{pairs}"), || {
+            let mut occ = Occupancy::new(&grid);
+            route_greedy(&grid, &mut occ, &batch)
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_astar, bench_batch_routers);
-criterion_main!(benches);
+fn main() {
+    bench_astar();
+    bench_batch_routers();
+}

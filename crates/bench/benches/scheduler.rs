@@ -1,33 +1,32 @@
-//! Criterion micro-benchmarks for end-to-end scheduling throughput.
+//! Micro-benchmarks for end-to-end scheduling throughput.
 
 use autobraid::config::{Recording, ScheduleConfig};
 use autobraid::maslov::schedule_maslov;
 use autobraid::{schedule_baseline, AutoBraid};
 use autobraid_circuit::generators::{ising::ising, qaoa::qaoa, qft::qft};
-use criterion::{criterion_group, criterion_main, Criterion};
+use autobraid_telemetry::bench::BenchGroup;
 
 fn config() -> ScheduleConfig {
     ScheduleConfig::default().with_recording(Recording::StatsOnly)
 }
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("schedule");
-    group.sample_size(10);
+fn bench_schedulers() {
+    let mut group = BenchGroup::new("schedule");
     let qft50 = qft(50).unwrap();
     let im200 = ising(200, 2).unwrap();
     let qaoa100 = qaoa(100, 8, 3, 2021).unwrap();
 
     let cfg = config();
     let compiler = AutoBraid::new(cfg.clone());
-    group.bench_function("baseline/qft50", |b| b.iter(|| schedule_baseline(&qft50, &cfg)));
-    group.bench_function("autobraid-sp/qft50", |b| b.iter(|| compiler.schedule_sp(&qft50)));
-    group.bench_function("autobraid-full/qft50", |b| b.iter(|| compiler.schedule_full(&qft50)));
-    group.bench_function("maslov/qft50", |b| b.iter(|| schedule_maslov(&qft50, &cfg)));
-    group.bench_function("autobraid-sp/im200", |b| b.iter(|| compiler.schedule_sp(&im200)));
-    group
-        .bench_function("autobraid-sp/qaoa100", |b| b.iter(|| compiler.schedule_sp(&qaoa100)));
+    group.bench("baseline/qft50", || schedule_baseline(&qft50, &cfg));
+    group.bench("autobraid-sp/qft50", || compiler.schedule_sp(&qft50));
+    group.bench("autobraid-full/qft50", || compiler.schedule_full(&qft50));
+    group.bench("maslov/qft50", || schedule_maslov(&qft50, &cfg));
+    group.bench("autobraid-sp/im200", || compiler.schedule_sp(&im200));
+    group.bench("autobraid-sp/qaoa100", || compiler.schedule_sp(&qaoa100));
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);
+fn main() {
+    bench_schedulers();
+}

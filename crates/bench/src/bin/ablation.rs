@@ -2,7 +2,9 @@
 //! routing-order policy, initial placement, the dynamic layout optimizer,
 //! the Maslov specialization, and the commutation-aware DAG extension.
 //!
-//! Run with `cargo run --release -p autobraid-bench --bin ablation`.
+//! Run with `cargo run --release -p autobraid-bench --bin ablation`
+//! (`--telemetry <path>` writes the `autobraid.telemetry/v1` JSON
+//! snapshot of the whole run).
 
 use autobraid::async_engine::schedule_async;
 use autobraid::config::ScheduleConfig;
@@ -59,6 +61,7 @@ fn engine_row(
 }
 
 fn main() {
+    let _telemetry = autobraid_bench::telemetry_sink();
     let config = eval_config();
     let workloads: Vec<Circuit> = vec![
         generators::by_name("qft", 100).unwrap(),
@@ -74,21 +77,89 @@ fn main() {
         let partitioned = partition_placement(circuit, &grid);
         let optimized = compiler.initial_placement(circuit, &grid);
 
-        let mut table =
-            Table::new(["configuration", "braid steps", "swap layers", "cycles", "peak util %"]);
+        let mut table = Table::new([
+            "configuration",
+            "braid steps",
+            "swap layers",
+            "cycles",
+            "peak util %",
+        ]);
 
         // Routing-order policy (same optimized placement, no dynamic layout).
-        engine_row("stack finder", circuit, &grid, optimized.clone(), &StackPolicy, false, &config, &mut table);
-        engine_row("flat stack (no LLG-local)", circuit, &grid, optimized.clone(), &FlatStackPolicy, false, &config, &mut table);
-        engine_row("greedy order", circuit, &grid, optimized.clone(), &GreedyPolicy, false, &config, &mut table);
+        engine_row(
+            "stack finder",
+            circuit,
+            &grid,
+            optimized.clone(),
+            &StackPolicy,
+            false,
+            &config,
+            &mut table,
+        );
+        engine_row(
+            "flat stack (no LLG-local)",
+            circuit,
+            &grid,
+            optimized.clone(),
+            &FlatStackPolicy,
+            false,
+            &config,
+            &mut table,
+        );
+        engine_row(
+            "greedy order",
+            circuit,
+            &grid,
+            optimized.clone(),
+            &GreedyPolicy,
+            false,
+            &config,
+            &mut table,
+        );
 
         // Initial placement ladder (stack finder).
-        engine_row("row-major placement", circuit, &grid, row_major, &StackPolicy, false, &config, &mut table);
-        engine_row("partition placement", circuit, &grid, partitioned, &StackPolicy, false, &config, &mut table);
-        engine_row("partition + LLG tuning", circuit, &grid, optimized.clone(), &StackPolicy, false, &config, &mut table);
+        engine_row(
+            "row-major placement",
+            circuit,
+            &grid,
+            row_major,
+            &StackPolicy,
+            false,
+            &config,
+            &mut table,
+        );
+        engine_row(
+            "partition placement",
+            circuit,
+            &grid,
+            partitioned,
+            &StackPolicy,
+            false,
+            &config,
+            &mut table,
+        );
+        engine_row(
+            "partition + LLG tuning",
+            circuit,
+            &grid,
+            optimized.clone(),
+            &StackPolicy,
+            false,
+            &config,
+            &mut table,
+        );
 
         // Dynamic layout optimizer.
-        engine_row("with layout optimizer (p=0.5)", circuit, &grid, optimized.clone(), &StackPolicy, true, &config, &mut table);
+        engine_row(
+            "with layout optimizer (p=0.5)",
+            circuit,
+            &grid,
+            optimized.clone(),
+            &StackPolicy,
+            true,
+            &config,
+            &mut table,
+        );
 
         // Maslov swap network.
         let (maslov, _) = schedule_maslov(circuit, &config);
@@ -112,7 +183,16 @@ fn main() {
 
         // Commutation-aware DAG extension.
         let relaxed_cfg = config.clone().with_commutation_aware(true);
-        engine_row("commutation-aware DAG", circuit, &grid, optimized, &StackPolicy, false, &relaxed_cfg, &mut table);
+        engine_row(
+            "commutation-aware DAG",
+            circuit,
+            &grid,
+            optimized,
+            &StackPolicy,
+            false,
+            &relaxed_cfg,
+            &mut table,
+        );
 
         println!("\nAblation — {}\n", circuit.name());
         println!("{}", table.render());

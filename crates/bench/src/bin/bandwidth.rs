@@ -23,13 +23,20 @@ fn main() {
     // moderate distance; --full uses the paper's d = 33.
     let distance = if full { 33 } else { 9 };
     let workloads: Vec<(&str, u32)> = if full {
-        vec![("qft", 50), ("qft", 100), ("im", 100), ("qaoa", 100), ("bv", 100)]
+        vec![
+            ("qft", 50),
+            ("qft", 100),
+            ("im", 100),
+            ("qaoa", 100),
+            ("bv", 100),
+        ]
     } else {
         vec![("qft", 25), ("im", 36), ("qaoa", 36), ("bv", 36)]
     };
 
-    let config = ScheduleConfig::default()
-        .with_timing(TimingModel::new(CodeParams::with_distance(distance).unwrap()));
+    let config = ScheduleConfig::default().with_timing(TimingModel::new(
+        CodeParams::with_distance(distance).unwrap(),
+    ));
     let compiler = AutoBraid::new(config);
 
     let mut table = Table::new([
@@ -50,7 +57,10 @@ fn main() {
             format!("{kind}-{n}"),
             layout.physical_qubit_count().to_string(),
             program.instruction_count().to_string(),
-            format!("{:.1}", program.instruction_count() as f64 / circuit.len() as f64),
+            format!(
+                "{:.1}",
+                program.instruction_count() as f64 / circuit.len() as f64
+            ),
             program.peak_instructions_per_cycle().to_string(),
             format!("{:.1}", program.mean_instructions_per_active_cycle()),
         ]);

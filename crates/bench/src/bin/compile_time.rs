@@ -3,25 +3,38 @@
 //! execution time it produces (the paper reports ~1–2% for most
 //! benchmarks).
 //!
-//! Run with `cargo run --release -p autobraid-bench --bin compile_time`.
+//! Run with `cargo run --release -p autobraid-bench --bin compile_time`
+//! (`--telemetry <path>` writes the `autobraid.telemetry/v1` JSON
+//! snapshot of the whole run).
 
 use autobraid::report::Table;
 use autobraid::AutoBraid;
 use autobraid_bench::{eval_config, full_run_requested, BenchEntry, TABLE2};
 
 fn main() {
+    let _telemetry = autobraid_bench::telemetry_sink();
     let full = full_run_requested();
     let labels: &[&str] = if full {
-        &["urf2_277", "QFT-200", "QFT-400", "BV-200", "CC-300", "IM-500", "QAOA-200", "Shor-471"]
+        &[
+            "urf2_277", "QFT-200", "QFT-400", "BV-200", "CC-300", "IM-500", "QAOA-200", "Shor-471",
+        ]
     } else {
-        &["urf2_277", "QFT-200", "BV-200", "CC-300", "IM-500", "QAOA-200"]
+        &[
+            "urf2_277", "QFT-200", "BV-200", "CC-300", "IM-500", "QAOA-200",
+        ]
     };
-    let entries: Vec<&BenchEntry> =
-        TABLE2.iter().filter(|e| labels.contains(&e.label)).collect();
+    let entries: Vec<&BenchEntry> = TABLE2
+        .iter()
+        .filter(|e| labels.contains(&e.label))
+        .collect();
 
     let compiler = AutoBraid::new(eval_config());
-    let mut table =
-        Table::new(["Benchmark", "compile (s)", "execution (s)", "compile/execution (%)"]);
+    let mut table = Table::new([
+        "Benchmark",
+        "compile (s)",
+        "execution (s)",
+        "compile/execution (%)",
+    ]);
     for entry in entries {
         let circuit = entry.build().expect("registry entries build");
         // Wall-clock over the whole compilation, including every candidate

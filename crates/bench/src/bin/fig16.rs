@@ -5,7 +5,8 @@
 //! model.
 //!
 //! Run with `cargo run --release -p autobraid-bench --bin fig16`
-//! (`--full` extends the sweep to larger sizes).
+//! (`--full` extends the sweep to larger sizes; `--telemetry <path>`
+//! writes the `autobraid.telemetry/v1` JSON snapshot of the whole run).
 
 use autobraid::report::Table;
 use autobraid_bench::{eval_config, full_run_requested, scale_points, timing_for, Comparison};
@@ -15,20 +16,40 @@ use autobraid_circuit::generators;
 type AppSpec = (&'static str, &'static str, &'static [u32], fn(u32) -> u64);
 
 fn main() {
+    let _telemetry = autobraid_bench::telemetry_sink();
     let full = full_run_requested();
-    let qft_sizes: &[u32] = if full { &[50, 100, 200, 400, 800] } else { &[50, 100, 200] };
-    let im_sizes: &[u32] = if full { &[100, 200, 400, 800, 1600] } else { &[100, 200, 400] };
-    let qaoa_sizes: &[u32] = if full { &[100, 200, 400, 800] } else { &[100, 200, 400] };
+    let qft_sizes: &[u32] = if full {
+        &[50, 100, 200, 400, 800]
+    } else {
+        &[50, 100, 200]
+    };
+    let im_sizes: &[u32] = if full {
+        &[100, 200, 400, 800, 1600]
+    } else {
+        &[100, 200, 400]
+    };
+    let qaoa_sizes: &[u32] = if full {
+        &[100, 200, 400, 800]
+    } else {
+        &[100, 200, 400]
+    };
 
     let apps: [AppSpec; 3] = [
-        ("QFT", "qft", qft_sizes, |n| u64::from(n) * u64::from(n - 1) / 2 + u64::from(n)),
+        ("QFT", "qft", qft_sizes, |n| {
+            u64::from(n) * u64::from(n - 1) / 2 + u64::from(n)
+        }),
         ("IM", "im", im_sizes, |n| 8 * u64::from(n)),
         ("QAOA", "qaoa", qaoa_sizes, |n| 44 * u64::from(n)),
     ];
 
     for (label, kind, sizes, gates_for) in apps {
         let mut table = Table::new([
-            "n", "1/P_L", "d", "baseline (s)", "autobraid-sp (s)", "autobraid-full (s)",
+            "n",
+            "1/P_L",
+            "d",
+            "baseline (s)",
+            "autobraid-sp (s)",
+            "autobraid-full (s)",
             "CP (s)",
         ]);
         for point in scale_points(sizes, gates_for) {

@@ -15,12 +15,26 @@ type AppSpec = (&'static str, &'static str, &'static [u32], fn(u32) -> u64);
 
 fn main() {
     let full = full_run_requested();
-    let qft_sizes: &[u32] = if full { &[50, 100, 200, 400] } else { &[50, 100, 200] };
-    let im_sizes: &[u32] = if full { &[100, 200, 400, 800] } else { &[100, 200, 400] };
-    let qaoa_sizes: &[u32] = if full { &[100, 200, 400, 800] } else { &[100, 200, 400] };
+    let qft_sizes: &[u32] = if full {
+        &[50, 100, 200, 400]
+    } else {
+        &[50, 100, 200]
+    };
+    let im_sizes: &[u32] = if full {
+        &[100, 200, 400, 800]
+    } else {
+        &[100, 200, 400]
+    };
+    let qaoa_sizes: &[u32] = if full {
+        &[100, 200, 400, 800]
+    } else {
+        &[100, 200, 400]
+    };
 
     let apps: [AppSpec; 3] = [
-        ("QFT", "qft", qft_sizes, |n| u64::from(n) * u64::from(n - 1) / 2 + u64::from(n)),
+        ("QFT", "qft", qft_sizes, |n| {
+            u64::from(n) * u64::from(n - 1) / 2 + u64::from(n)
+        }),
         ("IM", "im", im_sizes, |n| 8 * u64::from(n)),
         ("QAOA", "qaoa", qaoa_sizes, |n| 44 * u64::from(n)),
     ];

@@ -17,8 +17,11 @@ use autobraid_lattice::Grid;
 
 fn main() {
     let full = full_run_requested();
-    let instances: Vec<(&str, u32)> =
-        if full { vec![("qft", 1000), ("qaoa", 1000)] } else { vec![("qft", 100), ("qaoa", 100)] };
+    let instances: Vec<(&str, u32)> = if full {
+        vec![("qft", 1000), ("qaoa", 1000)]
+    } else {
+        vec![("qft", 100), ("qaoa", 100)]
+    };
 
     for (kind, n) in instances {
         let circuit = generators::by_name(kind, n).expect("generator sizes valid");

@@ -47,13 +47,20 @@ fn main() {
         circuit.len(),
         t_gates
     );
-    println!("free supply (paper assumption): {} cycles\n", free.total_cycles);
+    println!(
+        "free supply (paper assumption): {} cycles\n",
+        free.total_cycles
+    );
 
     let data_grid = Grid::with_capacity_for(n as usize);
     let data_placement = compiler.initial_placement(&circuit, &data_grid);
 
-    let mut table =
-        Table::new(["factories", "cycles", "vs free supply", "T gates per factory"]);
+    let mut table = Table::new([
+        "factories",
+        "cycles",
+        "vs free supply",
+        "T gates per factory",
+    ]);
     for factories in [1u32, 2, 4, 8, 16, 32] {
         let rewrite = rewrite_with_factories(&circuit, factories);
         let (grid, placement) = place_with_factories(&rewrite, &data_placement);
@@ -69,7 +76,10 @@ fn main() {
         table.add_row([
             factories.to_string(),
             result.total_cycles.to_string(),
-            format!("{:.2}x", result.total_cycles as f64 / free.total_cycles as f64),
+            format!(
+                "{:.2}x",
+                result.total_cycles as f64 / free.total_cycles as f64
+            ),
             format!("{:.0}", t_gates as f64 / f64::from(factories)),
         ]);
         eprintln!("done: {factories} factories");

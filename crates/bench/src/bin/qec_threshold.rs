@@ -11,16 +11,15 @@ use autobraid::report::Table;
 use autobraid_bench::full_run_requested;
 use autobraid_lattice::decoder::Patch;
 use autobraid_lattice::CodeParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::Rng64;
 
 fn logical_rate(d: u32, p: f64, trials: usize, seed: u64) -> f64 {
     let patch = Patch::new(d).expect("odd d >= 3");
     let n_links = patch.links().len();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let failures = (0..trials)
         .filter(|_| {
-            let samples: Vec<f64> = (0..n_links).map(|_| rng.gen::<f64>()).collect();
+            let samples: Vec<f64> = (0..n_links).map(|_| rng.gen_f64()).collect();
             patch.sample_round(p, &samples)
         })
         .count();

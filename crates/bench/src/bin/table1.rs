@@ -6,7 +6,9 @@
 //! partition placement), plus the resulting speedup.
 //!
 //! Run with `cargo run --release -p autobraid-bench --bin table1`
-//! (`--full` includes the slow Shor instance).
+//! (`--full` includes the slow Shor instance; `--telemetry <path>`
+//! additionally writes the `autobraid.telemetry/v1` JSON snapshot of the
+//! whole run, see `docs/METRICS.md`).
 
 use autobraid::config::ScheduleConfig;
 use autobraid::report::{format_us, Table};
@@ -18,6 +20,7 @@ use autobraid_placement::annealing::count_oversized_llgs;
 use autobraid_placement::initial::partition_placement;
 
 fn main() {
+    let _telemetry = autobraid_bench::telemetry_sink();
     let full = full_run_requested();
     let config = eval_config();
     let mut table = Table::new([
@@ -47,15 +50,25 @@ fn main() {
             before_placement,
             &StackPolicy,
             false,
-            &ScheduleConfig { annealing: None, ..config.clone() },
+            &ScheduleConfig {
+                annealing: None,
+                ..config.clone()
+            },
         );
 
         // After: the LLG-optimized placement (linear layout or annealing).
         let compiler = AutoBraid::new(config.clone());
         let after_placement = compiler.initial_placement(&circuit, &grid);
         let after_llgs = count_oversized_llgs(&circuit, &after_placement);
-        let (after, _) =
-            run("autobraid-sp", &circuit, &grid, after_placement, &StackPolicy, false, &config);
+        let (after, _) = run(
+            "autobraid-sp",
+            &circuit,
+            &grid,
+            after_placement,
+            &StackPolicy,
+            false,
+            &config,
+        );
 
         table.add_row([
             entry.label.to_string(),

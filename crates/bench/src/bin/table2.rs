@@ -3,17 +3,27 @@
 //! benchmark, with speedups.
 //!
 //! Run with `cargo run --release -p autobraid-bench --bin table2`
-//! (`--full` adds the slowest instances: large urf blocks, QFT-500, Shor).
+//! (`--full` adds the slowest instances: large urf blocks, QFT-500, Shor;
+//! `--telemetry <path>` writes the `autobraid.telemetry/v1` JSON snapshot
+//! of the whole run).
 
 use autobraid::report::{format_us, Table};
 use autobraid_bench::{eval_config, full_run_requested, Comparison, SLOW_LABELS, TABLE2};
 use autobraid_circuit::CircuitStats;
 
 fn main() {
+    let _telemetry = autobraid_bench::telemetry_sink();
     let full = full_run_requested();
     let config = eval_config();
     let mut table = Table::new([
-        "Type", "Name", "#qubit", "#gate", "CP", "GP w initM", "AutoBraid", "Speedup",
+        "Type",
+        "Name",
+        "#qubit",
+        "#gate",
+        "CP",
+        "GP w initM",
+        "AutoBraid",
+        "Speedup",
     ]);
 
     for entry in TABLE2 {

@@ -3,6 +3,9 @@
 //! Each binary in `src/bin/` reproduces one experiment (see DESIGN.md §6):
 //! `table1`, `table2`, `fig16`, `fig17`, `fig18`, `compile_time`. This
 //! library holds the benchmark registry and the common run helpers.
+//! Every experiment binary accepts `--telemetry <path>` (see
+//! [`telemetry_sink`]) to dump the `autobraid.telemetry/v1` JSON
+//! snapshot documented in `docs/METRICS.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -10,9 +13,10 @@
 use autobraid::config::{Recording, ScheduleConfig};
 use autobraid::critical_path::critical_path_cycles;
 use autobraid::{schedule_async, schedule_baseline, AutoBraid, ScheduleResult};
-use autobraid_lattice::Grid;
 use autobraid_circuit::{generators, Circuit, CircuitError};
+use autobraid_lattice::Grid;
 use autobraid_lattice::{CodeParams, TimingModel};
+use autobraid_telemetry::{install, MemoryRecorder, RecorderGuard, TelemetrySnapshot};
 
 /// One benchmark instance of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +33,12 @@ pub struct BenchEntry {
 
 impl BenchEntry {
     const fn new(label: &'static str, kind: &'static str, n: u32, category: &'static str) -> Self {
-        BenchEntry { label, kind, n, category }
+        BenchEntry {
+            label,
+            kind,
+            n,
+            category,
+        }
     }
 
     /// Builds the circuit for this entry.
@@ -130,7 +139,13 @@ impl Comparison {
         let placement = compiler.initial_placement(circuit, &grid);
         let asynchronous = schedule_async(circuit, &grid, placement, config).result;
         let cp_cycles = critical_path_cycles(circuit, &config.timing);
-        Comparison { cp_cycles, baseline, sp, full, asynchronous }
+        Comparison {
+            cp_cycles,
+            baseline,
+            sp,
+            full,
+            asynchronous,
+        }
     }
 
     /// The framework's best strategy for this circuit (what the paper's
@@ -176,7 +191,10 @@ pub fn scale_points(sizes: &[u32], gates_for: impl Fn(u32) -> u64) -> Vec<ScaleP
         .iter()
         .map(|&n| {
             let opportunities = gates_for(n).max(1) as f64 * f64::from(n);
-            ScalePoint { n, p_l: (0.01 / opportunities).min(1e-4) }
+            ScalePoint {
+                n,
+                p_l: (0.01 / opportunities).min(1e-4),
+            }
         })
         .collect()
 }
@@ -192,6 +210,58 @@ pub fn full_run_requested() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Process-wide telemetry for the experiment binaries, activated by
+/// `--telemetry <path>` (`-` writes to stdout). Keeps a
+/// [`MemoryRecorder`] installed for as long as the sink is alive and
+/// writes the `autobraid.telemetry/v1` JSON snapshot (see
+/// `docs/METRICS.md`) when dropped.
+pub struct TelemetrySink {
+    recorder: std::sync::Arc<MemoryRecorder>,
+    path: String,
+    _guard: RecorderGuard,
+}
+
+impl TelemetrySink {
+    /// The aggregate recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
+    }
+}
+
+impl Drop for TelemetrySink {
+    fn drop(&mut self) {
+        let json = self.recorder.snapshot().to_json();
+        if self.path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(&self.path, json + "\n") {
+            eprintln!("failed to write telemetry to {}: {e}", self.path);
+        } else {
+            eprintln!("telemetry written to {}", self.path);
+        }
+    }
+}
+
+/// Parses `--telemetry <path>` from the command line; when present,
+/// installs a recorder and returns the sink. Bind the result for the
+/// whole `main` (`let _telemetry = telemetry_sink();`) so the snapshot
+/// is written on exit.
+pub fn telemetry_sink() -> Option<TelemetrySink> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--telemetry" {
+            let path = args.next().unwrap_or_else(|| "-".into());
+            let recorder = std::sync::Arc::new(MemoryRecorder::new());
+            let guard = install(recorder.clone());
+            return Some(TelemetrySink {
+                recorder,
+                path,
+                _guard: guard,
+            });
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,14 +269,23 @@ mod tests {
     #[test]
     fn registry_builds_everything() {
         for entry in TABLE2.iter().chain(TABLE1) {
-            let c = entry.build().unwrap_or_else(|e| panic!("{}: {e}", entry.label));
+            let c = entry
+                .build()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.label));
             assert!(!c.is_empty(), "{} is empty", entry.label);
         }
     }
 
     #[test]
     fn paper_qubit_counts() {
-        let by_label = |l: &str| TABLE2.iter().find(|e| e.label == l).unwrap().build().unwrap();
+        let by_label = |l: &str| {
+            TABLE2
+                .iter()
+                .find(|e| e.label == l)
+                .unwrap()
+                .build()
+                .unwrap()
+        };
         assert_eq!(by_label("QFT-200").num_qubits(), 200);
         assert_eq!(by_label("Shor-471").num_qubits(), 471);
         assert_eq!(by_label("urf2_277").num_qubits(), 8);

@@ -34,12 +34,20 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: u32) -> Self {
-        Circuit { num_qubits, gates: Vec::new(), name: String::new() }
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+            name: String::new(),
+        }
     }
 
     /// Creates an empty circuit with a benchmark name attached.
     pub fn named(num_qubits: u32, name: impl Into<String>) -> Self {
-        Circuit { num_qubits, gates: Vec::new(), name: name.into() }
+        Circuit {
+            num_qubits,
+            gates: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// Builds a circuit from pre-validated parts.
@@ -58,7 +66,11 @@ impl Circuit {
                 });
             }
         }
-        Ok(Circuit { num_qubits, gates, name: String::new() })
+        Ok(Circuit {
+            num_qubits,
+            gates,
+            name: String::new(),
+        })
     }
 
     /// The benchmark name, if one was attached.
@@ -288,7 +300,11 @@ mod tests {
         let err = Circuit::from_gates(2, vec![Gate::cx(0, 2)]);
         assert!(matches!(
             err,
-            Err(CircuitError::QubitOutOfRange { gate: 0, qubit: 2, num_qubits: 2 })
+            Err(CircuitError::QubitOutOfRange {
+                gate: 0,
+                qubit: 2,
+                num_qubits: 2
+            })
         ));
     }
 
@@ -307,7 +323,10 @@ mod tests {
         assert!(c.len() > 6);
         assert!(c.gates().iter().all(|g| !matches!(
             g,
-            Gate::Two { kind: TwoKind::Swap | TwoKind::Cz | TwoKind::CPhase(_), .. }
+            Gate::Two {
+                kind: TwoKind::Swap | TwoKind::Cz | TwoKind::CPhase(_),
+                ..
+            }
         )));
     }
 

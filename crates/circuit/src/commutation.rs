@@ -35,12 +35,14 @@ pub fn basis_on(gate: &Gate, q: QubitId) -> Basis {
     assert!(gate.acts_on(q), "{gate} does not act on qubit {q}");
     match *gate {
         Gate::Single { kind, .. } => match kind {
-            SingleKind::Z | SingleKind::S | SingleKind::Sdg | SingleKind::T
-            | SingleKind::Tdg | SingleKind::Rz(_) => Basis::Z,
+            SingleKind::Z
+            | SingleKind::S
+            | SingleKind::Sdg
+            | SingleKind::T
+            | SingleKind::Tdg
+            | SingleKind::Rz(_) => Basis::Z,
             SingleKind::X | SingleKind::Rx(_) => Basis::X,
-            SingleKind::Y | SingleKind::Ry(_) | SingleKind::H | SingleKind::Measure => {
-                Basis::Other
-            }
+            SingleKind::Y | SingleKind::Ry(_) | SingleKind::H | SingleKind::Measure => Basis::Other,
         },
         Gate::Two { kind, control, .. } => match kind {
             TwoKind::Cz | TwoKind::CPhase(_) => Basis::Z,
@@ -108,13 +110,22 @@ mod tests {
     fn cx_commutation_cases() {
         assert!(commutes(&Gate::cx(0, 1), &Gate::cx(0, 2)), "shared control");
         assert!(commutes(&Gate::cx(1, 0), &Gate::cx(2, 0)), "shared target");
-        assert!(!commutes(&Gate::cx(0, 1), &Gate::cx(1, 2)), "control meets target");
-        assert!(!commutes(&Gate::cx(0, 1), &Gate::cx(1, 0)), "both roles swapped");
+        assert!(
+            !commutes(&Gate::cx(0, 1), &Gate::cx(1, 2)),
+            "control meets target"
+        );
+        assert!(
+            !commutes(&Gate::cx(0, 1), &Gate::cx(1, 0)),
+            "both roles swapped"
+        );
         // CX target is X-type: commutes with X there, not with Z there.
         assert!(commutes(&Gate::cx(0, 1), &Gate::single(SingleKind::X, 1)));
         assert!(!commutes(&Gate::cx(0, 1), &Gate::single(SingleKind::T, 1)));
         // CX control is Z-type.
-        assert!(commutes(&Gate::cx(0, 1), &Gate::single(SingleKind::Rz(0.5), 0)));
+        assert!(commutes(
+            &Gate::cx(0, 1),
+            &Gate::single(SingleKind::Rz(0.5), 0)
+        ));
         assert!(!commutes(&Gate::cx(0, 1), &Gate::single(SingleKind::X, 0)));
     }
 

@@ -52,7 +52,10 @@ impl DependenceDag {
                 last_on_qubit[q as usize] = Some(id);
             }
         }
-        DependenceDag { predecessors, successors }
+        DependenceDag {
+            predecessors,
+            successors,
+        }
     }
 
     /// Builds the *commutation-relaxed* DAG: gates acting in the same
@@ -85,9 +88,9 @@ impl DependenceDag {
         let mut cur_set: Vec<Vec<GateId>> = vec![Vec::new(); qubits];
 
         let add_edge = |from: GateId,
-                            to: GateId,
-                            predecessors: &mut Vec<Vec<GateId>>,
-                            successors: &mut Vec<Vec<GateId>>| {
+                        to: GateId,
+                        predecessors: &mut Vec<Vec<GateId>>,
+                        successors: &mut Vec<Vec<GateId>>| {
             if !predecessors[to].contains(&from) {
                 predecessors[to].push(from);
                 successors[from].push(to);
@@ -113,7 +116,10 @@ impl DependenceDag {
         for succs in &mut successors {
             succs.sort_unstable();
         }
-        DependenceDag { predecessors, successors }
+        DependenceDag {
+            predecessors,
+            successors,
+        }
     }
 
     /// Number of gates (nodes).
@@ -138,7 +144,9 @@ impl DependenceDag {
 
     /// Gates with no predecessors.
     pub fn roots(&self) -> Vec<GateId> {
-        (0..self.len()).filter(|&g| self.predecessors[g].is_empty()).collect()
+        (0..self.len())
+            .filter(|&g| self.predecessors[g].is_empty())
+            .collect()
     }
 
     /// Unweighted DAG depth: the number of dependence levels (0 for an
@@ -172,15 +180,15 @@ impl DependenceDag {
     /// let cp = dag.critical_path_weight(&c, |g| if g.is_two_qubit() { 2 } else { 1 });
     /// assert_eq!(cp, 3);
     /// ```
-    pub fn critical_path_weight(
-        &self,
-        circuit: &Circuit,
-        weight: impl Fn(&Gate) -> u64,
-    ) -> u64 {
+    pub fn critical_path_weight(&self, circuit: &Circuit, weight: impl Fn(&Gate) -> u64) -> u64 {
         let mut finish = vec![0u64; self.len()];
         let mut best = 0;
         for g in 0..self.len() {
-            let start = self.predecessors[g].iter().map(|&p| finish[p]).max().unwrap_or(0);
+            let start = self.predecessors[g]
+                .iter()
+                .map(|&p| finish[p])
+                .max()
+                .unwrap_or(0);
             finish[g] = start + weight(circuit.gate(g));
             best = best.max(finish[g]);
         }
@@ -280,11 +288,7 @@ impl<'a> Frontier<'a> {
     /// Completes every currently ready gate whose circuit gate satisfies
     /// `pred`, returning how many were completed. Useful for draining local
     /// (single-qubit) gates between braiding rounds.
-    pub fn complete_all_where(
-        &mut self,
-        circuit: &Circuit,
-        pred: impl Fn(&Gate) -> bool,
-    ) -> usize {
+    pub fn complete_all_where(&mut self, circuit: &Circuit, pred: impl Fn(&Gate) -> bool) -> usize {
         let mut count = 0;
         loop {
             let batch: Vec<GateId> = self
@@ -309,7 +313,11 @@ impl<'a> Frontier<'a> {
         let mut layers = Vec::new();
         while !self.is_drained() {
             let layer: Vec<GateId> = self.ready.to_vec();
-            assert!(!layer.is_empty(), "frontier stuck with {} outstanding", self.outstanding);
+            assert!(
+                !layer.is_empty(),
+                "frontier stuck with {} outstanding",
+                self.outstanding
+            );
             for &g in &layer {
                 self.complete(g);
             }
@@ -406,7 +414,11 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cx(0, 1).cx(1, 0);
         let dag = DependenceDag::new(&c);
-        assert_eq!(dag.predecessors(1), &[0], "single edge despite two shared qubits");
+        assert_eq!(
+            dag.predecessors(1),
+            &[0],
+            "single edge despite two shared qubits"
+        );
         assert_eq!(dag.successors(0), &[1]);
     }
 
@@ -424,7 +436,10 @@ mod tests {
         let c = diamond();
         let dag = DependenceDag::new(&c);
         // h=1, cx=2: path h→cx→cx = 1+2+2 = 5.
-        assert_eq!(dag.critical_path_weight(&c, |g| if g.is_two_qubit() { 2 } else { 1 }), 5);
+        assert_eq!(
+            dag.critical_path_weight(&c, |g| if g.is_two_qubit() { 2 } else { 1 }),
+            5
+        );
         // Uniform weights: equals depth.
         assert_eq!(dag.critical_path_weight(&c, |_| 1), 3);
     }
@@ -579,8 +594,14 @@ mod tests {
         let c = diamond();
         assert!(is_valid_execution_order(&c, &[0, 1, 2, 3]));
         assert!(is_valid_execution_order(&c, &[0, 1, 3, 2]));
-        assert!(!is_valid_execution_order(&c, &[1, 0, 2, 3]), "dependency violated");
+        assert!(
+            !is_valid_execution_order(&c, &[1, 0, 2, 3]),
+            "dependency violated"
+        );
         assert!(!is_valid_execution_order(&c, &[0, 1, 2]), "missing gate");
-        assert!(!is_valid_execution_order(&c, &[0, 0, 2, 3]), "duplicate gate");
+        assert!(
+            !is_valid_execution_order(&c, &[0, 0, 2, 3]),
+            "duplicate gate"
+        );
     }
 }

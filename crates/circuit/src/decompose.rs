@@ -13,7 +13,10 @@ use crate::gate::QubitId;
 ///
 /// Panics if the three operands are not pairwise distinct or out of range.
 pub fn ccx_into(circuit: &mut Circuit, c0: QubitId, c1: QubitId, target: QubitId) {
-    assert!(c0 != c1 && c0 != target && c1 != target, "ccx operands must be distinct");
+    assert!(
+        c0 != c1 && c0 != target && c1 != target,
+        "ccx operands must be distinct"
+    );
     circuit
         .h(target)
         .cx(c1, target)
@@ -41,7 +44,12 @@ pub fn ccx_into(circuit: &mut Circuit, c0: QubitId, c1: QubitId, target: QubitId
 /// # Panics
 ///
 /// Panics if too few ancillas are supplied or operands overlap.
-pub fn mcx_into(circuit: &mut Circuit, controls: &[QubitId], ancillas: &[QubitId], target: QubitId) {
+pub fn mcx_into(
+    circuit: &mut Circuit,
+    controls: &[QubitId],
+    ancillas: &[QubitId],
+    target: QubitId,
+) {
     match controls {
         [] => {
             circuit.x(target);
@@ -66,7 +74,12 @@ pub fn mcx_into(circuit: &mut Circuit, controls: &[QubitId], ancillas: &[QubitId
             for i in 2..controls.len() - 1 {
                 ccx_into(circuit, controls[i], ancillas[i - 2], ancillas[i - 1]);
             }
-            ccx_into(circuit, *controls.last().expect("nonempty"), ancillas[needed - 1], target);
+            ccx_into(
+                circuit,
+                *controls.last().expect("nonempty"),
+                ancillas[needed - 1],
+                target,
+            );
             for i in (2..controls.len() - 1).rev() {
                 ccx_into(circuit, controls[i], ancillas[i - 2], ancillas[i - 1]);
             }

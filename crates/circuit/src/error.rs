@@ -30,7 +30,11 @@ pub enum CircuitError {
 impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CircuitError::QubitOutOfRange { gate, qubit, num_qubits } => write!(
+            CircuitError::QubitOutOfRange {
+                gate,
+                qubit,
+                num_qubits,
+            } => write!(
                 f,
                 "gate {gate} references qubit {qubit} but the register holds {num_qubits} qubits"
             ),
@@ -50,10 +54,17 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
-        let e = CircuitError::QubitOutOfRange { gate: 3, qubit: 9, num_qubits: 4 };
+        let e = CircuitError::QubitOutOfRange {
+            gate: 3,
+            qubit: 9,
+            num_qubits: 4,
+        };
         let s = e.to_string();
         assert!(s.contains('3') && s.contains('9') && s.contains('4'));
-        let p = CircuitError::Parse { line: 12, message: "unknown gate foo".into() };
+        let p = CircuitError::Parse {
+            line: 12,
+            message: "unknown gate foo".into(),
+        };
         assert!(p.to_string().contains("line 12"));
     }
 

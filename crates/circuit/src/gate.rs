@@ -146,7 +146,11 @@ impl Gate {
     /// Panics if `control == target`.
     pub fn two(kind: TwoKind, control: QubitId, target: QubitId) -> Self {
         assert_ne!(control, target, "two-qubit gate operands must differ");
-        Gate::Two { kind, control, target }
+        Gate::Two {
+            kind,
+            control,
+            target,
+        }
     }
 
     /// Shorthand for a CX gate.
@@ -164,7 +168,9 @@ impl Gate {
     pub fn qubits(&self) -> Vec<QubitId> {
         match *self {
             Gate::Single { qubit, .. } => vec![qubit],
-            Gate::Two { control, target, .. } => vec![control, target],
+            Gate::Two {
+                control, target, ..
+            } => vec![control, target],
         }
     }
 
@@ -172,14 +178,18 @@ impl Gate {
     pub fn acts_on(&self, q: QubitId) -> bool {
         match *self {
             Gate::Single { qubit, .. } => qubit == q,
-            Gate::Two { control, target, .. } => control == q || target == q,
+            Gate::Two {
+                control, target, ..
+            } => control == q || target == q,
         }
     }
 
     /// The two operands of a two-qubit gate, or `None` for a local gate.
     pub fn pair(&self) -> Option<(QubitId, QubitId)> {
         match *self {
-            Gate::Two { control, target, .. } => Some((control, target)),
+            Gate::Two {
+                control, target, ..
+            } => Some((control, target)),
             Gate::Single { .. } => None,
         }
     }
@@ -188,7 +198,9 @@ impl Gate {
     pub fn max_qubit(&self) -> QubitId {
         match *self {
             Gate::Single { qubit, .. } => qubit,
-            Gate::Two { control, target, .. } => control.max(target),
+            Gate::Two {
+                control, target, ..
+            } => control.max(target),
         }
     }
 
@@ -199,8 +211,15 @@ impl Gate {
     /// Panics if the remap collapses a two-qubit gate's operands.
     pub fn map_qubits(&self, mut f: impl FnMut(QubitId) -> QubitId) -> Gate {
         match *self {
-            Gate::Single { kind, qubit } => Gate::Single { kind, qubit: f(qubit) },
-            Gate::Two { kind, control, target } => Gate::two(kind, f(control), f(target)),
+            Gate::Single { kind, qubit } => Gate::Single {
+                kind,
+                qubit: f(qubit),
+            },
+            Gate::Two {
+                kind,
+                control,
+                target,
+            } => Gate::two(kind, f(control), f(target)),
         }
     }
 }
@@ -214,7 +233,11 @@ impl fmt::Display for Gate {
                 }
                 _ => write!(f, "{} q[{qubit}]", kind.mnemonic()),
             },
-            Gate::Two { kind, control, target } => match kind {
+            Gate::Two {
+                kind,
+                control,
+                target,
+            } => match kind {
                 TwoKind::CPhase(a) => write!(f, "cp({a}) q[{control}], q[{target}]"),
                 _ => write!(f, "{} q[{control}], q[{target}]", kind.mnemonic()),
             },
@@ -277,6 +300,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Gate::cx(0, 1).to_string(), "cx q[0], q[1]");
         assert_eq!(Gate::single(SingleKind::H, 2).to_string(), "h q[2]");
-        assert_eq!(Gate::single(SingleKind::Rz(0.5), 2).to_string(), "rz(0.5) q[2]");
+        assert_eq!(
+            Gate::single(SingleKind::Rz(0.5), 2).to_string(),
+            "rz(0.5) q[2]"
+        );
     }
 }

@@ -82,7 +82,12 @@ mod tests {
         assert!(stats.depth > 20, "ripple carry is deep: {}", stats.depth);
         // The carry chain serializes most of the circuit: depth stays a
         // large fraction of the gate count.
-        assert!(stats.depth * 2 > stats.gates, "{} depth vs {} gates", stats.depth, stats.gates);
+        assert!(
+            stats.depth * 2 > stats.gates,
+            "{} depth vs {} gates",
+            stats.depth,
+            stats.gates
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ use crate::error::CircuitError;
 /// not `n - 1`.
 pub fn bv(n: u32, secret: &[bool]) -> Result<Circuit, CircuitError> {
     if n < 2 {
-        return Err(CircuitError::InvalidSize(format!("bv needs n >= 2, got {n}")));
+        return Err(CircuitError::InvalidSize(format!(
+            "bv needs n >= 2, got {n}"
+        )));
     }
     if secret.len() as u32 != n - 1 {
         return Err(CircuitError::InvalidSize(format!(
@@ -79,7 +81,10 @@ mod tests {
     fn zero_cx_parallelism() {
         let c = bv_all_ones(50).unwrap();
         let profile = ParallelismProfile::analyze(&c);
-        assert!(!profile.has_cx_parallelism(), "BV has no concurrent CX gates");
+        assert!(
+            !profile.has_cx_parallelism(),
+            "BV has no concurrent CX gates"
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::error::CircuitError;
 /// Returns [`CircuitError::InvalidSize`] if `n < 4`.
 pub fn welded_tree_edges(n: u32) -> Result<Vec<(u32, u32)>, CircuitError> {
     if n < 4 {
-        return Err(CircuitError::InvalidSize(format!("bwt needs n >= 4, got {n}")));
+        return Err(CircuitError::InvalidSize(format!(
+            "bwt needs n >= 4, got {n}"
+        )));
     }
     let a = n / 2;
     let b = n - a;
@@ -32,7 +34,10 @@ pub fn welded_tree_edges(n: u32) -> Result<Vec<(u32, u32)>, CircuitError> {
     // Welding: leaves (nodes with no children in heap order) of A join
     // leaves of B cyclically, two welds per leaf as in the welded tree.
     let leaves = |base: u32, size: u32| -> Vec<u32> {
-        (0..size).filter(|i| 2 * i + 1 >= size).map(|i| base + i).collect()
+        (0..size)
+            .filter(|i| 2 * i + 1 >= size)
+            .map(|i| base + i)
+            .collect()
     };
     let la = leaves(0, a);
     let lb = leaves(a, b);
@@ -117,7 +122,10 @@ mod tests {
             seen[u as usize] = true;
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "welded tree is connected over all qubits");
+        assert!(
+            seen.iter().all(|&s| s),
+            "welded tree is connected over all qubits"
+        );
     }
 
     #[test]

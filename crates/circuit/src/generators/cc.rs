@@ -26,7 +26,9 @@ use crate::error::CircuitError;
 /// ```
 pub fn counterfeit_coin(n: u32) -> Result<Circuit, CircuitError> {
     if n < 2 {
-        return Err(CircuitError::InvalidSize(format!("cc needs n >= 2, got {n}")));
+        return Err(CircuitError::InvalidSize(format!(
+            "cc needs n >= 2, got {n}"
+        )));
     }
     let mut c = Circuit::named(n, format!("cc{n}"));
     let balance = n - 1;

@@ -18,7 +18,9 @@ use crate::error::CircuitError;
 /// Returns [`CircuitError::InvalidSize`] if `n < 2` or `steps == 0`.
 pub fn ising(n: u32, steps: u32) -> Result<Circuit, CircuitError> {
     if n < 2 {
-        return Err(CircuitError::InvalidSize(format!("ising needs n >= 2, got {n}")));
+        return Err(CircuitError::InvalidSize(format!(
+            "ising needs n >= 2, got {n}"
+        )));
     }
     if steps == 0 {
         return Err(CircuitError::InvalidSize("ising needs steps >= 1".into()));

@@ -2,9 +2,7 @@
 
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::Rng64;
 
 /// Generates a random `degree`-regular graph on `n` vertices via the
 /// pairing model (retrying until simple), returning its edge list.
@@ -23,12 +21,13 @@ pub fn random_regular_graph(
             "no simple {degree}-regular graph on {n} vertices"
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     'attempt: for _ in 0..200 {
         // Pairing model: each vertex contributes `degree` stubs.
-        let mut stubs: Vec<u32> =
-            (0..n).flat_map(|v| std::iter::repeat_n(v, degree as usize)).collect();
-        stubs.shuffle(&mut rng);
+        let mut stubs: Vec<u32> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, degree as usize))
+            .collect();
+        rng.shuffle(&mut stubs);
         let mut edges = Vec::with_capacity(stubs.len() / 2);
         let mut seen = std::collections::HashSet::new();
         for pair in stubs.chunks(2) {
@@ -65,7 +64,7 @@ pub fn qaoa(n: u32, rounds: u32, degree: u32, seed: u64) -> Result<Circuit, Circ
         return Err(CircuitError::InvalidSize("qaoa needs rounds >= 1".into()));
     }
     let edges = random_regular_graph(n, degree, seed)?;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut c = Circuit::named(n, format!("qaoa{n}"));
     for q in 0..n {
         c.h(q);

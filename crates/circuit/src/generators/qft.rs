@@ -28,7 +28,9 @@ use std::f64::consts::PI;
 /// ```
 pub fn qft(n: u32) -> Result<Circuit, CircuitError> {
     if n < 2 {
-        return Err(CircuitError::InvalidSize(format!("qft needs n >= 2, got {n}")));
+        return Err(CircuitError::InvalidSize(format!(
+            "qft needs n >= 2, got {n}"
+        )));
     }
     let mut c = Circuit::named(n, format!("qft{n}"));
     for i in 0..n {

@@ -2,9 +2,7 @@
 
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::Rng64;
 
 /// A seeded random circuit: `num_gates` gates, each two-qubit with
 /// probability `two_qubit_fraction` (uniform random distinct operands)
@@ -28,7 +26,7 @@ pub fn random_circuit(
             "two_qubit_fraction must be in [0,1], got {two_qubit_fraction}"
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut c = Circuit::named(n, format!("random{n}"));
     for _ in 0..num_gates {
         if rng.gen_bool(two_qubit_fraction) {
@@ -66,9 +64,9 @@ pub fn random_cx_layer(n: u32, pairs: u32, seed: u64) -> Result<Circuit, Circuit
             2 * pairs
         )));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut qubits: Vec<u32> = (0..n).collect();
-    qubits.shuffle(&mut rng);
+    rng.shuffle(&mut qubits);
     let mut c = Circuit::named(n, format!("cxlayer{n}x{pairs}"));
     for chunk in qubits.chunks(2).take(pairs as usize) {
         c.cx(chunk[0], chunk[1]);
@@ -92,7 +90,10 @@ mod tests {
     #[test]
     fn extremes_of_fraction() {
         assert_eq!(random_circuit(5, 100, 0.0, 1).unwrap().two_qubit_count(), 0);
-        assert_eq!(random_circuit(5, 100, 1.0, 1).unwrap().two_qubit_count(), 100);
+        assert_eq!(
+            random_circuit(5, 100, 1.0, 1).unwrap().two_qubit_count(),
+            100
+        );
     }
 
     #[test]

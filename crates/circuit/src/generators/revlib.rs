@@ -13,8 +13,7 @@
 
 use crate::circuit::Circuit;
 use crate::error::CircuitError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::Rng64;
 
 /// One catalog entry: `(name, qubits, target_gates, family)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,17 +39,72 @@ pub enum Family {
 
 /// The catalog of building blocks evaluated in Table 2 (plus `urf5_158`).
 pub const CATALOG: &[BlockSpec] = &[
-    BlockSpec { name: "4gt11_8", qubits: 5, target_gates: 20, family: Family::Arithmetic },
-    BlockSpec { name: "4gt5_75", qubits: 5, target_gates: 48, family: Family::Arithmetic },
-    BlockSpec { name: "alu-v0_26", qubits: 5, target_gates: 48, family: Family::Arithmetic },
-    BlockSpec { name: "rd32-v0", qubits: 4, target_gates: 34, family: Family::Arithmetic },
-    BlockSpec { name: "sqrt8_260", qubits: 12, target_gates: 3_090, family: Family::Arithmetic },
-    BlockSpec { name: "squar5_261", qubits: 13, target_gates: 1_110, family: Family::Arithmetic },
-    BlockSpec { name: "squar7", qubits: 15, target_gates: 4_070, family: Family::Arithmetic },
-    BlockSpec { name: "urf1_278", qubits: 9, target_gates: 54_800, family: Family::Unstructured },
-    BlockSpec { name: "urf2_277", qubits: 8, target_gates: 20_100, family: Family::Unstructured },
-    BlockSpec { name: "urf5_158", qubits: 9, target_gates: 160_000, family: Family::Unstructured },
-    BlockSpec { name: "urf5_280", qubits: 9, target_gates: 49_800, family: Family::Unstructured },
+    BlockSpec {
+        name: "4gt11_8",
+        qubits: 5,
+        target_gates: 20,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "4gt5_75",
+        qubits: 5,
+        target_gates: 48,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "alu-v0_26",
+        qubits: 5,
+        target_gates: 48,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "rd32-v0",
+        qubits: 4,
+        target_gates: 34,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "sqrt8_260",
+        qubits: 12,
+        target_gates: 3_090,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "squar5_261",
+        qubits: 13,
+        target_gates: 1_110,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "squar7",
+        qubits: 15,
+        target_gates: 4_070,
+        family: Family::Arithmetic,
+    },
+    BlockSpec {
+        name: "urf1_278",
+        qubits: 9,
+        target_gates: 54_800,
+        family: Family::Unstructured,
+    },
+    BlockSpec {
+        name: "urf2_277",
+        qubits: 8,
+        target_gates: 20_100,
+        family: Family::Unstructured,
+    },
+    BlockSpec {
+        name: "urf5_158",
+        qubits: 9,
+        target_gates: 160_000,
+        family: Family::Unstructured,
+    },
+    BlockSpec {
+        name: "urf5_280",
+        qubits: 9,
+        target_gates: 49_800,
+        family: Family::Unstructured,
+    },
 ];
 
 /// All catalog names, for harness iteration.
@@ -119,7 +173,7 @@ fn stable_seed(name: &str) -> u64 {
 /// what we emit — a deterministic sweep of CCX/CX/X over sliding windows.
 fn fill_arithmetic(c: &mut Circuit, target_gates: usize, seed: u64) {
     let n = c.num_qubits();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut window = 0u32;
     while c.len() < target_gates {
         let a = window % n;
@@ -147,8 +201,8 @@ fn fill_arithmetic(c: &mut Circuit, target_gates: usize, seed: u64) {
 /// Unstructured reversible function: uniform random reversible netlist.
 fn fill_unstructured(c: &mut Circuit, target_gates: usize, seed: u64) {
     let n = c.num_qubits();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let random_pair = |rng: &mut StdRng| {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let random_pair = |rng: &mut Rng64| {
         let a = rng.gen_range(0..n);
         let mut b = rng.gen_range(0..n);
         while b == a {
@@ -227,6 +281,9 @@ mod tests {
     fn urf_blocks_are_cx_heavy() {
         let c = build("urf2_277").unwrap();
         let frac = c.two_qubit_count() as f64 / c.len() as f64;
-        assert!(frac > 0.5, "unstructured blocks are communication heavy: {frac}");
+        assert!(
+            frac > 0.5,
+            "unstructured blocks are communication heavy: {frac}"
+        );
     }
 }

@@ -23,7 +23,9 @@ use std::f64::consts::PI;
 /// Returns [`CircuitError::InvalidSize`] if `bits < 2` or `cutoff == 0`.
 pub fn shor_like(bits: u32, cutoff: u32) -> Result<Circuit, CircuitError> {
     if bits < 2 {
-        return Err(CircuitError::InvalidSize(format!("shor needs bits >= 2, got {bits}")));
+        return Err(CircuitError::InvalidSize(format!(
+            "shor needs bits >= 2, got {bits}"
+        )));
     }
     if cutoff == 0 {
         return Err(CircuitError::InvalidSize("shor needs cutoff >= 1".into()));

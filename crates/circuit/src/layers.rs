@@ -41,9 +41,17 @@ impl ParallelismProfile {
         }
         let cx_per_layer = layers
             .iter()
-            .map(|layer| layer.iter().filter(|&&g| circuit.gate(g).is_two_qubit()).count())
+            .map(|layer| {
+                layer
+                    .iter()
+                    .filter(|&&g| circuit.gate(g).is_two_qubit())
+                    .count()
+            })
             .collect();
-        ParallelismProfile { layers, cx_per_layer }
+        ParallelismProfile {
+            layers,
+            cx_per_layer,
+        }
     }
 
     /// Gate ids at each ASAP level.

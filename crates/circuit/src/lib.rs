@@ -5,6 +5,10 @@
 //! OpenQASM 2.0 subset reader/writer ([`qasm`]), composite-gate lowering
 //! ([`decompose`]), and the paper's full benchmark suite ([`generators`]).
 //!
+//! Its place in the workspace is described in `DESIGN.md` §4 (crate
+//! map); the benchmark-reconstruction substitutions are in
+//! `DESIGN.md` §3.
+//!
 //! # Quick example
 //!
 //! ```

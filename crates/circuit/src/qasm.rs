@@ -138,7 +138,9 @@ fn parse_statement(
                 _ => TwoKind::Cx,
             };
             if a == b {
-                return Err(err(format!("two-qubit gate with identical operands q[{a}]")));
+                return Err(err(format!(
+                    "two-qubit gate with identical operands q[{a}]"
+                )));
             }
             gates.push(Gate::two(kind, a, b));
             Ok(())
@@ -147,7 +149,9 @@ fn parse_statement(
             let (angle, operands) = parse_angle_call(rest, line)?;
             let (a, b) = parse_qubit_pair(operands, line)?;
             if a == b {
-                return Err(err(format!("two-qubit gate with identical operands q[{a}]")));
+                return Err(err(format!(
+                    "two-qubit gate with identical operands q[{a}]"
+                )));
             }
             gates.push(Gate::two(TwoKind::CPhase(angle), a, b));
             Ok(())
@@ -177,10 +181,19 @@ fn parse_index(text: &str, line: usize) -> Result<u32, CircuitError> {
     let open = text.find('[');
     let close = text.rfind(']');
     match (open, close) {
-        (Some(o), Some(c)) if o < c => text[o + 1..c].trim().parse().map_err(|_| {
-            CircuitError::Parse { line, message: format!("bad index in '{text}'") }
+        (Some(o), Some(c)) if o < c => {
+            text[o + 1..c]
+                .trim()
+                .parse()
+                .map_err(|_| CircuitError::Parse {
+                    line,
+                    message: format!("bad index in '{text}'"),
+                })
+        }
+        _ => Err(CircuitError::Parse {
+            line,
+            message: format!("expected name[index], got '{text}'"),
         }),
-        _ => Err(CircuitError::Parse { line, message: format!("expected name[index], got '{text}'") }),
     }
 }
 
@@ -197,7 +210,9 @@ fn parse_qubit_pair(text: &str, line: usize) -> Result<(QubitId, QubitId), Circu
 }
 
 fn parse_qubit_list(text: &str, line: usize) -> Result<Vec<QubitId>, CircuitError> {
-    text.split(',').map(|part| parse_qubit(part, line)).collect()
+    text.split(',')
+        .map(|part| parse_qubit(part, line))
+        .collect()
 }
 
 /// Splits `(angle) q[..], ...` into the evaluated angle and the operand
@@ -222,7 +237,10 @@ fn parse_angle_call(rest: &str, line: usize) -> Result<(f64, &str), CircuitError
 /// literal.
 fn eval_angle(expr: &str, line: usize) -> Result<f64, CircuitError> {
     let expr = expr.trim().replace(' ', "");
-    let err = || CircuitError::Parse { line, message: format!("cannot evaluate angle '{expr}'") };
+    let err = || CircuitError::Parse {
+        line,
+        message: format!("cannot evaluate angle '{expr}'"),
+    };
     if expr.is_empty() {
         return Err(err());
     }
@@ -276,19 +294,33 @@ pub fn emit(circuit: &Circuit) -> String {
     for gate in circuit.gates() {
         match *gate {
             Gate::Single { kind, qubit } => match kind {
-                SingleKind::Rx(a) => { let _ = writeln!(out, "rx({a}) q[{qubit}];"); },
-                SingleKind::Ry(a) => { let _ = writeln!(out, "ry({a}) q[{qubit}];"); },
-                SingleKind::Rz(a) => { let _ = writeln!(out, "rz({a}) q[{qubit}];"); },
+                SingleKind::Rx(a) => {
+                    let _ = writeln!(out, "rx({a}) q[{qubit}];");
+                }
+                SingleKind::Ry(a) => {
+                    let _ = writeln!(out, "ry({a}) q[{qubit}];");
+                }
+                SingleKind::Rz(a) => {
+                    let _ = writeln!(out, "rz({a}) q[{qubit}];");
+                }
                 SingleKind::Measure => {
-                    { let _ = writeln!(out, "measure q[{qubit}] -> c[{qubit}];"); }
+                    let _ = writeln!(out, "measure q[{qubit}] -> c[{qubit}];");
                 }
-                _ => { let _ = writeln!(out, "{} q[{qubit}];", kind.mnemonic()); },
+                _ => {
+                    let _ = writeln!(out, "{} q[{qubit}];", kind.mnemonic());
+                }
             },
-            Gate::Two { kind, control, target } => match kind {
+            Gate::Two {
+                kind,
+                control,
+                target,
+            } => match kind {
                 TwoKind::CPhase(a) => {
-                    { let _ = writeln!(out, "cp({a}) q[{control}], q[{target}];"); }
+                    let _ = writeln!(out, "cp({a}) q[{control}], q[{target}];");
                 }
-                _ => { let _ = writeln!(out, "{} q[{control}], q[{target}];", kind.mnemonic()); },
+                _ => {
+                    let _ = writeln!(out, "{} q[{control}], q[{target}];", kind.mnemonic());
+                }
             },
         }
     }
@@ -316,15 +348,24 @@ mod tests {
                    cp(2*pi/8) q[0], q[1];\n";
         let c = parse(src).unwrap();
         match *c.gate(0) {
-            Gate::Single { kind: SingleKind::Rz(a), .. } => assert!((a - PI / 2.0).abs() < 1e-12),
+            Gate::Single {
+                kind: SingleKind::Rz(a),
+                ..
+            } => assert!((a - PI / 2.0).abs() < 1e-12),
             ref g => panic!("unexpected {g:?}"),
         }
         match *c.gate(1) {
-            Gate::Single { kind: SingleKind::Rx(a), .. } => assert!((a + PI / 4.0).abs() < 1e-12),
+            Gate::Single {
+                kind: SingleKind::Rx(a),
+                ..
+            } => assert!((a + PI / 4.0).abs() < 1e-12),
             ref g => panic!("unexpected {g:?}"),
         }
         match *c.gate(3) {
-            Gate::Two { kind: TwoKind::CPhase(a), .. } => assert!((a - PI / 4.0).abs() < 1e-12),
+            Gate::Two {
+                kind: TwoKind::CPhase(a),
+                ..
+            } => assert!((a - PI / 4.0).abs() < 1e-12),
             ref g => panic!("unexpected {g:?}"),
         }
     }
@@ -363,7 +404,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let src = "qreg q[2];\ncx q[0], q[5];\n";
-        assert!(matches!(parse(src), Err(CircuitError::QubitOutOfRange { .. })));
+        assert!(matches!(
+            parse(src),
+            Err(CircuitError::QubitOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -383,7 +427,12 @@ mod tests {
     #[test]
     fn emit_roundtrip() {
         let mut c = Circuit::new(4);
-        c.h(0).cx(0, 1).cphase(PI / 8.0, 1, 2).swap(2, 3).rz(1.25, 3).measure(0);
+        c.h(0)
+            .cx(0, 1)
+            .cphase(PI / 8.0, 1, 2)
+            .swap(2, 3)
+            .rz(1.25, 3)
+            .measure(0);
         let text = emit(&c);
         let back = parse(&text).unwrap();
         assert_eq!(back, c);

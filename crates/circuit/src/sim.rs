@@ -33,7 +33,10 @@ impl Complex {
 
     /// `e^{iθ}`.
     pub fn phase(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude.
@@ -43,21 +46,30 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 }
 
 impl std::ops::Add for Complex {
     type Output = Complex;
     fn add(self, rhs: Complex) -> Complex {
-        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
 impl std::ops::Sub for Complex {
     type Output = Complex;
     fn sub(self, rhs: Complex) -> Complex {
-        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -108,7 +120,10 @@ impl StateVector {
         );
         let mut amplitudes = vec![Complex::ZERO; 1usize << num_qubits];
         amplitudes[0] = Complex::ONE;
-        StateVector { amplitudes, num_qubits }
+        StateVector {
+            amplitudes,
+            num_qubits,
+        }
     }
 
     /// Runs `circuit` on |0…0⟩ (measurements are ignored — the state stays
@@ -135,7 +150,10 @@ impl StateVector {
     ///
     /// Panics if the circuit is wider than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert!(circuit.num_qubits() <= self.num_qubits, "circuit wider than the state");
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit wider than the state"
+        );
         for gate in circuit.gates() {
             self.apply(gate);
         }
@@ -146,7 +164,11 @@ impl StateVector {
     pub fn apply(&mut self, gate: &Gate) {
         match *gate {
             Gate::Single { kind, qubit } => self.apply_single(kind, qubit),
-            Gate::Two { kind, control, target } => self.apply_two(kind, control, target),
+            Gate::Two {
+                kind,
+                control,
+                target,
+            } => self.apply_two(kind, control, target),
         }
     }
 
@@ -158,19 +180,33 @@ impl StateVector {
         let (a, b, c, d) = match kind {
             SingleKind::X => (Complex::ZERO, Complex::ONE, Complex::ONE, Complex::ZERO),
             SingleKind::Y => (Complex::ZERO, ni, i, Complex::ZERO),
-            SingleKind::Z => (Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::new(-1.0, 0.0)),
+            SingleKind::Z => (
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::new(-1.0, 0.0),
+            ),
             SingleKind::H => (h, h, h, Complex::new(-FRAC_1_SQRT_2, 0.0)),
             SingleKind::S => (Complex::ONE, Complex::ZERO, Complex::ZERO, i),
             SingleKind::Sdg => (Complex::ONE, Complex::ZERO, Complex::ZERO, ni),
-            SingleKind::T => {
-                (Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::phase(std::f64::consts::FRAC_PI_4))
-            }
-            SingleKind::Tdg => {
-                (Complex::ONE, Complex::ZERO, Complex::ZERO, Complex::phase(-std::f64::consts::FRAC_PI_4))
-            }
-            SingleKind::Rz(t) => {
-                (Complex::phase(-t / 2.0), Complex::ZERO, Complex::ZERO, Complex::phase(t / 2.0))
-            }
+            SingleKind::T => (
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::phase(std::f64::consts::FRAC_PI_4),
+            ),
+            SingleKind::Tdg => (
+                Complex::ONE,
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::phase(-std::f64::consts::FRAC_PI_4),
+            ),
+            SingleKind::Rz(t) => (
+                Complex::phase(-t / 2.0),
+                Complex::ZERO,
+                Complex::ZERO,
+                Complex::phase(t / 2.0),
+            ),
             SingleKind::Rx(t) => {
                 let (cos, sin) = ((t / 2.0).cos(), (t / 2.0).sin());
                 (
@@ -326,7 +362,14 @@ mod tests {
     #[test]
     fn inverses_cancel() {
         let mut c = Circuit::new(1);
-        c.s(0).sdg(0).t(0).tdg(0).rx(0.7, 0).rx(-0.7, 0).rz(1.1, 0).rz(-1.1, 0);
+        c.s(0)
+            .sdg(0)
+            .t(0)
+            .tdg(0)
+            .rx(0.7, 0)
+            .rx(-0.7, 0)
+            .rz(1.1, 0)
+            .rz(-1.1, 0);
         assert!(circuits_equivalent(&c, &Circuit::new(1), EPS));
     }
 
@@ -364,7 +407,11 @@ mod tests {
             }
             c.ccx(0, 1, 2);
             let s = StateVector::run(&c);
-            let expected = if input & 0b011 == 0b011 { input ^ 0b100 } else { input };
+            let expected = if input & 0b011 == 0b011 {
+                input ^ 0b100
+            } else {
+                input
+            };
             let p = s.probabilities();
             assert!(
                 (p[expected as usize] - 1.0).abs() < EPS,
@@ -404,7 +451,10 @@ mod tests {
         let pairs = [
             (Gate::cx(0, 1), Gate::cx(0, 2)),
             (Gate::cx(1, 0), Gate::cx(2, 0)),
-            (Gate::two(TwoKind::CPhase(0.4), 0, 1), Gate::two(TwoKind::CPhase(0.9), 1, 2)),
+            (
+                Gate::two(TwoKind::CPhase(0.4), 0, 1),
+                Gate::two(TwoKind::CPhase(0.9), 1, 2),
+            ),
             (Gate::single(SingleKind::T, 1), Gate::two(TwoKind::Cz, 1, 2)),
         ];
         for (g1, g2) in pairs {

@@ -67,7 +67,11 @@ impl fmt::Display for CircuitStats {
         write!(
             f,
             "{}: {} qubits, {} gates ({} CX, depth {}, ≤{} concurrent CX)",
-            if self.name.is_empty() { "circuit" } else { &self.name },
+            if self.name.is_empty() {
+                "circuit"
+            } else {
+                &self.name
+            },
             self.qubits,
             self.gates,
             self.two_qubit_gates,

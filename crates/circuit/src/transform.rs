@@ -13,8 +13,14 @@ use crate::gate::{Gate, SingleKind, TwoKind};
 fn are_inverse(a: &Gate, b: &Gate) -> bool {
     match (a, b) {
         (
-            Gate::Single { kind: k1, qubit: q1 },
-            Gate::Single { kind: k2, qubit: q2 },
+            Gate::Single {
+                kind: k1,
+                qubit: q1,
+            },
+            Gate::Single {
+                kind: k2,
+                qubit: q2,
+            },
         ) if q1 == q2 => matches!(
             (k1, k2),
             (SingleKind::X, SingleKind::X)
@@ -27,8 +33,16 @@ fn are_inverse(a: &Gate, b: &Gate) -> bool {
                 | (SingleKind::Tdg, SingleKind::T)
         ),
         (
-            Gate::Two { kind: k1, control: c1, target: t1 },
-            Gate::Two { kind: k2, control: c2, target: t2 },
+            Gate::Two {
+                kind: k1,
+                control: c1,
+                target: t1,
+            },
+            Gate::Two {
+                kind: k2,
+                control: c2,
+                target: t2,
+            },
         ) => match (k1, k2) {
             (TwoKind::Cx, TwoKind::Cx) => c1 == c2 && t1 == t2,
             // CZ and SWAP are symmetric in their operands.
@@ -45,20 +59,46 @@ fn are_inverse(a: &Gate, b: &Gate) -> bool {
 fn merged(a: &Gate, b: &Gate) -> Option<Gate> {
     match (a, b) {
         (
-            Gate::Single { kind: SingleKind::Rz(t1), qubit: q1 },
-            Gate::Single { kind: SingleKind::Rz(t2), qubit: q2 },
+            Gate::Single {
+                kind: SingleKind::Rz(t1),
+                qubit: q1,
+            },
+            Gate::Single {
+                kind: SingleKind::Rz(t2),
+                qubit: q2,
+            },
         ) if q1 == q2 => Some(Gate::single(SingleKind::Rz(t1 + t2), *q1)),
         (
-            Gate::Single { kind: SingleKind::Rx(t1), qubit: q1 },
-            Gate::Single { kind: SingleKind::Rx(t2), qubit: q2 },
+            Gate::Single {
+                kind: SingleKind::Rx(t1),
+                qubit: q1,
+            },
+            Gate::Single {
+                kind: SingleKind::Rx(t2),
+                qubit: q2,
+            },
         ) if q1 == q2 => Some(Gate::single(SingleKind::Rx(t1 + t2), *q1)),
         (
-            Gate::Single { kind: SingleKind::Ry(t1), qubit: q1 },
-            Gate::Single { kind: SingleKind::Ry(t2), qubit: q2 },
+            Gate::Single {
+                kind: SingleKind::Ry(t1),
+                qubit: q1,
+            },
+            Gate::Single {
+                kind: SingleKind::Ry(t2),
+                qubit: q2,
+            },
         ) if q1 == q2 => Some(Gate::single(SingleKind::Ry(t1 + t2), *q1)),
         (
-            Gate::Two { kind: TwoKind::CPhase(t1), control: c1, target: t1q },
-            Gate::Two { kind: TwoKind::CPhase(t2), control: c2, target: t2q },
+            Gate::Two {
+                kind: TwoKind::CPhase(t1),
+                control: c1,
+                target: t1q,
+            },
+            Gate::Two {
+                kind: TwoKind::CPhase(t2),
+                control: c2,
+                target: t2q,
+            },
         ) if (c1 == c2 && t1q == t2q) || (c1 == t2q && t1q == c2) => {
             Some(Gate::two(TwoKind::CPhase(t1 + t2), *c1, *t1q))
         }
@@ -69,10 +109,14 @@ fn merged(a: &Gate, b: &Gate) -> Option<Gate> {
 /// Whether a gate is a rotation by (numerically) zero.
 fn is_trivial_rotation(gate: &Gate, epsilon: f64) -> bool {
     match *gate {
-        Gate::Single { kind: SingleKind::Rx(t) | SingleKind::Ry(t) | SingleKind::Rz(t), .. } => {
-            t.abs() < epsilon
-        }
-        Gate::Two { kind: TwoKind::CPhase(t), .. } => t.abs() < epsilon,
+        Gate::Single {
+            kind: SingleKind::Rx(t) | SingleKind::Ry(t) | SingleKind::Rz(t),
+            ..
+        } => t.abs() < epsilon,
+        Gate::Two {
+            kind: TwoKind::CPhase(t),
+            ..
+        } => t.abs() < epsilon,
         _ => false,
     }
 }
@@ -122,7 +166,10 @@ pub fn optimize(circuit: &Circuit, epsilon: f64) -> (Circuit, TransformStats) {
         changed = false;
         // Drop trivial rotations first (cheap, enables cancellations).
         for slot in gates.iter_mut() {
-            if slot.as_ref().is_some_and(|g| is_trivial_rotation(g, epsilon)) {
+            if slot
+                .as_ref()
+                .is_some_and(|g| is_trivial_rotation(g, epsilon))
+            {
                 *slot = None;
                 stats.dropped_rotations += 1;
                 changed = true;
@@ -204,7 +251,16 @@ mod tests {
     #[test]
     fn cancels_inverse_pairs() {
         let mut c = Circuit::new(2);
-        c.h(0).h(0).x(1).x(1).s(0).sdg(0).cx(0, 1).cx(0, 1).swap(0, 1).swap(1, 0);
+        c.h(0)
+            .h(0)
+            .x(1)
+            .x(1)
+            .s(0)
+            .sdg(0)
+            .cx(0, 1)
+            .cx(0, 1)
+            .swap(0, 1)
+            .swap(1, 0);
         let (opt, stats) = optimize(&c, 1e-12);
         assert!(opt.is_empty(), "{opt}");
         assert_eq!(stats.cancelled_pairs, 5);
@@ -230,7 +286,12 @@ mod tests {
     #[test]
     fn merges_and_drops_rotations() {
         let mut c = Circuit::new(2);
-        c.rz(0.5, 0).rz(-0.5, 0).rx(0.25, 1).rx(0.25, 1).cphase(0.3, 0, 1).cphase(-0.3, 1, 0);
+        c.rz(0.5, 0)
+            .rz(-0.5, 0)
+            .rx(0.25, 1)
+            .rx(0.25, 1)
+            .cphase(0.3, 0, 1)
+            .cphase(-0.3, 1, 0);
         let (opt, stats) = optimize(&c, 1e-9);
         // rz pair merges to rz(0) → dropped; cp pair merges to cp(0) →
         // dropped; rx pair merges to rx(0.5) → kept.
@@ -262,24 +323,23 @@ mod tests {
 
     #[test]
     fn optimization_preserves_rotation_heavy_circuits() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(77);
+        use autobraid_telemetry::Rng64;
+        let mut rng = Rng64::seed_from_u64(77);
         for _ in 0..5 {
             let mut c = Circuit::new(4);
             for _ in 0..60 {
-                match rng.gen_range(0..4) {
+                match rng.gen_range(0..4u32) {
                     0 => {
-                        c.rz(rng.gen_range(-1.0..1.0), rng.gen_range(0..4));
+                        c.rz(rng.gen_range(-1.0..1.0), rng.gen_range(0..4u32));
                     }
                     1 => {
-                        c.cphase(rng.gen_range(-1.0..1.0), 0, rng.gen_range(1..4));
+                        c.cphase(rng.gen_range(-1.0..1.0), 0, rng.gen_range(1..4u32));
                     }
                     2 => {
-                        c.h(rng.gen_range(0..4));
+                        c.h(rng.gen_range(0..4u32));
                     }
                     _ => {
-                        let a = rng.gen_range(0..4);
+                        let a = rng.gen_range(0..4u32);
                         c.cx(a, (a + 1) % 4);
                     }
                 }

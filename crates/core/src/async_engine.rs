@@ -75,19 +75,29 @@ pub fn schedule_async(
     let slots_of = |g: &Gate| -> u64 {
         match g {
             Gate::Single { .. } => 1,
-            Gate::Two { kind: TwoKind::Swap, .. } => 6,
+            Gate::Two {
+                kind: TwoKind::Swap,
+                ..
+            } => 6,
             Gate::Two { .. } => 2,
         }
     };
     // Remaining critical path in slots, for routing priority.
     let mut remaining = vec![0u64; circuit.len()];
     for g in (0..circuit.len()).rev() {
-        let tail = dag.successors(g).iter().map(|&s| remaining[s]).max().unwrap_or(0);
+        let tail = dag
+            .successors(g)
+            .iter()
+            .map(|&s| remaining[s])
+            .max()
+            .unwrap_or(0);
         remaining[g] = tail + slots_of(circuit.gate(g));
     }
 
     // ready_at[g]: earliest slot all predecessors have finished.
-    let mut unmet: Vec<usize> = (0..circuit.len()).map(|g| dag.predecessors(g).len()).collect();
+    let mut unmet: Vec<usize> = (0..circuit.len())
+        .map(|g| dag.predecessors(g).len())
+        .collect();
     let mut ready_at: Vec<u64> = vec![0; circuit.len()];
     // Gates becoming ready at each slot.
     let mut agenda: BTreeMap<u64, Vec<GateId>> = BTreeMap::new();
@@ -105,7 +115,10 @@ pub fn schedule_async(
     let mut utilization_sum = 0.0;
 
     while finished < circuit.len() {
-        let (&slot, _) = agenda.iter().next().expect("unfinished gates have agenda entries");
+        let (&slot, _) = agenda
+            .iter()
+            .next()
+            .expect("unfinished gates have agenda entries");
         let batch = agenda.remove(&slot).expect("entry exists");
         occupancy.retain(|&s, _| s >= slot);
 
@@ -115,7 +128,12 @@ pub fn schedule_async(
                             agenda: &mut BTreeMap<u64, Vec<GateId>>| {
             let len = slots_of(circuit.gate(g));
             let finish = start + len;
-            assignments.push(Assignment { gate: g, start_slot: start, slots: len, path });
+            assignments.push(Assignment {
+                gate: g,
+                start_slot: start,
+                slots: len,
+                path,
+            });
             makespan_slots = makespan_slots.max(finish);
             for &s in dag.successors(g) {
                 unmet[s] -= 1;
@@ -191,7 +209,12 @@ pub fn schedule_async(
         result.mean_utilization = utilization_sum / utilization_samples as f64;
     }
     result.compile_seconds = started.elapsed().as_secs_f64();
-    AsyncSchedule { result, assignments, grid: grid.clone(), placement }
+    AsyncSchedule {
+        result,
+        assignments,
+        grid: grid.clone(),
+        placement,
+    }
 }
 
 /// Independently verifies an [`AsyncSchedule`]: every gate exactly once,
@@ -242,8 +265,10 @@ pub fn verify_async(circuit: &Circuit, schedule: &AsyncSchedule) -> Result<(), S
         let gate = circuit.gate(a.gate);
         match (&a.path, gate.pair()) {
             (Some(path), Some((qa, qb))) => {
-                let (ca, cb) =
-                    (schedule.placement.cell_of(qa), schedule.placement.cell_of(qb));
+                let (ca, cb) = (
+                    schedule.placement.cell_of(qa),
+                    schedule.placement.cell_of(qb),
+                );
                 if BraidPath::new(&schedule.grid, ca, cb, path.vertices().to_vec()).is_none() {
                     return Err(format!("invalid path for gate {}", a.gate));
                 }

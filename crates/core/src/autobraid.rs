@@ -18,6 +18,7 @@ use autobraid_lattice::Grid;
 use autobraid_placement::{
     anneal, initial::partition_placement, linear_placement, CouplingGraph, Placement,
 };
+use autobraid_telemetry as telemetry;
 
 /// The AutoBraid compiler front end.
 ///
@@ -70,7 +71,9 @@ impl AutoBraid {
     /// refined by simulated annealing on the LLG objective (unless
     /// annealing is disabled in the config).
     pub fn initial_placement(&self, circuit: &Circuit, grid: &Grid) -> Placement {
+        let _span = telemetry::span("placement");
         if let Some(linear) = linear_placement(circuit, grid) {
+            telemetry::counter("placement.linear_layouts", 1);
             return linear;
         }
         let seed = partition_placement(circuit, grid);
@@ -95,7 +98,11 @@ impl AutoBraid {
             &self.config,
         );
         result.scheduler = "autobraid-sp".into();
-        ScheduleOutcome { result, grid, initial_placement: placement }
+        ScheduleOutcome {
+            result,
+            grid,
+            initial_placement: placement,
+        }
     }
 
     /// Schedules with path finding *and* dynamic qubit placement — the
@@ -116,12 +123,22 @@ impl AutoBraid {
             self.config.layout_threshold > 0.0,
             &self.config,
         );
-        let mut outcome =
-            ScheduleOutcome { result, grid: grid.clone(), initial_placement: placement.clone() };
+        let mut outcome = ScheduleOutcome {
+            result,
+            grid: grid.clone(),
+            initial_placement: placement.clone(),
+        };
 
         if self.config.layout_threshold > 0.0 {
-            let (sp, _) =
-                run("autobraid-full", circuit, &grid, placement.clone(), &StackPolicy, false, &self.config);
+            let (sp, _) = run(
+                "autobraid-full",
+                circuit,
+                &grid,
+                placement.clone(),
+                &StackPolicy,
+                false,
+                &self.config,
+            );
             if sp.total_cycles < outcome.result.total_cycles {
                 outcome = ScheduleOutcome {
                     result: sp,
@@ -134,7 +151,11 @@ impl AutoBraid {
                 if maslov.total_cycles < outcome.result.total_cycles {
                     let mut result = maslov;
                     result.scheduler = "autobraid-full".into();
-                    outcome = ScheduleOutcome { grid, result, initial_placement: maslov_initial };
+                    outcome = ScheduleOutcome {
+                        grid,
+                        result,
+                        initial_placement: maslov_initial,
+                    };
                 }
             }
         }
@@ -192,7 +213,10 @@ mod tests {
         let c = ising(25, 2).unwrap();
         let (sp, full) = check(&c);
         let cp = critical_path_cycles(&c, sp.timing());
-        assert_eq!(sp.total_cycles, cp, "serpentine Ising must match CP (Table 2)");
+        assert_eq!(
+            sp.total_cycles, cp,
+            "serpentine Ising must match CP (Table 2)"
+        );
         assert_eq!(full.total_cycles, cp);
     }
 

@@ -34,8 +34,15 @@ pub fn schedule_baseline(
 ) -> (ScheduleResult, Placement) {
     let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
     let placement = partition_placement(circuit, &grid);
-    let (result, _) =
-        run("baseline", circuit, &grid, placement.clone(), &GreedyPolicy, false, config);
+    let (result, _) = run(
+        "baseline",
+        circuit,
+        &grid,
+        placement.clone(),
+        &GreedyPolicy,
+        false,
+        config,
+    );
     (result, placement)
 }
 

@@ -71,7 +71,10 @@ impl ScheduleConfig {
     ///
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn with_layout_threshold(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "threshold must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "threshold must be in [0,1], got {p}"
+        );
         self.layout_threshold = p;
         self
     }

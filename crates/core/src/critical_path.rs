@@ -10,7 +10,10 @@ use autobraid_lattice::TimingModel;
 pub fn gate_cycles(gate: &Gate, timing: &TimingModel) -> u64 {
     match gate {
         Gate::Single { .. } => timing.local_step_cycles(),
-        Gate::Two { kind: TwoKind::Swap, .. } => 3 * timing.braid_step_cycles(),
+        Gate::Two {
+            kind: TwoKind::Swap,
+            ..
+        } => 3 * timing.braid_step_cycles(),
         Gate::Two { .. } => timing.braid_step_cycles(),
     }
 }
@@ -81,6 +84,9 @@ mod tests {
 
     #[test]
     fn empty_circuit_is_zero() {
-        assert_eq!(critical_path_cycles(&Circuit::new(4), &TimingModel::default()), 0);
+        assert_eq!(
+            critical_path_cycles(&Circuit::new(4), &TimingModel::default()),
+            0
+        );
     }
 }

@@ -140,7 +140,10 @@ pub fn emit_physical(
         ));
     }
     instructions.sort_by_key(|i| i.cycle);
-    Ok(PhysicalProgram { instructions, duration_cycles: cycle })
+    Ok(PhysicalProgram {
+        instructions,
+        duration_cycles: cycle,
+    })
 }
 
 #[cfg(test)]
@@ -216,7 +219,11 @@ mod tests {
         let timing = TimingModel::new(CodeParams::with_distance(3).unwrap());
         let mut result = ScheduleResult::new("t", "t", timing);
         result.steps.push(Step::SwapLayer {
-            swaps: vec![SwapOp { a: 0, b: 1, path: path.clone() }],
+            swaps: vec![SwapOp {
+                a: 0,
+                b: 1,
+                path: path.clone(),
+            }],
         });
         result.total_cycles = 3 * timing.braid_step_cycles();
         let layout = PhysicalLayout::new(3, 3).unwrap();

@@ -17,7 +17,17 @@
 //! * [`maslov::schedule_maslov`] — the linear-depth swap-network
 //!   specialization for all-to-all patterns;
 //! * [`critical_path`] — the ideal lower bound ("CP");
-//! * [`metrics::verify_schedule`] — exhaustive schedule validation.
+//! * [`metrics::verify_schedule`] — exhaustive schedule validation;
+//! * [`pipeline::Pipeline`] — the end-to-end compile façade, with
+//!   opt-in observability ([`pipeline::Pipeline::with_telemetry`]):
+//!   stage spans, subsystem counters, and histograms snapshotted into
+//!   [`pipeline::CompileReport::telemetry`], rendered by
+//!   [`render::render_telemetry`] / [`report::compile_report_json`].
+//!   The metric names and JSON schema are documented in
+//!   `docs/METRICS.md`.
+//!
+//! The workspace architecture, paper substitutions, and experiment
+//! index live in `DESIGN.md`.
 //!
 //! # Quick example
 //!
@@ -42,8 +52,8 @@ pub mod async_engine;
 pub mod autobraid;
 pub mod baseline;
 pub mod config;
-pub mod emit;
 pub mod critical_path;
+pub mod emit;
 pub mod magic;
 pub mod maslov;
 pub mod metrics;
@@ -59,4 +69,10 @@ pub use baseline::schedule_baseline;
 pub use config::{Recording, ScheduleConfig};
 pub use critical_path::{critical_path_cycles, critical_path_cycles_relaxed, critical_path_us};
 pub use metrics::{verify_schedule, verify_schedule_with_dag, ScheduleResult, Step, SwapOp};
-pub use scheduler::{run, run_with_base_occupancy, GreedyPolicy, RoutePolicy, ScheduleError, StackPolicy};
+pub use scheduler::{
+    run, run_with_base_occupancy, GreedyPolicy, RoutePolicy, ScheduleError, StackPolicy,
+};
+
+/// The observability layer (re-exported for downstream convenience):
+/// install a recorder, create spans, bump counters — see `docs/METRICS.md`.
+pub use autobraid_telemetry as telemetry;

@@ -59,7 +59,10 @@ pub fn rewrite_with_factories(circuit: &Circuit, factories: u32) -> MagicRewrite
     let mut next = 0u32;
     for gate in circuit.gates() {
         match *gate {
-            Gate::Single { kind: SingleKind::T | SingleKind::Tdg, qubit } => {
+            Gate::Single {
+                kind: SingleKind::T | SingleKind::Tdg,
+                qubit,
+            } => {
                 let factory = n + next;
                 next = (next + 1) % factories;
                 // Consumption braid: the factory's magic state interacts
@@ -73,7 +76,11 @@ pub fn rewrite_with_factories(circuit: &Circuit, factories: u32) -> MagicRewrite
             }
         }
     }
-    MagicRewrite { circuit: out, factories, rewritten_gates: rewritten }
+    MagicRewrite {
+        circuit: out,
+        factories,
+        rewritten_gates: rewritten,
+    }
 }
 
 /// Places the rewritten circuit: data qubits keep `data_placement`'s
@@ -100,12 +107,13 @@ pub fn place_with_factories(
     // Widen the grid by enough rows to host the factories.
     let data_side = Grid::with_capacity_for(data_qubits as usize).cells_per_side();
     let side = data_side.max(rewrite.factories.div_ceil(data_side.max(1))) + 1;
-    let side = side.max(
-        Grid::with_capacity_for((data_qubits + rewrite.factories) as usize).cells_per_side(),
-    );
+    let side = side
+        .max(Grid::with_capacity_for((data_qubits + rewrite.factories) as usize).cells_per_side());
     let grid = Grid::new(side).expect("positive side");
 
-    let mut cells: Vec<Cell> = (0..data_qubits).map(|q| data_placement.cell_of(q)).collect();
+    let mut cells: Vec<Cell> = (0..data_qubits)
+        .map(|q| data_placement.cell_of(q))
+        .collect();
     // Factories along the bottom row(s), outside the data block.
     let mut row = side - 1;
     let mut col = 0;
@@ -157,14 +165,25 @@ mod tests {
         let t_count = c
             .gates()
             .iter()
-            .filter(|g| matches!(g, Gate::Single { kind: SingleKind::T | SingleKind::Tdg, .. }))
+            .filter(|g| {
+                matches!(
+                    g,
+                    Gate::Single {
+                        kind: SingleKind::T | SingleKind::Tdg,
+                        ..
+                    }
+                )
+            })
             .count();
         let rewrite = rewrite_with_factories(&c, 2);
         assert_eq!(rewrite.rewritten_gates, t_count);
         assert_eq!(rewrite.circuit.len(), c.len());
         assert!(rewrite.circuit.gates().iter().all(|g| !matches!(
             g,
-            Gate::Single { kind: SingleKind::T | SingleKind::Tdg, .. }
+            Gate::Single {
+                kind: SingleKind::T | SingleKind::Tdg,
+                ..
+            }
         )));
     }
 

@@ -29,10 +29,7 @@ use std::time::Instant;
 /// the network. Termination follows from the brick-wall property: within
 /// `n` transposition layers every pair of line positions has been
 /// adjacent, so the dependence frontier always progresses.
-pub fn schedule_maslov(
-    circuit: &Circuit,
-    config: &ScheduleConfig,
-) -> (ScheduleResult, Placement) {
+pub fn schedule_maslov(circuit: &Circuit, config: &ScheduleConfig) -> (ScheduleResult, Placement) {
     let started = Instant::now();
     let n = circuit.num_qubits();
     let grid = Grid::with_capacity_for(n as usize);
@@ -61,15 +58,19 @@ pub fn schedule_maslov(
 
     while !frontier.is_drained() {
         let ready: Vec<GateId> = frontier.ready().to_vec();
-        let locals: Vec<GateId> =
-            ready.iter().copied().filter(|&g| !circuit.gate(g).is_two_qubit()).collect();
+        let locals: Vec<GateId> = ready
+            .iter()
+            .copied()
+            .filter(|&g| !circuit.gate(g).is_two_qubit())
+            .collect();
         let adjacent: Vec<GateId> = ready
             .iter()
             .copied()
             .filter(|&g| {
-                circuit.gate(g).pair().is_some_and(|(a, b)| {
-                    position[a as usize].abs_diff(position[b as usize]) == 1
-                })
+                circuit
+                    .gate(g)
+                    .pair()
+                    .is_some_and(|(a, b)| position[a as usize].abs_diff(position[b as usize]) == 1)
             })
             .collect();
         let any_braid_ready = ready.len() > locals.len();
@@ -179,7 +180,10 @@ pub fn schedule_maslov(
                 }
                 p += 2;
             }
-            debug_assert!(!pairs.is_empty(), "a transposition layer must swap something");
+            debug_assert!(
+                !pairs.is_empty(),
+                "a transposition layer must swap something"
+            );
             occupancy.clear();
             let outcome = route_concurrent(&grid, &mut occupancy, &swap_requests);
             assert!(
@@ -188,7 +192,11 @@ pub fn schedule_maslov(
             );
             for routed in outcome.routed {
                 let (qa, qb) = pairs[routed.request.id];
-                swaps.push(SwapOp { a: qa, b: qb, path: routed.path });
+                swaps.push(SwapOp {
+                    a: qa,
+                    b: qb,
+                    path: routed.path,
+                });
             }
             // Commit the transposition: update line, positions, placement.
             for &(qa, qb) in &pairs {
@@ -244,8 +252,7 @@ fn pair_benefit(
     };
     let mut benefit = 0i64;
     for &(a, b) in ready_pairs {
-        let old =
-            i64::from(position[a as usize]).abs_diff(i64::from(position[b as usize])) as i64;
+        let old = i64::from(position[a as usize]).abs_diff(i64::from(position[b as usize])) as i64;
         let new = project(a).abs_diff(project(b)) as i64;
         benefit += old - new;
     }
@@ -294,7 +301,10 @@ mod tests {
         // QFT-n has Θ(n²) gates; the Maslov schedule must stay near-linear
         // in n (each doubling roughly doubles, not quadruples, the steps).
         let ratio = r32.total_cycles as f64 / r16.total_cycles as f64;
-        assert!(ratio < 3.0, "cycles should scale ~linearly, ratio={ratio:.2}");
+        assert!(
+            ratio < 3.0,
+            "cycles should scale ~linearly, ratio={ratio:.2}"
+        );
     }
 
     #[test]

@@ -71,7 +71,11 @@ pub struct ScheduleResult {
 
 impl ScheduleResult {
     /// Creates an empty result shell for `scheduler` under `timing`.
-    pub fn new(scheduler: impl Into<String>, benchmark: impl Into<String>, timing: TimingModel) -> Self {
+    pub fn new(
+        scheduler: impl Into<String>,
+        benchmark: impl Into<String>,
+        timing: TimingModel,
+    ) -> Self {
         ScheduleResult {
             scheduler: scheduler.into(),
             benchmark: benchmark.into(),

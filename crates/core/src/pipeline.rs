@@ -10,6 +10,8 @@ use crate::metrics::verify_schedule_with_dag;
 use crate::AutoBraid;
 use autobraid_circuit::{qasm, Circuit, CircuitError, CircuitStats, DependenceDag};
 use autobraid_lattice::Grid;
+use autobraid_telemetry::{self as telemetry, MemoryRecorder, TelemetrySnapshot};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which scheduler the pipeline drives.
@@ -33,6 +35,7 @@ pub struct Pipeline {
     strategy: Strategy,
     optimize: bool,
     verify: bool,
+    telemetry: bool,
 }
 
 /// Errors a pipeline run can produce.
@@ -99,6 +102,9 @@ pub struct CompileReport {
     pub outcome: ScheduleOutcome,
     /// Per-stage wall-clock times.
     pub timings: StageTimings,
+    /// Telemetry captured during the compile (see `docs/METRICS.md`);
+    /// `None` unless [`Pipeline::with_telemetry`] enabled collection.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl Pipeline {
@@ -110,6 +116,7 @@ impl Pipeline {
             strategy: Strategy::Full,
             optimize: true,
             verify: true,
+            telemetry: false,
         }
     }
 
@@ -138,6 +145,17 @@ impl Pipeline {
         self
     }
 
+    /// Enables/disables telemetry collection. When on, each compile
+    /// installs a fresh [`MemoryRecorder`] for its duration (restoring any
+    /// previously installed recorder afterwards) and attaches the
+    /// resulting [`TelemetrySnapshot`] to [`CompileReport::telemetry`].
+    /// The metric names and JSON layout are documented in
+    /// `docs/METRICS.md`.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Compiles an OpenQASM 2.0 program.
     ///
     /// # Errors
@@ -157,11 +175,17 @@ impl Pipeline {
     /// # Ok::<(), autobraid::pipeline::PipelineError>(())
     /// ```
     pub fn compile_qasm(&self, source: &str) -> Result<CompileReport, PipelineError> {
+        let recorder = self.make_recorder();
+        let _guard = recorder.clone().map(|r| telemetry::install(r));
         let started = Instant::now();
-        let circuit = qasm::parse(source).map_err(PipelineError::Parse)?;
+        let circuit = {
+            let _span = telemetry::span("parse");
+            qasm::parse(source).map_err(PipelineError::Parse)?
+        };
         let parse_seconds = started.elapsed().as_secs_f64();
-        let mut report = self.compile(&circuit)?;
+        let mut report = self.compile_impl(&circuit)?;
         report.timings.parse_seconds = parse_seconds;
+        report.telemetry = recorder.map(|r| r.snapshot());
         Ok(report)
     }
 
@@ -172,18 +196,34 @@ impl Pipeline {
     /// [`PipelineError::Verification`] if the schedule fails its own
     /// machine check (a bug).
     pub fn compile(&self, circuit: &Circuit) -> Result<CompileReport, PipelineError> {
+        let recorder = self.make_recorder();
+        let _guard = recorder.clone().map(|r| telemetry::install(r));
+        let mut report = self.compile_impl(circuit)?;
+        report.telemetry = recorder.map(|r| r.snapshot());
+        Ok(report)
+    }
+
+    /// A fresh recorder when telemetry is enabled.
+    fn make_recorder(&self) -> Option<Arc<MemoryRecorder>> {
+        self.telemetry.then(|| Arc::new(MemoryRecorder::new()))
+    }
+
+    fn compile_impl(&self, circuit: &Circuit) -> Result<CompileReport, PipelineError> {
         let mut timings = StageTimings::default();
 
         let started = Instant::now();
         let (circuit, gates_removed) = if self.optimize {
+            let _span = telemetry::span("optimize");
             let (optimized, stats) = autobraid_circuit::transform::optimize(circuit, 1e-12);
             (optimized, stats.gates_removed())
         } else {
             (circuit.clone(), 0)
         };
         timings.optimize_seconds = started.elapsed().as_secs_f64();
+        telemetry::counter("pipeline.gates_removed", gates_removed as u64);
 
         let started = Instant::now();
+        let schedule_span = telemetry::span("schedule");
         let compiler = AutoBraid::new(self.config.clone());
         let outcome = match self.strategy {
             Strategy::Full => compiler.schedule_full(&circuit),
@@ -191,18 +231,28 @@ impl Pipeline {
             Strategy::Baseline => {
                 let (result, placement) = schedule_baseline(&circuit, &self.config);
                 let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
-                ScheduleOutcome { result, grid, initial_placement: placement }
+                ScheduleOutcome {
+                    result,
+                    grid,
+                    initial_placement: placement,
+                }
             }
             Strategy::Maslov => {
                 let (result, placement) = schedule_maslov(&circuit, &self.config);
                 let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
-                ScheduleOutcome { result, grid, initial_placement: placement }
+                ScheduleOutcome {
+                    result,
+                    grid,
+                    initial_placement: placement,
+                }
             }
         };
+        drop(schedule_span);
         timings.schedule_seconds = started.elapsed().as_secs_f64();
 
         if self.verify && self.config.recording == Recording::Full {
             let started = Instant::now();
+            let _span = telemetry::span("verify");
             let dag = if self.config.commutation_aware {
                 DependenceDag::with_commutation(&circuit)
             } else {
@@ -220,7 +270,14 @@ impl Pipeline {
         }
 
         let stats = CircuitStats::of(&circuit);
-        Ok(CompileReport { circuit, stats, gates_removed, outcome, timings })
+        Ok(CompileReport {
+            circuit,
+            stats,
+            gates_removed,
+            outcome,
+            timings,
+            telemetry: None,
+        })
     }
 }
 
@@ -241,7 +298,9 @@ mod tests {
 
     #[test]
     fn parse_errors_surface() {
-        let err = Pipeline::new().compile_qasm("qreg q[2]; frob q[0];").unwrap_err();
+        let err = Pipeline::new()
+            .compile_qasm("qreg q[2]; frob q[0];")
+            .unwrap_err();
         assert!(matches!(err, PipelineError::Parse(_)));
         assert!(err.to_string().contains("parse stage"));
     }
@@ -261,13 +320,38 @@ mod tests {
     #[test]
     fn all_strategies_compile_qft() {
         let c = qft(10).unwrap();
-        for strategy in
-            [Strategy::Full, Strategy::StackOnly, Strategy::Baseline, Strategy::Maslov]
-        {
-            let report =
-                Pipeline::new().with_strategy(strategy).compile(&c).unwrap();
+        for strategy in [
+            Strategy::Full,
+            Strategy::StackOnly,
+            Strategy::Baseline,
+            Strategy::Maslov,
+        ] {
+            let report = Pipeline::new().with_strategy(strategy).compile(&c).unwrap();
             assert!(report.outcome.result.total_cycles > 0, "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_spans_all_subsystems() {
+        let c = qft(16).unwrap();
+        let report = Pipeline::new().with_telemetry(true).compile(&c).unwrap();
+        let snap = report.telemetry.expect("telemetry was enabled");
+        let names = snap.metric_names();
+        assert!(names.len() >= 10, "only {} metrics: {names:?}", names.len());
+        for prefix in ["router.", "scheduler.", "placement."] {
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "no {prefix} metrics in {names:?}"
+            );
+        }
+        assert!(
+            snap.span("schedule").is_some(),
+            "missing schedule stage span"
+        );
+        assert!(snap.counter("scheduler.steps.braid") > 0);
+        // Telemetry is opt-in: the default pipeline attaches nothing.
+        let plain = Pipeline::new().compile(&c).unwrap();
+        assert!(plain.telemetry.is_none());
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! vertices render as `+` (free) or the path label occupying them.
 
 use crate::metrics::Step;
+use crate::report::Table;
 use autobraid_lattice::{Grid, Vertex};
 use autobraid_placement::Placement;
+use autobraid_telemetry::TelemetrySnapshot;
 use std::collections::HashMap;
 
 /// Renders the tile grid with its qubit placement.
@@ -55,7 +57,10 @@ pub fn render_step(grid: &Grid, placement: &Placement, step: &Step) -> String {
 
 fn label_for(i: usize) -> char {
     let letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
-    letters.chars().nth(i % letters.len()).expect("alphabet is non-empty")
+    letters
+        .chars()
+        .nth(i % letters.len())
+        .expect("alphabet is non-empty")
 }
 
 fn render(grid: &Grid, placement: &Placement, occupied: &HashMap<Vertex, char>) -> String {
@@ -96,6 +101,56 @@ fn render(grid: &Grid, placement: &Placement, occupied: &HashMap<Vertex, char>) 
     out
 }
 
+/// Renders a [`TelemetrySnapshot`] as aligned plain-text tables —
+/// spans, then counters, then histograms — for terminal output. Metric
+/// meanings are documented in `docs/METRICS.md`.
+pub fn render_telemetry(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.spans.is_empty() {
+        let mut t = Table::new(["span", "count", "total (ms)"]);
+        for s in &snapshot.spans {
+            t.add_row([
+                s.path.clone(),
+                s.count.to_string(),
+                format!("{:.3}", s.total_seconds * 1e3),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    if !snapshot.counters.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut t = Table::new(["counter", "value"]);
+        for (name, value) in &snapshot.counters {
+            t.add_row([name.clone(), value.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    if !snapshot.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let mut t = Table::new(["histogram", "count", "mean", "p50", "p90", "p99", "max"]);
+        for (name, h) in &snapshot.histograms {
+            t.add_row([
+                name.clone(),
+                h.count.to_string(),
+                format!("{:.2}", h.mean),
+                format!("{:.2}", h.p50),
+                format!("{:.2}", h.p90),
+                format!("{:.2}", h.p99),
+                format!("{:.2}", h.max),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    if out.is_empty() {
+        out.push_str("(no telemetry recorded)\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,8 +167,7 @@ mod tests {
         assert!(art.contains(" .. "), "empty tiles shown");
         assert_eq!(art.lines().count(), 2 * 3 + 1);
         // All grid rows are equally wide.
-        let widths: Vec<usize> =
-            art.lines().map(|l| l.chars().count()).collect();
+        let widths: Vec<usize> = art.lines().map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{art}");
     }
 
@@ -128,7 +182,10 @@ mod tests {
             vec![Vertex::new(0, 1), Vertex::new(0, 2)],
         )
         .unwrap();
-        let step = Step::Braid { braids: vec![(0, path)], locals: vec![] };
+        let step = Step::Braid {
+            braids: vec![(0, path)],
+            locals: vec![],
+        };
         let art = render_step(&grid, &p, &step);
         assert_eq!(art.matches('a').count(), 2, "{art}");
     }
@@ -139,5 +196,20 @@ mod tests {
         assert_eq!(label_for(25), 'z');
         assert_eq!(label_for(26), 'A');
         assert_eq!(label_for(52), 'a');
+    }
+
+    #[test]
+    fn telemetry_summary_renders_all_sections() {
+        use autobraid_telemetry::{MemoryRecorder, Recorder};
+        let recorder = MemoryRecorder::new();
+        recorder.add("scheduler.steps.braid", 4);
+        recorder.observe("router.llg.size", 2.0);
+        recorder.record_span("schedule", std::time::Duration::from_millis(5));
+        let text = render_telemetry(&recorder.snapshot());
+        assert!(text.contains("scheduler.steps.braid"), "{text}");
+        assert!(text.contains("router.llg.size"), "{text}");
+        assert!(text.contains("schedule"), "{text}");
+        let empty = render_telemetry(&Default::default());
+        assert!(empty.contains("no telemetry"), "{empty}");
     }
 }

@@ -1,6 +1,8 @@
-//! Plain-text table rendering for evaluation reports.
+//! Plain-text table rendering and JSON emission for evaluation reports.
 
 use crate::metrics::ScheduleResult;
+use crate::pipeline::CompileReport;
+use autobraid_telemetry::JsonValue;
 use std::fmt::Write;
 
 /// Formats a duration in microseconds the way the paper's tables do:
@@ -38,7 +40,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -109,6 +114,68 @@ pub fn comparison_row(
         format_us(ours.time_us()),
         format!("{:.2}", ours.speedup_over(baseline)),
     ]
+}
+
+/// Serializes one [`ScheduleResult`]'s headline statistics.
+pub fn schedule_result_json(result: &ScheduleResult) -> JsonValue {
+    JsonValue::object([
+        ("scheduler", JsonValue::from(result.scheduler.as_str())),
+        ("benchmark", JsonValue::from(result.benchmark.as_str())),
+        ("total_cycles", JsonValue::from(result.total_cycles)),
+        ("time_us", JsonValue::from(result.time_us())),
+        ("braid_steps", JsonValue::from(result.braid_steps)),
+        ("local_steps", JsonValue::from(result.local_steps)),
+        ("swap_layers", JsonValue::from(result.swap_layers)),
+        ("swap_count", JsonValue::from(result.swap_count)),
+        ("peak_utilization", JsonValue::from(result.peak_utilization)),
+        ("mean_utilization", JsonValue::from(result.mean_utilization)),
+        ("compile_seconds", JsonValue::from(result.compile_seconds)),
+    ])
+}
+
+/// Serializes a full [`CompileReport`] — circuit statistics, schedule
+/// outcome, per-stage timings, and (when collected) the telemetry
+/// snapshot — as one stable JSON object. The layout of the `telemetry`
+/// field is the `autobraid.telemetry/v1` schema of `docs/METRICS.md`.
+pub fn compile_report_json(report: &CompileReport) -> JsonValue {
+    let timings = JsonValue::object([
+        (
+            "parse_seconds",
+            JsonValue::from(report.timings.parse_seconds),
+        ),
+        (
+            "optimize_seconds",
+            JsonValue::from(report.timings.optimize_seconds),
+        ),
+        (
+            "schedule_seconds",
+            JsonValue::from(report.timings.schedule_seconds),
+        ),
+        (
+            "verify_seconds",
+            JsonValue::from(report.timings.verify_seconds),
+        ),
+        (
+            "total_seconds",
+            JsonValue::from(report.timings.total_seconds()),
+        ),
+    ]);
+    JsonValue::object([
+        ("circuit", JsonValue::from(report.stats.name.as_str())),
+        ("qubits", JsonValue::from(report.stats.qubits)),
+        ("gates", JsonValue::from(report.stats.gates)),
+        ("gates_removed", JsonValue::from(report.gates_removed)),
+        ("schedule", schedule_result_json(&report.outcome.result)),
+        ("timings", timings),
+        (
+            "telemetry",
+            report
+                .telemetry
+                .as_ref()
+                .map(|t| t.to_json_value())
+                .unwrap_or(JsonValue::Null),
+        ),
+    ])
 }
 
 #[cfg(test)]

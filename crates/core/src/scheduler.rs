@@ -14,6 +14,7 @@ use autobraid_lattice::{Grid, Occupancy};
 use autobraid_placement::Placement;
 use autobraid_router::stack_finder::{route_concurrent, route_greedy, RouteOutcome};
 use autobraid_router::CxRequest;
+use autobraid_telemetry as telemetry;
 use std::time::Instant;
 
 /// Errors the scheduling engine can report.
@@ -141,6 +142,7 @@ pub fn run_with_base_occupancy(
     base: &Occupancy,
 ) -> Result<(ScheduleResult, Placement), ScheduleError> {
     let started = Instant::now();
+    let _span = telemetry::span("engine");
     let mut result = ScheduleResult::new(scheduler_name, circuit.name(), config.timing);
     let dag = if config.commutation_aware {
         DependenceDag::with_commutation(circuit)
@@ -159,7 +161,12 @@ pub fn run_with_base_occupancy(
     let remaining_cp: Vec<u64> = {
         let mut remaining = vec![0u64; circuit.len()];
         for g in (0..circuit.len()).rev() {
-            let tail = dag.successors(g).iter().map(|&s| remaining[s]).max().unwrap_or(0);
+            let tail = dag
+                .successors(g)
+                .iter()
+                .map(|&s| remaining[s])
+                .max()
+                .unwrap_or(0);
             remaining[g] =
                 tail + crate::critical_path::gate_cycles(circuit.gate(g), &config.timing);
         }
@@ -168,10 +175,16 @@ pub fn run_with_base_occupancy(
 
     while !frontier.is_drained() {
         let ready: Vec<GateId> = frontier.ready().to_vec();
-        let locals: Vec<GateId> =
-            ready.iter().copied().filter(|&g| !circuit.gate(g).is_two_qubit()).collect();
-        let braids: Vec<GateId> =
-            ready.iter().copied().filter(|&g| circuit.gate(g).is_two_qubit()).collect();
+        let locals: Vec<GateId> = ready
+            .iter()
+            .copied()
+            .filter(|&g| !circuit.gate(g).is_two_qubit())
+            .collect();
+        let braids: Vec<GateId> = ready
+            .iter()
+            .copied()
+            .filter(|&g| circuit.gate(g).is_two_qubit())
+            .collect();
 
         if braids.is_empty() {
             debug_assert!(!locals.is_empty(), "frontier non-empty but nothing ready");
@@ -179,6 +192,7 @@ pub fn run_with_base_occupancy(
                 frontier.complete(g);
             }
             result.local_steps += 1;
+            telemetry::counter("scheduler.steps.local", 1);
             result.total_cycles += config.timing.local_step_cycles();
             if record {
                 result.steps.push(Step::Local { gates: locals });
@@ -197,6 +211,12 @@ pub fn run_with_base_occupancy(
 
         occupancy.clone_from(base);
         let outcome = policy.route(grid, &mut occupancy, &requests);
+        if telemetry::is_enabled() {
+            telemetry::counter("scheduler.gates.routed", outcome.routed.len() as u64);
+            telemetry::counter("scheduler.gates.deferred", outcome.failed.len() as u64);
+            telemetry::observe("scheduler.step.batch_size", requests.len() as f64);
+            telemetry::observe("scheduler.step.ratio", outcome.ratio());
+        }
 
         // Dynamic layout optimization (AutoBraid-full): if too few gates
         // scheduled, spend a swap layer instead of committing this step.
@@ -204,14 +224,21 @@ pub fn run_with_base_occupancy(
             && outcome.ratio() < config.layout_threshold
             && consecutive_swap_rounds < config.max_consecutive_swap_rounds
         {
-            let swaps =
-                plan_swap_layer(grid, &placement, &requests, config.max_swaps_per_round, base);
+            let swaps = plan_swap_layer(
+                grid,
+                &placement,
+                &requests,
+                config.max_swaps_per_round,
+                base,
+            );
             if !swaps.is_empty() {
                 for swap in &swaps {
                     placement.swap_qubits(swap.a, swap.b);
                 }
                 result.swap_layers += 1;
                 result.swap_count += swaps.len() as u64;
+                telemetry::counter("scheduler.steps.swap", 1);
+                telemetry::counter("scheduler.swaps.inserted", swaps.len() as u64);
                 result.total_cycles += 3 * config.timing.braid_step_cycles();
                 consecutive_swap_rounds += 1;
                 if record {
@@ -241,6 +268,7 @@ pub fn run_with_base_occupancy(
             frontier.complete(g);
         }
         result.braid_steps += 1;
+        telemetry::counter("scheduler.steps.braid", 1);
         result.total_cycles += config.timing.braid_step_cycles();
         if record {
             result.steps.push(Step::Braid {
@@ -271,8 +299,15 @@ mod tests {
         let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
         let placement = Placement::row_major(&grid, circuit.num_qubits());
         let config = ScheduleConfig::default();
-        let (result, _) =
-            run("test", circuit, &grid, placement.clone(), policy, layout, &config);
+        let (result, _) = run(
+            "test",
+            circuit,
+            &grid,
+            placement.clone(),
+            policy,
+            layout,
+            &config,
+        );
         verify_schedule(circuit, &grid, &placement, &result).expect("schedule verifies");
         result
     }
@@ -282,7 +317,10 @@ mod tests {
         let c = bv_all_ones(20).unwrap();
         let r = schedule(&c, &StackPolicy, false);
         let cp = crate::critical_path::critical_path_cycles(&c, r.timing());
-        assert_eq!(r.total_cycles, cp, "BV has no congestion: engine must hit CP");
+        assert_eq!(
+            r.total_cycles, cp,
+            "BV has no congestion: engine must hit CP"
+        );
     }
 
     #[test]
@@ -331,10 +369,24 @@ mod tests {
         let placement = Placement::row_major(&grid, 24);
         let plain_cfg = ScheduleConfig::default();
         let relaxed_cfg = ScheduleConfig::default().with_commutation_aware(true);
-        let (plain, _) =
-            run("t", &c, &grid, placement.clone(), &StackPolicy, false, &plain_cfg);
-        let (relaxed, _) =
-            run("t", &c, &grid, placement.clone(), &StackPolicy, false, &relaxed_cfg);
+        let (plain, _) = run(
+            "t",
+            &c,
+            &grid,
+            placement.clone(),
+            &StackPolicy,
+            false,
+            &plain_cfg,
+        );
+        let (relaxed, _) = run(
+            "t",
+            &c,
+            &grid,
+            placement.clone(),
+            &StackPolicy,
+            false,
+            &relaxed_cfg,
+        );
         // BV's CX fan-in fully commutes: massive win.
         assert!(relaxed.total_cycles * 2 < plain.total_cycles);
         let dag = autobraid_circuit::DependenceDag::with_commutation(&c);

@@ -46,8 +46,12 @@ pub fn plan_swap_layer(
     let pairs: Vec<(QubitId, QubitId)> = requests
         .iter()
         .map(|r| {
-            let a = placement.qubit_at(grid, r.a).expect("request tile holds a qubit");
-            let b = placement.qubit_at(grid, r.b).expect("request tile holds a qubit");
+            let a = placement
+                .qubit_at(grid, r.a)
+                .expect("request tile holds a qubit");
+            let b = placement
+                .qubit_at(grid, r.b)
+                .expect("request tile holds a qubit");
             (a, b)
         })
         .collect();
@@ -61,7 +65,9 @@ pub fn plan_swap_layer(
 
     // Degrees of the interference graph over `boxes`.
     let degree = |boxes: &[BBox], i: usize| -> usize {
-        (0..k).filter(|&j| j != i && boxes[i].overlaps_open(&boxes[j])).count()
+        (0..k)
+            .filter(|&j| j != i && boxes[i].overlaps_open(&boxes[j]))
+            .count()
     };
     let mut degrees: Vec<usize> = (0..k).map(|i| degree(&boxes, i)).collect();
 
@@ -104,7 +110,9 @@ pub fn plan_swap_layer(
                 best = Some(((x, y), delta, new_first, new_second));
             }
         }
-        let Some(((x, y), _, new_first, new_second)) = best else { break };
+        let Some(((x, y), _, new_first, new_second)) = best else {
+            break;
+        };
 
         chosen.push((x, y));
         used.insert(x);
@@ -186,9 +194,17 @@ fn route_swaps(
     let mut ops: Vec<Option<SwapOp>> = vec![None; swaps.len()];
     for routed in outcome.routed {
         let (a, b) = swaps[routed.request.id];
-        ops[routed.request.id] = Some(SwapOp { a, b, path: routed.path });
+        ops[routed.request.id] = Some(SwapOp {
+            a,
+            b,
+            path: routed.path,
+        });
     }
-    Some(ops.into_iter().map(|op| op.expect("complete outcome")).collect())
+    Some(
+        ops.into_iter()
+            .map(|op| op.expect("complete outcome"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -233,7 +249,10 @@ mod tests {
     fn reduces_interference_on_crossing_layout() {
         let (grid, placement, requests) = crossing_requests(9);
         let before = interference_edges(&requests);
-        assert!(before >= 4, "the crossing layout must interfere heavily: {before}");
+        assert!(
+            before >= 4,
+            "the crossing layout must interfere heavily: {before}"
+        );
         let swaps = plan_swap_layer(&grid, &placement, &requests, 8, &Occupancy::new(&grid));
         assert!(!swaps.is_empty(), "optimizer must find improving swaps");
         let mut after_placement = placement.clone();
@@ -266,13 +285,10 @@ mod tests {
                 assert!(!s.path.intersects(&t.path));
             }
             let (ca, cb) = (placement.cell_of(s.a), placement.cell_of(s.b));
-            assert!(autobraid_router::BraidPath::new(
-                &grid,
-                ca,
-                cb,
-                s.path.vertices().to_vec()
-            )
-            .is_some());
+            assert!(
+                autobraid_router::BraidPath::new(&grid, ca, cb, s.path.vertices().to_vec())
+                    .is_some()
+            );
         }
     }
 
@@ -304,7 +320,11 @@ mod tests {
         let grid = Grid::new(4).unwrap();
         let placement = Placement::row_major(&grid, 4);
         assert!(plan_swap_layer(&grid, &placement, &[], 8, &Occupancy::new(&grid)).is_empty());
-        let one = vec![CxRequest::new(0, placement.cell_of(0), placement.cell_of(3))];
+        let one = vec![CxRequest::new(
+            0,
+            placement.cell_of(0),
+            placement.cell_of(3),
+        )];
         assert!(plan_swap_layer(&grid, &placement, &one, 8, &Occupancy::new(&grid)).is_empty());
     }
 

@@ -182,8 +182,9 @@ impl Patch {
         let n = defects.len();
         debug_assert!(n <= 16);
         let full = (1usize << n) - 1;
-        let pair_cost =
-            |a: (u32, u32), b: (u32, u32)| -> u64 { u64::from(a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) };
+        let pair_cost = |a: (u32, u32), b: (u32, u32)| -> u64 {
+            u64::from(a.0.abs_diff(b.0) + a.1.abs_diff(b.1))
+        };
         let mut best: Vec<u64> = vec![u64::MAX; full + 1];
         let mut choice: Vec<Match> = vec![Match::Boundary(0); full + 1];
         best[0] = 0;
@@ -283,7 +284,10 @@ impl Patch {
         }
         let (c0, c1) = (a.1.min(b.1), a.1.max(b.1));
         for col in c0..c1 {
-            out.push(Link::Horizontal { row: b.0, col: col + 1 });
+            out.push(Link::Horizontal {
+                row: b.0,
+                col: col + 1,
+            });
         }
     }
 
@@ -315,7 +319,8 @@ impl Patch {
             }
         }
         debug_assert!(
-            self.syndrome(&combined.iter().copied().collect::<Vec<_>>()).is_empty(),
+            self.syndrome(&combined.iter().copied().collect::<Vec<_>>())
+                .is_empty(),
             "correction must return the syndrome to zero"
         );
         // Count crossings of the leftmost cut: boundary links at col 0.
@@ -415,9 +420,13 @@ mod tests {
     #[test]
     fn full_row_is_a_logical_operator() {
         let p = Patch::new(5).unwrap();
-        let row_chain: Vec<Link> =
-            (0..=p.check_cols()).map(|col| Link::Horizontal { row: 2, col }).collect();
-        assert!(p.syndrome(&row_chain).is_empty(), "logical operators commute with checks");
+        let row_chain: Vec<Link> = (0..=p.check_cols())
+            .map(|col| Link::Horizontal { row: 2, col })
+            .collect();
+        assert!(
+            p.syndrome(&row_chain).is_empty(),
+            "logical operators commute with checks"
+        );
         assert!(p.is_logical_error(&row_chain, &[]));
     }
 
@@ -442,13 +451,12 @@ mod tests {
 
     #[test]
     fn sampled_weight_three_errors_are_corrected() {
-        use rand::rngs::StdRng;
-        use rand::{seq::SliceRandom, SeedableRng};
+        use autobraid_telemetry::Rng64;
         let p = Patch::new(7).unwrap();
         let links = p.links();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::seed_from_u64(5);
         for _ in 0..500 {
-            let errors: Vec<Link> = links.choose_multiple(&mut rng, 3).copied().collect();
+            let errors: Vec<Link> = rng.sample(&links, 3);
             let correction = p.decode(&p.syndrome(&errors));
             assert!(
                 !p.is_logical_error(&errors, &correction),
@@ -459,13 +467,15 @@ mod tests {
 
     #[test]
     fn decoder_always_clears_the_syndrome() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use autobraid_telemetry::Rng64;
         let p = Patch::new(7).unwrap();
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Rng64::seed_from_u64(21);
         for _ in 0..50 {
-            let errors: Vec<Link> =
-                p.links().into_iter().filter(|_| rng.gen_bool(0.08)).collect();
+            let errors: Vec<Link> = p
+                .links()
+                .into_iter()
+                .filter(|_| rng.gen_bool(0.08))
+                .collect();
             let syndrome = p.syndrome(&errors);
             let correction = p.decode(&syndrome);
             // is_logical_error debug-asserts the syndrome clears; verify
@@ -487,20 +497,19 @@ mod tests {
 
     #[test]
     fn logical_error_rate_drops_with_distance() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use autobraid_telemetry::Rng64;
         // Physical error rate well below threshold: bigger codes must fail
         // less often — the Threshold Theorem in action (paper Eq. 1).
-        let p_phys = 0.02;
-        let trials = 400;
+        let p_phys = 0.06;
+        let trials = 2000;
         let mut rates = Vec::new();
         for d in [3u32, 5, 7] {
             let patch = Patch::new(d).unwrap();
             let n_links = patch.links().len();
-            let mut rng = StdRng::seed_from_u64(1000 + u64::from(d));
+            let mut rng = Rng64::seed_from_u64(1000 + u64::from(d));
             let failures = (0..trials)
                 .filter(|_| {
-                    let samples: Vec<f64> = (0..n_links).map(|_| rng.gen::<f64>()).collect();
+                    let samples: Vec<f64> = (0..n_links).map(|_| rng.gen_f64()).collect();
                     patch.sample_round(p_phys, &samples)
                 })
                 .count();

@@ -134,8 +134,7 @@ impl Cell {
     /// Whether `v` is one of this cell's four corners.
     #[inline]
     pub fn has_corner(self, v: Vertex) -> bool {
-        (v.row == self.row || v.row == self.row + 1)
-            && (v.col == self.col || v.col == self.col + 1)
+        (v.row == self.row || v.row == self.row + 1) && (v.col == self.col || v.col == self.col + 1)
     }
 }
 
@@ -188,13 +187,23 @@ impl BBox {
             min_row <= max_row && min_col <= max_col,
             "inverted bounding box: ({min_row},{min_col})-({max_row},{max_col})"
         );
-        BBox { min_row, min_col, max_row, max_col }
+        BBox {
+            min_row,
+            min_col,
+            max_row,
+            max_col,
+        }
     }
 
     /// The bounding box of a single vertex.
     #[inline]
     pub fn of_vertex(v: Vertex) -> Self {
-        BBox { min_row: v.row, min_col: v.col, max_row: v.row, max_col: v.col }
+        BBox {
+            min_row: v.row,
+            min_col: v.col,
+            max_row: v.row,
+            max_col: v.col,
+        }
     }
 
     /// The bounding box of one cell (its four corner vertices).
@@ -461,9 +470,18 @@ mod tests {
     #[test]
     fn bbox_open_overlap_cases() {
         let a = BBox::new(0, 0, 2, 2);
-        assert!(!a.overlaps_open(&BBox::new(2, 2, 4, 4)), "corner touch is not open overlap");
-        assert!(!a.overlaps_open(&BBox::new(0, 2, 2, 4)), "edge touch is not open overlap");
-        assert!(a.overlaps_open(&BBox::new(1, 1, 3, 3)), "area overlap counts");
+        assert!(
+            !a.overlaps_open(&BBox::new(2, 2, 4, 4)),
+            "corner touch is not open overlap"
+        );
+        assert!(
+            !a.overlaps_open(&BBox::new(0, 2, 2, 4)),
+            "edge touch is not open overlap"
+        );
+        assert!(
+            a.overlaps_open(&BBox::new(1, 1, 3, 3)),
+            "area overlap counts"
+        );
         assert!(a.overlaps_open(&a), "a 2-D box overlaps itself");
         // Degenerate boxes have no interior, hence no open overlap.
         let line = BBox::new(1, 0, 1, 4);
@@ -485,7 +503,10 @@ mod tests {
     fn strict_nesting() {
         let outer = BBox::new(0, 0, 5, 5);
         assert!(outer.strictly_nests(&BBox::new(1, 1, 4, 4)));
-        assert!(!outer.strictly_nests(&BBox::new(0, 1, 4, 4)), "shared border");
+        assert!(
+            !outer.strictly_nests(&BBox::new(0, 1, 4, 4)),
+            "shared border"
+        );
         assert!(!outer.strictly_nests(&outer));
         assert!(!BBox::new(1, 1, 4, 4).strictly_nests(&outer));
     }

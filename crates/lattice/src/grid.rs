@@ -48,7 +48,9 @@ impl Grid {
     pub fn with_capacity_for(n: usize) -> Self {
         assert!(n > 0, "a grid must hold at least one qubit");
         let l = (n as f64).sqrt().ceil() as u32;
-        Grid { cells_per_side: l.max(1) }
+        Grid {
+            cells_per_side: l.max(1),
+        }
     }
 
     /// Number of unit cells per side (`L`).
@@ -209,7 +211,12 @@ mod tests {
     fn neighbor_degrees() {
         let g = Grid::new(3).unwrap();
         // Corners have degree 2.
-        for v in [Vertex::new(0, 0), Vertex::new(0, 3), Vertex::new(3, 0), Vertex::new(3, 3)] {
+        for v in [
+            Vertex::new(0, 0),
+            Vertex::new(0, 3),
+            Vertex::new(3, 0),
+            Vertex::new(3, 3),
+        ] {
             assert_eq!(g.neighbors(v).count(), 2, "{v}");
         }
         // Edges have degree 3.

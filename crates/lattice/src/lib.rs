@@ -6,6 +6,10 @@
 //! ([`occupancy::Occupancy`]), and the surface-code error/timing math
 //! ([`surface_code`]).
 //!
+//! Its place in the workspace is described in `DESIGN.md` §4 (crate
+//! map); the substitutions it makes relative to the paper's hardware
+//! model are in `DESIGN.md` §3.
+//!
 //! # Quick example
 //!
 //! ```
@@ -29,10 +33,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decoder;
 pub mod error;
 pub mod geometry;
 pub mod grid;
-pub mod decoder;
 pub mod occupancy;
 pub mod physical;
 pub mod surface_code;

@@ -35,7 +35,11 @@ impl Occupancy {
     /// Creates an empty occupancy map for `grid`.
     pub fn new(grid: &Grid) -> Self {
         let capacity = grid.vertex_count();
-        Occupancy { bits: vec![0; capacity.div_ceil(64)], occupied: 0, capacity }
+        Occupancy {
+            bits: vec![0; capacity.div_ceil(64)],
+            occupied: 0,
+            capacity,
+        }
     }
 
     /// Whether `v` is currently reserved.
@@ -132,7 +136,10 @@ impl Occupancy {
     ///
     /// Panics if the two maps belong to differently sized grids.
     pub fn union_with(&mut self, other: &Occupancy) {
-        assert_eq!(self.capacity, other.capacity, "occupancy maps of different grids");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "occupancy maps of different grids"
+        );
         let mut occupied = 0usize;
         for (word, &other_word) in self.bits.iter_mut().zip(&other.bits) {
             *word |= other_word;

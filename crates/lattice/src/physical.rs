@@ -74,7 +74,10 @@ impl PhysicalLayout {
                 "code distance must be odd and positive, got {distance}"
             )));
         }
-        Ok(PhysicalLayout { tiles_per_side, distance })
+        Ok(PhysicalLayout {
+            tiles_per_side,
+            distance,
+        })
     }
 
     /// Tiles per side of the logical grid.
@@ -128,7 +131,10 @@ impl PhysicalLayout {
     /// intersection between tiles).
     pub fn channel_vertex(&self, v: Vertex) -> PhysicalQubit {
         let span = 2 * self.distance;
-        PhysicalQubit { row: v.row * span, col: v.col * span }
+        PhysicalQubit {
+            row: v.row * span,
+            col: v.col * span,
+        }
     }
 
     /// The two defect sites of the double-defect logical qubit living in
@@ -145,8 +151,14 @@ impl PhysicalLayout {
             q
         };
         (
-            fix_parity(PhysicalQubit { row: center.row, col: center.col - half }),
-            fix_parity(PhysicalQubit { row: center.row, col: center.col + half }),
+            fix_parity(PhysicalQubit {
+                row: center.row,
+                col: center.col - half,
+            }),
+            fix_parity(PhysicalQubit {
+                row: center.row,
+                col: center.col + half,
+            }),
         )
     }
 
@@ -261,7 +273,11 @@ mod tests {
                 let (d1, d2) = l.defect_pair(Cell::new(r, c));
                 assert_ne!(d1, d2);
                 for d in [d1, d2] {
-                    assert_ne!(l.role_at(d.row, d.col), QubitRole::Data, "defect on data site");
+                    assert_ne!(
+                        l.role_at(d.row, d.col),
+                        QubitRole::Data,
+                        "defect on data site"
+                    );
                 }
             }
         }

@@ -86,7 +86,11 @@ impl CodeParams {
                 "code distance must be odd and positive, got {distance}"
             )));
         }
-        Ok(CodeParams { physical_error_rate, threshold_error_rate, distance })
+        Ok(CodeParams {
+            physical_error_rate,
+            threshold_error_rate,
+            distance,
+        })
     }
 
     /// Default rates with an explicit code distance.
@@ -95,7 +99,11 @@ impl CodeParams {
     ///
     /// Same conditions as [`CodeParams::new`].
     pub fn with_distance(distance: u32) -> Result<Self, LatticeError> {
-        CodeParams::new(DEFAULT_PHYSICAL_ERROR_RATE, DEFAULT_THRESHOLD_ERROR_RATE, distance)
+        CodeParams::new(
+            DEFAULT_PHYSICAL_ERROR_RATE,
+            DEFAULT_THRESHOLD_ERROR_RATE,
+            distance,
+        )
     }
 
     /// The smallest (odd) code distance whose logical error rate is at or
@@ -197,7 +205,10 @@ pub struct TimingModel {
 impl TimingModel {
     /// Creates the timing model for `params` with the default 2.2 µs cycle.
     pub fn new(params: CodeParams) -> Self {
-        TimingModel { params, cycle_time_us: DEFAULT_CYCLE_TIME_US }
+        TimingModel {
+            params,
+            cycle_time_us: DEFAULT_CYCLE_TIME_US,
+        }
     }
 
     /// Overrides the surface-code cycle duration.
@@ -290,7 +301,10 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         assert!(CodeParams::new(0.0, 0.0057, 33).is_err());
-        assert!(CodeParams::new(1e-3, 1e-4, 33).is_err(), "p above threshold");
+        assert!(
+            CodeParams::new(1e-3, 1e-4, 33).is_err(),
+            "p above threshold"
+        );
         assert!(CodeParams::new(1e-3, 5.7e-3, 0).is_err());
         assert!(CodeParams::new(1e-3, 5.7e-3, 32).is_err(), "even distance");
         assert!(CodeParams::new(f64::NAN, 5.7e-3, 33).is_err());

@@ -7,8 +7,7 @@ use autobraid_circuit::{Circuit, GateId, ParallelismProfile, QubitId};
 use autobraid_lattice::Grid;
 use autobraid_router::llg;
 use autobraid_router::path::CxRequest;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autobraid_telemetry::{self as telemetry, Rng64};
 
 /// Annealing parameters. The defaults are tuned so Table 1 regenerates in
 /// seconds; scale `iterations` with available time.
@@ -78,11 +77,7 @@ fn sample_layers(circuit: &Circuit, max_layers: usize) -> Vec<Vec<GateId>> {
 /// if it is not guaranteed schedulable by Theorem 1/2 — preferring nested
 /// structures among the oversized. Zero iff every sampled layer is fully
 /// covered by the theorems.
-pub fn llg_objective(
-    circuit: &Circuit,
-    layers: &[Vec<GateId>],
-    placement: &Placement,
-) -> u64 {
+pub fn llg_objective(circuit: &Circuit, layers: &[Vec<GateId>], placement: &Placement) -> u64 {
     let mut total = 0u64;
     for layer in layers {
         let requests: Vec<CxRequest> = layer
@@ -149,7 +144,11 @@ pub fn anneal(
     initial: Placement,
     config: &AnnealConfig,
 ) -> AnnealOutcome {
-    debug_assert!(initial.is_consistent(grid), "inconsistent starting placement");
+    debug_assert!(
+        initial.is_consistent(grid),
+        "inconsistent starting placement"
+    );
+    let _span = telemetry::span("anneal");
     let layers = sample_layers(circuit, config.max_sampled_layers);
     let initial_objective = llg_objective(circuit, &layers, &initial);
     let n = circuit.num_qubits();
@@ -164,7 +163,7 @@ pub fn anneal(
         };
     }
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::seed_from_u64(config.seed);
     let mut current = initial.clone();
     let mut current_obj = initial_objective;
     let mut best = initial;
@@ -176,16 +175,22 @@ pub fn anneal(
     // Σ layer_len² box tests; cap the total work so huge circuits don't
     // spend minutes annealing (compilation stays a small fraction of
     // execution, §4.2).
-    let cost_per_iteration: u64 =
-        layers.iter().map(|l| (l.len() * l.len()) as u64).sum::<u64>().max(1);
+    let cost_per_iteration: u64 = layers
+        .iter()
+        .map(|l| (l.len() * l.len()) as u64)
+        .sum::<u64>()
+        .max(1);
     let budget: u64 = 20_000_000;
-    let iterations =
-        config.iterations.min(((budget / cost_per_iteration) as usize).max(50));
+    let iterations = config
+        .iterations
+        .min(((budget / cost_per_iteration) as usize).max(50));
 
+    let mut proposals = 0usize;
     for _ in 0..iterations {
         if best_obj == 0 {
             break; // cannot be reduced anymore
         }
+        proposals += 1;
         let a: QubitId = rng.gen_range(0..n);
         let mut b: QubitId = rng.gen_range(0..n);
         while b == a {
@@ -203,10 +208,22 @@ pub fn anneal(
                 best_obj = obj;
                 best = current.clone();
             }
+            telemetry::observe("placement.anneal.objective", obj as f64);
         } else {
             current.swap_qubits(a, b); // undo
         }
         temperature *= config.cooling;
+    }
+
+    telemetry::counter("placement.anneal.proposals", proposals as u64);
+    telemetry::counter("placement.anneal.accepted", accepted as u64);
+    telemetry::counter("placement.anneal.initial_objective", initial_objective);
+    telemetry::counter("placement.anneal.final_objective", best_obj);
+    if proposals > 0 {
+        telemetry::observe(
+            "placement.anneal.acceptance_rate",
+            accepted as f64 / proposals as f64,
+        );
     }
 
     AnnealOutcome {
@@ -238,8 +255,7 @@ mod tests {
         // exchanged: SA should repair the damage (or at least part of it).
         let c = ising(16, 1).unwrap();
         let grid = Grid::with_capacity_for(16);
-        let mut start =
-            crate::linear::place_along_serpentine(&grid, &(0..16).collect::<Vec<_>>());
+        let mut start = crate::linear::place_along_serpentine(&grid, &(0..16).collect::<Vec<_>>());
         start.swap_qubits(2, 13);
         let layers = sample_layers(&c, 8);
         let damaged = llg_objective(&c, &layers, &start);
@@ -248,7 +264,10 @@ mod tests {
             &c,
             &grid,
             start,
-            &AnnealConfig { iterations: 1500, ..Default::default() },
+            &AnnealConfig {
+                iterations: 1500,
+                ..Default::default()
+            },
         );
         assert!(
             out.final_objective < out.initial_objective,
@@ -277,7 +296,10 @@ mod tests {
     fn deterministic_for_seed() {
         let c = qft(12).unwrap();
         let grid = Grid::with_capacity_for(12);
-        let cfg = AnnealConfig { iterations: 200, ..Default::default() };
+        let cfg = AnnealConfig {
+            iterations: 200,
+            ..Default::default()
+        };
         let o1 = anneal(&c, &grid, Placement::row_major(&grid, 12), &cfg);
         let o2 = anneal(&c, &grid, Placement::row_major(&grid, 12), &cfg);
         assert_eq!(o1.placement, o2.placement);

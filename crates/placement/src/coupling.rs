@@ -41,7 +41,11 @@ impl CouplingGraph {
             adjacency[a as usize].push(b);
             adjacency[b as usize].push(a);
         }
-        CouplingGraph { num_qubits: circuit.num_qubits(), weights, adjacency }
+        CouplingGraph {
+            num_qubits: circuit.num_qubits(),
+            weights,
+            adjacency,
+        }
     }
 
     /// Number of qubits (nodes), including isolated ones.
@@ -56,7 +60,10 @@ impl CouplingGraph {
 
     /// Interaction count between `a` and `b` (0 when they never interact).
     pub fn weight(&self, a: QubitId, b: QubitId) -> u64 {
-        self.weights.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
+        self.weights
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Distinct interaction partners of `q`.
@@ -181,8 +188,10 @@ mod tests {
         let order = g.linear_order().unwrap();
         assert_eq!(order.len(), 5);
         // A cut cycle keeps all but one adjacency consecutive.
-        let adjacent_pairs =
-            order.windows(2).filter(|w| g.weight(w[0], w[1]) > 0).count();
+        let adjacent_pairs = order
+            .windows(2)
+            .filter(|w| g.weight(w[0], w[1]) > 0)
+            .count();
         assert_eq!(adjacent_pairs, 4);
     }
 

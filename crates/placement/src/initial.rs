@@ -32,14 +32,25 @@ impl Rect {
         if self.cols >= self.rows {
             let left = self.cols / 2;
             (
-                Rect { cols: left, ..*self },
-                Rect { c0: self.c0 + left, cols: self.cols - left, ..*self },
+                Rect {
+                    cols: left,
+                    ..*self
+                },
+                Rect {
+                    c0: self.c0 + left,
+                    cols: self.cols - left,
+                    ..*self
+                },
             )
         } else {
             let top = self.rows / 2;
             (
                 Rect { rows: top, ..*self },
-                Rect { r0: self.r0 + top, rows: self.rows - top, ..*self },
+                Rect {
+                    r0: self.r0 + top,
+                    rows: self.rows - top,
+                    ..*self
+                },
             )
         }
     }
@@ -73,7 +84,11 @@ impl Rect {
 /// ```
 pub fn partition_placement(circuit: &Circuit, grid: &Grid) -> Placement {
     let n = circuit.num_qubits() as usize;
-    assert!(n <= grid.cell_count(), "{n} qubits cannot fit {} tiles", grid.cell_count());
+    assert!(
+        n <= grid.cell_count(),
+        "{n} qubits cannot fit {} tiles",
+        grid.cell_count()
+    );
 
     let coupling = CouplingGraph::of(circuit);
     let mut part = PartGraph::new(n);
@@ -83,11 +98,18 @@ pub fn partition_placement(circuit: &Circuit, grid: &Grid) -> Placement {
 
     let mut cells: Vec<Option<Cell>> = vec![None; n];
     let all: Vec<usize> = (0..n).collect();
-    let root = Rect { r0: 0, c0: 0, rows: grid.cells_per_side(), cols: grid.cells_per_side() };
+    let root = Rect {
+        r0: 0,
+        c0: 0,
+        rows: grid.cells_per_side(),
+        cols: grid.cells_per_side(),
+    };
     embed(&part, &all, root, &mut cells);
 
-    let cells: Vec<Cell> =
-        cells.into_iter().map(|c| c.expect("every qubit embedded")).collect();
+    let cells: Vec<Cell> = cells
+        .into_iter()
+        .map(|c| c.expect("every qubit embedded"))
+        .collect();
     Placement::from_cells(grid, cells)
 }
 
@@ -233,8 +255,8 @@ mod tests {
         let c = ising(25, 1).unwrap();
         let grid = Grid::with_capacity_for(25);
         let p = partition_placement(&c, &grid);
-        let per_edge = weighted_distance(&c, &p) as f64
-            / CouplingGraph::of(&c).total_weight() as f64;
+        let per_edge =
+            weighted_distance(&c, &p) as f64 / CouplingGraph::of(&c).total_weight() as f64;
         assert!(per_edge < 4.0, "mean coupled distance too high: {per_edge}");
     }
 

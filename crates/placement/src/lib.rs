@@ -8,6 +8,11 @@
 //! maximal-degree-2 coupling graphs ([`linear`]). The dynamic placement
 //! map itself lives in [`place`].
 //!
+//! Its place in the workspace is described in `DESIGN.md` §4 (crate
+//! map). The annealer reports acceptance-rate and objective-trajectory
+//! telemetry through `autobraid_telemetry`; the metric names are
+//! documented in `docs/METRICS.md`.
+//!
 //! # Quick example
 //!
 //! ```

@@ -46,7 +46,10 @@ pub fn place_along_serpentine(grid: &Grid, order: &[QubitId]) -> Placement {
     }
     Placement::from_cells(
         grid,
-        qubit_to_cell.into_iter().map(|c| c.expect("order covers all qubits")).collect(),
+        qubit_to_cell
+            .into_iter()
+            .map(|c| c.expect("order covers all qubits"))
+            .collect(),
     )
 }
 

@@ -28,8 +28,14 @@ impl Balance {
     /// fill a region of capacity `cap0` given `total` weight and capacity
     /// `cap0 + cap1`. Used when embedding partitions into grid rectangles.
     pub fn capacities(total: u64, cap0: u64, cap1: u64) -> Self {
-        assert!(cap0 + cap1 >= total, "regions too small: {cap0}+{cap1} < {total}");
-        Balance { min_side0: total.saturating_sub(cap1), max_side0: cap0.min(total) }
+        assert!(
+            cap0 + cap1 >= total,
+            "regions too small: {cap0}+{cap1} < {total}"
+        );
+        Balance {
+            min_side0: total.saturating_sub(cap1),
+            max_side0: cap0.min(total),
+        }
     }
 
     /// Whether `w0` satisfies the constraint.
@@ -145,7 +151,11 @@ mod tests {
         let g = PartGraph::from_edges(8, &edges);
         let side = grow_bisection(&g, Balance::even(8, 0));
         assert_eq!(g.side_weight(&side), 4);
-        assert_eq!(g.edge_cut(&side), 1, "a contiguous split cuts exactly one path edge");
+        assert_eq!(
+            g.edge_cut(&side),
+            1,
+            "a contiguous split cuts exactly one path edge"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ mod tests {
             if let Some(u) = m[v] {
                 assert_eq!(m[u], Some(v), "asymmetric at {v}");
                 assert_ne!(u, v);
-                assert!(g.neighbors(v).iter().any(|&(x, _)| x == u), "non-edge matched");
+                assert!(
+                    g.neighbors(v).iter().any(|&(x, _)| x == u),
+                    "non-edge matched"
+                );
             }
         }
     }

@@ -23,7 +23,10 @@ pub struct PartGraph {
 impl PartGraph {
     /// Creates an edgeless graph with `n` unit-weight vertices.
     pub fn new(n: usize) -> Self {
-        PartGraph { vertex_weight: vec![1; n], adjacency: vec![Vec::new(); n] }
+        PartGraph {
+            vertex_weight: vec![1; n],
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from weighted edges (`u < v` not required; parallel
@@ -120,7 +123,10 @@ impl PartGraph {
 
     /// Sum of vertex weights on side `false` of the bisection.
     pub fn side_weight(&self, side: &[bool]) -> u64 {
-        (0..self.num_vertices()).filter(|&v| !side[v]).map(|v| self.vertex_weight[v]).sum()
+        (0..self.num_vertices())
+            .filter(|&v| !side[v])
+            .map(|v| self.vertex_weight[v])
+            .sum()
     }
 }
 

@@ -65,8 +65,9 @@ fn bisect_multilevel_inner(graph: &PartGraph, balance: Balance) -> Vec<bool> {
         return side;
     }
     let coarse_side = bisect_multilevel_inner(&coarse, balance);
-    let mut side: Vec<bool> =
-        (0..graph.num_vertices()).map(|v| coarse_side[fine_to_coarse[v]]).collect();
+    let mut side: Vec<bool> = (0..graph.num_vertices())
+        .map(|v| coarse_side[fine_to_coarse[v]])
+        .collect();
     refine(graph, &mut side, balance, REFINE_PASSES);
     side
 }
@@ -85,7 +86,10 @@ pub fn partition_with_capacities(graph: &PartGraph, capacities: &[u64]) -> Vec<u
     assert!(!capacities.is_empty(), "need at least one part");
     let total = graph.total_vertex_weight();
     let cap_total: u64 = capacities.iter().sum();
-    assert!(cap_total >= total, "capacities {cap_total} cannot hold weight {total}");
+    assert!(
+        cap_total >= total,
+        "capacities {cap_total} cannot hold weight {total}"
+    );
     let mut assignment = vec![0usize; graph.num_vertices()];
     let vertices: Vec<usize> = (0..graph.num_vertices()).collect();
     split(graph, &vertices, capacities, 0, &mut assignment);
@@ -135,7 +139,13 @@ fn split(
         }
     }
     split(graph, &left, &capacities[..mid], first_part, assignment);
-    split(graph, &right, &capacities[mid..], first_part + mid, assignment);
+    split(
+        graph,
+        &right,
+        &capacities[mid..],
+        first_part + mid,
+        assignment,
+    );
 }
 
 /// Guarantees the balance constraint by force: while a side is over
@@ -144,24 +154,30 @@ fn split(
 /// it only activates when FM could not quite balance coarse weights.
 fn force_balance(graph: &PartGraph, side: &mut [bool], balance: Balance) {
     let cheapest_on = |side: &[bool], s: bool| -> Option<usize> {
-        (0..graph.num_vertices()).filter(|&v| side[v] == s).min_by_key(|&v| {
-            let internal: u64 = graph
-                .neighbors(v)
-                .iter()
-                .filter(|&&(m, _)| side[m] == s)
-                .map(|&(_, w)| w)
-                .sum();
-            (internal, v)
-        })
+        (0..graph.num_vertices())
+            .filter(|&v| side[v] == s)
+            .min_by_key(|&v| {
+                let internal: u64 = graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(m, _)| side[m] == s)
+                    .map(|&(_, w)| w)
+                    .sum();
+                (internal, v)
+            })
     };
     let mut w0 = graph.side_weight(side);
     while w0 > balance.max_side0 {
-        let Some(v) = cheapest_on(side, false) else { break };
+        let Some(v) = cheapest_on(side, false) else {
+            break;
+        };
         side[v] = true;
         w0 -= graph.vertex_weight(v);
     }
     while w0 < balance.min_side0 {
-        let Some(v) = cheapest_on(side, true) else { break };
+        let Some(v) = cheapest_on(side, true) else {
+            break;
+        };
         side[v] = false;
         w0 += graph.vertex_weight(v);
     }

@@ -66,7 +66,10 @@ pub fn fm_pass(graph: &PartGraph, side: &mut [bool], balance: Balance) -> u64 {
     for &v in &moves[best_prefix..] {
         side[v] = !side[v];
     }
-    debug_assert_eq!(graph.edge_cut(side) as i64, best_cut.min(initial_cut as i64));
+    debug_assert_eq!(
+        graph.edge_cut(side) as i64,
+        best_cut.min(initial_cut as i64)
+    );
     initial_cut - graph.edge_cut(side)
 }
 
@@ -118,16 +121,15 @@ mod tests {
 
     #[test]
     fn never_worsens_the_cut() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(3);
+        use autobraid_telemetry::Rng64;
+        let mut rng = Rng64::seed_from_u64(3);
         for _ in 0..20 {
             let n = 20;
             let mut edges = Vec::new();
             for u in 0..n {
                 for v in u + 1..n {
                     if rng.gen_bool(0.2) {
-                        edges.push((u, v, rng.gen_range(1..5)));
+                        edges.push((u, v, rng.gen_range(1..5u64)));
                     }
                 }
             }

@@ -58,7 +58,11 @@ impl Placement {
             assert!(slot.is_none(), "{cell} assigned to two qubits");
             *slot = Some(q as QubitId);
         }
-        Placement { qubit_to_cell, cell_to_qubit, cells_per_side: grid.cells_per_side() }
+        Placement {
+            qubit_to_cell,
+            cell_to_qubit,
+            cells_per_side: grid.cells_per_side(),
+        }
     }
 
     /// Number of placed qubits.
@@ -86,7 +90,10 @@ impl Placement {
         if a == b {
             return;
         }
-        let (ca, cb) = (self.qubit_to_cell[a as usize], self.qubit_to_cell[b as usize]);
+        let (ca, cb) = (
+            self.qubit_to_cell[a as usize],
+            self.qubit_to_cell[b as usize],
+        );
         self.qubit_to_cell[a as usize] = cb;
         self.qubit_to_cell[b as usize] = ca;
         let ia = self.index_of(ca);

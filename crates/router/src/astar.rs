@@ -9,6 +9,7 @@
 
 use crate::path::BraidPath;
 use autobraid_lattice::{BBox, Cell, Grid, Occupancy, Vertex};
+use autobraid_telemetry as telemetry;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -18,6 +19,11 @@ pub struct SearchLimits {
     /// If set, the path must stay inside or on the boundary of this box
     /// (used to confine LLG-local routing and in theorem tests).
     pub region: Option<BBox>,
+    /// If set, the search aborts (returning `None`) after expanding this
+    /// many vertices. Aborts are reported on the
+    /// `router.astar.limit_hits` telemetry counter, so a capped
+    /// production configuration can see how often it gives up early.
+    pub max_expansions: Option<u32>,
 }
 
 /// Finds a shortest free braiding path from tile `a` to tile `b` with A*.
@@ -47,15 +53,22 @@ pub fn find_path(
     b: Cell,
     limits: SearchLimits,
 ) -> Option<BraidPath> {
+    telemetry::counter("router.astar.searches", 1);
     let allowed = |v: Vertex| -> bool {
         occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
     };
     let targets: Vec<Vertex> = b.corners().into_iter().filter(|&v| allowed(v)).collect();
     if targets.is_empty() {
+        telemetry::counter("router.astar.failures", 1);
         return None;
     }
-    let heuristic =
-        |v: Vertex| -> u32 { targets.iter().map(|t| v.manhattan_distance(*t)).min().unwrap() };
+    let heuristic = |v: Vertex| -> u32 {
+        targets
+            .iter()
+            .map(|t| v.manhattan_distance(*t))
+            .min()
+            .unwrap()
+    };
 
     let n = grid.vertex_count();
     let mut g_cost: Vec<u32> = vec![u32::MAX; n];
@@ -71,12 +84,21 @@ pub fn find_path(
         }
     }
 
+    let mut expansions = 0u32;
     while let Some(Reverse((_, g, idx))) = open.pop() {
         if g > g_cost[idx] {
             continue; // stale entry
         }
+        if limits.max_expansions.is_some_and(|cap| expansions >= cap) {
+            telemetry::counter("router.astar.limit_hits", 1);
+            telemetry::counter("router.astar.failures", 1);
+            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            return None;
+        }
+        expansions += 1;
         let v = grid.vertex_at(idx);
         if b.has_corner(v) {
+            telemetry::observe("router.astar.expansions", f64::from(expansions));
             return Some(reconstruct(grid, a, b, &parent, idx));
         }
         for next in grid.neighbors(v) {
@@ -92,6 +114,8 @@ pub fn find_path(
             }
         }
     }
+    telemetry::counter("router.astar.failures", 1);
+    telemetry::observe("router.astar.expansions", f64::from(expansions));
     None
 }
 
@@ -145,8 +169,7 @@ impl Connectivity {
         let mut next = 0u32;
         let mut queue = std::collections::VecDeque::new();
         for start in 0..n {
-            if labels[start] != Self::BLOCKED
-                || occupancy.is_occupied(grid, grid.vertex_at(start))
+            if labels[start] != Self::BLOCKED || occupancy.is_occupied(grid, grid.vertex_at(start))
             {
                 continue;
             }
@@ -235,8 +258,14 @@ mod tests {
     #[test]
     fn shortest_on_empty_grid() {
         let (g, occ) = setup(5);
-        let p = find_path(&g, &occ, Cell::new(0, 0), Cell::new(0, 4), SearchLimits::default())
-            .unwrap();
+        let p = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(0, 4),
+            SearchLimits::default(),
+        )
+        .unwrap();
         // Closest corners (0,1)→(0,4): 3 edges = 4 vertices.
         assert_eq!(p.len(), 4);
     }
@@ -244,8 +273,14 @@ mod tests {
     #[test]
     fn adjacent_cells_share_corner() {
         let (g, occ) = setup(3);
-        let p = find_path(&g, &occ, Cell::new(0, 0), Cell::new(0, 1), SearchLimits::default())
-            .unwrap();
+        let p = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(0, 1),
+            SearchLimits::default(),
+        )
+        .unwrap();
         assert_eq!(p.len(), 1, "shared corner is a 1-vertex path");
     }
 
@@ -256,8 +291,14 @@ mod tests {
         for r in 0..4 {
             occ.reserve(&g, Vertex::new(r, 2));
         }
-        let p = find_path(&g, &occ, Cell::new(1, 0), Cell::new(1, 3), SearchLimits::default())
-            .unwrap();
+        let p = find_path(
+            &g,
+            &occ,
+            Cell::new(1, 0),
+            Cell::new(1, 3),
+            SearchLimits::default(),
+        )
+        .unwrap();
         assert!(p.vertices().iter().all(|&v| occ.is_free(&g, v)));
         assert!(p.len() > 3, "detour is longer than the straight line");
     }
@@ -268,8 +309,14 @@ mod tests {
         for r in 0..=4 {
             occ.reserve(&g, Vertex::new(r, 2));
         }
-        assert!(find_path(&g, &occ, Cell::new(1, 0), Cell::new(1, 3), SearchLimits::default())
-            .is_none());
+        assert!(find_path(
+            &g,
+            &occ,
+            Cell::new(1, 0),
+            Cell::new(1, 3),
+            SearchLimits::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -278,8 +325,14 @@ mod tests {
         for v in Cell::new(2, 2).corners() {
             occ.reserve(&g, v);
         }
-        assert!(find_path(&g, &occ, Cell::new(0, 0), Cell::new(2, 2), SearchLimits::default())
-            .is_none());
+        assert!(find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(2, 2),
+            SearchLimits::default()
+        )
+        .is_none());
     }
 
     #[test]
@@ -291,7 +344,10 @@ mod tests {
             &occ,
             Cell::new(0, 0),
             Cell::new(1, 5),
-            SearchLimits { region: Some(region) },
+            SearchLimits {
+                region: Some(region),
+                ..SearchLimits::default()
+            },
         )
         .unwrap();
         assert!(p.confined_to(&region));
@@ -302,16 +358,33 @@ mod tests {
             &occ,
             Cell::new(0, 0),
             Cell::new(1, 5),
-            SearchLimits { region: Some(tiny) }
+            SearchLimits {
+                region: Some(tiny),
+                ..SearchLimits::default()
+            }
         )
         .is_none());
     }
 
     #[test]
+    fn expansion_cap_aborts_search() {
+        let (g, occ) = setup(8);
+        let capped = SearchLimits {
+            max_expansions: Some(2),
+            ..SearchLimits::default()
+        };
+        assert!(find_path(&g, &occ, Cell::new(0, 0), Cell::new(7, 7), capped).is_none());
+        let generous = SearchLimits {
+            max_expansions: Some(10_000),
+            ..SearchLimits::default()
+        };
+        assert!(find_path(&g, &occ, Cell::new(0, 0), Cell::new(7, 7), generous).is_some());
+    }
+
+    #[test]
     fn astar_matches_bfs_length_on_random_obstacles() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(11);
+        use autobraid_telemetry::Rng64;
+        let mut rng = Rng64::seed_from_u64(11);
         for trial in 0..50 {
             let (g, mut occ) = setup(8);
             for v in g.vertices() {
@@ -319,10 +392,10 @@ mod tests {
                     occ.reserve(&g, v);
                 }
             }
-            let a = Cell::new(rng.gen_range(0..8), rng.gen_range(0..8));
+            let a = Cell::new(rng.gen_range(0..8u32), rng.gen_range(0..8u32));
             let mut b = a;
             while b == a {
-                b = Cell::new(rng.gen_range(0..8), rng.gen_range(0..8));
+                b = Cell::new(rng.gen_range(0..8u32), rng.gen_range(0..8u32));
             }
             let astar = find_path(&g, &occ, a, b, SearchLimits::default());
             let bfs = find_path_bfs(&g, &occ, a, b, SearchLimits::default());
@@ -331,7 +404,11 @@ mod tests {
                     assert_eq!(p1.len(), p2.len(), "trial {trial}: suboptimal A*")
                 }
                 (None, None) => {}
-                (x, y) => panic!("trial {trial}: A*={:?} BFS={:?} disagree", x.map(|p| p.len()), y.map(|p| p.len())),
+                (x, y) => panic!(
+                    "trial {trial}: A*={:?} BFS={:?} disagree",
+                    x.map(|p| p.len()),
+                    y.map(|p| p.len())
+                ),
             }
         }
     }
@@ -339,8 +416,20 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let (g, occ) = setup(6);
-        let p1 = find_path(&g, &occ, Cell::new(0, 0), Cell::new(5, 5), SearchLimits::default());
-        let p2 = find_path(&g, &occ, Cell::new(0, 0), Cell::new(5, 5), SearchLimits::default());
+        let p1 = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(5, 5),
+            SearchLimits::default(),
+        );
+        let p2 = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(5, 5),
+            SearchLimits::default(),
+        );
         assert_eq!(p1, p2);
     }
 }

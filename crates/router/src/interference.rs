@@ -47,7 +47,12 @@ impl InterferenceGraph {
             }
         }
         let degrees = adjacency.iter().map(Vec::len).collect();
-        InterferenceGraph { adjacency, removed: vec![false; n], degrees, live: n }
+        InterferenceGraph {
+            adjacency,
+            removed: vec![false; n],
+            degrees,
+            live: n,
+        }
     }
 
     /// Total number of nodes, including removed ones.
@@ -83,18 +88,28 @@ impl InterferenceGraph {
         if self.removed[node] {
             return Vec::new();
         }
-        self.adjacency[node].iter().copied().filter(|&m| !self.removed[m]).collect()
+        self.adjacency[node]
+            .iter()
+            .copied()
+            .filter(|&m| !self.removed[m])
+            .collect()
     }
 
     /// Maximum degree among live nodes (0 when none remain).
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).filter(|&i| !self.removed[i]).map(|i| self.degrees[i]).max().unwrap_or(0)
+        (0..self.len())
+            .filter(|&i| !self.removed[i])
+            .map(|i| self.degrees[i])
+            .max()
+            .unwrap_or(0)
     }
 
     /// All live nodes with the current maximum degree.
     pub fn max_degree_nodes(&self) -> Vec<usize> {
         let max = self.max_degree();
-        (0..self.len()).filter(|&i| !self.removed[i] && self.degree(i) == max).collect()
+        (0..self.len())
+            .filter(|&i| !self.removed[i] && self.degree(i) == max)
+            .collect()
     }
 
     /// Removes `node` from the live graph.
@@ -148,7 +163,9 @@ mod tests {
 
     fn chain_of(n: usize) -> Vec<CxRequest> {
         // Horizontally overlapping chain: gate i spans columns 2i .. 2i+3.
-        (0..n).map(|i| req(i, (0, 2 * i as u32), (0, 2 * i as u32 + 2))).collect()
+        (0..n)
+            .map(|i| req(i, (0, 2 * i as u32), (0, 2 * i as u32 + 2)))
+            .collect()
     }
 
     #[test]

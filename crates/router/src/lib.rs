@@ -11,6 +11,11 @@
 //! * [`stack_finder`] — the paper's Fig. 13 stack-based path finder and
 //!   the greedy (GP) baseline ordering of Javadi-Abhari et al.
 //!
+//! Its place in the workspace is described in `DESIGN.md` §4 (crate
+//! map). Router internals report telemetry (A* expansions, peel depth,
+//! LLG sizes) through `autobraid_telemetry`; the metric names are
+//! documented in `docs/METRICS.md`.
+//!
 //! # Quick example
 //!
 //! ```
@@ -34,8 +39,8 @@
 
 pub mod astar;
 pub mod interference;
-pub mod lowering;
 pub mod llg;
+pub mod lowering;
 pub mod path;
 pub mod stack_finder;
 pub mod topology;
@@ -44,4 +49,6 @@ pub use astar::{find_path, SearchLimits};
 pub use interference::InterferenceGraph;
 pub use llg::{decompose, Llg};
 pub use path::{BraidPath, CxRequest};
-pub use stack_finder::{route_concurrent, route_greedy, route_stack_flat, RouteOutcome, RoutedGate};
+pub use stack_finder::{
+    route_concurrent, route_greedy, route_stack_flat, RouteOutcome, RoutedGate,
+};

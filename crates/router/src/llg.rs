@@ -37,8 +37,11 @@ impl Llg {
         if self.size() <= 1 {
             return true;
         }
-        let mut boxes: Vec<BBox> =
-            self.members.iter().map(|&i| requests[i].outer_bbox()).collect();
+        let mut boxes: Vec<BBox> = self
+            .members
+            .iter()
+            .map(|&i| requests[i].outer_bbox())
+            .collect();
         boxes.sort_by_key(|b| (b.area(), b.width(), b.min_row, b.min_col));
         boxes.windows(2).all(|w| w[1].strictly_nests(&w[0]))
     }
@@ -94,8 +97,9 @@ pub fn decompose(requests: &[CxRequest]) -> Vec<Llg> {
     let mut changed = true;
     while changed {
         changed = false;
-        let roots: Vec<usize> =
-            (0..n).filter(|&i| find(&mut parent, i) == i && boxes[i].is_some()).collect();
+        let roots: Vec<usize> = (0..n)
+            .filter(|&i| find(&mut parent, i) == i && boxes[i].is_some())
+            .collect();
         for i in 0..roots.len() {
             let ri = find(&mut parent, roots[i]);
             for &root_j in &roots[i + 1..] {
@@ -103,8 +107,10 @@ pub fn decompose(requests: &[CxRequest]) -> Vec<Llg> {
                 if ri == rj {
                     continue;
                 }
-                let (bi, bj) =
-                    (boxes[ri].expect("root has box"), boxes[rj].expect("root has box"));
+                let (bi, bj) = (
+                    boxes[ri].expect("root has box"),
+                    boxes[rj].expect("root has box"),
+                );
                 if bi.overlaps_open(&bj) {
                     parent[rj] = ri;
                     boxes[ri] = Some(bi.union(&bj));
@@ -122,7 +128,10 @@ pub fn decompose(requests: &[CxRequest]) -> Vec<Llg> {
     }
     groups
         .into_iter()
-        .map(|(root, members)| Llg { members, bbox: boxes[root].expect("root has box") })
+        .map(|(root, members)| Llg {
+            members,
+            bbox: boxes[root].expect("root has box"),
+        })
         .collect()
 }
 
@@ -130,7 +139,10 @@ pub fn decompose(requests: &[CxRequest]) -> Vec<Llg> {
 /// Table 1 metric and the simulated-annealing objective for initial
 /// placement.
 pub fn count_unguaranteed(requests: &[CxRequest]) -> usize {
-    decompose(requests).iter().filter(|g| !g.guaranteed_schedulable(requests)).count()
+    decompose(requests)
+        .iter()
+        .filter(|g| !g.guaranteed_schedulable(requests))
+        .count()
 }
 
 /// Number of LLGs with size > 3 (the raw "# of LLG's (size > 3)" column of
@@ -150,7 +162,11 @@ mod tests {
 
     #[test]
     fn disjoint_gates_are_singleton_llgs() {
-        let rs = vec![req(0, (0, 0), (0, 1)), req(1, (4, 4), (4, 5)), req(2, (8, 0), (8, 1))];
+        let rs = vec![
+            req(0, (0, 0), (0, 1)),
+            req(1, (4, 4), (4, 5)),
+            req(2, (8, 0), (8, 1)),
+        ];
         let llgs = decompose(&rs);
         assert_eq!(llgs.len(), 3);
         assert!(llgs.iter().all(|g| g.size() == 1));
@@ -172,7 +188,11 @@ mod tests {
         // the joint box (0,0)-(4,4). C's box (0,3)-(1,5) overlaps neither A
         // nor B individually, but does overlap the joint box — the
         // fixpoint loop must pull it in (LLG minimality).
-        let rs = vec![req(0, (0, 0), (1, 1)), req(1, (1, 1), (3, 3)), req(2, (0, 3), (0, 4))];
+        let rs = vec![
+            req(0, (0, 0), (1, 1)),
+            req(1, (1, 1), (3, 3)),
+            req(2, (0, 3), (0, 4)),
+        ];
         assert!(!rs[0].outer_bbox().overlaps_open(&rs[2].outer_bbox()));
         assert!(!rs[1].outer_bbox().overlaps_open(&rs[2].outer_bbox()));
         let llgs = decompose(&rs);
@@ -185,8 +205,9 @@ mod tests {
         // Chained neighbour pairs (Ising row): boxes share a boundary line
         // only — each pair routes inside its own box, so they must remain
         // independent singleton LLGs (cf. paper Fig. 7).
-        let rs: Vec<CxRequest> =
-            (0..4).map(|i| req(i, (0, 2 * i as u32), (0, 2 * i as u32 + 1))).collect();
+        let rs: Vec<CxRequest> = (0..4)
+            .map(|i| req(i, (0, 2 * i as u32), (0, 2 * i as u32 + 1)))
+            .collect();
         let llgs = decompose(&rs);
         assert_eq!(llgs.len(), 4);
         assert!(llgs.iter().all(|g| g.size() == 1));
@@ -200,8 +221,9 @@ mod tests {
 
     #[test]
     fn members_partition_input() {
-        let rs: Vec<CxRequest> =
-            (0..10).map(|i| req(i, (i as u32, 0), (i as u32, 3))).collect();
+        let rs: Vec<CxRequest> = (0..10)
+            .map(|i| req(i, (i as u32, 0), (i as u32, 3)))
+            .collect();
         let llgs = decompose(&rs);
         let mut all: Vec<usize> = llgs.iter().flat_map(|g| g.members.clone()).collect();
         all.sort();
@@ -246,7 +268,10 @@ mod tests {
     fn singletons_and_pairs_always_guaranteed() {
         let rs = vec![req(0, (0, 0), (3, 3))];
         let llgs = decompose(&rs);
-        assert!(llgs[0].is_strictly_nested(&rs), "singleton is trivially nested");
+        assert!(
+            llgs[0].is_strictly_nested(&rs),
+            "singleton is trivially nested"
+        );
         assert!(llgs[0].guaranteed_schedulable(&rs));
     }
 }

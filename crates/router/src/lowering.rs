@@ -83,7 +83,10 @@ impl BraidProgram {
 /// degenerates and vertex-disjoint paths no longer map to disjoint
 /// physical ancilla sets.
 pub fn lower_braid(layout: &PhysicalLayout, path: &BraidPath) -> BraidProgram {
-    assert!(layout.distance() >= 3, "lowering requires code distance >= 3");
+    assert!(
+        layout.distance() >= 3,
+        "lowering requires code distance >= 3"
+    );
     let d = u64::from(layout.distance());
     let mut ancillas: Vec<PhysicalQubit> = Vec::new();
     // The path's vertices chain through channel segments; each segment
@@ -103,7 +106,10 @@ pub fn lower_braid(layout: &PhysicalLayout, path: &BraidPath) -> BraidProgram {
         for (dr, dc) in offsets {
             let (r, c) = (i64::from(q.row) + dr, i64::from(q.col) + dc);
             if r >= 0 && c >= 0 && (r as u32) < side && (c as u32) < side {
-                ancillas.push(PhysicalQubit { row: r as u32, col: c as u32 });
+                ancillas.push(PhysicalQubit {
+                    row: r as u32,
+                    col: c as u32,
+                });
             }
         }
     }
@@ -112,12 +118,21 @@ pub fn lower_braid(layout: &PhysicalLayout, path: &BraidPath) -> BraidProgram {
 
     let mut instructions = Vec::with_capacity(2 * ancillas.len());
     for &q in &ancillas {
-        instructions.push(LatticeInstruction { cycle: 0, op: LatticeOp::DisableStabilizer(q) });
+        instructions.push(LatticeInstruction {
+            cycle: 0,
+            op: LatticeOp::DisableStabilizer(q),
+        });
     }
     for &q in &ancillas {
-        instructions.push(LatticeInstruction { cycle: d, op: LatticeOp::EnableStabilizer(q) });
+        instructions.push(LatticeInstruction {
+            cycle: d,
+            op: LatticeOp::EnableStabilizer(q),
+        });
     }
-    BraidProgram { instructions, duration_cycles: 2 * d }
+    BraidProgram {
+        instructions,
+        duration_cycles: 2 * d,
+    }
 }
 
 /// Lowers every braid of one step, checking that no two braids touch the
@@ -179,7 +194,11 @@ mod tests {
 
     #[test]
     fn instruction_count_scales_with_path_length() {
-        let short = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let short = path(
+            vec![Vertex::new(0, 1), Vertex::new(0, 2)],
+            Cell::new(0, 0),
+            Cell::new(0, 2),
+        );
         let long = path(
             (1..=4).map(|c| Vertex::new(0, c)).collect(),
             Cell::new(0, 0),
@@ -196,7 +215,11 @@ mod tests {
     fn duration_is_constant_in_path_length() {
         // Latency insensitivity: longer paths, same duration.
         let l = layout();
-        let short = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let short = path(
+            vec![Vertex::new(0, 1), Vertex::new(0, 2)],
+            Cell::new(0, 0),
+            Cell::new(0, 2),
+        );
         let long = path(
             (1..=4).map(|c| Vertex::new(0, c)).collect(),
             Cell::new(0, 0),
@@ -210,7 +233,11 @@ mod tests {
 
     #[test]
     fn peak_bandwidth_counts_cycle_bursts() {
-        let p = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let p = path(
+            vec![Vertex::new(0, 1), Vertex::new(0, 2)],
+            Cell::new(0, 0),
+            Cell::new(0, 2),
+        );
         let program = lower_braid(&layout(), &p);
         // All disables land on cycle 0, all enables on cycle d.
         assert_eq!(
@@ -238,7 +265,11 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn overlapping_paths_rejected() {
         let l = layout();
-        let p = path(vec![Vertex::new(0, 1), Vertex::new(0, 2)], Cell::new(0, 0), Cell::new(0, 2));
+        let p = path(
+            vec![Vertex::new(0, 1), Vertex::new(0, 2)],
+            Cell::new(0, 0),
+            Cell::new(0, 2),
+        );
         let _ = lower_step(&l, &[&p, &p]);
     }
 }

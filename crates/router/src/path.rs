@@ -29,7 +29,12 @@ impl CxRequest {
     /// Panics if both operands sit on the same tile.
     pub fn new(id: usize, a: Cell, b: Cell) -> Self {
         assert_ne!(a, b, "CX operands must occupy distinct tiles");
-        CxRequest { id, a, b, priority: 0 }
+        CxRequest {
+            id,
+            a,
+            b,
+            priority: 0,
+        }
     }
 
     /// Sets the routing priority (higher routes earlier under congestion).
@@ -163,9 +168,8 @@ mod tests {
     fn request_rejects_same_tile() {
         let r = CxRequest::new(0, Cell::new(0, 0), Cell::new(1, 1));
         assert_eq!(r.id, 0);
-        let caught = std::panic::catch_unwind(|| {
-            CxRequest::new(1, Cell::new(2, 2), Cell::new(2, 2))
-        });
+        let caught =
+            std::panic::catch_unwind(|| CxRequest::new(1, Cell::new(2, 2), Cell::new(2, 2)));
         assert!(caught.is_err());
     }
 
@@ -186,7 +190,12 @@ mod tests {
     #[test]
     fn single_vertex_path_between_touching_cells() {
         // Diagonal neighbours share the corner (1,1).
-        let p = BraidPath::new(&grid(), Cell::new(0, 0), Cell::new(1, 1), vec![Vertex::new(1, 1)]);
+        let p = BraidPath::new(
+            &grid(),
+            Cell::new(0, 0),
+            Cell::new(1, 1),
+            vec![Vertex::new(1, 1)],
+        );
         assert!(p.is_some());
         assert_eq!(p.unwrap().len(), 1);
     }
@@ -211,9 +220,7 @@ mod tests {
         // Wrong endpoint.
         assert!(BraidPath::new(&g, a, b, vec![Vertex::new(3, 3)]).is_none());
         // Gap between consecutive vertices.
-        assert!(
-            BraidPath::new(&g, a, b, vec![Vertex::new(0, 1), Vertex::new(0, 3)]).is_none()
-        );
+        assert!(BraidPath::new(&g, a, b, vec![Vertex::new(0, 1), Vertex::new(0, 3)]).is_none());
         // Repeated vertex (not simple).
         assert!(BraidPath::new(
             &g,
@@ -228,10 +235,13 @@ mod tests {
         )
         .is_none());
         // Off-grid vertex.
-        assert!(
-            BraidPath::new(&g, a, b, vec![Vertex::new(0, 1), Vertex::new(0, 2), Vertex::new(0, 5)])
-                .is_none()
-        );
+        assert!(BraidPath::new(
+            &g,
+            a,
+            b,
+            vec![Vertex::new(0, 1), Vertex::new(0, 2), Vertex::new(0, 5)]
+        )
+        .is_none());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::astar::{find_path, Connectivity, SearchLimits};
 use crate::interference::InterferenceGraph;
 use crate::path::{BraidPath, CxRequest};
 use autobraid_lattice::{Grid, Occupancy};
+use autobraid_telemetry as telemetry;
 
 /// One successfully routed gate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -127,6 +128,8 @@ pub fn route_concurrent(
     occupancy: &mut Occupancy,
     requests: &[CxRequest],
 ) -> RouteOutcome {
+    let _span = telemetry::span("route_concurrent");
+    telemetry::counter("router.route.requests", requests.len() as u64);
     let snapshot = occupancy.clone();
     let outcome = route_stack_order(grid, occupancy, requests);
     if outcome.is_complete() {
@@ -138,6 +141,7 @@ pub fn route_concurrent(
     let mut greedy_occupancy = snapshot;
     let greedy = route_greedy(grid, &mut greedy_occupancy, requests);
     if greedy.routed.len() > outcome.routed.len() {
+        telemetry::counter("router.route.greedy_fallback_wins", 1);
         *occupancy = greedy_occupancy;
         greedy
     } else {
@@ -169,10 +173,18 @@ pub fn route_stack_flat(
     let mut residual = graph.live_nodes();
     residual.sort_by_key(|&i| {
         let b = requests[i].outer_bbox();
-        (std::cmp::Reverse(requests[i].priority), b.area(), b.width(), i)
+        (
+            std::cmp::Reverse(requests[i].priority),
+            b.area(),
+            b.width(),
+            i,
+        )
     });
     let mut conn = ConnCache::default();
-    let order: Vec<usize> = residual.into_iter().chain(stack.into_iter().rev()).collect();
+    let order: Vec<usize> = residual
+        .into_iter()
+        .chain(stack.into_iter().rev())
+        .collect();
     for i in order {
         let r = requests[i];
         if !conn.may_connect(grid, occupancy, r.a, r.b) {
@@ -208,6 +220,12 @@ fn route_stack_order(
     // overlap), smallest groups first. Larger LLGs fall through to the
     // global stack-based search.
     let llgs = crate::llg::decompose(requests);
+    if telemetry::is_enabled() {
+        telemetry::counter("router.llg.groups", llgs.len() as u64);
+        for group in &llgs {
+            telemetry::observe("router.llg.size", group.size() as f64);
+        }
+    }
     let mut small: Vec<&crate::llg::Llg> = llgs.iter().filter(|g| g.size() <= 3).collect();
     small.sort_by_key(|g| (g.bbox.area(), g.bbox.min_row, g.bbox.min_col));
     for group in small {
@@ -234,6 +252,7 @@ fn route_stack_order(
             graph.remove(i);
         }
     }
+    telemetry::observe("router.stack.initial_degree", graph.max_degree() as f64);
     let mut stack: Vec<usize> = Vec::new();
     while graph.max_degree() > 2 {
         let candidates = graph.max_degree_nodes();
@@ -244,38 +263,43 @@ fn route_stack_order(
         stack.push(chosen);
         graph.remove(chosen);
     }
+    telemetry::observe("router.stack.peel_depth", stack.len() as f64);
+    telemetry::observe("router.stack.residual_degree", graph.max_degree() as f64);
 
     // Route the residual graph, smallest bounding boxes first so short
     // local pairs keep their short paths.
     let mut residual = graph.live_nodes();
     residual.sort_by_key(|&i| {
         let b = requests[i].outer_bbox();
-        (std::cmp::Reverse(requests[i].priority), b.area(), b.width(), i)
+        (
+            std::cmp::Reverse(requests[i].priority),
+            b.area(),
+            b.width(),
+            i,
+        )
     });
 
     let mut conn = ConnCache::default();
-    let try_route = |i: usize,
-                     outcome: &mut RouteOutcome,
-                     occupancy: &mut Occupancy,
-                     conn: &mut ConnCache| {
-        let r = requests[i];
-        if !conn.may_connect(grid, occupancy, r.a, r.b) {
-            outcome.failed.push(r.id);
-            return;
-        }
-        match find_path(grid, occupancy, r.a, r.b, SearchLimits::default()) {
-            Some(path) => {
-                let reserved = occupancy.try_reserve(grid, path.vertices().iter().copied());
-                debug_assert!(reserved, "A* returned a path through reserved vertices");
-                outcome.routed.push(RoutedGate { request: r, path });
-                conn.invalidate();
-            }
-            None => {
-                conn.note_failure();
+    let try_route =
+        |i: usize, outcome: &mut RouteOutcome, occupancy: &mut Occupancy, conn: &mut ConnCache| {
+            let r = requests[i];
+            if !conn.may_connect(grid, occupancy, r.a, r.b) {
                 outcome.failed.push(r.id);
+                return;
             }
-        }
-    };
+            match find_path(grid, occupancy, r.a, r.b, SearchLimits::default()) {
+                Some(path) => {
+                    let reserved = occupancy.try_reserve(grid, path.vertices().iter().copied());
+                    debug_assert!(reserved, "A* returned a path through reserved vertices");
+                    outcome.routed.push(RoutedGate { request: r, path });
+                    conn.invalidate();
+                }
+                None => {
+                    conn.note_failure();
+                    outcome.failed.push(r.id);
+                }
+            }
+        };
 
     for i in residual {
         try_route(i, &mut outcome, occupancy, &mut conn);
@@ -305,17 +329,27 @@ fn repair_failures(
         return;
     }
     let request_by_id = |id: usize| -> &CxRequest {
-        requests.iter().find(|r| r.id == id).expect("failed id came from requests")
+        requests
+            .iter()
+            .find(|r| r.id == id)
+            .expect("failed id came from requests")
     };
     let mut failed = std::mem::take(&mut outcome.failed);
     failed.sort_by_key(|&id| std::cmp::Reverse(request_by_id(id).priority));
 
     for id in failed {
+        telemetry::counter("router.repair.attempts", 1);
         let req = *request_by_id(id);
         let zone = req.outer_bbox().expanded(1, grid.cells_per_side());
         let candidates: Vec<usize> = (0..outcome.routed.len())
             .rev()
-            .filter(|&j| outcome.routed[j].path.vertices().iter().any(|&v| zone.contains(v)))
+            .filter(|&j| {
+                outcome.routed[j]
+                    .path
+                    .vertices()
+                    .iter()
+                    .any(|&v| zone.contains(v))
+            })
             .take(MAX_CANDIDATES)
             .collect();
         let mut fixed = false;
@@ -324,8 +358,7 @@ fn repair_failures(
             occupancy.release_path(grid, victim.path.vertices().iter().copied());
             let Some(new_path) = find_path(grid, occupancy, req.a, req.b, SearchLimits::default())
             else {
-                let restored =
-                    occupancy.try_reserve(grid, victim.path.vertices().iter().copied());
+                let restored = occupancy.try_reserve(grid, victim.path.vertices().iter().copied());
                 debug_assert!(restored, "rollback re-reserves the released path");
                 continue;
             };
@@ -338,11 +371,14 @@ fn repair_failures(
                 victim.request.b,
                 SearchLimits::default(),
             ) {
-                let reserved =
-                    occupancy.try_reserve(grid, victim_path.vertices().iter().copied());
+                let reserved = occupancy.try_reserve(grid, victim_path.vertices().iter().copied());
                 debug_assert!(reserved);
                 outcome.routed[j].path = victim_path;
-                outcome.routed.push(RoutedGate { request: req, path: new_path });
+                outcome.routed.push(RoutedGate {
+                    request: req,
+                    path: new_path,
+                });
+                telemetry::counter("router.repair.successes", 1);
                 fixed = true;
                 break;
             }
@@ -371,13 +407,21 @@ fn route_small_llg(
 ) {
     debug_assert!(group.size() <= 3);
     let orders = permutations(&group.members);
-    let limit_options =
-        [SearchLimits { region: Some(group.bbox) }, SearchLimits::default()];
+    let limit_options = [
+        SearchLimits {
+            region: Some(group.bbox),
+            ..SearchLimits::default()
+        },
+        SearchLimits::default(),
+    ];
     for limits in limit_options {
         for order in &orders {
             if let Some(paths) = try_route_all(grid, occupancy, requests, order, limits) {
                 for (i, path) in order.iter().zip(paths) {
-                    outcome.routed.push(RoutedGate { request: requests[*i], path });
+                    outcome.routed.push(RoutedGate {
+                        request: requests[*i],
+                        path,
+                    });
                 }
                 return;
             }
@@ -388,7 +432,12 @@ fn route_small_llg(
     let mut order = group.members.clone();
     order.sort_by_key(|&i| {
         let b = requests[i].outer_bbox();
-        (std::cmp::Reverse(requests[i].priority), b.area(), b.width(), i)
+        (
+            std::cmp::Reverse(requests[i].priority),
+            b.area(),
+            b.width(),
+            i,
+        )
     });
     for i in order {
         let r = requests[i];
@@ -540,7 +589,11 @@ mod tests {
             CxRequest::new(4, Cell::new(1, 7), Cell::new(1, 8)),
         ];
         let out = route_concurrent(&g, &mut occ, &rs);
-        assert!(out.is_complete(), "stack finder should route all 5: {:?}", out.failed);
+        assert!(
+            out.is_complete(),
+            "stack finder should route all 5: {:?}",
+            out.failed
+        );
         assert_disjoint(&out);
         // The long gate A is peeled (degree 4) and routed last.
         assert_eq!(out.routed.last().unwrap().request.id, 0);
@@ -557,7 +610,11 @@ mod tests {
             CxRequest::new(3, Cell::new(0, 0), Cell::new(11, 11)),
         ];
         let out = route_concurrent(&g, &mut occ, &rs);
-        assert!(out.is_complete(), "nested LLG must fully route: {:?}", out.failed);
+        assert!(
+            out.is_complete(),
+            "nested LLG must fully route: {:?}",
+            out.failed
+        );
         assert_disjoint(&out);
     }
 
@@ -593,7 +650,10 @@ mod tests {
             CxRequest::new(3, Cell::new(1, 0), Cell::new(1, 1)),
         ];
         let out = route_concurrent(&g, &mut occ, &rs);
-        assert!(!out.routed.is_empty(), "at least one gate routes on an empty grid");
+        assert!(
+            !out.routed.is_empty(),
+            "at least one gate routes on an empty grid"
+        );
         let ratio = out.ratio();
         assert!((0.0..=1.0).contains(&ratio));
         assert_eq!(out.routed.len() + out.failed.len(), 4);

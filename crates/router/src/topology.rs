@@ -75,7 +75,9 @@ impl ClosedWalk {
 
     /// Tiles with non-zero winding number — the tiles the walk encloses.
     pub fn enclosed_cells(&self, grid: &Grid) -> Vec<Cell> {
-        grid.cells().filter(|&c| self.winding_number(c) != 0).collect()
+        grid.cells()
+            .filter(|&c| self.winding_number(c) != 0)
+            .collect()
     }
 }
 
@@ -193,10 +195,19 @@ mod tests {
     fn unit_square_winds_once() {
         let walk = ClosedWalk::new(
             &grid(),
-            vec![Vertex::new(1, 1), Vertex::new(1, 2), Vertex::new(2, 2), Vertex::new(2, 1)],
+            vec![
+                Vertex::new(1, 1),
+                Vertex::new(1, 2),
+                Vertex::new(2, 2),
+                Vertex::new(2, 1),
+            ],
         )
         .unwrap();
-        assert_eq!(walk.winding_number(Cell::new(1, 1)), -1, "counterclockwise ring");
+        assert_eq!(
+            walk.winding_number(Cell::new(1, 1)),
+            -1,
+            "counterclockwise ring"
+        );
         assert_eq!(walk.winding_number(Cell::new(0, 0)), 0);
         assert_eq!(walk.enclosed_cells(&grid()), vec![Cell::new(1, 1)]);
     }
@@ -205,7 +216,12 @@ mod tests {
     fn orientation_flips_sign() {
         let cw = ClosedWalk::new(
             &grid(),
-            vec![Vertex::new(1, 1), Vertex::new(2, 1), Vertex::new(2, 2), Vertex::new(1, 2)],
+            vec![
+                Vertex::new(1, 1),
+                Vertex::new(2, 1),
+                Vertex::new(2, 2),
+                Vertex::new(1, 2),
+            ],
         )
         .unwrap();
         assert_eq!(cw.winding_number(Cell::new(1, 1)), 1);
@@ -216,7 +232,12 @@ mod tests {
         // Out-and-back walk encloses nothing.
         let walk = ClosedWalk::new(
             &grid(),
-            vec![Vertex::new(1, 1), Vertex::new(1, 2), Vertex::new(1, 3), Vertex::new(1, 2)],
+            vec![
+                Vertex::new(1, 1),
+                Vertex::new(1, 2),
+                Vertex::new(1, 3),
+                Vertex::new(1, 2),
+            ],
         )
         .unwrap();
         for c in grid().cells() {
@@ -232,11 +253,7 @@ mod tests {
             ClosedWalk::new(&g, vec![Vertex::new(0, 0), Vertex::new(2, 2)]).is_none(),
             "gap"
         );
-        assert!(ClosedWalk::new(
-            &g,
-            vec![Vertex::new(0, 0), Vertex::new(0, 3)]
-        )
-        .is_none());
+        assert!(ClosedWalk::new(&g, vec![Vertex::new(0, 0), Vertex::new(0, 3)]).is_none());
     }
 
     #[test]
@@ -263,8 +280,22 @@ mod tests {
         );
         // Enclosed region is tiles (0,1)-(0,2); equivalent while they are
         // free, inequivalent once one holds a qubit.
-        assert!(equivalent(&grid(), a, b, &straight, &detour, &[Cell::new(3, 3)]));
-        assert!(!equivalent(&grid(), a, b, &straight, &detour, &[Cell::new(0, 2)]));
+        assert!(equivalent(
+            &grid(),
+            a,
+            b,
+            &straight,
+            &detour,
+            &[Cell::new(3, 3)]
+        ));
+        assert!(!equivalent(
+            &grid(),
+            a,
+            b,
+            &straight,
+            &detour,
+            &[Cell::new(0, 2)]
+        ));
     }
 
     #[test]
@@ -296,9 +327,19 @@ mod tests {
         );
         // The loop above+below encloses rows 1–2 tiles between cols 1–3.
         for blocked in [Cell::new(1, 2), Cell::new(2, 2)] {
-            assert!(!equivalent(&grid(), a, b, &above, &below, &[blocked]), "{blocked}");
+            assert!(
+                !equivalent(&grid(), a, b, &above, &below, &[blocked]),
+                "{blocked}"
+            );
         }
-        assert!(equivalent(&grid(), a, b, &above, &below, &[Cell::new(4, 4)]));
+        assert!(equivalent(
+            &grid(),
+            a,
+            b,
+            &above,
+            &below,
+            &[Cell::new(4, 4)]
+        ));
     }
 
     #[test]

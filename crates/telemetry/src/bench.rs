@@ -1,0 +1,117 @@
+//! A small `std`-only micro-benchmark harness.
+//!
+//! Replaces Criterion for the suite's `harness = false` bench targets:
+//! each benchmark calibrates an iteration count to a time budget, runs
+//! a few measured batches, and reports the best per-iteration time
+//! (the best batch is the least noise-contaminated estimate).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured batch.
+const BATCH_BUDGET: Duration = Duration::from_millis(60);
+/// Number of measured batches per benchmark.
+const BATCHES: u32 = 5;
+
+/// A named group of benchmarks; prints one line per benchmark.
+///
+/// ```
+/// use autobraid_telemetry::bench::{black_box, BenchGroup};
+/// let mut group = BenchGroup::new("sums");
+/// group.bench("small", || black_box((0..100u64).sum::<u64>()));
+/// group.finish();
+/// ```
+pub struct BenchGroup {
+    name: String,
+    results: Vec<(String, f64)>,
+}
+
+impl BenchGroup {
+    /// Starts a group named `name`.
+    pub fn new(name: &str) -> BenchGroup {
+        println!("benchmarking {name}");
+        BenchGroup {
+            name: name.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, reporting nanoseconds per call under
+    /// `group/label`. Return values are passed through
+    /// [`black_box`] so the computation cannot be optimized away.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, label: &str, mut f: F) {
+        // Calibrate: grow the iteration count until a batch fills the
+        // time budget (keeps per-batch overhead amortized).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= BATCH_BUDGET || iters >= 1 << 30 {
+                break;
+            }
+            let grow = if elapsed < BATCH_BUDGET / 20 { 10 } else { 2 };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            best = best.min(per_iter);
+        }
+        println!(
+            "  {}/{label:<28} {:>14} ns/iter ({iters} iters/batch)",
+            self.name,
+            group_digits(best.round() as u64),
+        );
+        self.results.push((label.to_string(), best));
+    }
+
+    /// Returns the `(label, best ns/iter)` pairs measured so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Ends the group (prints a trailing newline for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn group_digits(n: u64) -> String {
+    let raw = n.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, c) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_group_by_thousands() {
+        assert_eq!(group_digits(5), "5");
+        assert_eq!(group_digits(1_234), "1,234");
+        assert_eq!(group_digits(987_654_321), "987,654,321");
+    }
+
+    #[test]
+    fn bench_records_a_result() {
+        let mut g = BenchGroup::new("test");
+        g.bench("noop", || black_box(1u32 + 1));
+        assert_eq!(g.results().len(), 1);
+        assert!(g.results()[0].1 >= 0.0);
+        g.finish();
+    }
+}

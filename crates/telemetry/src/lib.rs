@@ -1,0 +1,153 @@
+//! Zero-dependency observability substrate for the AutoBraid suite.
+//!
+//! The compiler pipeline (stages: lower → place → schedule → verify;
+//! see `DESIGN.md` at the repository root) reports *what* it produced
+//! through `ScheduleResult` — this crate reports *why*: hierarchical
+//! wall-clock [`Span`]s,
+//! monotonic counters, and value histograms, recorded through a cheap
+//! [`Recorder`] trait behind thread-local installation.
+//!
+//! # Design
+//!
+//! - **Disabled by default, free when disabled.** Instrumented code
+//!   calls [`counter`], [`observe`], and [`span`] unconditionally;
+//!   when no recorder is installed each call is a thread-local flag
+//!   check and returns immediately.
+//! - **Installation is scoped.** [`install`] returns an RAII
+//!   [`RecorderGuard`]; recorders nest and uninstall on drop, so a
+//!   pipeline run can be measured without global state leaking into
+//!   the next run.
+//! - **Aggregation, not events.** The bundled [`MemoryRecorder`]
+//!   aggregates in place (span totals, counter sums, histogram
+//!   reservoirs) and snapshots into a [`TelemetrySnapshot`] that
+//!   serializes to the stable `autobraid.telemetry/v1` JSON layout
+//!   documented in `docs/METRICS.md`.
+//!
+//! The crate also hosts two deterministic utilities the zero-dependency
+//! build needs: [`Rng64`], a seeded xoshiro256** PRNG used by circuit
+//! generators, annealing, and randomized tests; and [`mod@bench`], a
+//! `std`-only micro-benchmark harness used by the bench targets.
+//!
+//! # Example
+//!
+//! ```
+//! use autobraid_telemetry as telemetry;
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(telemetry::MemoryRecorder::new());
+//! {
+//!     let _guard = telemetry::install(recorder.clone());
+//!     let _run = telemetry::span("run");
+//!     for gate in 0..3u64 {
+//!         let _step = telemetry::span("step");
+//!         telemetry::counter("gates.routed", 1);
+//!         telemetry::observe("llg.size", gate as f64);
+//!     }
+//! }
+//! let snapshot = recorder.snapshot();
+//! assert_eq!(snapshot.counter("gates.routed"), 3);
+//! assert_eq!(snapshot.span("run/step").unwrap().count, 3);
+//! println!("{}", snapshot.to_json());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+mod json;
+mod memory;
+mod recorder;
+mod rng;
+mod span;
+
+pub use json::JsonValue;
+pub use memory::{HistogramSummary, MemoryRecorder, SpanStat, TelemetrySnapshot, SCHEMA};
+pub use recorder::{install, is_enabled, Recorder, RecorderGuard};
+pub use rng::{Rng64, SampleRange};
+pub use span::Span;
+
+/// Opens a timing span named `name`; the returned [`Span`] reports its
+/// wall-clock duration (under the current nesting path) when dropped.
+pub fn span(name: &'static str) -> Span {
+    Span::enter(name)
+}
+
+/// Adds `delta` to the monotonic counter `name` on the installed
+/// recorder, if any.
+pub fn counter(name: &str, delta: u64) {
+    recorder::with_recorder(|r| r.add(name, delta));
+}
+
+/// Records one observation of `value` under the histogram `name` on
+/// the installed recorder, if any.
+pub fn observe(name: &str, value: f64) {
+    recorder::with_recorder(|r| r.observe(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Pins the `autobraid.telemetry/v1` JSON layout. If this test
+    /// fails the schema changed: update `docs/METRICS.md`, bump
+    /// [`SCHEMA`], and only then update the expectation.
+    #[test]
+    fn json_schema_is_pinned() {
+        let rec = Arc::new(MemoryRecorder::new());
+        {
+            let _guard = install(rec.clone());
+            let _outer = span("compile");
+            counter("scheduler.steps", 2);
+            counter("router.searches", 5);
+            observe("router.llg_size", 2.0);
+            observe("router.llg_size", 4.0);
+        }
+        let mut snap = rec.snapshot();
+        // Zero the measured wall time so the output is reproducible.
+        for s in &mut snap.spans {
+            s.total_seconds = 0.0;
+        }
+        let expected = concat!(
+            "{\n",
+            "  \"schema\": \"autobraid.telemetry/v1\",\n",
+            "  \"spans\": [\n",
+            "    {\n",
+            "      \"path\": \"compile\",\n",
+            "      \"count\": 1,\n",
+            "      \"total_seconds\": 0\n",
+            "    }\n",
+            "  ],\n",
+            "  \"counters\": {\n",
+            "    \"router.searches\": 5,\n",
+            "    \"scheduler.steps\": 2\n",
+            "  },\n",
+            "  \"histograms\": {\n",
+            "    \"router.llg_size\": {\n",
+            "      \"count\": 2,\n",
+            "      \"sum\": 6,\n",
+            "      \"min\": 2,\n",
+            "      \"max\": 4,\n",
+            "      \"mean\": 3,\n",
+            "      \"p50\": 4,\n",
+            "      \"p90\": 4,\n",
+            "      \"p99\": 4\n",
+            "    }\n",
+            "  }\n",
+            "}",
+        );
+        assert_eq!(snap.to_json(), expected);
+    }
+
+    #[test]
+    fn metric_names_cover_all_kinds() {
+        let rec = Arc::new(MemoryRecorder::new());
+        {
+            let _guard = install(rec.clone());
+            let _s = span("a");
+            counter("b", 1);
+            observe("c", 1.0);
+        }
+        assert_eq!(rec.snapshot().metric_names(), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,348 @@
+//! In-memory aggregation: [`MemoryRecorder`] and the
+//! [`TelemetrySnapshot`] it produces.
+
+use crate::json::JsonValue;
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Identifier of the snapshot JSON layout, emitted as the `schema`
+/// field. Bump only with a matching update to `docs/METRICS.md` and
+/// the pinned snapshot test.
+pub const SCHEMA: &str = "autobraid.telemetry/v1";
+
+/// Retained-sample cap per histogram; beyond this the reservoir
+/// decimates (keeps every 2nd, then 4th, ... observation), so
+/// percentiles stay exact up to the cap and approximate past it.
+const SAMPLE_CAP: usize = 8192;
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total: Duration,
+}
+
+#[derive(Default)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    samples: Vec<f64>,
+    /// Keep one observation out of every `2^shift`.
+    shift: u32,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.sum += value;
+        self.count += 1;
+        if (self.count - 1).is_multiple_of(1u64 << self.shift) {
+            self.samples.push(value);
+            if self.samples.len() >= SAMPLE_CAP {
+                let mut keep = 0;
+                for i in (0..self.samples.len()).step_by(2) {
+                    self.samples[keep] = self.samples[i];
+                    keep += 1;
+                }
+                self.samples.truncate(keep);
+                self.shift += 1;
+            }
+        }
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            mean: if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            },
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A [`Recorder`] that aggregates everything in memory.
+///
+/// Spans aggregate by full path (count + total wall time), counters
+/// sum, histograms keep exact count/sum/min/max plus a bounded sample
+/// reservoir for percentiles. Call [`MemoryRecorder::snapshot`] at any
+/// point to extract the current [`TelemetrySnapshot`].
+#[derive(Default)]
+pub struct MemoryRecorder {
+    inner: Mutex<Inner>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Extracts an immutable aggregate of everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock().unwrap();
+        TelemetrySnapshot {
+            spans: inner
+                .spans
+                .iter()
+                .map(|(path, agg)| SpanStat {
+                    path: path.clone(),
+                    count: agg.count,
+                    total_seconds: agg.total.as_secs_f64(),
+                })
+                .collect(),
+            counters: inner.counters.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record_span(&self, path: &str, wall: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        let agg = inner.spans.entry(path.to_string()).or_default();
+        agg.count += 1;
+        agg.total += wall;
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+}
+
+/// Aggregate of one span path across all its occurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Slash-joined nesting path, e.g. `pipeline/schedule`.
+    pub path: String,
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total wall-clock time across occurrences, in seconds.
+    pub total_seconds: f64,
+}
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median of the retained sample reservoir.
+    pub p50: f64,
+    /// 90th percentile of the retained sample reservoir.
+    pub p90: f64,
+    /// 99th percentile of the retained sample reservoir.
+    pub p99: f64,
+}
+
+/// Point-in-time aggregate extracted from a [`MemoryRecorder`].
+///
+/// Serializes to the stable `autobraid.telemetry/v1` JSON layout via
+/// [`TelemetrySnapshot::to_json`]; the schema is documented in
+/// `docs/METRICS.md`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Span aggregates, sorted by path.
+    pub spans: Vec<SpanStat>,
+    /// Counter totals, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl TelemetrySnapshot {
+    /// Value of the counter `name`, or 0 when it was never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram summary for `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// Span aggregate whose path equals `path`, if it completed at
+    /// least once.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Every distinct metric name in the snapshot: span paths, counter
+    /// names, and histogram names, in that order.
+    pub fn metric_names(&self) -> Vec<&str> {
+        self.spans
+            .iter()
+            .map(|s| s.path.as_str())
+            .chain(self.counters.keys().map(|k| k.as_str()))
+            .chain(self.histograms.keys().map(|k| k.as_str()))
+            .collect()
+    }
+
+    /// Builds the `autobraid.telemetry/v1` JSON tree.
+    pub fn to_json_value(&self) -> JsonValue {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                JsonValue::object([
+                    ("path", JsonValue::from(s.path.as_str())),
+                    ("count", JsonValue::from(s.count)),
+                    ("total_seconds", JsonValue::from(s.total_seconds)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &value)| (name.as_str(), JsonValue::from(value)))
+            .collect::<Vec<_>>();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.as_str(),
+                    JsonValue::object([
+                        ("count", JsonValue::from(h.count)),
+                        ("sum", JsonValue::from(h.sum)),
+                        ("min", JsonValue::from(h.min)),
+                        ("max", JsonValue::from(h.max)),
+                        ("mean", JsonValue::from(h.mean)),
+                        ("p50", JsonValue::from(h.p50)),
+                        ("p90", JsonValue::from(h.p90)),
+                        ("p99", JsonValue::from(h.p99)),
+                    ]),
+                )
+            })
+            .collect::<Vec<_>>();
+        JsonValue::object([
+            ("schema", JsonValue::from(SCHEMA)),
+            ("spans", JsonValue::Array(spans)),
+            ("counters", JsonValue::object(counters)),
+            ("histograms", JsonValue::object(histograms)),
+        ])
+    }
+
+    /// Renders the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate() {
+        let rec = MemoryRecorder::new();
+        rec.add("a", 2);
+        rec.add("b", 1);
+        rec.add("a", 3);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_exact_below_the_cap() {
+        let rec = MemoryRecorder::new();
+        // 1..=100 shuffled-ish order (order must not matter).
+        for v in (1..=100u64).rev() {
+            rec.observe("h", v as f64);
+        }
+        let snap = rec.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean - 50.5).abs() < 1e-9);
+        assert!((h.p50 - 50.0).abs() <= 1.0);
+        assert!((h.p90 - 90.0).abs() <= 1.0);
+        assert!((h.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn histogram_reservoir_decimates_but_stays_exact_on_extremes() {
+        let rec = MemoryRecorder::new();
+        for v in 0..100_000u64 {
+            rec.observe("big", v as f64);
+        }
+        let snap = rec.snapshot();
+        let h = snap.histogram("big").unwrap();
+        assert_eq!(h.count, 100_000);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 99_999.0);
+        // Percentiles are approximate past the cap; 2% tolerance.
+        assert!((h.p50 - 50_000.0).abs() < 2_000.0, "p50 = {}", h.p50);
+        assert!((h.p90 - 90_000.0).abs() < 2_000.0, "p90 = {}", h.p90);
+    }
+
+    #[test]
+    fn span_aggregation_sums_durations() {
+        let rec = MemoryRecorder::new();
+        rec.record_span("a/b", Duration::from_millis(2));
+        rec.record_span("a/b", Duration::from_millis(3));
+        rec.record_span("a", Duration::from_millis(7));
+        let snap = rec.snapshot();
+        let ab = snap.span("a/b").unwrap();
+        assert_eq!(ab.count, 2);
+        assert!((ab.total_seconds - 0.005).abs() < 1e-9);
+        assert_eq!(snap.span("a").unwrap().count, 1);
+        assert!(snap.span("zzz").is_none());
+    }
+}

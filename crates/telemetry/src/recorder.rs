@@ -1,0 +1,113 @@
+//! The [`Recorder`] trait and the thread-local installation machinery.
+//!
+//! A recorder is installed per thread (the compilation pipeline is
+//! single-threaded; each worker thread installs its own recorder if it
+//! wants one). When no recorder is installed every telemetry call is a
+//! single thread-local flag check — the hot path costs nothing.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sink for telemetry events.
+///
+/// Implementations must be cheap: the instrumented code calls these
+/// methods from inner loops. The bundled [`crate::MemoryRecorder`]
+/// aggregates in-process; a custom recorder could stream events
+/// elsewhere.
+pub trait Recorder: Send + Sync {
+    /// Record one completed span occurrence. `path` is the
+    /// slash-joined nesting path (e.g. `pipeline/schedule/route`) and
+    /// `wall` the measured wall-clock duration.
+    fn record_span(&self, path: &str, wall: Duration);
+
+    /// Add `delta` to the monotonic counter `name`.
+    fn add(&self, name: &str, delta: u64);
+
+    /// Record one observation of `value` under the histogram `name`.
+    fn observe(&self, name: &str, value: f64);
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<dyn Recorder>>> = const { RefCell::new(None) };
+}
+
+/// Installs `recorder` as this thread's telemetry sink and returns a
+/// guard. Dropping the guard restores whatever recorder (possibly
+/// none) was installed before — installations nest.
+pub fn install(recorder: Arc<dyn Recorder>) -> RecorderGuard {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(recorder));
+    RecorderGuard { previous }
+}
+
+/// Returns true when a recorder is installed on this thread.
+///
+/// Instrumented code may use this to skip the *computation* of an
+/// expensive metric (not just its recording).
+pub fn is_enabled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Runs `f` against the installed recorder, if any.
+pub(crate) fn with_recorder<R>(f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|r| f(r.as_ref())))
+}
+
+/// RAII guard returned by [`install`]; restores the previous recorder
+/// on drop.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub struct RecorderGuard {
+    previous: Option<Arc<dyn Recorder>>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        let previous = self.previous.take();
+        CURRENT.with(|c| *c.borrow_mut() = previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Tape(Mutex<Vec<String>>);
+
+    impl Recorder for Tape {
+        fn record_span(&self, path: &str, _wall: Duration) {
+            self.0.lock().unwrap().push(format!("span:{path}"));
+        }
+        fn add(&self, name: &str, delta: u64) {
+            self.0.lock().unwrap().push(format!("add:{name}={delta}"));
+        }
+        fn observe(&self, name: &str, value: f64) {
+            self.0.lock().unwrap().push(format!("obs:{name}={value}"));
+        }
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        assert!(!is_enabled());
+        let outer = Arc::new(Tape::default());
+        let inner = Arc::new(Tape::default());
+        {
+            let _g1 = install(outer.clone());
+            assert!(is_enabled());
+            crate::counter("outer.only", 1);
+            {
+                let _g2 = install(inner.clone());
+                crate::counter("inner.only", 2);
+            }
+            crate::counter("outer.again", 3);
+        }
+        assert!(!is_enabled());
+        crate::counter("dropped", 9);
+        assert_eq!(
+            *outer.0.lock().unwrap(),
+            vec!["add:outer.only=1", "add:outer.again=3"]
+        );
+        assert_eq!(*inner.0.lock().unwrap(), vec!["add:inner.only=2"]);
+    }
+}

@@ -1,0 +1,201 @@
+//! A small deterministic PRNG (xoshiro256**), seeded via SplitMix64.
+//!
+//! The suite needs reproducible randomness for circuit generators,
+//! annealing, and randomized tests, but the build must stay
+//! zero-dependency. [`Rng64`] covers the API surface the suite uses:
+//! integer/float ranges, Bernoulli draws, shuffling, and sampling
+//! without replacement. It is **not** cryptographically secure.
+
+use std::ops::Range;
+
+/// xoshiro256** generator with a SplitMix64-expanded seed.
+///
+/// The same seed always yields the same stream, on every platform.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        // SplitMix64 expands the seed into four independent words.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        p >= 1.0 || self.gen_f64() < p
+    }
+
+    /// Uniform draw from a half-open range. Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// `k` distinct elements sampled uniformly without replacement
+    /// (partial Fisher–Yates). Panics when `k > items.len()`.
+    pub fn sample<T: Copy>(&mut self, items: &[T], k: usize) -> Vec<T> {
+        assert!(k <= items.len(), "cannot sample {k} of {}", items.len());
+        let mut pool: Vec<T> = items.to_vec();
+        for i in 0..k {
+            let j = self.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Lemire's multiply-shift; the bias over u64 is negligible for
+        // the suite's purposes and the stream stays one-draw-per-call.
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`Rng64::gen_range`] can draw from.
+pub trait SampleRange {
+    /// Element type produced by the draw.
+    type Output;
+    /// Draws one uniform value.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng64) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_clones_and_seeds() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        let mut c = Rng64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "seed 5 should move something"
+        );
+    }
+
+    #[test]
+    fn sample_yields_distinct_elements() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let items: Vec<u32> = (0..30).collect();
+        for _ in 0..50 {
+            let mut picked = rng.sample(&items, 3);
+            picked.sort_unstable();
+            picked.dedup();
+            assert_eq!(picked.len(), 3);
+            assert!(picked.iter().all(|p| *p < 30));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! RAII timing spans with hierarchical, slash-joined paths.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static PATH_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A wall-clock timing span, created by [`crate::span`].
+///
+/// Spans nest lexically: a span opened while another is alive on the
+/// same thread records under the parent's path plus its own name
+/// (`parent/child`). The measured duration is reported to the
+/// installed recorder when the span is dropped. When no recorder is
+/// installed at creation time the span is inert and costs only the
+/// enablement check.
+#[must_use = "a span measures the scope it is bound to; binding it to `_` drops it immediately"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+impl Span {
+    pub(crate) fn enter(name: &'static str) -> Span {
+        if !crate::recorder::is_enabled() {
+            return Span { start: None };
+        }
+        PATH_STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            start: Some(Instant::now()),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let wall = start.elapsed();
+        let path = PATH_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        crate::recorder::with_recorder(|r| r.record_span(&path, wall));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{install, MemoryRecorder};
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_nest_into_slash_paths() {
+        let rec = Arc::new(MemoryRecorder::new());
+        {
+            let _guard = install(rec.clone());
+            let _outer = crate::span("outer");
+            {
+                let _inner = crate::span("inner");
+                let _leaf = crate::span("leaf");
+            }
+            {
+                let _inner = crate::span("inner");
+            }
+        }
+        let snap = rec.snapshot();
+        let paths: Vec<(&str, u64)> = snap
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.count))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![("outer", 1), ("outer/inner", 2), ("outer/inner/leaf", 1)]
+        );
+    }
+
+    #[test]
+    fn disabled_spans_do_not_touch_the_stack() {
+        let s = crate::span("orphan");
+        drop(s);
+        let rec = Arc::new(MemoryRecorder::new());
+        {
+            let _guard = install(rec.clone());
+            let _top = crate::span("top");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].path, "top");
+    }
+}

@@ -61,8 +61,15 @@ fn main() {
     let policies: [&dyn RoutePolicy; 3] = [&StackPolicy, &GreedyPolicy, &LargestFirstPolicy];
     let mut table = Table::new(["policy", "braid steps", "cycles", "peak util %"]);
     for policy in policies {
-        let (result, _) =
-            run(policy.name(), &circuit, &grid, placement.clone(), policy, false, &config);
+        let (result, _) = run(
+            policy.name(),
+            &circuit,
+            &grid,
+            placement.clone(),
+            policy,
+            false,
+            &config,
+        );
         table.add_row([
             policy.name().to_string(),
             result.braid_steps.to_string(),

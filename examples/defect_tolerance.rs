@@ -19,7 +19,14 @@ fn main() {
     // Pristine lattice.
     let clean_base = Occupancy::new(&grid);
     let (clean, _) = run_with_base_occupancy(
-        "clean", &circuit, &grid, placement.clone(), &StackPolicy, true, &config, &clean_base,
+        "clean",
+        &circuit,
+        &grid,
+        placement.clone(),
+        &StackPolicy,
+        true,
+        &config,
+        &clean_base,
     )
     .expect("clean lattices always schedule");
 
@@ -36,7 +43,14 @@ fn main() {
             base.reserve(&grid, v);
         }
         match run_with_base_occupancy(
-            "damaged", &circuit, &grid, placement.clone(), &StackPolicy, true, &config, &base,
+            "damaged",
+            &circuit,
+            &grid,
+            placement.clone(),
+            &StackPolicy,
+            true,
+            &config,
+            &base,
         ) {
             Ok((result, _)) => println!(
                 "{:>7} | {:>6} | {:.2}x",

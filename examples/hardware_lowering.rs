@@ -16,13 +16,20 @@ use autobraid_lattice::{CodeParams, TimingModel};
 fn main() {
     let distance = 5; // small d keeps the physical lattice printable
     let circuit = qft(9).expect("valid size");
-    let config = ScheduleConfig::default()
-        .with_timing(TimingModel::new(CodeParams::with_distance(distance).unwrap()));
+    let config = ScheduleConfig::default().with_timing(TimingModel::new(
+        CodeParams::with_distance(distance).unwrap(),
+    ));
     let compiler = AutoBraid::new(config);
     let outcome = compiler.schedule_full(&circuit);
 
-    println!("placement on the {0}×{0} tile grid:", outcome.grid.cells_per_side());
-    println!("{}", render_placement(&outcome.grid, &outcome.initial_placement));
+    println!(
+        "placement on the {0}×{0} tile grid:",
+        outcome.grid.cells_per_side()
+    );
+    println!(
+        "{}",
+        render_placement(&outcome.grid, &outcome.initial_placement)
+    );
 
     // Show the busiest braiding step.
     let busiest = outcome
@@ -35,8 +42,14 @@ fn main() {
         })
         .expect("schedule has steps");
     if let Step::Braid { braids, .. } = busiest {
-        println!("busiest braiding step ({} concurrent braids):", braids.len());
-        println!("{}", render_step(&outcome.grid, &outcome.initial_placement, busiest));
+        println!(
+            "busiest braiding step ({} concurrent braids):",
+            braids.len()
+        );
+        println!(
+            "{}",
+            render_step(&outcome.grid, &outcome.initial_placement, busiest)
+        );
     }
 
     // Lower the whole schedule to lattice control instructions.

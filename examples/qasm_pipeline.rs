@@ -45,8 +45,13 @@ fn main() {
 
     let compiler = AutoBraid::new(ScheduleConfig::default());
     let outcome = compiler.schedule_full(&circuit);
-    verify_schedule(&circuit, &outcome.grid, &outcome.initial_placement, &outcome.result)
-        .expect("schedule verifies");
+    verify_schedule(
+        &circuit,
+        &outcome.grid,
+        &outcome.initial_placement,
+        &outcome.result,
+    )
+    .expect("schedule verifies");
     println!(
         "\nscheduled on a {0}×{0} tile grid: {1} braid steps, {2} cycles = {3:.1} µs",
         outcome.grid.cells_per_side(),
@@ -57,10 +62,16 @@ fn main() {
 
     // The circuit can be re-emitted for other tools.
     let emitted = qasm::emit(&circuit);
-    println!("\nround-tripped OpenQASM ({} lines):", emitted.lines().count());
+    println!(
+        "\nround-tripped OpenQASM ({} lines):",
+        emitted.lines().count()
+    );
     for line in emitted.lines().take(6) {
         println!("  {line}");
     }
     println!("  ...");
-    assert_eq!(qasm::parse(&emitted).expect("emitted program parses"), circuit);
+    assert_eq!(
+        qasm::parse(&emitted).expect("emitted program parses"),
+        circuit
+    );
 }

@@ -15,7 +15,13 @@ fn main() {
     let compiler = AutoBraid::new(config.clone());
 
     let mut table = Table::new([
-        "n", "gates", "CP", "baseline", "autobraid-sp", "autobraid-full", "speedup",
+        "n",
+        "gates",
+        "CP",
+        "baseline",
+        "autobraid-sp",
+        "autobraid-full",
+        "speedup",
     ]);
     for n in [16u32, 50, 100, 200] {
         let circuit = qft(n).expect("n >= 2");

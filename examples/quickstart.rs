@@ -1,11 +1,15 @@
 //! Quickstart: build a logical circuit, schedule its braiding paths with
-//! AutoBraid, and inspect the result.
+//! AutoBraid, and inspect the result — including the observability layer
+//! (`docs/METRICS.md` uses this example's output as its worked example).
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use autobraid::config::ScheduleConfig;
 use autobraid::critical_path::critical_path_cycles;
 use autobraid::metrics::verify_schedule;
+use autobraid::pipeline::Pipeline;
+use autobraid::render::render_telemetry;
+use autobraid::report::compile_report_json;
 use autobraid::{AutoBraid, Step};
 use autobraid_circuit::{Circuit, CircuitStats};
 
@@ -37,7 +41,10 @@ fn main() {
         result.time_us(),
         critical_path_cycles(&circuit, result.timing()),
     );
-    println!("peak routing-vertex utilization: {:.0}%", 100.0 * result.peak_utilization);
+    println!(
+        "peak routing-vertex utilization: {:.0}%",
+        100.0 * result.peak_utilization
+    );
 
     // The full schedule is recorded step by step.
     println!("\nschedule:");
@@ -63,4 +70,16 @@ fn main() {
     verify_schedule(&circuit, &outcome.grid, &outcome.initial_placement, result)
         .expect("schedule verifies");
     println!("\nschedule verified: disjoint paths, dependence order, full coverage ✓");
+
+    // The pipeline façade adds per-stage timing and, with telemetry on,
+    // counters/histograms/spans from every subsystem it drives.
+    let report = Pipeline::new()
+        .with_telemetry(true)
+        .compile(&circuit)
+        .expect("quickstart circuit compiles");
+    let snapshot = report.telemetry.as_ref().expect("telemetry was enabled");
+    println!("\ntelemetry ({} metrics):\n", snapshot.metric_names().len());
+    println!("{}", render_telemetry(snapshot));
+    println!("machine-readable report (autobraid.telemetry/v1 inside `telemetry`):\n");
+    println!("{}", compile_report_json(&report).render_pretty());
 }

@@ -12,3 +12,4 @@ pub use autobraid_circuit as circuit;
 pub use autobraid_lattice as lattice;
 pub use autobraid_placement as placement;
 pub use autobraid_router as router;
+pub use autobraid_telemetry as telemetry;

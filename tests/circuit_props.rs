@@ -1,81 +1,112 @@
-//! Property-based tests for the circuit layer: QASM round-trips, DAG
-//! invariants, and schedule/DAG agreement.
+//! Randomized tests for the circuit layer: QASM round-trips, DAG
+//! invariants, and schedule/DAG agreement. Deterministic seeded sweeps
+//! stand in for property-based generation so the suite stays
+//! zero-dependency.
 
 use autobraid_circuit::dag::{bfs_levels, is_valid_execution_order, DependenceDag, Frontier};
 use autobraid_circuit::generators::random::random_circuit;
 use autobraid_circuit::{qasm, Circuit, Gate, ParallelismProfile};
-use proptest::prelude::*;
+use autobraid_telemetry::Rng64;
 
-fn arb_circuit() -> impl Strategy<Value = Circuit> {
-    (2u32..20, 0usize..200, 0.0f64..1.0, any::<u64>())
-        .prop_map(|(n, gates, frac, seed)| random_circuit(n, gates, frac, seed).unwrap())
+/// One random circuit per trial, mirroring the old proptest strategy:
+/// 2–19 qubits, up to 199 gates, any two-qubit fraction.
+fn random_case(rng: &mut Rng64) -> Circuit {
+    let n = rng.gen_range(2u32..20);
+    let gates = rng.gen_range(0usize..200);
+    let frac = rng.gen_f64();
+    let seed = rng.next_u64();
+    random_circuit(n, gates, frac, seed).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn for_each_case(seed: u64, cases: usize, mut check: impl FnMut(Circuit)) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    for _ in 0..cases {
+        check(random_case(&mut rng));
+    }
+}
 
-    /// emit → parse is the identity on the braided gate set.
-    #[test]
-    fn qasm_roundtrip(circuit in arb_circuit()) {
+/// emit → parse is the identity on the braided gate set.
+#[test]
+fn qasm_roundtrip() {
+    for_each_case(0xC1C_0001, 96, |circuit| {
         let text = qasm::emit(&circuit);
         let back = qasm::parse(&text).expect("emitted programs parse");
-        prop_assert_eq!(back.gates(), circuit.gates());
-        prop_assert_eq!(back.num_qubits(), circuit.num_qubits());
-    }
+        assert_eq!(back.gates(), circuit.gates());
+        assert_eq!(back.num_qubits(), circuit.num_qubits());
+    });
+}
 
-    /// DAG edges only connect gates sharing a qubit, in program order.
-    #[test]
-    fn dag_edges_share_qubits(circuit in arb_circuit()) {
+/// DAG edges only connect gates sharing a qubit, in program order.
+#[test]
+fn dag_edges_share_qubits() {
+    for_each_case(0xC1C_0002, 96, |circuit| {
         let dag = DependenceDag::new(&circuit);
         for g in 0..circuit.len() {
             for &p in dag.predecessors(g) {
-                prop_assert!(p < g, "predecessor after successor");
-                let share = circuit.gate(g).qubits().iter().any(|&q| circuit.gate(p).acts_on(q));
-                prop_assert!(share, "edge without shared qubit: {p} -> {g}");
+                assert!(p < g, "predecessor after successor");
+                let share = circuit
+                    .gate(g)
+                    .qubits()
+                    .iter()
+                    .any(|&q| circuit.gate(p).acts_on(q));
+                assert!(share, "edge without shared qubit: {p} -> {g}");
             }
         }
-    }
+    });
+}
 
-    /// ASAP levels computed two ways agree, and layer draining respects
-    /// them.
-    #[test]
-    fn asap_levels_agree(circuit in arb_circuit()) {
+/// ASAP levels computed two ways agree, and layer draining respects
+/// them.
+#[test]
+fn asap_levels_agree() {
+    for_each_case(0xC1C_0003, 96, |circuit| {
         let dag = DependenceDag::new(&circuit);
-        prop_assert_eq!(dag.asap_levels(), bfs_levels(&dag));
+        assert_eq!(dag.asap_levels(), bfs_levels(&dag));
         let layers = Frontier::new(&dag).drain_layers();
         let mut order = Vec::new();
         for layer in &layers {
             order.extend(layer.iter().copied());
         }
-        prop_assert!(is_valid_execution_order(&circuit, &order));
-    }
+        assert!(is_valid_execution_order(&circuit, &order));
+    });
+}
 
-    /// Depth bounds: depth ≤ gates; gates ≤ depth × max-layer-width.
-    #[test]
-    fn depth_and_width_bounds(circuit in arb_circuit()) {
+/// Depth bounds: depth ≤ gates; gates ≤ depth × max-layer-width.
+#[test]
+fn depth_and_width_bounds() {
+    for_each_case(0xC1C_0004, 96, |circuit| {
         let dag = DependenceDag::new(&circuit);
         let profile = ParallelismProfile::analyze(&circuit);
-        prop_assert!(dag.depth() <= circuit.len());
+        assert!(dag.depth() <= circuit.len());
         let max_width = profile.layers().iter().map(Vec::len).max().unwrap_or(0);
-        prop_assert!(circuit.len() <= dag.depth() * max_width.max(1));
-    }
+        assert!(circuit.len() <= dag.depth() * max_width.max(1));
+    });
+}
 
-    /// Critical path with uniform weight 1 equals DAG depth.
-    #[test]
-    fn unit_critical_path_is_depth(circuit in arb_circuit()) {
+/// Critical path with uniform weight 1 equals DAG depth.
+#[test]
+fn unit_critical_path_is_depth() {
+    for_each_case(0xC1C_0005, 96, |circuit| {
         let dag = DependenceDag::new(&circuit);
-        prop_assert_eq!(dag.critical_path_weight(&circuit, |_| 1) as usize, dag.depth());
-    }
+        assert_eq!(
+            dag.critical_path_weight(&circuit, |_| 1) as usize,
+            dag.depth()
+        );
+    });
+}
 
-    /// Critical path is monotone in gate weights.
-    #[test]
-    fn critical_path_monotone(circuit in arb_circuit()) {
+/// Critical path is monotone in gate weights.
+#[test]
+fn critical_path_monotone() {
+    for_each_case(0xC1C_0006, 96, |circuit| {
         let dag = DependenceDag::new(&circuit);
-        let light = dag.critical_path_weight(&circuit, |g: &Gate| if g.is_two_qubit() { 2 } else { 1 });
-        let heavy = dag.critical_path_weight(&circuit, |g: &Gate| if g.is_two_qubit() { 4 } else { 2 });
-        prop_assert!(heavy >= light);
-        prop_assert!(heavy <= 2 * light + 2);
-    }
+        let light =
+            dag.critical_path_weight(&circuit, |g: &Gate| if g.is_two_qubit() { 2 } else { 1 });
+        let heavy =
+            dag.critical_path_weight(&circuit, |g: &Gate| if g.is_two_qubit() { 4 } else { 2 });
+        assert!(heavy >= light);
+        assert!(heavy <= 2 * light + 2);
+    });
 }
 
 #[test]

@@ -1,13 +1,15 @@
-//! Property tests for the surface-code patch decoder.
+//! Randomized tests for the surface-code patch decoder. Deterministic
+//! seeded sweeps stand in for property-based generation so the suite
+//! stays zero-dependency.
 
 use autobraid_lattice::decoder::{Link, Patch};
-use proptest::prelude::*;
+use autobraid_telemetry::Rng64;
 use std::collections::BTreeSet;
 
-fn arb_error(d: u32, max_weight: usize) -> impl Strategy<Value = Vec<Link>> {
-    let patch = Patch::new(d).unwrap();
+fn random_error(rng: &mut Rng64, patch: &Patch, max_weight: usize) -> Vec<Link> {
     let links = patch.links();
-    proptest::sample::subsequence(links, 0..=max_weight)
+    let weight = rng.gen_range(0..max_weight + 1);
+    rng.sample(&links, weight.min(links.len()))
 }
 
 fn xor(a: &[Link], b: &[Link]) -> Vec<Link> {
@@ -20,59 +22,75 @@ fn xor(a: &[Link], b: &[Link]) -> Vec<Link> {
     set.into_iter().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Syndromes are linear over error XOR.
-    #[test]
-    fn syndrome_is_linear(a in arb_error(7, 6), b in arb_error(7, 6)) {
-        let patch = Patch::new(7).unwrap();
-        let lhs: BTreeSet<(u32, u32)> =
-            patch.syndrome(&xor(&a, &b)).into_iter().collect();
+/// Syndromes are linear over error XOR.
+#[test]
+fn syndrome_is_linear() {
+    let mut rng = Rng64::seed_from_u64(0xDEC_0001);
+    let patch = Patch::new(7).unwrap();
+    for _ in 0..128 {
+        let a = random_error(&mut rng, &patch, 6);
+        let b = random_error(&mut rng, &patch, 6);
+        let lhs: BTreeSet<(u32, u32)> = patch.syndrome(&xor(&a, &b)).into_iter().collect();
         let sa: BTreeSet<(u32, u32)> = patch.syndrome(&a).into_iter().collect();
         let sb: BTreeSet<(u32, u32)> = patch.syndrome(&b).into_iter().collect();
-        let rhs: BTreeSet<(u32, u32)> =
-            sa.symmetric_difference(&sb).copied().collect();
-        prop_assert_eq!(lhs, rhs);
+        let rhs: BTreeSet<(u32, u32)> = sa.symmetric_difference(&sb).copied().collect();
+        assert_eq!(lhs, rhs);
     }
+}
 
-    /// Decoding always returns the syndrome to zero, for any error.
-    #[test]
-    fn decode_clears_any_syndrome(errors in arb_error(9, 12)) {
-        let patch = Patch::new(9).unwrap();
+/// Decoding always returns the syndrome to zero, for any error.
+#[test]
+fn decode_clears_any_syndrome() {
+    let mut rng = Rng64::seed_from_u64(0xDEC_0002);
+    let patch = Patch::new(9).unwrap();
+    for _ in 0..128 {
+        let errors = random_error(&mut rng, &patch, 12);
         let correction = patch.decode(&patch.syndrome(&errors));
         let residual = xor(&errors, &correction);
-        prop_assert!(patch.syndrome(&residual).is_empty());
+        assert!(patch.syndrome(&residual).is_empty());
     }
+}
 
-    /// Any error of weight ≤ (d-1)/2 is corrected without a logical fault
-    /// (exact matching regime).
-    #[test]
-    fn low_weight_errors_always_corrected(errors in arb_error(9, 4)) {
-        let patch = Patch::new(9).unwrap();
+/// Any error of weight ≤ (d-1)/2 is corrected without a logical fault
+/// (exact matching regime).
+#[test]
+fn low_weight_errors_always_corrected() {
+    let mut rng = Rng64::seed_from_u64(0xDEC_0003);
+    let patch = Patch::new(9).unwrap();
+    for _ in 0..128 {
+        let errors = random_error(&mut rng, &patch, 4);
         let correction = patch.decode(&patch.syndrome(&errors));
-        prop_assert!(
+        assert!(
             !patch.is_logical_error(&errors, &correction),
             "weight-{} error mis-decoded at d=9",
             errors.len()
         );
     }
+}
 
-    /// Stabilizers (weight-4 check loops) have empty syndromes and are
-    /// never logical.
-    #[test]
-    fn stabilizer_loops_are_trivial(row in 0u32..6, col in 0u32..5) {
-        let patch = Patch::new(7).unwrap();
-        prop_assume!(row + 1 < patch.check_rows() && col + 1 < patch.check_cols());
-        // The four links around the data site between checks (row,col),
-        // (row,col+1), (row+1,col), (row+1,col+1) form a closed loop:
-        let looped = vec![
-            Link::Vertical { row, col },
-            Link::Vertical { row, col: col + 1 },
-            Link::Horizontal { row, col: col + 1 },
-            Link::Horizontal { row: row + 1, col: col + 1 },
-        ];
-        prop_assert!(patch.syndrome(&looped).is_empty(), "loop has a syndrome");
-        prop_assert!(!patch.is_logical_error(&looped, &[]), "loop is not logical");
+/// Stabilizers (weight-4 check loops) have empty syndromes and are
+/// never logical.
+#[test]
+fn stabilizer_loops_are_trivial() {
+    let patch = Patch::new(7).unwrap();
+    for row in 0u32..6 {
+        for col in 0u32..5 {
+            if row + 1 >= patch.check_rows() || col + 1 >= patch.check_cols() {
+                continue;
+            }
+            // The four links around the data site between checks (row,col),
+            // (row,col+1), (row+1,col), (row+1,col+1) form a closed loop:
+            let looped = vec![
+                Link::Vertical { row, col },
+                Link::Vertical { row, col: col + 1 },
+                Link::Horizontal { row, col: col + 1 },
+                Link::Horizontal {
+                    row: row + 1,
+                    col: col + 1,
+                },
+            ];
+            assert!(patch.syndrome(&looped).is_empty(), "loop has a syndrome");
+            assert!(!patch.is_logical_error(&looped, &[]), "loop is not logical");
+        }
     }
 }

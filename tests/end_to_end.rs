@@ -69,9 +69,10 @@ fn serial_communication_families_hit_critical_path() {
     // and AutoBraid must (Table 2).
     let config = ScheduleConfig::default();
     let compiler = AutoBraid::new(config.clone());
-    for circuit in
-        [generators::bv::bv_all_ones(40).unwrap(), generators::cc::counterfeit_coin(40).unwrap()]
-    {
+    for circuit in [
+        generators::bv::bv_all_ones(40).unwrap(),
+        generators::cc::counterfeit_coin(40).unwrap(),
+    ] {
         let cp = critical_path_cycles(&circuit, &config.timing);
         let full = compiler.schedule_full(&circuit);
         assert_eq!(full.result.total_cycles, cp, "{}", circuit.name());
@@ -95,11 +96,13 @@ fn schedulers_are_deterministic_across_processes_worth_of_calls() {
     let config = ScheduleConfig::default();
     let compiler = AutoBraid::new(config.clone());
     let circuit = generators::qaoa::qaoa(16, 2, 3, 99).unwrap();
-    let runs: Vec<u64> =
-        (0..3).map(|_| compiler.schedule_full(&circuit).result.total_cycles).collect();
+    let runs: Vec<u64> = (0..3)
+        .map(|_| compiler.schedule_full(&circuit).result.total_cycles)
+        .collect();
     assert!(runs.windows(2).all(|w| w[0] == w[1]), "{runs:?}");
-    let base: Vec<u64> =
-        (0..3).map(|_| schedule_baseline(&circuit, &config).0.total_cycles).collect();
+    let base: Vec<u64> = (0..3)
+        .map(|_| schedule_baseline(&circuit, &config).0.total_cycles)
+        .collect();
     assert!(base.windows(2).all(|w| w[0] == w[1]), "{base:?}");
 }
 

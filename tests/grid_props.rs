@@ -1,96 +1,115 @@
-//! Property tests for the lattice geometry algebra the router builds on.
+//! Randomized tests for the lattice geometry algebra the router builds
+//! on. Deterministic seeded sweeps stand in for property-based
+//! generation so the suite stays zero-dependency.
 
 use autobraid_lattice::{BBox, Cell, Grid, Vertex};
-use proptest::prelude::*;
+use autobraid_telemetry::Rng64;
 
-fn arb_bbox(max: u32) -> impl Strategy<Value = BBox> {
-    (0..max, 0..max, 0..max, 0..max).prop_map(|(r0, c0, r1, c1)| {
-        BBox::new(r0.min(r1), c0.min(c1), r0.max(r1), c0.max(c1))
-    })
+fn random_bbox(rng: &mut Rng64, max: u32) -> BBox {
+    let (r0, c0) = (rng.gen_range(0..max), rng.gen_range(0..max));
+    let (r1, c1) = (rng.gen_range(0..max), rng.gen_range(0..max));
+    BBox::new(r0.min(r1), c0.min(c1), r0.max(r1), c0.max(c1))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Union is commutative, associative, idempotent, and an upper bound.
-    #[test]
-    fn bbox_union_is_a_join(a in arb_bbox(12), b in arb_bbox(12), c in arb_bbox(12)) {
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-        prop_assert_eq!(a.union(&a), a);
-        prop_assert!(a.union(&b).contains_box(&a));
-        prop_assert!(a.union(&b).contains_box(&b));
+/// Union is commutative, associative, idempotent, and an upper bound.
+#[test]
+fn bbox_union_is_a_join() {
+    let mut rng = Rng64::seed_from_u64(0xB0C5_0001);
+    for _ in 0..256 {
+        let a = random_bbox(&mut rng, 12);
+        let b = random_bbox(&mut rng, 12);
+        let c = random_bbox(&mut rng, 12);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        assert_eq!(a.union(&a), a);
+        assert!(a.union(&b).contains_box(&a));
+        assert!(a.union(&b).contains_box(&b));
     }
+}
 
-    /// Open overlap implies closed intersection; both are symmetric; and
-    /// strict nesting implies open overlap for 2-D boxes.
-    #[test]
-    fn bbox_relation_hierarchy(a in arb_bbox(12), b in arb_bbox(12)) {
-        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
-        prop_assert_eq!(a.overlaps_open(&b), b.overlaps_open(&a));
+/// Open overlap implies closed intersection; both are symmetric; and
+/// strict nesting implies open overlap for 2-D boxes.
+#[test]
+fn bbox_relation_hierarchy() {
+    let mut rng = Rng64::seed_from_u64(0xB0C5_0002);
+    for _ in 0..256 {
+        let a = random_bbox(&mut rng, 12);
+        let b = random_bbox(&mut rng, 12);
+        assert_eq!(a.intersects(&b), b.intersects(&a));
+        assert_eq!(a.overlaps_open(&b), b.overlaps_open(&a));
         if a.overlaps_open(&b) {
-            prop_assert!(a.intersects(&b));
+            assert!(a.intersects(&b));
         }
         if a.strictly_nests(&b) {
-            prop_assert!(a.contains_box(&b));
-            prop_assert!(a.overlaps_open(&b));
-            prop_assert!(!b.strictly_nests(&a));
+            assert!(a.contains_box(&b));
+            assert!(a.overlaps_open(&b));
+            assert!(!b.strictly_nests(&a));
         }
     }
+}
 
-    /// Containment is consistent with per-vertex membership.
-    #[test]
-    fn bbox_contains_box_matches_vertices(a in arb_bbox(8), b in arb_bbox(8)) {
+/// Containment is consistent with per-vertex membership.
+#[test]
+fn bbox_contains_box_matches_vertices() {
+    let mut rng = Rng64::seed_from_u64(0xB0C5_0003);
+    for _ in 0..256 {
+        let a = random_bbox(&mut rng, 8);
+        let b = random_bbox(&mut rng, 8);
         let memberwise = b.vertices().all(|v| a.contains(v));
-        prop_assert_eq!(a.contains_box(&b), memberwise);
+        assert_eq!(a.contains_box(&b), memberwise);
     }
+}
 
-    /// Corner distance is symmetric and within 2 of the cell Manhattan
-    /// distance (corners are at most one step from the tile's own span).
-    #[test]
-    fn corner_distance_bounds(
-        (r1, c1, r2, c2) in (0u32..20, 0u32..20, 0u32..20, 0u32..20),
-    ) {
-        let a = Cell::new(r1, c1);
-        let b = Cell::new(r2, c2);
-        prop_assert_eq!(a.corner_distance(b), b.corner_distance(a));
+/// Corner distance is symmetric and within 2 of the cell Manhattan
+/// distance (corners are at most one step from the tile's own span).
+#[test]
+fn corner_distance_bounds() {
+    let mut rng = Rng64::seed_from_u64(0xB0C5_0004);
+    for _ in 0..256 {
+        let a = Cell::new(rng.gen_range(0..20u32), rng.gen_range(0..20u32));
+        let b = Cell::new(rng.gen_range(0..20u32), rng.gen_range(0..20u32));
+        assert_eq!(a.corner_distance(b), b.corner_distance(a));
         let cells = a.manhattan_distance(b);
-        prop_assert!(a.corner_distance(b) + 2 >= cells.max(2) - 2);
-        prop_assert!(a.corner_distance(b) <= cells);
+        assert!(a.corner_distance(b) + 2 >= cells.max(2) - 2);
+        assert!(a.corner_distance(b) <= cells);
     }
+}
 
-    /// Vertex indexing is a bijection onto `0..vertex_count` and
-    /// neighbours are exactly the Manhattan-1 vertices in the grid.
-    #[test]
-    fn grid_indexing_and_neighbors(l in 1u32..12) {
+/// Vertex indexing is a bijection onto `0..vertex_count` and
+/// neighbours are exactly the Manhattan-1 vertices in the grid.
+#[test]
+fn grid_indexing_and_neighbors() {
+    for l in 1u32..12 {
         let grid = Grid::new(l).unwrap();
         let mut seen = vec![false; grid.vertex_count()];
         for v in grid.vertices() {
             let i = grid.vertex_index(v);
-            prop_assert!(!seen[i], "index collision at {v}");
+            assert!(!seen[i], "index collision at {v}");
             seen[i] = true;
-            prop_assert_eq!(grid.vertex_at(i), v);
-            let expected: Vec<Vertex> = grid
+            assert_eq!(grid.vertex_at(i), v);
+            let mut expected: Vec<Vertex> = grid
                 .vertices()
                 .filter(|&u| u.manhattan_distance(v) == 1)
                 .collect();
             let mut actual: Vec<Vertex> = grid.neighbors(v).collect();
             actual.sort();
-            let mut expected = expected;
             expected.sort();
-            prop_assert_eq!(actual, expected);
+            assert_eq!(actual, expected);
         }
-        prop_assert!(seen.into_iter().all(|s| s));
+        assert!(seen.into_iter().all(|s| s));
     }
+}
 
-    /// The outer bounding box of a gate contains its inner bounding box.
-    #[test]
-    fn inner_box_inside_outer(
-        (r1, c1, r2, c2) in (0u32..15, 0u32..15, 0u32..15, 0u32..15),
-    ) {
-        prop_assume!((r1, c1) != (r2, c2));
-        let a = Cell::new(r1, c1);
-        let b = Cell::new(r2, c2);
-        prop_assert!(BBox::of_gate(a, b).contains_box(&BBox::inner_of_gate(a, b)));
+/// The outer bounding box of a gate contains its inner bounding box.
+#[test]
+fn inner_box_inside_outer() {
+    let mut rng = Rng64::seed_from_u64(0xB0C5_0005);
+    for _ in 0..256 {
+        let a = Cell::new(rng.gen_range(0..15u32), rng.gen_range(0..15u32));
+        let b = Cell::new(rng.gen_range(0..15u32), rng.gen_range(0..15u32));
+        if a == b {
+            continue;
+        }
+        assert!(BBox::of_gate(a, b).contains_box(&BBox::inner_of_gate(a, b)));
     }
 }

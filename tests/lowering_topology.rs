@@ -5,13 +5,13 @@
 use autobraid::config::ScheduleConfig;
 use autobraid::emit::emit_physical;
 use autobraid::AutoBraid;
+use autobraid::Step;
 use autobraid_circuit::generators::{ising::ising, qft::qft};
 use autobraid_lattice::physical::PhysicalLayout;
 use autobraid_lattice::{Cell, CodeParams, Grid, Occupancy, TimingModel, Vertex};
 use autobraid_router::astar::{find_path, SearchLimits};
 use autobraid_router::lowering::{lower_step, LatticeOp};
 use autobraid_router::topology::equivalent;
-use autobraid::Step;
 use autobraid_router::BraidPath;
 
 use autobraid_router::stack_finder::route_concurrent;
@@ -96,7 +96,10 @@ fn router_detours_remain_topologically_equivalent_when_free() {
     let walk = autobraid_router::topology::loop_between(&grid, a, b, &straight, &detour)
         .expect("paths connect the same tiles");
     let enclosed = walk.enclosed_cells(&grid);
-    assert!(!enclosed.is_empty(), "a forced detour must enclose some tile");
+    assert!(
+        !enclosed.is_empty(),
+        "a forced detour must enclose some tile"
+    );
     for &cell in &enclosed {
         assert!(
             !equivalent(&grid, a, b, &straight, &detour, &[cell]),
@@ -142,7 +145,10 @@ fn all_sixteen_endpoint_configurations_route_and_compare() {
             }
         }
     }
-    assert!(routed >= 12, "most endpoint configurations must route: {routed}/16");
+    assert!(
+        routed >= 12,
+        "most endpoint configurations must route: {routed}/16"
+    );
 }
 
 #[test]

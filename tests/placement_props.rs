@@ -1,5 +1,7 @@
-//! Property-based tests for placement structures: the dynamic placement
+//! Randomized tests for placement structures: the dynamic placement
 //! map, the multilevel partitioner, and the serpentine layout.
+//! Deterministic seeded sweeps stand in for property-based generation
+//! so the suite stays zero-dependency.
 
 use autobraid_circuit::generators::random::random_circuit;
 use autobraid_lattice::Grid;
@@ -9,109 +11,118 @@ use autobraid_placement::partition::bisect::Balance;
 use autobraid_placement::partition::graph::PartGraph;
 use autobraid_placement::partition::recursive::{bisect_multilevel, partition_with_capacities};
 use autobraid_placement::Placement;
-use proptest::prelude::*;
+use autobraid_telemetry::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The placement bijection survives arbitrary swap sequences.
-    #[test]
-    fn placement_consistent_under_swaps(
-        n in 2u32..30,
-        swaps in proptest::collection::vec((0u32..30, 0u32..30), 0..50),
-    ) {
+/// The placement bijection survives arbitrary swap sequences.
+#[test]
+fn placement_consistent_under_swaps() {
+    let mut rng = Rng64::seed_from_u64(0x9A7_0001);
+    for _ in 0..64 {
+        let n = rng.gen_range(2u32..30);
         let grid = Grid::with_capacity_for(n as usize);
         let mut p = Placement::row_major(&grid, n);
         let reference = p.clone();
         let mut net: Vec<u32> = (0..n).collect();
-        for (a, b) in swaps {
-            let (a, b) = (a % n, b % n);
+        let n_swaps = rng.gen_range(0usize..50);
+        for _ in 0..n_swaps {
+            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
             p.swap_qubits(a, b);
             net.swap(a as usize, b as usize);
-            prop_assert!(p.is_consistent(&grid));
+            assert!(p.is_consistent(&grid));
         }
         // After the sequence, qubit q sits where qubit net[q] started.
         for q in 0..n {
-            prop_assert_eq!(p.cell_of(q), reference.cell_of(net[q as usize]));
+            assert_eq!(p.cell_of(q), reference.cell_of(net[q as usize]));
         }
     }
+}
 
-    /// Multilevel bisection always satisfies the balance constraint for
-    /// unit weights and never returns a worse cut than "everything on one
-    /// side would" (trivially true) — and is deterministic.
-    #[test]
-    fn bisection_balanced_and_deterministic(
-        n in 4usize..60,
-        edges in proptest::collection::vec((0usize..60, 0usize..60, 1u64..5), 0..150),
-    ) {
-        let edges: Vec<(usize, usize, u64)> = edges
-            .into_iter()
-            .map(|(u, v, w)| (u % n, v % n, w))
+/// Multilevel bisection always satisfies the balance constraint for
+/// unit weights and never returns a worse cut than "everything on one
+/// side would" (trivially true) — and is deterministic.
+#[test]
+fn bisection_balanced_and_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x9A7_0002);
+    for _ in 0..64 {
+        let n = rng.gen_range(4usize..60);
+        let n_edges = rng.gen_range(0usize..150);
+        let edges: Vec<(usize, usize, u64)> = (0..n_edges)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(1u64..5),
+                )
+            })
             .filter(|&(u, v, _)| u != v)
             .collect();
         let g = PartGraph::from_edges(n, &edges);
         let balance = Balance::even(n as u64, 1);
         let side1 = bisect_multilevel(&g, balance);
         let side2 = bisect_multilevel(&g, balance);
-        prop_assert_eq!(&side1, &side2, "bisection must be deterministic");
+        assert_eq!(side1, side2, "bisection must be deterministic");
         let w0 = g.side_weight(&side1);
-        prop_assert!(
+        assert!(
             balance.admits(w0) || n <= 2,
-            "unbalanced: {} of {} (allowed {:?})",
-            w0, n, balance
+            "unbalanced: {w0} of {n} (allowed {balance:?})"
         );
     }
+}
 
-    /// K-way partitioning respects every part capacity.
-    #[test]
-    fn partition_capacities_respected(
-        n in 4usize..50,
-        k in 2usize..6,
-        edges in proptest::collection::vec((0usize..50, 0usize..50), 0..100),
-    ) {
-        let edges: Vec<(usize, usize, u64)> = edges
-            .into_iter()
-            .map(|(u, v)| (u % n, v % n, 1))
+/// K-way partitioning respects every part capacity.
+#[test]
+fn partition_capacities_respected() {
+    let mut rng = Rng64::seed_from_u64(0x9A7_0003);
+    for _ in 0..64 {
+        let n = rng.gen_range(4usize..50);
+        let k = rng.gen_range(2usize..6);
+        let n_edges = rng.gen_range(0usize..100);
+        let edges: Vec<(usize, usize, u64)> = (0..n_edges)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), 1))
             .filter(|&(u, v, _)| u != v)
             .collect();
         let g = PartGraph::from_edges(n, &edges);
         let cap = n.div_ceil(k) as u64 + 1;
         let caps = vec![cap; k];
         let parts = partition_with_capacities(&g, &caps);
-        prop_assert_eq!(parts.len(), n);
+        assert_eq!(parts.len(), n);
         for p in 0..k {
             let size = parts.iter().filter(|&&x| x == p).count() as u64;
-            prop_assert!(size <= cap, "part {} holds {} > {}", p, size, cap);
+            assert!(size <= cap, "part {p} holds {size} > {cap}");
         }
-        prop_assert!(parts.iter().all(|&p| p < k));
+        assert!(parts.iter().all(|&p| p < k));
     }
+}
 
-    /// The partition-guided placement is always a consistent injection for
-    /// random circuits of any shape.
-    #[test]
-    fn partition_placement_always_consistent(
-        n in 2u32..40,
-        gates in 1usize..300,
-        frac in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+/// The partition-guided placement is always a consistent injection for
+/// random circuits of any shape.
+#[test]
+fn partition_placement_always_consistent() {
+    let mut rng = Rng64::seed_from_u64(0x9A7_0004);
+    for _ in 0..64 {
+        let n = rng.gen_range(2u32..40);
+        let gates = rng.gen_range(1usize..300);
+        let frac = rng.gen_f64();
+        let seed = rng.next_u64();
         let circuit = random_circuit(n, gates, frac, seed).unwrap();
         let grid = Grid::with_capacity_for(n as usize);
         let placement = partition_placement(&circuit, &grid);
-        prop_assert!(placement.is_consistent(&grid));
-        prop_assert_eq!(placement.num_qubits(), n);
+        assert!(placement.is_consistent(&grid));
+        assert_eq!(placement.num_qubits(), n);
     }
+}
 
-    /// Serpentine cells visit every tile exactly once, with unit steps.
-    #[test]
-    fn serpentine_is_a_hamiltonian_walk(l in 1u32..15) {
+/// Serpentine cells visit every tile exactly once, with unit steps.
+#[test]
+fn serpentine_is_a_hamiltonian_walk() {
+    for l in 1u32..15 {
         let grid = Grid::new(l).unwrap();
         let cells = serpentine_cells(&grid);
-        prop_assert_eq!(cells.len(), grid.cell_count());
+        assert_eq!(cells.len(), grid.cell_count());
         let unique: std::collections::HashSet<_> = cells.iter().collect();
-        prop_assert_eq!(unique.len(), cells.len());
+        assert_eq!(unique.len(), cells.len());
         for w in cells.windows(2) {
-            prop_assert_eq!(w[0].manhattan_distance(w[1]), 1);
+            assert_eq!(w[0].manhattan_distance(w[1]), 1);
         }
     }
 }

@@ -1,6 +1,8 @@
-//! Semantic property tests: the state-vector simulator proves that
+//! Semantic randomized tests: the state-vector simulator proves that
 //! scheduling, transforms, and decompositions preserve what circuits
-//! *compute*, not just their structure.
+//! *compute*, not just their structure. Deterministic seeded sweeps
+//! stand in for property-based generation so the suite stays
+//! zero-dependency.
 
 use autobraid::config::ScheduleConfig;
 use autobraid::{AutoBraid, Step};
@@ -8,7 +10,7 @@ use autobraid_circuit::generators::random::random_circuit;
 use autobraid_circuit::sim::{circuits_equivalent, StateVector};
 use autobraid_circuit::transform::optimize;
 use autobraid_circuit::{Circuit, Gate};
-use proptest::prelude::*;
+use autobraid_telemetry::Rng64;
 
 const EPS: f64 = 1e-9;
 
@@ -34,77 +36,81 @@ fn reordered(circuit: &Circuit, order: &[usize]) -> Circuit {
     Circuit::from_gates(circuit.num_qubits(), gates).expect("same register")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The scheduler may only reorder independent gates: executing gates
-    /// in scheduled order computes the same unitary as program order.
-    #[test]
-    fn scheduled_order_preserves_semantics(
-        gates in 5usize..60,
-        frac in 0.2f64..0.8,
-        seed in any::<u64>(),
-    ) {
+/// The scheduler may only reorder independent gates: executing gates
+/// in scheduled order computes the same unitary as program order.
+#[test]
+fn scheduled_order_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0x5E3_0001);
+    let compiler = AutoBraid::new(ScheduleConfig::default());
+    for _ in 0..24 {
+        let gates = rng.gen_range(5usize..60);
+        let frac = rng.gen_range(0.2..0.8);
+        let seed = rng.next_u64();
         let circuit = random_circuit(6, gates, frac, seed).unwrap();
-        let compiler = AutoBraid::new(ScheduleConfig::default());
         let outcome = compiler.schedule_sp(&circuit);
         let order = execution_order(&outcome.result.steps);
-        prop_assert_eq!(order.len(), circuit.len());
+        assert_eq!(order.len(), circuit.len());
         let scheduled = reordered(&circuit, &order);
-        prop_assert!(
+        assert!(
             circuits_equivalent(&circuit, &scheduled, EPS),
             "scheduled execution order changed the computation"
         );
     }
+}
 
-    /// Same property under the commutation-relaxed DAG: the wider
-    /// reordering freedom must still be semantics-preserving.
-    #[test]
-    fn commutation_aware_order_preserves_semantics(
-        gates in 5usize..60,
-        frac in 0.2f64..0.8,
-        seed in any::<u64>(),
-    ) {
+/// Same property under the commutation-relaxed DAG: the wider
+/// reordering freedom must still be semantics-preserving.
+#[test]
+fn commutation_aware_order_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0x5E3_0002);
+    let config = ScheduleConfig::default().with_commutation_aware(true);
+    let compiler = AutoBraid::new(config);
+    for _ in 0..24 {
+        let gates = rng.gen_range(5usize..60);
+        let frac = rng.gen_range(0.2..0.8);
+        let seed = rng.next_u64();
         let circuit = random_circuit(6, gates, frac, seed).unwrap();
-        let config = ScheduleConfig::default().with_commutation_aware(true);
-        let compiler = AutoBraid::new(config);
         let outcome = compiler.schedule_sp(&circuit);
         let order = execution_order(&outcome.result.steps);
-        prop_assert_eq!(order.len(), circuit.len());
+        assert_eq!(order.len(), circuit.len());
         let scheduled = reordered(&circuit, &order);
-        prop_assert!(
+        assert!(
             circuits_equivalent(&circuit, &scheduled, EPS),
             "commutation-aware reordering changed the computation"
         );
     }
+}
 
-    /// The peephole optimizer is an equivalence (already unit-tested;
-    /// cross-checked here at the integration level with wider inputs).
-    #[test]
-    fn optimizer_preserves_semantics(
-        gates in 0usize..120,
-        frac in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+/// The peephole optimizer is an equivalence (already unit-tested;
+/// cross-checked here at the integration level with wider inputs).
+#[test]
+fn optimizer_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0x5E3_0003);
+    for _ in 0..24 {
+        let gates = rng.gen_range(0usize..120);
+        let frac = rng.gen_f64();
+        let seed = rng.next_u64();
         let circuit = random_circuit(7, gates.max(1), frac, seed).unwrap();
         let (optimized, stats) = optimize(&circuit, 1e-12);
-        prop_assert!(optimized.len() + stats.gates_removed() == circuit.len());
-        prop_assert!(circuits_equivalent(&circuit, &optimized, EPS));
+        assert!(optimized.len() + stats.gates_removed() == circuit.len());
+        assert!(circuits_equivalent(&circuit, &optimized, EPS));
     }
+}
 
-    /// Simulation invariants: unitarity (norm preservation) and
-    /// determinism for any circuit in the gate set.
-    #[test]
-    fn simulation_is_unitary_and_deterministic(
-        gates in 0usize..100,
-        frac in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+/// Simulation invariants: unitarity (norm preservation) and
+/// determinism for any circuit in the gate set.
+#[test]
+fn simulation_is_unitary_and_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0x5E3_0004);
+    for _ in 0..24 {
+        let gates = rng.gen_range(0usize..100);
+        let frac = rng.gen_f64();
+        let seed = rng.next_u64();
         let circuit = random_circuit(6, gates.max(1), frac, seed).unwrap();
         let s1 = StateVector::run(&circuit);
         let s2 = StateVector::run(&circuit);
-        prop_assert!((s1.norm() - 1.0).abs() < 1e-9);
-        prop_assert_eq!(s1.amplitudes(), s2.amplitudes());
+        assert!((s1.norm() - 1.0).abs() < 1e-9);
+        assert_eq!(s1.amplitudes(), s2.amplitudes());
     }
 }
 

@@ -1,30 +1,26 @@
-//! Property-based tests for the paper's theorems and the routing
-//! invariants they rest on (Appendix A–D).
+//! Randomized tests for the paper's theorems and the routing
+//! invariants they rest on (Appendix A–D). Deterministic seeded sweeps
+//! stand in for property-based generation so the suite stays
+//! zero-dependency.
 
 use autobraid_lattice::{BBox, Cell, Grid, Occupancy};
 use autobraid_router::llg::{decompose, Llg};
 use autobraid_router::path::CxRequest;
 use autobraid_router::stack_finder::route_concurrent;
-use proptest::prelude::*;
+use autobraid_telemetry::Rng64;
 
-/// Strategy: `k` CX gates over distinct random cells of an `l × l` grid.
-fn distinct_cell_pairs(l: u32, k: usize) -> impl Strategy<Value = Vec<CxRequest>> {
-    let cell_count = (l * l) as usize;
-    proptest::sample::subsequence((0..cell_count).collect::<Vec<_>>(), 2 * k).prop_map(
-        move |mut picked| {
-            // Shuffle-by-sort on a derived key keeps it deterministic but
-            // varied; subsequence returns sorted indices.
-            picked.sort_by_key(|&i| (i * 2654435761) % cell_count);
-            picked
-                .chunks(2)
-                .enumerate()
-                .map(|(id, pair)| {
-                    let to_cell = |i: usize| Cell::new(i as u32 / l, i as u32 % l);
-                    CxRequest::new(id, to_cell(pair[0]), to_cell(pair[1]))
-                })
-                .collect()
-        },
-    )
+/// `k` CX gates over distinct random cells of an `l × l` grid.
+fn distinct_cell_pairs(rng: &mut Rng64, l: u32, k: usize) -> Vec<CxRequest> {
+    let cells: Vec<usize> = (0..(l * l) as usize).collect();
+    let picked = rng.sample(&cells, 2 * k);
+    picked
+        .chunks(2)
+        .enumerate()
+        .map(|(id, pair)| {
+            let to_cell = |i: usize| Cell::new(i as u32 / l, i as u32 % l);
+            CxRequest::new(id, to_cell(pair[0]), to_cell(pair[1]))
+        })
+        .collect()
 }
 
 fn assert_disjoint_and_valid(grid: &Grid, requests: &[CxRequest]) -> usize {
@@ -47,93 +43,111 @@ fn assert_disjoint_and_valid(grid: &Grid, requests: &[CxRequest]) -> usize {
     outcome.routed.len()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem 1: any LLG of ≤ 3 CX gates routes fully, whatever the
-    /// placement. We sample 3 gates anywhere on the grid (any LLG of ≤ 3
-    /// is a sub-case) and demand a complete simultaneous schedule.
-    #[test]
-    fn theorem1_three_gates_always_route(requests in distinct_cell_pairs(7, 3)) {
+/// Theorem 1: any LLG of ≤ 3 CX gates routes fully, whatever the
+/// placement. We sample 3 gates anywhere on the grid (any LLG of ≤ 3
+/// is a sub-case) and demand a complete simultaneous schedule.
+#[test]
+fn theorem1_three_gates_always_route() {
+    let mut rng = Rng64::seed_from_u64(0x7E0_0001);
+    for _ in 0..64 {
+        let requests = distinct_cell_pairs(&mut rng, 7, 3);
         let grid = Grid::new(7).unwrap();
         let routed = assert_disjoint_and_valid(&grid, &requests);
-        prop_assert_eq!(routed, requests.len(), "Theorem 1 violated: {:?}", requests);
+        assert_eq!(routed, requests.len(), "Theorem 1 violated: {requests:?}");
     }
+}
 
-    /// Theorem 1 also promises one- and two-gate groups route.
-    #[test]
-    fn theorem1_two_gates_always_route(requests in distinct_cell_pairs(5, 2)) {
+/// Theorem 1 also promises one- and two-gate groups route.
+#[test]
+fn theorem1_two_gates_always_route() {
+    let mut rng = Rng64::seed_from_u64(0x7E0_0002);
+    for _ in 0..64 {
+        let requests = distinct_cell_pairs(&mut rng, 5, 2);
         let grid = Grid::new(5).unwrap();
         let routed = assert_disjoint_and_valid(&grid, &requests);
-        prop_assert_eq!(routed, requests.len());
+        assert_eq!(routed, requests.len());
     }
+}
 
-    /// Theorem 2: strictly nested gate chains route fully. Build a nest of
-    /// boxes by picking nesting offsets.
-    #[test]
-    fn theorem2_nested_gates_always_route(depth in 2usize..5, jitter in 0u32..2) {
-        let l = 2 * depth as u32 + 4;
-        let grid = Grid::new(l).unwrap();
-        let requests: Vec<CxRequest> = (0..depth as u32)
-            .map(|k| {
-                let inset = k + 1;
-                CxRequest::new(
-                    k as usize,
-                    Cell::new(inset, inset + jitter.min(l - 2 * inset - 1)),
-                    Cell::new(l - 1 - inset, l - 1 - inset),
-                )
-            })
-            .collect();
-        // Confirm the construction is strictly nested (outermost first).
-        for w in requests.windows(2) {
-            prop_assert!(w[0].outer_bbox().strictly_nests(&w[1].outer_bbox()));
+/// Theorem 2: strictly nested gate chains route fully. Build a nest of
+/// boxes by picking nesting offsets.
+#[test]
+fn theorem2_nested_gates_always_route() {
+    for depth in 2usize..5 {
+        for jitter in 0u32..2 {
+            let l = 2 * depth as u32 + 4;
+            let grid = Grid::new(l).unwrap();
+            let requests: Vec<CxRequest> = (0..depth as u32)
+                .map(|k| {
+                    let inset = k + 1;
+                    CxRequest::new(
+                        k as usize,
+                        Cell::new(inset, inset + jitter.min(l - 2 * inset - 1)),
+                        Cell::new(l - 1 - inset, l - 1 - inset),
+                    )
+                })
+                .collect();
+            // Confirm the construction is strictly nested (outermost first).
+            for w in requests.windows(2) {
+                assert!(w[0].outer_bbox().strictly_nests(&w[1].outer_bbox()));
+            }
+            let routed = assert_disjoint_and_valid(&grid, &requests);
+            assert_eq!(routed, requests.len(), "Theorem 2 violated");
         }
-        let routed = assert_disjoint_and_valid(&grid, &requests);
-        prop_assert_eq!(routed, requests.len(), "Theorem 2 violated");
     }
+}
 
-    /// Simultaneity invariant: whatever the batch, routed paths are
-    /// vertex-disjoint and at least one gate routes (grids start empty).
-    #[test]
-    fn routed_paths_always_disjoint(requests in distinct_cell_pairs(8, 8)) {
+/// Simultaneity invariant: whatever the batch, routed paths are
+/// vertex-disjoint and at least one gate routes (grids start empty).
+#[test]
+fn routed_paths_always_disjoint() {
+    let mut rng = Rng64::seed_from_u64(0x7E0_0003);
+    for _ in 0..64 {
+        let requests = distinct_cell_pairs(&mut rng, 8, 8);
         let grid = Grid::new(8).unwrap();
         let routed = assert_disjoint_and_valid(&grid, &requests);
-        prop_assert!(routed >= 1);
+        assert!(routed >= 1);
     }
+}
 
-    /// The LLG decomposition is a partition with pairwise non-overlapping
-    /// joint boxes that cover their members.
-    #[test]
-    fn llg_decomposition_invariants(requests in distinct_cell_pairs(9, 7)) {
+/// The LLG decomposition is a partition with pairwise non-overlapping
+/// joint boxes that cover their members.
+#[test]
+fn llg_decomposition_invariants() {
+    let mut rng = Rng64::seed_from_u64(0x7E0_0004);
+    for _ in 0..64 {
+        let requests = distinct_cell_pairs(&mut rng, 9, 7);
         let llgs: Vec<Llg> = decompose(&requests);
         // Partition.
         let mut all: Vec<usize> = llgs.iter().flat_map(|g| g.members.clone()).collect();
         all.sort();
-        prop_assert_eq!(all, (0..requests.len()).collect::<Vec<_>>());
+        assert_eq!(all, (0..requests.len()).collect::<Vec<_>>());
         // Joint boxes cover members and do not openly overlap each other.
         for (i, g) in llgs.iter().enumerate() {
             for &m in &g.members {
-                prop_assert!(g.bbox.contains_box(&requests[m].outer_bbox()));
+                assert!(g.bbox.contains_box(&requests[m].outer_bbox()));
             }
             for h in &llgs[i + 1..] {
-                prop_assert!(!g.bbox.overlaps_open(&h.bbox), "LLG boxes overlap");
+                assert!(!g.bbox.overlaps_open(&h.bbox), "LLG boxes overlap");
             }
         }
     }
+}
 
-    /// Theorem 1 corollary used by the framework: if every LLG has ≤ 3
-    /// gates, the whole layer schedules simultaneously. Construct layers
-    /// with guaranteed-small LLGs by sampling ≤ 3 gates inside each of
-    /// four well-separated grid quadrants.
-    #[test]
-    fn small_llgs_imply_full_layer(
-        quadrant_batches in proptest::collection::vec(distinct_cell_pairs(5, 3), 4),
-    ) {
+/// Theorem 1 corollary used by the framework: if every LLG has ≤ 3
+/// gates, the whole layer schedules simultaneously. Construct layers
+/// with guaranteed-small LLGs by sampling ≤ 3 gates inside each of
+/// four well-separated grid quadrants.
+#[test]
+fn small_llgs_imply_full_layer() {
+    let mut rng = Rng64::seed_from_u64(0x7E0_0005);
+    for _ in 0..64 {
         let grid = Grid::new(12).unwrap();
         let offsets = [(0u32, 0u32), (0, 7), (7, 0), (7, 7)];
         let mut requests = Vec::new();
-        for (batch, (dr, dc)) in quadrant_batches.iter().zip(offsets) {
-            for r in batch {
+        for (dr, dc) in offsets {
+            let batch = distinct_cell_pairs(&mut rng, 5, 3);
+            for r in &batch {
                 requests.push(CxRequest::new(
                     requests.len(),
                     Cell::new(r.a.row + dr, r.a.col + dc),
@@ -142,9 +156,12 @@ proptest! {
             }
         }
         let llgs = decompose(&requests);
-        prop_assert!(llgs.iter().all(|g| g.size() <= 3), "construction keeps LLGs small");
+        assert!(
+            llgs.iter().all(|g| g.size() <= 3),
+            "construction keeps LLGs small"
+        );
         let routed = assert_disjoint_and_valid(&grid, &requests);
-        prop_assert_eq!(routed, requests.len(), "layer with small LLGs failed");
+        assert_eq!(routed, requests.len(), "layer with small LLGs failed");
     }
 }
 
