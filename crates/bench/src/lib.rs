@@ -207,7 +207,24 @@ pub fn timing_for(p_l: f64) -> TimingModel {
 
 /// Simple `--full` flag detection for the experiment binaries.
 pub fn full_run_requested() -> bool {
-    std::env::args().any(|a| a == "--full")
+    flag_requested("--full")
+}
+
+/// Whether a bare flag (e.g. `--tiny`) is on the command line.
+pub fn flag_requested(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses a `--name <value>` integer flag, falling back to `default`
+/// when the flag is absent or its value does not parse.
+pub fn usize_flag(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or(default);
+        }
+    }
+    default
 }
 
 /// Process-wide telemetry for the experiment binaries, activated by

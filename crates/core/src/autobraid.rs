@@ -12,11 +12,11 @@
 use crate::config::ScheduleConfig;
 use crate::maslov::schedule_maslov;
 use crate::metrics::ScheduleResult;
-use crate::scheduler::{run, StackPolicy};
+use crate::scheduler::{run, ParallelStackPolicy};
 use autobraid_circuit::Circuit;
 use autobraid_lattice::Grid;
 use autobraid_placement::{
-    anneal, initial::partition_placement, linear_placement, CouplingGraph, Placement,
+    anneal_portfolio, initial::partition_placement, linear_placement, CouplingGraph, Placement,
 };
 use autobraid_telemetry as telemetry;
 
@@ -78,7 +78,10 @@ impl AutoBraid {
         }
         let seed = partition_placement(circuit, grid);
         match &self.config.annealing {
-            Some(cfg) => anneal(circuit, grid, seed, cfg).placement,
+            Some(cfg) => {
+                anneal_portfolio(circuit, grid, seed, cfg, self.config.effective_threads())
+                    .placement
+            }
             None => seed,
         }
     }
@@ -93,7 +96,7 @@ impl AutoBraid {
             circuit,
             &grid,
             placement.clone(),
-            &StackPolicy,
+            &ParallelStackPolicy::new(self.config.effective_threads()),
             false,
             &self.config,
         );
@@ -119,7 +122,7 @@ impl AutoBraid {
             circuit,
             &grid,
             placement.clone(),
-            &StackPolicy,
+            &ParallelStackPolicy::new(self.config.effective_threads()),
             self.config.layout_threshold > 0.0,
             &self.config,
         );
@@ -135,7 +138,7 @@ impl AutoBraid {
                 circuit,
                 &grid,
                 placement.clone(),
-                &StackPolicy,
+                &ParallelStackPolicy::new(self.config.effective_threads()),
                 false,
                 &self.config,
             );

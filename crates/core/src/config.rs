@@ -48,6 +48,12 @@ pub struct ScheduleConfig {
     /// the plain shared-qubit DAG. An extension beyond the paper; exposed
     /// for the ablation study.
     pub commutation_aware: bool,
+    /// Worker threads for intra-circuit parallelism (concurrent routing
+    /// of independent LLGs, multi-chain annealing portfolios). `0` and
+    /// `1` both mean fully serial. Compile *outputs* are bit-identical
+    /// for every value — parallel paths only precompute what the serial
+    /// order would have produced (see `docs/RUNTIME.md`).
+    pub threads: usize,
 }
 
 impl Default for ScheduleConfig {
@@ -60,6 +66,7 @@ impl Default for ScheduleConfig {
             annealing: Some(AnnealConfig::default()),
             recording: Recording::Full,
             commutation_aware: false,
+            threads: 1,
         }
     }
 }
@@ -101,6 +108,18 @@ impl ScheduleConfig {
     pub fn with_commutation_aware(mut self, on: bool) -> Self {
         self.commutation_aware = on;
         self
+    }
+
+    /// Sets the intra-circuit worker-thread count (see
+    /// [`ScheduleConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective parallelism: `threads` clamped to at least 1.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
     }
 }
 

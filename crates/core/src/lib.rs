@@ -18,13 +18,20 @@
 //!   specialization for all-to-all patterns;
 //! * [`critical_path`] — the ideal lower bound ("CP");
 //! * [`metrics::verify_schedule`] — exhaustive schedule validation;
-//! * [`pipeline::Pipeline`] — the end-to-end compile façade, with
-//!   opt-in observability ([`pipeline::Pipeline::with_telemetry`]):
-//!   stage spans, subsystem counters, and histograms snapshotted into
+//! * [`pipeline::Pipeline`] — the end-to-end compile façade, configured
+//!   by [`pipeline::CompileOptions`] (strategy, optimizer, verifier,
+//!   telemetry, thread budget), with opt-in observability: stage spans,
+//!   subsystem counters, and histograms snapshotted into
 //!   [`pipeline::CompileReport::telemetry`], rendered by
 //!   [`render::render_telemetry`] / [`report::compile_report_json`].
 //!   The metric names and JSON schema are documented in
-//!   `docs/METRICS.md`.
+//!   `docs/METRICS.md`;
+//! * [`runtime`] — the std-only parallel runtime:
+//!   [`runtime::WorkerPool`] and [`pipeline::Pipeline::compile_batch`]
+//!   for compiling many circuits at once, plus thread-budgeted
+//!   intra-circuit parallelism (LLG routing, annealing portfolio). The
+//!   design and determinism contract live in `docs/RUNTIME.md`;
+//! * [`prelude`] — one-line imports for the common compile workflow.
 //!
 //! The workspace architecture, paper substitutions, and experiment
 //! index live in `DESIGN.md`.
@@ -58,8 +65,10 @@ pub mod magic;
 pub mod maslov;
 pub mod metrics;
 pub mod pipeline;
+pub mod prelude;
 pub mod render;
 pub mod report;
+pub mod runtime;
 pub mod scheduler;
 pub mod swap;
 
@@ -70,7 +79,8 @@ pub use config::{Recording, ScheduleConfig};
 pub use critical_path::{critical_path_cycles, critical_path_cycles_relaxed, critical_path_us};
 pub use metrics::{verify_schedule, verify_schedule_with_dag, ScheduleResult, Step, SwapOp};
 pub use scheduler::{
-    run, run_with_base_occupancy, GreedyPolicy, RoutePolicy, ScheduleError, StackPolicy,
+    run, run_with_base_occupancy, GreedyPolicy, ParallelStackPolicy, RoutePolicy, ScheduleError,
+    StackPolicy,
 };
 
 /// The observability layer (re-exported for downstream convenience):

@@ -1,6 +1,12 @@
 //! The end-to-end compiler pipeline: one façade over parsing, peephole
 //! optimization, placement, scheduling, and verification, with per-stage
 //! timing — the shape a downstream tool would embed.
+//!
+//! Configuration is carried by [`CompileOptions`] (what to run: strategy,
+//! optimizer, verifier, telemetry, thread budget) next to the scheduling
+//! [`ScheduleConfig`] (how to schedule). Batch compilation over a worker
+//! pool lives in [`crate::runtime`]; the parallel runtime's design and
+//! determinism contract are documented in `docs/RUNTIME.md`.
 
 use crate::autobraid::ScheduleOutcome;
 use crate::baseline::schedule_baseline;
@@ -28,14 +34,72 @@ pub enum Strategy {
     Maslov,
 }
 
-/// Pipeline configuration.
+impl Strategy {
+    /// The scheduler name as it appears in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Full => "autobraid-full",
+            Strategy::StackOnly => "autobraid-sp",
+            Strategy::Baseline => "baseline",
+            Strategy::Maslov => "maslov",
+        }
+    }
+}
+
+/// What one compile should do — everything about a [`Pipeline`] except
+/// the scheduling parameters themselves ([`ScheduleConfig`]).
+///
+/// Construct with struct-update syntax over [`Default`]:
+///
+/// ```
+/// use autobraid::pipeline::{CompileOptions, Strategy};
+///
+/// let options = CompileOptions {
+///     strategy: Strategy::StackOnly,
+///     threads: 4,
+///     ..CompileOptions::default()
+/// };
+/// assert!(options.verify);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Which scheduler to drive (default [`Strategy::Full`]).
+    pub strategy: Strategy,
+    /// Run the peephole optimizer before scheduling (default `true`).
+    pub optimize: bool,
+    /// Machine-check the schedule after compilation (default `true`;
+    /// requires [`Recording::Full`], silently skipped otherwise).
+    pub verify: bool,
+    /// Collect a [`TelemetrySnapshot`] per compile (default `false`).
+    /// Metric names and the JSON layout are documented in
+    /// `docs/METRICS.md`.
+    pub telemetry: bool,
+    /// Thread budget (default 1 — fully serial). A single
+    /// [`Pipeline::compile`] spends it inside the compile (parallel LLG
+    /// routing, annealing portfolio); [`Pipeline::compile_batch`] spends
+    /// it across circuits instead. Compile *outputs* are bit-identical
+    /// for every value — see `docs/RUNTIME.md` for the determinism
+    /// contract.
+    pub threads: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            strategy: Strategy::Full,
+            optimize: true,
+            verify: true,
+            telemetry: false,
+            threads: 1,
+        }
+    }
+}
+
+/// Pipeline configuration: scheduling parameters plus compile options.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
     config: ScheduleConfig,
-    strategy: Strategy,
-    optimize: bool,
-    verify: bool,
-    telemetry: bool,
+    options: CompileOptions,
 }
 
 /// Errors a pipeline run can produce.
@@ -46,15 +110,40 @@ pub enum PipelineError {
     Parse(CircuitError),
     /// The produced schedule failed verification (a compiler bug — please
     /// report it).
-    Verification(String),
+    Verification {
+        /// The pipeline stage that rejected the schedule.
+        stage: &'static str,
+        /// The circuit (or batch-job label) being compiled.
+        circuit: String,
+        /// What the verifier found.
+        detail: String,
+    },
+    /// A batch-compile job panicked; the panic was isolated to its worker
+    /// and the remaining jobs completed normally.
+    Panicked {
+        /// The circuit (or batch-job label) being compiled.
+        circuit: String,
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PipelineError::Parse(e) => write!(f, "parse stage failed: {e}"),
-            PipelineError::Verification(msg) => {
-                write!(f, "schedule verification failed: {msg}")
+            PipelineError::Verification {
+                stage,
+                circuit,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "schedule verification failed at stage `{stage}` for circuit `{circuit}`: {detail}"
+                )
+            }
+            PipelineError::Panicked { circuit, detail } => {
+                write!(f, "compile of circuit `{circuit}` panicked: {detail}")
             }
         }
     }
@@ -64,7 +153,7 @@ impl std::error::Error for PipelineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PipelineError::Parse(e) => Some(e),
-            PipelineError::Verification(_) => None,
+            _ => None,
         }
     }
 }
@@ -103,21 +192,15 @@ pub struct CompileReport {
     /// Per-stage wall-clock times.
     pub timings: StageTimings,
     /// Telemetry captured during the compile (see `docs/METRICS.md`);
-    /// `None` unless [`Pipeline::with_telemetry`] enabled collection.
+    /// `None` unless [`CompileOptions::telemetry`] enabled collection.
     pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl Pipeline {
     /// A pipeline with default configuration (autobraid-full, optimizer
-    /// and verifier enabled).
+    /// and verifier enabled, serial).
     pub fn new() -> Self {
-        Pipeline {
-            config: ScheduleConfig::default(),
-            strategy: Strategy::Full,
-            optimize: true,
-            verify: true,
-            telemetry: false,
-        }
+        Pipeline::default()
     }
 
     /// Replaces the scheduling configuration.
@@ -126,22 +209,60 @@ impl Pipeline {
         self
     }
 
+    /// Replaces the compile options.
+    ///
+    /// ```
+    /// use autobraid::pipeline::{CompileOptions, Pipeline, Strategy};
+    ///
+    /// let pipeline = Pipeline::new().with_options(CompileOptions {
+    ///     strategy: Strategy::Baseline,
+    ///     ..CompileOptions::default()
+    /// });
+    /// assert_eq!(pipeline.options().strategy, Strategy::Baseline);
+    /// ```
+    pub fn with_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The active compile options.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The active scheduling configuration.
+    pub fn config(&self) -> &ScheduleConfig {
+        &self.config
+    }
+
     /// Chooses the scheduler.
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `CompileOptions::strategy` via `with_options`"
+    )]
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+        self.options.strategy = strategy;
         self
     }
 
     /// Enables/disables the peephole optimizer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `CompileOptions::optimize` via `with_options`"
+    )]
     pub fn with_optimizer(mut self, on: bool) -> Self {
-        self.optimize = on;
+        self.options.optimize = on;
         self
     }
 
     /// Enables/disables post-scheduling verification (requires
     /// [`Recording::Full`]; the pipeline skips the check otherwise).
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `CompileOptions::verify` via `with_options`"
+    )]
     pub fn with_verification(mut self, on: bool) -> Self {
-        self.verify = on;
+        self.options.verify = on;
         self
     }
 
@@ -149,10 +270,12 @@ impl Pipeline {
     /// installs a fresh [`MemoryRecorder`] for its duration (restoring any
     /// previously installed recorder afterwards) and attaches the
     /// resulting [`TelemetrySnapshot`] to [`CompileReport::telemetry`].
-    /// The metric names and JSON layout are documented in
-    /// `docs/METRICS.md`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "set `CompileOptions::telemetry` via `with_options`"
+    )]
     pub fn with_telemetry(mut self, on: bool) -> Self {
-        self.telemetry = on;
+        self.options.telemetry = on;
         self
     }
 
@@ -205,14 +328,24 @@ impl Pipeline {
 
     /// A fresh recorder when telemetry is enabled.
     fn make_recorder(&self) -> Option<Arc<MemoryRecorder>> {
-        self.telemetry.then(|| Arc::new(MemoryRecorder::new()))
+        self.options
+            .telemetry
+            .then(|| Arc::new(MemoryRecorder::new()))
+    }
+
+    /// The scheduling configuration a compile actually runs with: the
+    /// configured [`ScheduleConfig`] with the thread budget from
+    /// [`CompileOptions::threads`] wired in.
+    fn effective_config(&self) -> ScheduleConfig {
+        self.config.clone().with_threads(self.options.threads)
     }
 
     fn compile_impl(&self, circuit: &Circuit) -> Result<CompileReport, PipelineError> {
+        let config = self.effective_config();
         let mut timings = StageTimings::default();
 
         let started = Instant::now();
-        let (circuit, gates_removed) = if self.optimize {
+        let (circuit, gates_removed) = if self.options.optimize {
             let _span = telemetry::span("optimize");
             let (optimized, stats) = autobraid_circuit::transform::optimize(circuit, 1e-12);
             (optimized, stats.gates_removed())
@@ -224,12 +357,12 @@ impl Pipeline {
 
         let started = Instant::now();
         let schedule_span = telemetry::span("schedule");
-        let compiler = AutoBraid::new(self.config.clone());
-        let outcome = match self.strategy {
+        let compiler = AutoBraid::new(config.clone());
+        let outcome = match self.options.strategy {
             Strategy::Full => compiler.schedule_full(&circuit),
             Strategy::StackOnly => compiler.schedule_sp(&circuit),
             Strategy::Baseline => {
-                let (result, placement) = schedule_baseline(&circuit, &self.config);
+                let (result, placement) = schedule_baseline(&circuit, &config);
                 let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
                 ScheduleOutcome {
                     result,
@@ -238,7 +371,7 @@ impl Pipeline {
                 }
             }
             Strategy::Maslov => {
-                let (result, placement) = schedule_maslov(&circuit, &self.config);
+                let (result, placement) = schedule_maslov(&circuit, &config);
                 let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
                 ScheduleOutcome {
                     result,
@@ -250,10 +383,10 @@ impl Pipeline {
         drop(schedule_span);
         timings.schedule_seconds = started.elapsed().as_secs_f64();
 
-        if self.verify && self.config.recording == Recording::Full {
+        if self.options.verify && config.recording == Recording::Full {
             let started = Instant::now();
             let _span = telemetry::span("verify");
-            let dag = if self.config.commutation_aware {
+            let dag = if config.commutation_aware {
                 DependenceDag::with_commutation(&circuit)
             } else {
                 DependenceDag::new(&circuit)
@@ -265,7 +398,11 @@ impl Pipeline {
                 &outcome.initial_placement,
                 &outcome.result,
             )
-            .map_err(PipelineError::Verification)?;
+            .map_err(|detail| PipelineError::Verification {
+                stage: "verify",
+                circuit: circuit.name().to_string(),
+                detail,
+            })?;
             timings.verify_seconds = started.elapsed().as_secs_f64();
         }
 
@@ -312,7 +449,13 @@ mod tests {
         let with = Pipeline::new().compile(&c).unwrap();
         assert_eq!(with.gates_removed, 4);
         assert_eq!(with.circuit.len(), 1);
-        let without = Pipeline::new().with_optimizer(false).compile(&c).unwrap();
+        let without = Pipeline::new()
+            .with_options(CompileOptions {
+                optimize: false,
+                ..CompileOptions::default()
+            })
+            .compile(&c)
+            .unwrap();
         assert_eq!(without.gates_removed, 0);
         assert!(with.outcome.result.total_cycles <= without.outcome.result.total_cycles);
     }
@@ -326,7 +469,13 @@ mod tests {
             Strategy::Baseline,
             Strategy::Maslov,
         ] {
-            let report = Pipeline::new().with_strategy(strategy).compile(&c).unwrap();
+            let report = Pipeline::new()
+                .with_options(CompileOptions {
+                    strategy,
+                    ..CompileOptions::default()
+                })
+                .compile(&c)
+                .unwrap();
             assert!(report.outcome.result.total_cycles > 0, "{strategy:?}");
         }
     }
@@ -334,7 +483,13 @@ mod tests {
     #[test]
     fn telemetry_snapshot_spans_all_subsystems() {
         let c = qft(16).unwrap();
-        let report = Pipeline::new().with_telemetry(true).compile(&c).unwrap();
+        let report = Pipeline::new()
+            .with_options(CompileOptions {
+                telemetry: true,
+                ..CompileOptions::default()
+            })
+            .compile(&c)
+            .unwrap();
         let snap = report.telemetry.expect("telemetry was enabled");
         let names = snap.metric_names();
         assert!(names.len() >= 10, "only {} metrics: {names:?}", names.len());
@@ -362,5 +517,61 @@ mod tests {
             .compile(&c)
             .unwrap();
         assert!(report.outcome.result.total_cycles > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_work() {
+        // The 0.1 builder setters must keep functioning until removal.
+        let p = Pipeline::new()
+            .with_strategy(Strategy::Maslov)
+            .with_optimizer(false)
+            .with_verification(false)
+            .with_telemetry(true);
+        assert_eq!(p.options().strategy, Strategy::Maslov);
+        assert!(!p.options().optimize);
+        assert!(!p.options().verify);
+        assert!(p.options().telemetry);
+    }
+
+    #[test]
+    fn strategy_names_match_report_schedulers() {
+        let c = qft(8).unwrap();
+        for strategy in [Strategy::Full, Strategy::StackOnly] {
+            let report = Pipeline::new()
+                .with_options(CompileOptions {
+                    strategy,
+                    ..CompileOptions::default()
+                })
+                .compile(&c)
+                .unwrap();
+            assert_eq!(report.outcome.result.scheduler, strategy.name());
+        }
+    }
+
+    #[test]
+    fn options_threads_reach_schedule_config() {
+        let p = Pipeline::new().with_options(CompileOptions {
+            threads: 4,
+            ..CompileOptions::default()
+        });
+        assert_eq!(p.effective_config().effective_threads(), 4);
+        // threads = 0 normalizes to serial.
+        let p = Pipeline::new().with_options(CompileOptions {
+            threads: 0,
+            ..CompileOptions::default()
+        });
+        assert_eq!(p.effective_config().effective_threads(), 1);
+    }
+
+    #[test]
+    fn verification_errors_carry_context() {
+        let err = PipelineError::Verification {
+            stage: "verify",
+            circuit: "qft8".into(),
+            detail: "boom".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("verify") && msg.contains("qft8") && msg.contains("boom"));
     }
 }

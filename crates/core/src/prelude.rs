@@ -1,0 +1,33 @@
+//! One-line imports for the common compile workflow.
+//!
+//! ```
+//! use autobraid::prelude::*;
+//!
+//! let mut circuit = Circuit::named(3, "ghz");
+//! circuit.h(0).cx(0, 1).cx(1, 2);
+//! let report = Pipeline::new().compile(&circuit)?;
+//! assert!(report.outcome.result.total_cycles > 0);
+//! # Ok::<(), PipelineError>(())
+//! ```
+//!
+//! Covers the pipeline façade ([`Pipeline`], [`CompileOptions`],
+//! [`Strategy`], [`CompileReport`], [`PipelineError`]), batch
+//! compilation ([`CompileJob`], [`merged_batch_telemetry`]), the
+//! scheduler front end ([`AutoBraid`], [`ScheduleConfig`], [`Step`],
+//! [`verify_schedule`], [`critical_path_cycles`]), report rendering
+//! ([`compile_report_json`], [`canonical_compile_report_json`],
+//! [`render_telemetry`]), and the circuit/lattice types every compile
+//! touches ([`Circuit`], [`CircuitStats`], [`Grid`]).
+
+pub use crate::autobraid::{AutoBraid, ScheduleOutcome};
+pub use crate::config::{Recording, ScheduleConfig};
+pub use crate::critical_path::critical_path_cycles;
+pub use crate::metrics::{verify_schedule, ScheduleResult, Step};
+pub use crate::pipeline::{
+    CompileOptions, CompileReport, Pipeline, PipelineError, StageTimings, Strategy,
+};
+pub use crate::render::render_telemetry;
+pub use crate::report::{canonical_compile_report_json, compile_report_json};
+pub use crate::runtime::{merged_batch_telemetry, CompileJob, WorkerPool};
+pub use autobraid_circuit::{Circuit, CircuitStats};
+pub use autobraid_lattice::Grid;

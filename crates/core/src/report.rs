@@ -178,6 +178,24 @@ pub fn compile_report_json(report: &CompileReport) -> JsonValue {
     ])
 }
 
+/// Serializes a [`CompileReport`] with every wall-clock measurement
+/// zeroed and telemetry excluded: the *canonical* form of a compile
+/// output, byte-identical across runs and thread counts for the same
+/// input and seed. This is the value the determinism suite compares and
+/// the contract `docs/RUNTIME.md` documents — timings and telemetry are
+/// measurements of the run, not part of the compiled result.
+pub fn canonical_compile_report_json(report: &CompileReport) -> JsonValue {
+    let mut result = report.outcome.result.clone();
+    result.compile_seconds = 0.0;
+    JsonValue::object([
+        ("circuit", JsonValue::from(report.stats.name.as_str())),
+        ("qubits", JsonValue::from(report.stats.qubits)),
+        ("gates", JsonValue::from(report.stats.gates)),
+        ("gates_removed", JsonValue::from(report.gates_removed)),
+        ("schedule", schedule_result_json(&result)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

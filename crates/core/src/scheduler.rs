@@ -12,7 +12,9 @@ use crate::swap::plan_swap_layer;
 use autobraid_circuit::{Circuit, DependenceDag, Frontier, GateId};
 use autobraid_lattice::{Grid, Occupancy};
 use autobraid_placement::Placement;
-use autobraid_router::stack_finder::{route_concurrent, route_greedy, RouteOutcome};
+use autobraid_router::stack_finder::{
+    route_concurrent, route_concurrent_with, route_greedy, RouteOutcome,
+};
 use autobraid_router::CxRequest;
 use autobraid_telemetry as telemetry;
 use std::time::Instant;
@@ -69,6 +71,40 @@ impl RoutePolicy for StackPolicy {
         requests: &[CxRequest],
     ) -> RouteOutcome {
         route_concurrent(grid, occupancy, requests)
+    }
+}
+
+/// [`StackPolicy`] with a worker-thread budget: independent small LLGs
+/// of each batch route concurrently
+/// ([`autobraid_router::stack_finder::route_concurrent_with`]). The
+/// routed outcome is bit-identical to [`StackPolicy`] for every thread
+/// count — parallelism is a wall-clock optimization only (the
+/// determinism contract of `docs/RUNTIME.md`).
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelStackPolicy {
+    /// Worker threads per routing pass (0 and 1 both mean serial).
+    pub threads: usize,
+}
+
+impl ParallelStackPolicy {
+    /// A policy routing each batch with up to `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ParallelStackPolicy { threads }
+    }
+}
+
+impl RoutePolicy for ParallelStackPolicy {
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+
+    fn route(
+        &self,
+        grid: &Grid,
+        occupancy: &mut Occupancy,
+        requests: &[CxRequest],
+    ) -> RouteOutcome {
+        route_concurrent_with(grid, occupancy, requests, self.threads.max(1))
     }
 }
 

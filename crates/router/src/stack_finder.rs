@@ -128,10 +128,31 @@ pub fn route_concurrent(
     occupancy: &mut Occupancy,
     requests: &[CxRequest],
 ) -> RouteOutcome {
+    route_concurrent_with(grid, occupancy, requests, 1)
+}
+
+/// [`route_concurrent`] with an explicit worker-thread budget.
+///
+/// With `threads > 1`, small LLGs (the Theorem 1 groups that dominate
+/// well-placed layers) are routed concurrently: their joint bounding
+/// boxes have no open overlap, so each group's box-confined search is
+/// independent of every other group's. Workers *precompute* confined
+/// routings against the pre-step occupancy; a serial merge pass then
+/// commits each plan only when the serial order would provably have
+/// produced the same paths (no earlier-committed vertex inside the
+/// group's box), falling back to the serial search otherwise. The
+/// routed outcome is therefore **bit-identical for every `threads`
+/// value** — parallelism changes wall-clock time, never the schedule.
+pub fn route_concurrent_with(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    threads: usize,
+) -> RouteOutcome {
     let _span = telemetry::span("route_concurrent");
     telemetry::counter("router.route.requests", requests.len() as u64);
     let snapshot = occupancy.clone();
-    let outcome = route_stack_order(grid, occupancy, requests);
+    let outcome = route_stack_order(grid, occupancy, requests, threads);
     if outcome.is_complete() {
         return outcome;
     }
@@ -211,6 +232,7 @@ fn route_stack_order(
     grid: &Grid,
     occupancy: &mut Occupancy,
     requests: &[CxRequest],
+    threads: usize,
 ) -> RouteOutcome {
     let mut outcome = RouteOutcome::default();
 
@@ -228,8 +250,12 @@ fn route_stack_order(
     }
     let mut small: Vec<&crate::llg::Llg> = llgs.iter().filter(|g| g.size() <= 3).collect();
     small.sort_by_key(|g| (g.bbox.area(), g.bbox.min_row, g.bbox.min_col));
-    for group in small {
-        route_small_llg(grid, occupancy, requests, group, &mut outcome);
+    if threads > 1 && small.len() > 1 {
+        route_small_llgs_parallel(grid, occupancy, requests, &small, threads, &mut outcome);
+    } else {
+        for group in &small {
+            route_small_llg(grid, occupancy, requests, group, &mut outcome);
+        }
     }
 
     let mut is_deferred = vec![false; requests.len()];
@@ -393,6 +419,39 @@ fn repair_failures(
     }
 }
 
+/// The box-confined full-group attempt of [`route_small_llg`]: tries all
+/// member orderings (≤ 3! = 6) with the search region clamped to the
+/// group's bounding box and commits the first ordering that routes the
+/// whole group, returning the routed gates in commit order. On `None`
+/// nothing is reserved. Shared by the serial path and the parallel
+/// precompute so both produce identical plans on identical occupancy.
+fn route_small_llg_confined(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    group: &crate::llg::Llg,
+) -> Option<Vec<RoutedGate>> {
+    let limits = SearchLimits {
+        region: Some(group.bbox),
+        ..SearchLimits::default()
+    };
+    for order in &permutations(&group.members) {
+        if let Some(paths) = try_route_all(grid, occupancy, requests, order, limits) {
+            return Some(
+                order
+                    .iter()
+                    .zip(paths)
+                    .map(|(&i, path)| RoutedGate {
+                        request: requests[i],
+                        path,
+                    })
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
 /// Routes every member of a ≤3-gate LLG simultaneously, preferring paths
 /// confined to the group's bounding box. Tries all member orderings
 /// (≤ 3! = 6) confined first, then unconfined; commits the first ordering
@@ -406,25 +465,22 @@ fn route_small_llg(
     outcome: &mut RouteOutcome,
 ) {
     debug_assert!(group.size() <= 3);
+    if let Some(routed) = route_small_llg_confined(grid, occupancy, requests, group) {
+        outcome.routed.extend(routed);
+        return;
+    }
     let orders = permutations(&group.members);
-    let limit_options = [
-        SearchLimits {
-            region: Some(group.bbox),
-            ..SearchLimits::default()
-        },
-        SearchLimits::default(),
-    ];
-    for limits in limit_options {
-        for order in &orders {
-            if let Some(paths) = try_route_all(grid, occupancy, requests, order, limits) {
-                for (i, path) in order.iter().zip(paths) {
-                    outcome.routed.push(RoutedGate {
-                        request: requests[*i],
-                        path,
-                    });
-                }
-                return;
+    for order in &orders {
+        if let Some(paths) =
+            try_route_all(grid, occupancy, requests, order, SearchLimits::default())
+        {
+            for (i, path) in order.iter().zip(paths) {
+                outcome.routed.push(RoutedGate {
+                    request: requests[*i],
+                    path,
+                });
             }
+            return;
         }
     }
     // No full simultaneous routing found: commit whatever fits,
@@ -447,6 +503,93 @@ fn route_small_llg(
                 outcome.routed.push(RoutedGate { request: r, path });
             }
             None => outcome.failed.push(r.id),
+        }
+    }
+}
+
+/// Routes a sorted list of small LLGs using `threads` workers, with
+/// outcomes bit-identical to the serial loop over [`route_small_llg`].
+///
+/// Workers precompute each group's *confined* routing against a snapshot
+/// of the pre-phase occupancy. The merge pass then walks the groups in
+/// the serial order and commits a precomputed plan only when no vertex
+/// committed earlier in the phase lies inside the group's bounding box —
+/// in that case the serial confined search would have seen exactly the
+/// same occupancy inside the box (the A* region clamp makes the box the
+/// entire footprint of the search) and, being deterministic, produced
+/// exactly the same paths. Any group whose plan is invalidated (a
+/// neighbour spilled onto a shared box boundary) or whose confined
+/// attempt failed is re-routed serially, again matching the serial order
+/// state for state.
+///
+/// Telemetry note: workers install the coordinating thread's recorder
+/// ([`telemetry::current`]), so search counters merge into the same
+/// snapshot; discarded precomputations make those *work* counters a
+/// superset of the serial run's (see `docs/RUNTIME.md`).
+fn route_small_llgs_parallel(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    groups: &[&crate::llg::Llg],
+    threads: usize,
+    outcome: &mut RouteOutcome,
+) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let base = occupancy.clone();
+    let plans: Vec<Mutex<Option<Vec<RoutedGate>>>> =
+        groups.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let recorder = telemetry::current();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(groups.len()) {
+            let recorder = recorder.clone();
+            let (next, plans, base) = (&next, &plans, &base);
+            scope.spawn(move || {
+                let _guard = recorder.map(telemetry::install);
+                let mut scratch = base.clone();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= groups.len() {
+                        break;
+                    }
+                    scratch.clone_from(base);
+                    let plan = route_small_llg_confined(grid, &mut scratch, requests, groups[i]);
+                    *plans[i].lock().expect("plan slot never poisoned") = plan;
+                }
+            });
+        }
+    });
+
+    // Vertices committed by this phase so far; a plan is valid only while
+    // its box is untouched by them. Everything the phase commits lands in
+    // `outcome.routed`, which starts empty (small LLGs route first).
+    debug_assert!(outcome.routed.is_empty());
+    for (group, plan) in groups.iter().zip(plans) {
+        let plan = plan.into_inner().expect("plan slot never poisoned");
+        let box_untouched = |routed: &[RoutedGate]| {
+            routed
+                .iter()
+                .flat_map(|r| r.path.vertices())
+                .all(|v| !group.bbox.contains(*v))
+        };
+        match plan {
+            Some(routed) if box_untouched(&outcome.routed) => {
+                for r in &routed {
+                    let reserved = occupancy.try_reserve(grid, r.path.vertices().iter().copied());
+                    debug_assert!(
+                        reserved,
+                        "confined plans of boundary-disjoint groups cannot collide"
+                    );
+                }
+                telemetry::counter("router.llg.parallel_commits", 1);
+                outcome.routed.extend(routed);
+            }
+            _ => {
+                telemetry::counter("router.llg.parallel_replans", 1);
+                route_small_llg(grid, occupancy, requests, group, outcome);
+            }
         }
     }
 }

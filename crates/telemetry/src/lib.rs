@@ -62,7 +62,7 @@ mod span;
 
 pub use json::JsonValue;
 pub use memory::{HistogramSummary, MemoryRecorder, SpanStat, TelemetrySnapshot, SCHEMA};
-pub use recorder::{install, is_enabled, Recorder, RecorderGuard};
+pub use recorder::{current, install, is_enabled, Recorder, RecorderGuard};
 pub use rng::{Rng64, SampleRange};
 pub use span::Span;
 

@@ -231,6 +231,65 @@ impl TelemetrySnapshot {
             .collect()
     }
 
+    /// Merges `other` into `self`: spans sum by path (count and total
+    /// wall time), counters sum by name, histograms combine exactly for
+    /// count/sum/min/max/mean and *approximately* for percentiles (the
+    /// merged percentile is the observation-count-weighted average of
+    /// the inputs' percentiles — the reservoirs backing them are not
+    /// retained in a snapshot). The operation is associative and
+    /// commutative up to that approximation, so a batch runtime can fold
+    /// per-worker snapshots in any order; see `docs/RUNTIME.md`.
+    pub fn merge_from(&mut self, other: &TelemetrySnapshot) {
+        for span in &other.spans {
+            match self.spans.iter_mut().find(|s| s.path == span.path) {
+                Some(existing) => {
+                    existing.count += span.count;
+                    existing.total_seconds += span.total_seconds;
+                }
+                None => self.spans.push(span.clone()),
+            }
+        }
+        self.spans.sort_by(|a, b| a.path.cmp(&b.path));
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => {
+                    if h.count == 0 {
+                        continue;
+                    }
+                    if mine.count == 0 {
+                        *mine = h.clone();
+                        continue;
+                    }
+                    let (n1, n2) = (mine.count as f64, h.count as f64);
+                    let total = n1 + n2;
+                    mine.p50 = (mine.p50 * n1 + h.p50 * n2) / total;
+                    mine.p90 = (mine.p90 * n1 + h.p90 * n2) / total;
+                    mine.p99 = (mine.p99 * n1 + h.p99 * n2) / total;
+                    mine.count += h.count;
+                    mine.sum += h.sum;
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                    mine.mean = mine.sum / mine.count as f64;
+                }
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Folds many snapshots into one with [`TelemetrySnapshot::merge_from`].
+    pub fn merged<'a>(snapshots: impl IntoIterator<Item = &'a TelemetrySnapshot>) -> Self {
+        let mut out = TelemetrySnapshot::default();
+        for snap in snapshots {
+            out.merge_from(snap);
+        }
+        out
+    }
+
     /// Builds the `autobraid.telemetry/v1` JSON tree.
     pub fn to_json_value(&self) -> JsonValue {
         let spans = self
@@ -330,6 +389,64 @@ mod tests {
         // Percentiles are approximate past the cap; 2% tolerance.
         assert!((h.p50 - 50_000.0).abs() < 2_000.0, "p50 = {}", h.p50);
         assert!((h.p90 - 90_000.0).abs() < 2_000.0, "p90 = {}", h.p90);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_spans() {
+        let a = MemoryRecorder::new();
+        a.add("shared", 2);
+        a.add("only_a", 1);
+        a.record_span("compile", Duration::from_millis(10));
+        let b = MemoryRecorder::new();
+        b.add("shared", 3);
+        b.add("only_b", 7);
+        b.record_span("compile", Duration::from_millis(5));
+        b.record_span("compile/route", Duration::from_millis(1));
+        let merged = TelemetrySnapshot::merged([&a.snapshot(), &b.snapshot()]);
+        assert_eq!(merged.counter("shared"), 5);
+        assert_eq!(merged.counter("only_a"), 1);
+        assert_eq!(merged.counter("only_b"), 7);
+        let compile = merged.span("compile").unwrap();
+        assert_eq!(compile.count, 2);
+        assert!((compile.total_seconds - 0.015).abs() < 1e-9);
+        assert_eq!(merged.span("compile/route").unwrap().count, 1);
+        // Span order stays sorted by path (the v1 layout invariant).
+        let paths: Vec<&str> = merged.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["compile", "compile/route"]);
+    }
+
+    #[test]
+    fn merge_combines_histogram_extremes_exactly() {
+        let a = MemoryRecorder::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.observe("h", v);
+        }
+        let b = MemoryRecorder::new();
+        for v in [10.0, 20.0] {
+            b.observe("h", v);
+        }
+        b.observe("b_only", 5.0);
+        let merged = TelemetrySnapshot::merged([&a.snapshot(), &b.snapshot()]);
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 20.0);
+        assert!((h.sum - 36.0).abs() < 1e-12);
+        assert!((h.mean - 7.2).abs() < 1e-12);
+        assert_eq!(merged.histogram("b_only").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = MemoryRecorder::new();
+        a.add("c", 4);
+        a.observe("h", 2.0);
+        a.record_span("s", Duration::from_millis(1));
+        let snap = a.snapshot();
+        let merged = TelemetrySnapshot::merged([&snap, &TelemetrySnapshot::default()]);
+        assert_eq!(merged, snap);
+        let merged = TelemetrySnapshot::merged([&TelemetrySnapshot::default(), &snap]);
+        assert_eq!(merged, snap);
     }
 
     #[test]

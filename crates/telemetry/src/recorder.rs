@@ -48,6 +48,19 @@ pub fn is_enabled() -> bool {
     CURRENT.with(|c| c.borrow().is_some())
 }
 
+/// Returns this thread's installed recorder, if any.
+///
+/// This is the pool-aware half of the installation protocol: a parallel
+/// region captures `current()` on the coordinating thread and
+/// [`install`]s the clone on each worker it spawns, so events recorded
+/// by workers land in the same (thread-safe) recorder as the parent's.
+/// The bundled [`crate::MemoryRecorder`] aggregates counters and spans
+/// associatively, so the merged totals are independent of how work was
+/// split across threads.
+pub fn current() -> Option<Arc<dyn Recorder>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
 /// Runs `f` against the installed recorder, if any.
 pub(crate) fn with_recorder<R>(f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> {
     CURRENT.with(|c| c.borrow().as_ref().map(|r| f(r.as_ref())))
@@ -85,6 +98,27 @@ mod tests {
         fn observe(&self, name: &str, value: f64) {
             self.0.lock().unwrap().push(format!("obs:{name}={value}"));
         }
+    }
+
+    #[test]
+    fn current_propagates_to_spawned_threads() {
+        let tape = Arc::new(Tape::default());
+        {
+            let _guard = install(tape.clone());
+            let handoff = current().expect("a recorder is installed");
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    assert!(!is_enabled(), "fresh threads start with no recorder");
+                    let _g = install(handoff);
+                    crate::counter("from.worker", 1);
+                });
+            });
+            crate::counter("from.parent", 1);
+        }
+        assert!(current().is_none());
+        let events = tape.0.lock().unwrap().clone();
+        assert!(events.contains(&"add:from.worker=1".to_string()));
+        assert!(events.contains(&"add:from.parent=1".to_string()));
     }
 
     #[test]

@@ -4,14 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use autobraid::config::ScheduleConfig;
-use autobraid::critical_path::critical_path_cycles;
-use autobraid::metrics::verify_schedule;
-use autobraid::pipeline::Pipeline;
-use autobraid::render::render_telemetry;
-use autobraid::report::compile_report_json;
-use autobraid::{AutoBraid, Step};
-use autobraid_circuit::{Circuit, CircuitStats};
+use autobraid::prelude::*;
 
 fn main() {
     // A small entangling circuit: GHZ preparation plus a mixing layer.
@@ -74,7 +67,10 @@ fn main() {
     // The pipeline façade adds per-stage timing and, with telemetry on,
     // counters/histograms/spans from every subsystem it drives.
     let report = Pipeline::new()
-        .with_telemetry(true)
+        .with_options(CompileOptions {
+            telemetry: true,
+            ..CompileOptions::default()
+        })
         .compile(&circuit)
         .expect("quickstart circuit compiles");
     let snapshot = report.telemetry.as_ref().expect("telemetry was enabled");

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub use autobraid;
+pub use autobraid::prelude;
 pub use autobraid_circuit as circuit;
 pub use autobraid_lattice as lattice;
 pub use autobraid_placement as placement;
