@@ -1,0 +1,154 @@
+//! Differential fuzzing driver for the conformance harness.
+//!
+//! Draws seeded cases from `autobraid_conformance::generate_case`, runs
+//! the full differential oracle on each, and on the first divergence
+//! shrinks the case and writes a self-contained repro file.
+//!
+//! ```text
+//! cargo run --release -p autobraid-bench --bin fuzz -- --seed 7 --iters 500
+//! ```
+//!
+//! Flags:
+//!
+//! * `--seed <n>` — first generator seed (default 1); iteration `i`
+//!   fuzzes seed `n + i`, so runs are reproducible and shardable.
+//! * `--iters <n>` — stop after `n` cases (default 500 when no budget
+//!   given).
+//! * `--seconds <n>` — stop after roughly `n` seconds of wall clock;
+//!   combined with `--iters`, whichever budget runs out first wins.
+//! * `--repro-dir <dir>` — where to write the minimized repro on
+//!   failure (default `target/fuzz-repros`).
+//! * `--write-corpus <dir>` — instead of fuzzing, regenerate the
+//!   committed regression corpus into `<dir>` and exit (see
+//!   `docs/TESTING.md`).
+//! * `--telemetry <path>` — write an `autobraid.telemetry/v1` snapshot
+//!   on exit (`-` for stdout).
+//!
+//! Exit status: 0 when every case conforms, 1 on a divergence.
+
+use autobraid_bench::{string_flag, telemetry_sink, usize_flag};
+use autobraid_conformance::{
+    check_case, generate_case, shrink, ConformanceCase, Family, OracleConfig,
+};
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let _telemetry = telemetry_sink();
+    if let Some(dir) = string_flag("--write-corpus") {
+        write_corpus(Path::new(&dir));
+        return;
+    }
+
+    let seed = usize_flag("--seed", 1) as u64;
+    let seconds = usize_flag("--seconds", 0);
+    let mut iters = usize_flag("--iters", 0);
+    if iters == 0 && seconds == 0 {
+        iters = 500;
+    }
+    let cfg = OracleConfig::default();
+    let started = Instant::now();
+    let mut ran = 0usize;
+
+    println!("fuzzing from seed {seed} (iters {iters}, seconds {seconds})");
+    loop {
+        if iters > 0 && ran >= iters {
+            break;
+        }
+        if seconds > 0 && started.elapsed().as_secs() >= seconds as u64 {
+            break;
+        }
+        let case_seed = seed + ran as u64;
+        let case = generate_case(case_seed);
+        let divergences = check_case(&case, &cfg);
+        if let Some(first) = divergences.first() {
+            report_failure(&case, first, &cfg);
+            std::process::exit(1);
+        }
+        ran += 1;
+        if ran.is_multiple_of(100) {
+            println!(
+                "  {ran} cases conform ({:.1}s elapsed)",
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "done: {ran} cases, zero divergences ({:.1}s)",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn report_failure(
+    case: &ConformanceCase,
+    first: &autobraid_conformance::Divergence,
+    cfg: &OracleConfig,
+) {
+    eprintln!("DIVERGENCE on seed {}: {first}", case.seed);
+    eprintln!("shrinking...");
+    let small = shrink(case, |c| !check_case(c, cfg).is_empty());
+    let dir = string_flag("--repro-dir").unwrap_or_else(|| "target/fuzz-repros".into());
+    match small.save_to_dir(Path::new(&dir)) {
+        Ok(path) => eprintln!(
+            "minimized to {} gates / {} qubits; repro written to {}",
+            small.circuit.len(),
+            small.circuit.num_qubits(),
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write repro to {dir}: {e}"),
+    }
+    for d in check_case(&small, cfg) {
+        eprintln!("  shrunk case still diverges: {d}");
+    }
+}
+
+/// Regenerates the committed corpus: the first fuzz case of every
+/// family, the first few defective-lattice cases, plus hand-picked
+/// degenerate shapes. Deterministic, so re-running it over an unchanged
+/// generator is a no-op diff.
+fn write_corpus(dir: &Path) {
+    let mut picked: Vec<ConformanceCase> = Vec::new();
+    let mut families_seen = std::collections::BTreeSet::new();
+    let mut defective = 0;
+    for seed in 0..10_000u64 {
+        let case = generate_case(seed);
+        let family = case
+            .circuit
+            .name()
+            .rsplit('-')
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        let fresh_family = families_seen.insert(family);
+        let fresh_defect = !case.defects.is_empty() && defective < 3;
+        if fresh_family || fresh_defect {
+            if !case.defects.is_empty() {
+                defective += 1;
+            }
+            picked.push(case);
+        }
+        if families_seen.len() == Family::ALL.len() && defective >= 3 {
+            break;
+        }
+    }
+    // Degenerate shapes the fuzzer only hits rarely: an empty circuit,
+    // a lone CX, and a two-qubit register (the smallest grid).
+    let empty = autobraid_circuit::Circuit::named(2, "corpus-empty");
+    picked.push(ConformanceCase::new(empty, 0));
+    let mut lone = autobraid_circuit::Circuit::named(2, "corpus-lone-cx");
+    lone.cx(0, 1);
+    picked.push(ConformanceCase::new(lone, 0));
+    let mut walled = autobraid_circuit::Circuit::named(4, "corpus-walled-qubit");
+    walled.cx(0, 3).cx(1, 2);
+    let mut walled = ConformanceCase::new(walled, 0);
+    // Defects ringing cell (0,0): qubit 0 may become unroutable — the
+    // oracle then demands the failure be consistent, not absent.
+    walled.defects = vec![(0, 1), (1, 0), (1, 1)];
+    picked.push(walled);
+
+    for case in &picked {
+        let path = case.save_to_dir(dir).expect("corpus dir must be writable");
+        println!("wrote {}", path.display());
+    }
+    println!("{} corpus entries in {}", picked.len(), dir.display());
+}

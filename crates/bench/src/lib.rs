@@ -227,6 +227,18 @@ pub fn usize_flag(name: &str, default: usize) -> usize {
     default
 }
 
+/// Parses a `--name <value>` string flag; `None` when the flag is absent
+/// or has no value.
+pub fn string_flag(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == name {
+            return args.next();
+        }
+    }
+    None
+}
+
 /// Process-wide telemetry for the experiment binaries, activated by
 /// `--telemetry <path>` (`-` writes to stdout). Keeps a
 /// [`MemoryRecorder`] installed for as long as the sink is alive and

@@ -1,0 +1,234 @@
+//! One conformance case and its self-contained repro file format.
+//!
+//! A repro file is plain OpenQASM 2.0 with `// conformance:` comment
+//! directives carrying everything QASM cannot (defective channel
+//! vertices, provenance). Because the QASM parser strips `//` comments,
+//! any repro file also parses as an ordinary circuit with any OpenQASM
+//! tool — the format degrades gracefully.
+
+use autobraid_circuit::{qasm, Circuit, CircuitError};
+use autobraid_lattice::{Grid, Occupancy, Vertex};
+use std::path::{Path, PathBuf};
+
+/// First line of every repro file. Bump the suffix when the directive
+/// set changes incompatibly; [`ConformanceCase::from_repro`] rejects
+/// versions it does not understand.
+pub const REPRO_VERSION: &str = "// autobraid.conformance/v1";
+
+/// One input to the differential oracle: a circuit plus an optional
+/// defective-channel overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceCase {
+    /// The circuit under test.
+    pub circuit: Circuit,
+    /// Defective routing vertices `(row, col)` on the case's grid
+    /// ([`ConformanceCase::grid`]). Empty for a pristine lattice.
+    pub defects: Vec<(u32, u32)>,
+    /// The generator seed this case came from (0 for hand-written or
+    /// shrunk cases).
+    pub seed: u64,
+}
+
+impl ConformanceCase {
+    /// A defect-free case.
+    pub fn new(circuit: Circuit, seed: u64) -> Self {
+        ConformanceCase {
+            circuit,
+            defects: Vec::new(),
+            seed,
+        }
+    }
+
+    /// The grid every check runs this case on: the smallest square grid
+    /// holding the circuit's qubits.
+    pub fn grid(&self) -> Grid {
+        Grid::with_capacity_for(self.circuit.num_qubits().max(2) as usize)
+    }
+
+    /// The defect overlay as a base occupancy on [`ConformanceCase::grid`].
+    /// Defects outside the grid are ignored (a shrink can legitimately
+    /// shrink the grid out from under them).
+    pub fn base_occupancy(&self) -> Occupancy {
+        let grid = self.grid();
+        let mut base = Occupancy::new(&grid);
+        for &(r, c) in &self.defects {
+            let v = Vertex::new(r, c);
+            if grid.contains_vertex(v) {
+                base.reserve(&grid, v);
+            }
+        }
+        base
+    }
+
+    /// A short human label for reports: the circuit name, or its shape.
+    pub fn label(&self) -> String {
+        if self.circuit.name().is_empty() {
+            format!("anon{}g{}q", self.circuit.len(), self.circuit.num_qubits())
+        } else {
+            self.circuit.name().to_string()
+        }
+    }
+
+    /// Renders the self-contained repro file.
+    pub fn to_repro(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str(REPRO_VERSION);
+        out.push('\n');
+        if !self.circuit.name().is_empty() {
+            let _ = writeln!(out, "// conformance: name {}", self.circuit.name());
+        }
+        let _ = writeln!(out, "// conformance: seed {}", self.seed);
+        for &(r, c) in &self.defects {
+            let _ = writeln!(out, "// conformance: defect {r} {c}");
+        }
+        out.push_str(&qasm::emit(&self.circuit));
+        out
+    }
+
+    /// Parses a repro file produced by [`ConformanceCase::to_repro`].
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::Parse`] on a missing/unknown version header, a
+    /// malformed directive, or invalid QASM.
+    pub fn from_repro(text: &str) -> Result<Self, CircuitError> {
+        let first = text.lines().next().unwrap_or("").trim();
+        if first != REPRO_VERSION {
+            return Err(CircuitError::Parse {
+                line: 1,
+                message: format!(
+                    "not a conformance repro: expected `{REPRO_VERSION}`, found `{first}`"
+                ),
+            });
+        }
+        let mut name = String::new();
+        let mut seed = 0u64;
+        let mut defects = Vec::new();
+        for (line_no, line) in text.lines().enumerate() {
+            let line_no = line_no + 1;
+            let Some(directive) = line.trim().strip_prefix("// conformance:") else {
+                continue;
+            };
+            let fields: Vec<&str> = directive.split_whitespace().collect();
+            let err = |message: String| CircuitError::Parse {
+                line: line_no,
+                message,
+            };
+            match fields.as_slice() {
+                ["name", rest @ ..] if !rest.is_empty() => name = rest.join(" "),
+                ["seed", s] => {
+                    seed = s
+                        .parse()
+                        .map_err(|_| err(format!("bad seed `{s}` in directive")))?;
+                }
+                ["defect", r, c] => {
+                    let parse = |t: &str| {
+                        t.parse::<u32>()
+                            .map_err(|_| err(format!("bad defect coordinate `{t}`")))
+                    };
+                    defects.push((parse(r)?, parse(c)?));
+                }
+                other => {
+                    return Err(err(format!("unknown conformance directive {other:?}")));
+                }
+            }
+        }
+        let mut circuit = qasm::parse(text)?;
+        if !name.is_empty() {
+            circuit.set_name(name);
+        }
+        Ok(ConformanceCase {
+            circuit,
+            defects,
+            seed,
+        })
+    }
+
+    /// Writes the repro into `dir` as `<label>-<seed>.qasm` and returns
+    /// the path. Creates `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let stem: String = self
+            .label()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("{stem}-{}.qasm", self.seed));
+        std::fs::write(&path, self.to_repro())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConformanceCase {
+        let mut c = Circuit::named(3, "sample case");
+        c.h(0).cx(0, 1).cx(1, 2).t(2);
+        ConformanceCase {
+            circuit: c,
+            defects: vec![(1, 1), (2, 2)],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn repro_roundtrip_preserves_everything() {
+        let case = sample();
+        let text = case.to_repro();
+        assert!(text.starts_with(REPRO_VERSION));
+        let back = ConformanceCase::from_repro(&text).unwrap();
+        assert_eq!(back, case);
+        // The same file is also plain QASM for any other tool.
+        assert_eq!(qasm::parse(&text).unwrap().len(), case.circuit.len());
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_bad_directives() {
+        let err = ConformanceCase::from_repro("qreg q[2];\ncx q[0], q[1];\n").unwrap_err();
+        assert!(
+            matches!(err, CircuitError::Parse { line: 1, .. }),
+            "{err:?}"
+        );
+        let v2 = sample().to_repro().replace("/v1", "/v2");
+        assert!(ConformanceCase::from_repro(&v2).is_err());
+        for bad in [
+            "// conformance: defect 1\n",
+            "// conformance: defect a b\n",
+            "// conformance: seed x\n",
+            "// conformance: frobnicate\n",
+        ] {
+            let text = format!("{REPRO_VERSION}\n{bad}qreg q[2];\ncx q[0], q[1];\n");
+            assert!(
+                ConformanceCase::from_repro(&text).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn base_occupancy_ignores_out_of_grid_defects() {
+        let mut case = sample();
+        case.defects.push((99, 99));
+        let grid = case.grid();
+        let base = case.base_occupancy();
+        assert_eq!(base.occupied_count(), 2);
+        assert!(base.is_occupied(&grid, Vertex::new(1, 1)));
+    }
+
+    #[test]
+    fn save_and_reload() {
+        let case = sample();
+        let dir = std::env::temp_dir().join("autobraid-conformance-case-test");
+        let path = case.save_to_dir(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(ConformanceCase::from_repro(&text).unwrap(), case);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,167 @@
+//! The seeded case generator: one `u64` seed deterministically expands
+//! into a circuit family, its size parameters, and an optional
+//! defective-channel overlay.
+//!
+//! Sizes are deliberately small (≤ 12 qubits, ≤ ~150 gates): the oracle
+//! compiles every case under every strategy/optimize/thread combination,
+//! and small circuits keep a fuzz iteration in the low milliseconds while
+//! still exercising congestion, peeling, and the layout optimizer.
+
+use crate::case::ConformanceCase;
+use autobraid_circuit::generators::{ising::ising, qft::qft, random};
+use autobraid_circuit::Circuit;
+use autobraid_telemetry::Rng64;
+
+/// The circuit families the fuzzer draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Maximal disjoint-CX layers with sprinkled single-qubit gates —
+    /// sustained router congestion.
+    Layered,
+    /// Hub-and-spoke CX bursts — dense interference graphs.
+    Burst,
+    /// Nearest-neighbor brickwork — the serpentine fast path.
+    Chain,
+    /// The QFT motif: triangular all-to-all with controlled phases.
+    Qft,
+    /// The transverse-field Ising motif: neighbor CZ/CX rounds.
+    Ising,
+    /// Unstructured random gates.
+    Random,
+    /// Degenerate shapes: single-gate and near-empty circuits.
+    Tiny,
+}
+
+impl Family {
+    /// Every family, in generation order.
+    pub const ALL: [Family; 7] = [
+        Family::Layered,
+        Family::Burst,
+        Family::Chain,
+        Family::Qft,
+        Family::Ising,
+        Family::Random,
+        Family::Tiny,
+    ];
+}
+
+fn build_circuit(family: Family, rng: &mut Rng64) -> Circuit {
+    match family {
+        Family::Layered => {
+            let n = rng.gen_range(4..13u32);
+            let layers = rng.gen_range(1..7usize);
+            let single = rng.gen_range(0..100u32) as f64 / 100.0;
+            random::layered_cx(n, layers, single, rng.next_u64()).expect("valid parameters")
+        }
+        Family::Burst => {
+            let n = rng.gen_range(4..13u32);
+            let bursts = rng.gen_range(1..6usize);
+            let fanout = rng.gen_range(1..n.min(6));
+            random::all_to_all_burst(n, bursts, fanout, rng.next_u64()).expect("valid parameters")
+        }
+        Family::Chain => {
+            let n = rng.gen_range(2..13u32);
+            let rounds = rng.gen_range(1..8usize);
+            random::neighbor_chain(n, rounds, rng.next_u64()).expect("valid parameters")
+        }
+        Family::Qft => qft(rng.gen_range(2..11u32)).expect("valid parameters"),
+        Family::Ising => {
+            ising(rng.gen_range(2..13u32), rng.gen_range(1..4u32)).expect("valid parameters")
+        }
+        Family::Random => {
+            let n = rng.gen_range(2..13u32);
+            let gates = rng.gen_range(1..120usize);
+            let frac = rng.gen_range(0..101u32) as f64 / 100.0;
+            random::random_circuit(n, gates, frac, rng.next_u64()).expect("valid parameters")
+        }
+        Family::Tiny => {
+            let mut c = Circuit::new(rng.gen_range(2..5u32));
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    c.cx(0, 1);
+                }
+                1 => {
+                    c.h(0);
+                }
+                2 => {
+                    c.h(0).cx(0, 1);
+                }
+                _ => {} // completely empty
+            }
+            c
+        }
+    }
+}
+
+/// Expands `seed` into a conformance case. The same seed always yields
+/// the same case; distinct seeds draw independent families, sizes, and
+/// overlays.
+pub fn generate_case(seed: u64) -> ConformanceCase {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let family = Family::ALL[rng.gen_range(0..Family::ALL.len())];
+    let mut circuit = build_circuit(family, &mut rng);
+    circuit.set_name(format!("fuzz-{seed}-{family:?}").to_lowercase());
+    let mut case = ConformanceCase::new(circuit, seed);
+
+    // One case in four runs on a damaged lattice. Defects may wall a
+    // qubit in — the oracle then requires the UnroutableGate outcome to
+    // be consistent, not absent.
+    if rng.gen_bool(0.25) {
+        let grid = case.grid();
+        let side = grid.vertices_per_side();
+        for _ in 0..rng.gen_range(1..4usize) {
+            case.defects
+                .push((rng.gen_range(0..side), rng.gen_range(0..side)));
+        }
+        case.defects.sort_unstable();
+        case.defects.dedup();
+    }
+    case
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        for seed in 0..20 {
+            assert_eq!(generate_case(seed), generate_case(seed));
+        }
+        assert_ne!(generate_case(1), generate_case(2));
+    }
+
+    #[test]
+    fn covers_every_family_and_overlay() {
+        let mut families = std::collections::BTreeSet::new();
+        let mut with_defects = 0;
+        for seed in 0..200 {
+            let case = generate_case(seed);
+            assert!(case.circuit.num_qubits() >= 2);
+            assert!(case.circuit.num_qubits() <= 12);
+            assert!(case.circuit.len() <= 400, "case too big to fuzz cheaply");
+            families.insert(format!("{:?}", family_of(&case)));
+            if !case.defects.is_empty() {
+                with_defects += 1;
+            }
+        }
+        assert_eq!(families.len(), Family::ALL.len(), "{families:?}");
+        assert!(with_defects > 20, "only {with_defects} defect overlays");
+    }
+
+    fn family_of(case: &ConformanceCase) -> &str {
+        let name = case.circuit.name();
+        name.rsplit('-').next().unwrap_or(name)
+    }
+
+    #[test]
+    fn defects_stay_on_the_grid() {
+        for seed in 0..200 {
+            let case = generate_case(seed);
+            let side = case.grid().vertices_per_side();
+            for &(r, c) in &case.defects {
+                assert!(r < side && c < side, "defect ({r},{c}) off a {side} grid");
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The differential oracle: compiles one case under every
+//! strategy/optimize/thread combination and cross-checks every promise
+//! the compiler makes.
+//!
+//! What counts as a divergence:
+//!
+//! * a compile that panics, or whose built-in verifier
+//!   (`verify_schedule_with_dag`) rejects its own schedule;
+//! * canonical reports that differ across thread counts where
+//!   determinism is promised (`docs/RUNTIME.md`);
+//! * a broken invariant: `total_cycles` below the critical path,
+//!   `Full` scheduling worse than `StackOnly`, or optimizer gate
+//!   accounting that does not add up;
+//! * an optimized circuit that is not semantically equivalent to the
+//!   original (state-vector simulation, small cases only);
+//! * on defective lattices: outcomes (including `UnroutableGate`) that
+//!   differ across thread counts, braids through defects, or an
+//!   inconsistent final placement;
+//! * at the router layer: a [`check_route_outcome`] violation, or
+//!   batches routed differently at different thread counts.
+
+use crate::case::ConformanceCase;
+use autobraid::pipeline::{CompileOptions, CompileReport, Pipeline, Strategy};
+use autobraid::{
+    critical_path_cycles, run_with_base_occupancy, verify_schedule_with_dag, ParallelStackPolicy,
+    RoutePolicy, ScheduleConfig, ScheduleError, ScheduleResult, Step,
+};
+use autobraid_circuit::sim::circuits_equivalent;
+use autobraid_circuit::DependenceDag;
+use autobraid_lattice::{Grid, Occupancy};
+use autobraid_placement::Placement;
+use autobraid_router::path::CxRequest;
+use autobraid_router::probe::check_route_outcome;
+use autobraid_router::stack_finder::route_concurrent_with;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Oracle tuning knobs.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Thread counts swept for the determinism checks. Must contain at
+    /// least one entry; the first is the reference.
+    pub threads: Vec<usize>,
+    /// Skip state-vector equivalence above this qubit count (dense
+    /// simulation is exponential).
+    pub sim_qubit_limit: u32,
+    /// Amplitude tolerance for the equivalence check.
+    pub tolerance: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            threads: vec![1, 2, 4],
+            sim_qubit_limit: 10,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// One observed disagreement between a promise and an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The case's label ([`ConformanceCase::label`]).
+    pub case: String,
+    /// The configuration under which it was observed, e.g.
+    /// `"strategy=autobraid-full optimize=true threads=2"`.
+    pub setting: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} | {}] {}", self.case, self.setting, self.detail)
+    }
+}
+
+/// Runs every check on one case. An empty vector means the case
+/// conforms.
+pub fn check_case(case: &ConformanceCase, cfg: &OracleConfig) -> Vec<Divergence> {
+    assert!(
+        !cfg.threads.is_empty(),
+        "oracle needs at least one thread count"
+    );
+    let mut divergences = Vec::new();
+    check_pipeline_matrix(case, cfg, &mut divergences);
+    check_routing_invariants(case, cfg, &mut divergences);
+    if !case.defects.is_empty() {
+        check_defective_lattice(case, cfg, &mut divergences);
+    }
+    divergences
+}
+
+/// Convenience: the first divergence, if any — the shape shrink
+/// predicates want.
+pub fn first_divergence(case: &ConformanceCase, cfg: &OracleConfig) -> Option<Divergence> {
+    check_case(case, cfg).into_iter().next()
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The full strategy × optimize × threads compile sweep.
+fn check_pipeline_matrix(case: &ConformanceCase, cfg: &OracleConfig, out: &mut Vec<Divergence>) {
+    for strategy in Strategy::ALL {
+        for optimize in [false, true] {
+            let mut canonical: Option<String> = None;
+            for &threads in &cfg.threads {
+                let setting = format!(
+                    "strategy={} optimize={optimize} threads={threads}",
+                    strategy.name()
+                );
+                let diverge = |detail: String| Divergence {
+                    case: case.label(),
+                    setting: setting.clone(),
+                    detail,
+                };
+                let pipeline = Pipeline::new().with_options(CompileOptions {
+                    strategy,
+                    optimize,
+                    verify: true,
+                    telemetry: false,
+                    threads,
+                });
+                let compiled = catch_unwind(AssertUnwindSafe(|| pipeline.compile(&case.circuit)));
+                let report = match compiled {
+                    Err(payload) => {
+                        out.push(diverge(format!("panicked: {}", panic_message(payload))));
+                        continue;
+                    }
+                    Ok(Err(e)) => {
+                        out.push(diverge(format!("pipeline rejected its own output: {e}")));
+                        continue;
+                    }
+                    Ok(Ok(report)) => report,
+                };
+
+                check_report_invariants(case, &report, &diverge, out);
+
+                let rendered = report.canonical_json();
+                match &canonical {
+                    None => canonical = Some(rendered),
+                    Some(reference) if *reference != rendered => {
+                        out.push(diverge(format!(
+                            "canonical report differs from threads={}",
+                            cfg.threads[0]
+                        )));
+                    }
+                    Some(_) => {}
+                }
+
+                if threads == cfg.threads[0]
+                    && optimize
+                    && strategy == Strategy::Full
+                    && case.circuit.num_qubits() <= cfg.sim_qubit_limit
+                    && !circuits_equivalent(&case.circuit, &report.circuit, cfg.tolerance)
+                {
+                    out.push(diverge(
+                        "optimizer changed circuit semantics (state vectors differ)".into(),
+                    ));
+                }
+            }
+        }
+    }
+
+    // `schedule_full` takes the best of a candidate set that includes the
+    // plain stack run, so Full can never lose to StackOnly under
+    // identical options.
+    for optimize in [false, true] {
+        let compile = |strategy| {
+            let pipeline = Pipeline::new().with_options(CompileOptions {
+                strategy,
+                optimize,
+                verify: false,
+                telemetry: false,
+                threads: cfg.threads[0],
+            });
+            catch_unwind(AssertUnwindSafe(|| pipeline.compile(&case.circuit)))
+        };
+        if let (Ok(Ok(full)), Ok(Ok(sp))) = (compile(Strategy::Full), compile(Strategy::StackOnly))
+        {
+            let (full, sp) = (
+                full.outcome.result.total_cycles,
+                sp.outcome.result.total_cycles,
+            );
+            if full > sp {
+                out.push(Divergence {
+                    case: case.label(),
+                    setting: format!("optimize={optimize} threads={}", cfg.threads[0]),
+                    detail: format!(
+                        "Full scheduled {full} cycles, worse than StackOnly's {sp} — \
+                         the candidate-minimum contract is broken"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Invariants any successful report must satisfy.
+fn check_report_invariants(
+    case: &ConformanceCase,
+    report: &CompileReport,
+    diverge: &impl Fn(String) -> Divergence,
+    out: &mut Vec<Divergence>,
+) {
+    if report.circuit.len() + report.gates_removed != case.circuit.len() {
+        out.push(diverge(format!(
+            "gate accounting broken: {} scheduled + {} removed != {} original",
+            report.circuit.len(),
+            report.gates_removed,
+            case.circuit.len()
+        )));
+    }
+    let result = &report.outcome.result;
+    let cp = critical_path_cycles(&report.circuit, result.timing());
+    if result.total_cycles < cp {
+        out.push(diverge(format!(
+            "{} cycles beat the {cp}-cycle critical-path lower bound",
+            result.total_cycles
+        )));
+    }
+    if let Err(e) = report
+        .outcome
+        .initial_placement
+        .validate(&report.outcome.grid)
+    {
+        out.push(diverge(format!("inconsistent initial placement: {e}")));
+    }
+}
+
+/// Builds the first concurrent CX batch of the circuit under a row-major
+/// placement: the maximal dependence-free prefix of two-qubit gates.
+fn first_cx_batch(case: &ConformanceCase, placement: &Placement) -> Vec<CxRequest> {
+    let mut busy = vec![false; case.circuit.num_qubits() as usize];
+    let mut requests = Vec::new();
+    for (id, gate) in case.circuit.gates().iter().enumerate() {
+        let free = gate.qubits().iter().all(|&q| !busy[q as usize]);
+        if let (Some((a, b)), true) = (gate.pair(), free) {
+            requests.push(CxRequest::new(
+                id,
+                placement.cell_of(a),
+                placement.cell_of(b),
+            ));
+        }
+        for q in gate.qubits() {
+            busy[q as usize] = true;
+        }
+    }
+    requests
+}
+
+/// Routes the case's first CX batch at every thread count, probing each
+/// outcome and demanding bit-identical routing.
+fn check_routing_invariants(case: &ConformanceCase, cfg: &OracleConfig, out: &mut Vec<Divergence>) {
+    let grid = case.grid();
+    let placement = Placement::row_major(&grid, case.circuit.num_qubits());
+    let requests = first_cx_batch(case, &placement);
+    if requests.is_empty() {
+        return;
+    }
+    let base = case.base_occupancy();
+    let mut reference: Option<(Vec<_>, Vec<usize>)> = None;
+    for &threads in &cfg.threads {
+        let setting = format!("router threads={threads}");
+        let mut occupancy = base.clone();
+        let outcome = route_concurrent_with(&grid, &mut occupancy, &requests, threads);
+        if let Err(e) = check_route_outcome(&grid, &requests, &base, &outcome) {
+            out.push(Divergence {
+                case: case.label(),
+                setting,
+                detail: format!("route probe: {e}"),
+            });
+            continue;
+        }
+        let key = (outcome.routed, outcome.failed);
+        match &reference {
+            None => reference = Some(key),
+            Some(r) if *r != key => out.push(Divergence {
+                case: case.label(),
+                setting,
+                detail: format!(
+                    "routing differs from threads={}: {} gates routed here vs {}",
+                    cfg.threads[0],
+                    key.0.len(),
+                    r.0.len()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+/// Full-schedule checks on a defective lattice, where the pipeline façade
+/// does not reach: outcome consistency across thread counts, defect
+/// avoidance, and schedule validity.
+fn check_defective_lattice(case: &ConformanceCase, cfg: &OracleConfig, out: &mut Vec<Divergence>) {
+    let mut reference: Option<Result<ScheduleResult, ScheduleError>> = None;
+    for &threads in &cfg.threads {
+        let setting = format!("defective lattice threads={threads}");
+        let policy = ParallelStackPolicy::new(threads);
+        let Some(run) = run_case_with_policy(case, &policy, &setting, out) else {
+            continue;
+        };
+        let run = run.map(|mut result| {
+            result.compile_seconds = 0.0;
+            result
+        });
+        match &reference {
+            None => reference = Some(run),
+            Some(r) if *r != run => {
+                let describe = |o: &Result<ScheduleResult, ScheduleError>| match o {
+                    Ok(res) => format!("{} cycles", res.total_cycles),
+                    Err(e) => format!("error `{e}`"),
+                };
+                out.push(Divergence {
+                    case: case.label(),
+                    setting,
+                    detail: format!(
+                        "outcome differs from threads={}: {} vs {}",
+                        cfg.threads[0],
+                        describe(&run),
+                        describe(r)
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// Schedules the case on its (possibly defective) lattice with an
+/// arbitrary routing policy and validates the result. Returns the raw
+/// outcome, or `None` when the run panicked (already reported as a
+/// divergence). This is also the hook the oracle self-test drives a
+/// deliberately corrupted router through.
+pub fn check_schedule_with_policy(
+    case: &ConformanceCase,
+    policy: &dyn RoutePolicy,
+    out: &mut Vec<Divergence>,
+) -> Option<Result<ScheduleResult, ScheduleError>> {
+    run_case_with_policy(case, policy, &format!("policy={}", policy.name()), out)
+}
+
+fn run_case_with_policy(
+    case: &ConformanceCase,
+    policy: &dyn RoutePolicy,
+    setting: &str,
+    out: &mut Vec<Divergence>,
+) -> Option<Result<ScheduleResult, ScheduleError>> {
+    let grid = case.grid();
+    let placement = Placement::row_major(&grid, case.circuit.num_qubits());
+    let base = case.base_occupancy();
+    let config = ScheduleConfig::default();
+    let diverge = |detail: String| Divergence {
+        case: case.label(),
+        setting: setting.to_string(),
+        detail,
+    };
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        run_with_base_occupancy(
+            "conformance",
+            &case.circuit,
+            &grid,
+            placement.clone(),
+            policy,
+            false,
+            &config,
+            &base,
+        )
+    }));
+    match run {
+        Err(payload) => {
+            out.push(diverge(format!("panicked: {}", panic_message(payload))));
+            None
+        }
+        Ok(Err(e)) => Some(Err(e)),
+        Ok(Ok((result, final_placement))) => {
+            let dag = DependenceDag::new(&case.circuit);
+            if let Err(e) =
+                verify_schedule_with_dag(&case.circuit, &dag, &grid, &placement, &result)
+            {
+                out.push(diverge(format!("invalid schedule: {e}")));
+            }
+            if let Err(e) = final_placement.validate(&grid) {
+                out.push(diverge(format!("inconsistent final placement: {e}")));
+            }
+            check_defect_avoidance(&grid, &base, &result, &diverge, out);
+            Some(Ok(result))
+        }
+    }
+}
+
+/// No braiding or swap path may enter a reserved (defective) vertex.
+fn check_defect_avoidance(
+    grid: &Grid,
+    base: &Occupancy,
+    result: &ScheduleResult,
+    diverge: &impl Fn(String) -> Divergence,
+    out: &mut Vec<Divergence>,
+) {
+    if base.occupied_count() == 0 {
+        return;
+    }
+    for (step_no, step) in result.steps.iter().enumerate() {
+        let paths: Vec<&autobraid_router::BraidPath> = match step {
+            Step::Braid { braids, .. } => braids.iter().map(|(_, p)| p).collect(),
+            Step::SwapLayer { swaps } => swaps.iter().map(|s| &s.path).collect(),
+            Step::Local { .. } => continue,
+        };
+        for path in paths {
+            if path.vertices().iter().any(|&v| base.is_occupied(grid, v)) {
+                out.push(diverge(format!(
+                    "step {step_no}: braiding path enters a defective vertex"
+                )));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::generate_case;
+
+    fn quick_cfg() -> OracleConfig {
+        OracleConfig {
+            threads: vec![1, 2],
+            ..OracleConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_cases_conform() {
+        for seed in 0..12 {
+            let case = generate_case(seed);
+            let divergences = check_case(&case, &quick_cfg());
+            assert!(divergences.is_empty(), "seed {seed}: {divergences:?}");
+        }
+    }
+
+    #[test]
+    fn defective_cases_conform() {
+        // Hunt specifically for defect overlays: the defect branch and its
+        // cross-thread consistency check must hold too.
+        let mut seen = 0;
+        let mut seed = 0;
+        while seen < 4 {
+            let case = generate_case(seed);
+            seed += 1;
+            if case.defects.is_empty() {
+                continue;
+            }
+            seen += 1;
+            let divergences = check_case(&case, &quick_cfg());
+            assert!(divergences.is_empty(), "seed {}: {divergences:?}", seed - 1);
+        }
+    }
+
+    #[test]
+    fn divergence_formats_with_context() {
+        let d = Divergence {
+            case: "qft4".into(),
+            setting: "threads=2".into(),
+            detail: "boom".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("qft4") && s.contains("threads=2") && s.contains("boom"));
+    }
+}

@@ -1,0 +1,222 @@
+//! A delta-debugging shrinker: given a failing case and a predicate that
+//! re-runs the failure, finds a smaller case that still fails.
+//!
+//! The passes, in order:
+//!
+//! 1. **ddmin over gates** — try removing halves, then quarters, … down
+//!    to single gates, keeping any removal under which the case still
+//!    fails;
+//! 2. **defect dropping** — remove defective-channel vertices one at a
+//!    time;
+//! 3. **qubit compaction** — renumber the surviving qubits densely, which
+//!    also shrinks the grid ([`ConformanceCase::grid`] sizes itself to
+//!    the qubit count).
+//!
+//! The predicate is the single source of truth for "still failing":
+//! shrinking never assumes *why* the case fails, only *that* it does, so
+//! the same machinery minimizes oracle divergences, panics, and
+//! hand-written repro conditions alike.
+
+use crate::case::ConformanceCase;
+use autobraid_circuit::Circuit;
+
+/// Minimizes `case` under `still_fails`. The input case must itself
+/// fail the predicate; the returned case is guaranteed to still fail it
+/// and to be no larger.
+///
+/// # Panics
+///
+/// Panics if `still_fails(case)` is false on entry — shrinking a passing
+/// case means the caller lost track of the failure.
+pub fn shrink(
+    case: &ConformanceCase,
+    mut still_fails: impl FnMut(&ConformanceCase) -> bool,
+) -> ConformanceCase {
+    assert!(
+        still_fails(case),
+        "shrink called on a case that does not fail"
+    );
+    let mut best = case.clone();
+    loop {
+        let before = (best.circuit.len(), best.defects.len());
+        best = shrink_gates(best, &mut still_fails);
+        best = shrink_defects(best, &mut still_fails);
+        best = compact_qubits(best, &mut still_fails);
+        if (best.circuit.len(), best.defects.len()) == before {
+            return best;
+        }
+    }
+}
+
+/// Rebuilds the case with a different gate list, preserving name, seed,
+/// and defects. Qubit count stays put until [`compact_qubits`] runs.
+fn with_gates(case: &ConformanceCase, gates: Vec<autobraid_circuit::Gate>) -> ConformanceCase {
+    let mut circuit = Circuit::from_gates(case.circuit.num_qubits(), gates)
+        .expect("shrink only removes gates, so every qubit index stays valid");
+    circuit.set_name(case.circuit.name().to_string());
+    ConformanceCase {
+        circuit,
+        defects: case.defects.clone(),
+        seed: case.seed,
+    }
+}
+
+/// Classic ddmin: remove chunks of halving size while the case keeps
+/// failing.
+fn shrink_gates(
+    case: ConformanceCase,
+    still_fails: &mut impl FnMut(&ConformanceCase) -> bool,
+) -> ConformanceCase {
+    let mut best = case;
+    let mut chunk = (best.circuit.len() / 2).max(1);
+    while best.circuit.len() > 1 {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < best.circuit.len() {
+            let end = (start + chunk).min(best.circuit.len());
+            let mut gates = best.circuit.gates().to_vec();
+            gates.drain(start..end);
+            let candidate = with_gates(&best, gates);
+            if still_fails(&candidate) {
+                best = candidate;
+                removed_any = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    best
+}
+
+/// Drops defects one at a time while the case keeps failing.
+fn shrink_defects(
+    case: ConformanceCase,
+    still_fails: &mut impl FnMut(&ConformanceCase) -> bool,
+) -> ConformanceCase {
+    let mut best = case;
+    let mut i = 0;
+    while i < best.defects.len() {
+        let mut candidate = best.clone();
+        candidate.defects.remove(i);
+        if still_fails(&candidate) {
+            best = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+/// Renumbers surviving qubits densely (keeping at least 2 so the grid
+/// stays constructible), which lets the case's grid shrink.
+fn compact_qubits(
+    case: ConformanceCase,
+    still_fails: &mut impl FnMut(&ConformanceCase) -> bool,
+) -> ConformanceCase {
+    let mut used: Vec<u32> = case
+        .circuit
+        .gates()
+        .iter()
+        .flat_map(|g| g.qubits())
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    let new_count = (used.len() as u32).max(2);
+    if new_count >= case.circuit.num_qubits() {
+        return case;
+    }
+    let renumber = |q: u32| used.binary_search(&q).expect("q was collected above") as u32;
+    let gates = case
+        .circuit
+        .gates()
+        .iter()
+        .map(|g| g.map_qubits(renumber))
+        .collect();
+    let Ok(mut circuit) = Circuit::from_gates(new_count, gates) else {
+        return case;
+    };
+    circuit.set_name(case.circuit.name().to_string());
+    let candidate = ConformanceCase {
+        circuit,
+        defects: case.defects.clone(),
+        seed: case.seed,
+    };
+    if still_fails(&candidate) {
+        candidate
+    } else {
+        case
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autobraid_circuit::generators::qft::qft;
+
+    fn case_from(circuit: Circuit) -> ConformanceCase {
+        ConformanceCase::new(circuit, 0)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_gate() {
+        // Failure: "the circuit contains a CX touching qubit 7".
+        let case = case_from(qft(9).unwrap());
+        let fails = |c: &ConformanceCase| {
+            c.circuit
+                .gates()
+                .iter()
+                .any(|g| g.pair().is_some_and(|(a, b)| a == 7 || b == 7))
+        };
+        let small = shrink(&case, fails);
+        assert_eq!(small.circuit.len(), 1, "{:?}", small.circuit.gates());
+        assert!(fails(&small));
+        // The predicate pins qubit index 7, so compaction correctly
+        // refuses to renumber it away.
+        assert!(small.circuit.num_qubits() > 7);
+    }
+
+    #[test]
+    fn compacts_qubits_when_the_predicate_allows() {
+        // An index-insensitive failure ("any CX at all") lets every pass
+        // fire: one gate, two qubits, and therefore the smallest grid.
+        let case = case_from(qft(9).unwrap());
+        let fails = |c: &ConformanceCase| c.circuit.gates().iter().any(|g| g.pair().is_some());
+        let small = shrink(&case, fails);
+        assert_eq!(small.circuit.len(), 1);
+        assert_eq!(small.circuit.num_qubits(), 2);
+        assert!(fails(&small));
+    }
+
+    #[test]
+    fn drops_irrelevant_defects() {
+        let mut case = case_from(qft(4).unwrap());
+        case.defects = vec![(0, 0), (1, 1), (2, 2)];
+        let fails = |c: &ConformanceCase| c.defects.contains(&(1, 1));
+        let small = shrink(&case, fails);
+        assert_eq!(small.defects, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn result_never_grows() {
+        let case = case_from(qft(6).unwrap());
+        let original_len = case.circuit.len();
+        // A predicate satisfied by everything shrinks to minimal size.
+        let small = shrink(&case, |_| true);
+        assert!(small.circuit.len() <= original_len);
+        assert!(small.circuit.len() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fail")]
+    fn rejects_passing_input() {
+        let case = case_from(qft(3).unwrap());
+        shrink(&case, |_| false);
+    }
+}

@@ -35,6 +35,15 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// Every strategy, in report order — the differential oracle and other
+    /// exhaustive sweeps iterate this instead of hand-listing variants.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Full,
+        Strategy::StackOnly,
+        Strategy::Baseline,
+        Strategy::Maslov,
+    ];
+
     /// The scheduler name as it appears in reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -194,6 +203,17 @@ pub struct CompileReport {
     /// Telemetry captured during the compile (see `docs/METRICS.md`);
     /// `None` unless [`CompileOptions::telemetry`] enabled collection.
     pub telemetry: Option<TelemetrySnapshot>,
+}
+
+impl CompileReport {
+    /// The canonical deterministic view of this report, rendered compact:
+    /// timing and telemetry stripped, everything else byte-stable. Two
+    /// compiles of the same circuit under the same options must agree on
+    /// this string whatever the thread count — the determinism contract of
+    /// `docs/RUNTIME.md`, and the equality the conformance oracle checks.
+    pub fn canonical_json(&self) -> String {
+        crate::report::canonical_compile_report_json(self).render_compact()
+    }
 }
 
 impl Pipeline {
@@ -562,6 +582,34 @@ mod tests {
             ..CompileOptions::default()
         });
         assert_eq!(p.effective_config().effective_threads(), 1);
+    }
+
+    #[test]
+    fn strategy_all_is_exhaustive_and_ordered() {
+        assert_eq!(Strategy::ALL.len(), 4);
+        let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        let mut deduped = names.clone();
+        deduped.dedup();
+        assert_eq!(names, deduped, "duplicate strategy in ALL");
+        assert_eq!(Strategy::ALL[0], Strategy::default());
+    }
+
+    #[test]
+    fn canonical_json_is_thread_invariant() {
+        let c = qft(8).unwrap();
+        let compile = |threads| {
+            Pipeline::new()
+                .with_options(CompileOptions {
+                    threads,
+                    ..CompileOptions::default()
+                })
+                .compile(&c)
+                .unwrap()
+                .canonical_json()
+        };
+        let serial = compile(1);
+        assert!(serial.contains("\"circuit\""));
+        assert_eq!(serial, compile(4));
     }
 
     #[test]

@@ -125,22 +125,41 @@ impl Placement {
         cell.row as usize * self.cells_per_side as usize + cell.col as usize
     }
 
-    /// Checks internal consistency (each qubit on a distinct tile, reverse
-    /// map agrees). Intended for tests and debug assertions.
-    pub fn is_consistent(&self, grid: &Grid) -> bool {
+    /// Like [`Placement::is_consistent`], but reports *which* invariant
+    /// broke — the conformance oracle's placement probe, where a bare
+    /// `false` would leave nothing to shrink against.
+    pub fn validate(&self, grid: &Grid) -> Result<(), String> {
         let mut seen = vec![false; grid.cell_count()];
         for (q, &cell) in self.qubit_to_cell.iter().enumerate() {
             if !grid.contains_cell(cell) {
-                return false;
+                return Err(format!("qubit {q} placed at {cell}, outside the grid"));
             }
             let i = grid.cell_index(cell);
-            if seen[i] || self.cell_to_qubit[i] != Some(q as QubitId) {
-                return false;
+            if seen[i] {
+                return Err(format!("qubit {q} shares {cell} with an earlier qubit"));
+            }
+            if self.cell_to_qubit[i] != Some(q as QubitId) {
+                return Err(format!(
+                    "reverse map at {cell} holds {:?}, expected qubit {q}",
+                    self.cell_to_qubit[i]
+                ));
             }
             seen[i] = true;
         }
         let placed = self.cell_to_qubit.iter().flatten().count();
-        placed == self.qubit_to_cell.len()
+        if placed != self.qubit_to_cell.len() {
+            return Err(format!(
+                "reverse map holds {placed} qubits, forward map holds {}",
+                self.qubit_to_cell.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks internal consistency (each qubit on a distinct tile, reverse
+    /// map agrees). Intended for tests and debug assertions.
+    pub fn is_consistent(&self, grid: &Grid) -> bool {
+        self.validate(grid).is_ok()
     }
 }
 
@@ -188,6 +207,32 @@ mod tests {
         let grid = Grid::new(2).unwrap();
         let mut p = Placement::row_major(&grid, 4);
         p.move_to_empty(&grid, 0, Cell::new(1, 1));
+    }
+
+    #[test]
+    fn validate_names_the_broken_invariant() {
+        let grid = Grid::new(2).unwrap();
+        let good = Placement::row_major(&grid, 3);
+        good.validate(&grid).unwrap();
+
+        // Constructors uphold the invariants, so corrupt the maps directly.
+        let mut off_grid = good.clone();
+        off_grid.qubit_to_cell[2] = Cell::new(9, 9);
+        let err = off_grid.validate(&grid).unwrap_err();
+        assert!(err.contains("outside the grid"), "{err}");
+
+        let mut shared = good.clone();
+        shared.qubit_to_cell[2] = shared.qubit_to_cell[0];
+        let err = shared.validate(&grid).unwrap_err();
+        assert!(err.contains("shares"), "{err}");
+        shared.cell_to_qubit[grid.cell_index(Cell::new(0, 0))] = Some(2);
+        let err = shared.validate(&grid).unwrap_err();
+        assert!(err.contains("reverse map"), "{err}");
+
+        let mut stale = good;
+        stale.cell_to_qubit[grid.cell_index(Cell::new(1, 1))] = Some(7);
+        let err = stale.validate(&grid).unwrap_err();
+        assert!(err.contains("reverse map holds"), "{err}");
     }
 
     #[test]

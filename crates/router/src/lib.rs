@@ -9,7 +9,9 @@
 //! * [`llg`] — local parallel group decomposition and the Theorem 1/2
 //!   schedulability predicates of §3.3.1;
 //! * [`stack_finder`] — the paper's Fig. 13 stack-based path finder and
-//!   the greedy (GP) baseline ordering of Javadi-Abhari et al.
+//!   the greedy (GP) baseline ordering of Javadi-Abhari et al.;
+//! * [`probe`] — independent invariant re-validation of routing outcomes
+//!   for the conformance oracle and randomized tests.
 //!
 //! Its place in the workspace is described in `DESIGN.md` §4 (crate
 //! map). Router internals report telemetry (A* expansions, peel depth,
@@ -42,6 +44,7 @@ pub mod interference;
 pub mod llg;
 pub mod lowering;
 pub mod path;
+pub mod probe;
 pub mod stack_finder;
 pub mod topology;
 
@@ -49,6 +52,7 @@ pub use astar::{find_path, SearchLimits};
 pub use interference::InterferenceGraph;
 pub use llg::{decompose, Llg};
 pub use path::{BraidPath, CxRequest};
+pub use probe::check_route_outcome;
 pub use stack_finder::{
     route_concurrent, route_greedy, route_stack_flat, RouteOutcome, RoutedGate,
 };

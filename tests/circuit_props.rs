@@ -5,7 +5,7 @@
 
 use autobraid_circuit::dag::{bfs_levels, is_valid_execution_order, DependenceDag, Frontier};
 use autobraid_circuit::generators::random::random_circuit;
-use autobraid_circuit::{qasm, Circuit, Gate, ParallelismProfile};
+use autobraid_circuit::{qasm, Circuit, CircuitError, Gate, ParallelismProfile};
 use autobraid_telemetry::Rng64;
 
 /// One random circuit per trial, mirroring the old proptest strategy:
@@ -115,4 +115,46 @@ fn qasm_parses_generated_qft() {
     let text = qasm::emit(&circuit);
     let back = qasm::parse(&text).unwrap();
     assert_eq!(back.gates().len(), circuit.gates().len());
+}
+
+/// parse → emit is a fixpoint: once a program has been through the
+/// emitter, re-parsing and re-emitting reproduces it byte for byte.
+#[test]
+fn qasm_parse_emit_parse_fixpoint() {
+    for_each_case(0xC1C_0007, 96, |circuit| {
+        let first = qasm::emit(&circuit);
+        let reparsed = qasm::parse(&first).expect("emitted programs parse");
+        let second = qasm::emit(&reparsed);
+        assert_eq!(first, second);
+        assert_eq!(qasm::parse(&second).unwrap().gates(), reparsed.gates());
+    });
+}
+
+/// Malformed programs fail with *typed* errors carrying the failing
+/// line, never panics or silent truncation.
+#[test]
+fn qasm_malformed_inputs_give_typed_errors() {
+    // Truncated header: the qreg declaration is cut mid-token.
+    for truncated in ["OPENQASM 2.0;\nqreg q[", "qreg q[3", "qreg ;"] {
+        match qasm::parse(truncated) {
+            Err(CircuitError::Parse { line, .. }) => assert!(line >= 1),
+            other => panic!("{truncated:?} parsed as {other:?}"),
+        }
+    }
+    // A qubit index outside the declared register.
+    match qasm::parse("qreg q[2];\nh q[0];\ncx q[0], q[7];\n") {
+        Err(CircuitError::QubitOutOfRange {
+            qubit, num_qubits, ..
+        }) => {
+            assert_eq!((qubit, num_qubits), (7, 2));
+        }
+        other => panic!("out-of-range index parsed as {other:?}"),
+    }
+    // An unknown gate head, with the 1-based line number preserved.
+    match qasm::parse("qreg q[2];\nh q[0];\nfrobnicate q[0];\n") {
+        Err(CircuitError::Parse { line, message }) => {
+            assert_eq!(line, 3, "{message}");
+        }
+        other => panic!("unknown gate parsed as {other:?}"),
+    }
 }

@@ -1,0 +1,7 @@
+// autobraid.conformance/v1
+// conformance: name corpus-empty
+// conformance: seed 0
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];

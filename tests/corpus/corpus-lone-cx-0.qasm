@@ -1,0 +1,8 @@
+// autobraid.conformance/v1
+// conformance: name corpus-lone-cx
+// conformance: seed 0
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+cx q[0], q[1];

@@ -1,0 +1,12 @@
+// autobraid.conformance/v1
+// conformance: name corpus-walled-qubit
+// conformance: seed 0
+// conformance: defect 0 1
+// conformance: defect 1 0
+// conformance: defect 1 1
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+cx q[0], q[3];
+cx q[1], q[2];

@@ -1,0 +1,9 @@
+// autobraid.conformance/v1
+// conformance: name fuzz-10-tiny
+// conformance: seed 10
+// conformance: defect 0 2
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+cx q[0], q[1];

@@ -1,0 +1,31 @@
+// autobraid.conformance/v1
+// conformance: name fuzz-2-layered
+// conformance: seed 2
+// conformance: defect 1 3
+// conformance: defect 3 3
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[10];
+creg c[10];
+cx q[4], q[2];
+cx q[6], q[8];
+cx q[1], q[3];
+cx q[0], q[9];
+cx q[5], q[7];
+h q[0];
+h q[2];
+x q[3];
+t q[4];
+t q[5];
+cx q[8], q[6];
+cx q[0], q[9];
+cx q[2], q[5];
+cx q[3], q[4];
+cx q[1], q[7];
+x q[0];
+s q[1];
+h q[2];
+x q[3];
+s q[4];
+h q[6];
+x q[8];

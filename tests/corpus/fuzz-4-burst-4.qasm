@@ -1,0 +1,22 @@
+// autobraid.conformance/v1
+// conformance: name fuzz-4-burst
+// conformance: seed 4
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[12];
+creg c[12];
+cx q[10], q[3];
+cx q[10], q[6];
+cx q[10], q[2];
+cx q[10], q[0];
+cx q[10], q[9];
+cx q[4], q[8];
+cx q[4], q[0];
+cx q[4], q[10];
+cx q[4], q[3];
+cx q[4], q[2];
+cx q[7], q[2];
+cx q[7], q[6];
+cx q[7], q[9];
+cx q[7], q[4];
+cx q[7], q[1];
