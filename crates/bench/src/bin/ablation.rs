@@ -61,7 +61,9 @@ fn engine_row(
 }
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--telemetry", "--trace"]);
     let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     let config = eval_config();
     let workloads: Vec<Circuit> = vec![
         generators::by_name("qft", 100).unwrap(),

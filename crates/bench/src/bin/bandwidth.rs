@@ -18,6 +18,8 @@ use autobraid_lattice::physical::PhysicalLayout;
 use autobraid_lattice::{CodeParams, TimingModel};
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--trace"]);
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     // Physical lowering materializes per-ancilla instructions, so use a
     // moderate distance; --full uses the paper's d = 33.

@@ -1,0 +1,140 @@
+//! The benchmark regression gate (see `crates/bench/src/regression.rs`
+//! and `docs/METRICS.md`).
+//!
+//! Subcommands:
+//!
+//! - `baseline` — measure the fixed suite and write
+//!   `BENCH_baseline.json` (`--out <path>`, `--repeats N`). Run on a
+//!   quiet machine and commit the file.
+//! - `regress` — re-measure the suite and compare machine-normalized
+//!   scores against the checked-in baseline (`--baseline <path>`,
+//!   `--repeats N`); exits nonzero when an entry slows down past its
+//!   noise-aware threshold. Each regressing entry is re-run under a
+//!   `TraceRecorder` and its Perfetto trace written to
+//!   `--trace-dir` (default `target/regress-traces`) so the slow run
+//!   can be inspected, not just flagged. `--inject-slowdown <factor>`
+//!   multiplies the fresh scores — a self-test hook proving the gate
+//!   fires (used by CI).
+//!
+//! Run with `cargo run --release -p autobraid-bench --bin bench -- regress`.
+
+use autobraid_bench::regression::{
+    compare, run_baseline, suite, Baseline, DEFAULT_BASELINE_PATH, DEFAULT_REPEATS,
+};
+use autobraid_bench::{enforce_flags, string_flag, usize_flag};
+use autobraid_telemetry::{install, TraceRecorder};
+use std::sync::Arc;
+
+const VALID_FLAGS: &[&str] = &[
+    "--out",
+    "--baseline",
+    "--repeats",
+    "--inject-slowdown",
+    "--trace-dir",
+];
+
+fn f64_flag(name: &str) -> Option<f64> {
+    string_flag(name).and_then(|v| v.parse().ok())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench <baseline|regress> [flags]\n\
+         \x20 baseline  --out <path> --repeats <n>\n\
+         \x20 regress   --baseline <path> --repeats <n> --trace-dir <dir> --inject-slowdown <f>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    enforce_flags(VALID_FLAGS);
+    let subcommand = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| usage());
+    let repeats = usize_flag("--repeats", DEFAULT_REPEATS);
+    match subcommand.as_str() {
+        "baseline" => run_baseline_cmd(repeats),
+        "regress" => run_regress_cmd(repeats),
+        _ => usage(),
+    }
+}
+
+fn run_baseline_cmd(repeats: usize) {
+    let out = string_flag("--out").unwrap_or_else(|| DEFAULT_BASELINE_PATH.to_string());
+    eprintln!("recording baseline ({repeats} repeats per entry)...");
+    let baseline = run_baseline(repeats, |name, median_ns| {
+        eprintln!("  {name:<22} {:>10.1} us/iter", median_ns / 1e3);
+    });
+    if let Err(e) = baseline.save(&out) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "baseline written to {out} (calibration {:.1} us)",
+        baseline.calibration_ns / 1e3
+    );
+}
+
+fn run_regress_cmd(repeats: usize) {
+    let path = string_flag("--baseline").unwrap_or_else(|| DEFAULT_BASELINE_PATH.to_string());
+    let base = match Baseline::load(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}\nrecord one first: bench baseline --out {path}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("measuring against {path} ({repeats} repeats per entry)...");
+    let mut fresh = run_baseline(repeats, |name, median_ns| {
+        eprintln!("  {name:<22} {:>10.1} us/iter", median_ns / 1e3);
+    });
+    if let Some(factor) = f64_flag("--inject-slowdown") {
+        eprintln!("injecting synthetic x{factor} slowdown (self-test mode)");
+        for entry in &mut fresh.entries {
+            entry.normalized *= factor;
+        }
+    }
+    let regressions = compare(&base, &fresh);
+    if regressions.is_empty() {
+        eprintln!("OK: no entry regressed past its noise-aware threshold");
+        return;
+    }
+    let trace_dir =
+        string_flag("--trace-dir").unwrap_or_else(|| "target/regress-traces".to_string());
+    eprintln!("REGRESSIONS ({}):", regressions.len());
+    for r in &regressions {
+        eprintln!(
+            "  {:<22} x{:.2} slower (allowed x{:.2}; normalized {:.3} -> {:.3})",
+            r.name, r.ratio, r.allowed, r.base_normalized, r.fresh_normalized
+        );
+        write_trace_for(&r.name, &trace_dir);
+    }
+    std::process::exit(1);
+}
+
+/// Re-runs a regressing suite entry once under a `TraceRecorder` and
+/// writes the Chrome trace JSON next to the others in `trace_dir`, so
+/// the regression report ships with an inspectable Perfetto trace.
+fn write_trace_for(name: &str, trace_dir: &str) {
+    let Some(case) = suite().into_iter().find(|c| c.name == name) else {
+        return;
+    };
+    let recorder = Arc::new(TraceRecorder::new());
+    {
+        let _guard = install(recorder.clone());
+        (case.run)();
+    }
+    let file = format!("{trace_dir}/{}.trace.json", name.replace('/', "_"));
+    if let Err(e) = std::fs::create_dir_all(trace_dir)
+        .map_err(|e| e.to_string())
+        .and_then(|()| {
+            std::fs::write(&file, recorder.snapshot().to_chrome_json() + "\n")
+                .map_err(|e| e.to_string())
+        })
+    {
+        eprintln!("  (could not write trace for {name}: {e})");
+    } else {
+        eprintln!("  trace: {file} (open in https://ui.perfetto.dev)");
+    }
+}

@@ -12,7 +12,9 @@ use autobraid::AutoBraid;
 use autobraid_bench::{eval_config, full_run_requested, BenchEntry, TABLE2};
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--telemetry", "--trace"]);
     let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let labels: &[&str] = if full {
         &[

@@ -16,7 +16,9 @@ use autobraid_circuit::generators;
 type AppSpec = (&'static str, &'static str, &'static [u32], fn(u32) -> u64);
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--telemetry", "--trace"]);
     let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let qft_sizes: &[u32] = if full {
         &[50, 100, 200, 400, 800]

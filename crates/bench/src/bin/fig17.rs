@@ -14,6 +14,8 @@ use autobraid_circuit::generators;
 type AppSpec = (&'static str, &'static str, &'static [u32], fn(u32) -> u64);
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--trace"]);
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let qft_sizes: &[u32] = if full {
         &[50, 100, 200, 400]

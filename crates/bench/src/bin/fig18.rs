@@ -16,6 +16,8 @@ use autobraid_circuit::generators;
 use autobraid_lattice::Grid;
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--trace"]);
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let instances: Vec<(&str, u32)> = if full {
         vec![("qft", 1000), ("qaoa", 1000)]

@@ -23,6 +23,10 @@
 //!   `docs/TESTING.md`).
 //! * `--telemetry <path>` — write an `autobraid.telemetry/v1` snapshot
 //!   on exit (`-` for stdout).
+//! * `--trace <path>` — write an `autobraid.trace/v1` Chrome trace of
+//!   the whole run on exit (`-` for stdout). Independently of this
+//!   flag, a failing case's own trace is always written next to the
+//!   shrunk repro as `<repro>.trace.json`.
 //!
 //! Exit status: 0 when every case conforms, 1 on a divergence.
 
@@ -34,7 +38,17 @@ use std::path::Path;
 use std::time::Instant;
 
 fn main() {
+    autobraid_bench::enforce_flags(&[
+        "--seed",
+        "--iters",
+        "--seconds",
+        "--repro-dir",
+        "--write-corpus",
+        "--telemetry",
+        "--trace",
+    ]);
     let _telemetry = telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     if let Some(dir) = string_flag("--write-corpus") {
         write_corpus(Path::new(&dir));
         return;
@@ -89,16 +103,37 @@ fn report_failure(
     let small = shrink(case, |c| !check_case(c, cfg).is_empty());
     let dir = string_flag("--repro-dir").unwrap_or_else(|| "target/fuzz-repros".into());
     match small.save_to_dir(Path::new(&dir)) {
-        Ok(path) => eprintln!(
-            "minimized to {} gates / {} qubits; repro written to {}",
-            small.circuit.len(),
-            small.circuit.num_qubits(),
-            path.display()
-        ),
+        Ok(path) => {
+            eprintln!(
+                "minimized to {} gates / {} qubits; repro written to {}",
+                small.circuit.len(),
+                small.circuit.num_qubits(),
+                path.display()
+            );
+            write_failure_trace(&small, cfg, &path);
+        }
         Err(e) => eprintln!("could not write repro to {dir}: {e}"),
     }
     for d in check_case(&small, cfg) {
         eprintln!("  shrunk case still diverges: {d}");
+    }
+}
+
+/// Re-runs the shrunk failing case under a fresh `TraceRecorder` and
+/// writes its `autobraid.trace/v1` Chrome trace next to the repro file,
+/// so the divergence ships with an event-level account of the compile
+/// that produced it (open in Perfetto, or pipe through
+/// `autobraid::render::explain_trace`).
+fn write_failure_trace(small: &ConformanceCase, cfg: &OracleConfig, repro_path: &Path) {
+    let recorder = std::sync::Arc::new(autobraid_telemetry::TraceRecorder::new());
+    {
+        let _guard = autobraid_telemetry::install(recorder.clone());
+        let _ = check_case(small, cfg);
+    }
+    let trace_path = repro_path.with_extension("trace.json");
+    match std::fs::write(&trace_path, recorder.snapshot().to_chrome_json() + "\n") {
+        Ok(()) => eprintln!("failure trace written to {}", trace_path.display()),
+        Err(e) => eprintln!("could not write failure trace: {e}"),
     }
 }
 

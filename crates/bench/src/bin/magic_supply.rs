@@ -33,6 +33,8 @@ fn t_workload(n: u32, layers: usize) -> Circuit {
 }
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--trace"]);
+    let _trace = autobraid_bench::trace_sink();
     let config: ScheduleConfig = eval_config();
     let compiler = AutoBraid::new(config.clone());
     let n = 36;

@@ -4,6 +4,8 @@ use autobraid_circuit::generators;
 use autobraid_circuit::{DependenceDag, Gate};
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--trace"]);
+    let _trace = autobraid_bench::trace_sink();
     let cfg = ScheduleConfig::default().with_recording(Recording::StatsOnly);
     let compiler = AutoBraid::new(cfg.clone());
     for name in ["urf2_277", "4gt11_8", "sqrt8_260"] {

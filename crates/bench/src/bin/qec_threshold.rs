@@ -27,6 +27,8 @@ fn logical_rate(d: u32, p: f64, trials: usize, seed: u64) -> f64 {
 }
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--trace"]);
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let trials = if full { 4000 } else { 1000 };
     let distances: &[u32] = if full { &[3, 5, 7, 9, 11] } else { &[3, 5, 7] };

@@ -42,7 +42,9 @@ fn time_batch(threads: usize, jobs: &[CompileJob]) -> (f64, Vec<String>) {
 }
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--threads", "--tiny", "--batch", "--telemetry", "--trace"]);
     let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     let threads = usize_flag("--threads", 4);
     let tiny = flag_requested("--tiny");
     let batch = usize_flag("--batch", if tiny { 4 } else { 8 });

@@ -20,7 +20,9 @@ use autobraid_placement::annealing::count_oversized_llgs;
 use autobraid_placement::initial::partition_placement;
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--telemetry", "--trace"]);
     let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let config = eval_config();
     let mut table = Table::new([

@@ -12,7 +12,9 @@ use autobraid_bench::{eval_config, full_run_requested, Comparison, SLOW_LABELS, 
 use autobraid_circuit::CircuitStats;
 
 fn main() {
+    autobraid_bench::enforce_flags(&["--full", "--telemetry", "--trace"]);
     let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
     let full = full_run_requested();
     let config = eval_config();
     let mut table = Table::new([

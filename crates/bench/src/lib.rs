@@ -5,7 +5,12 @@
 //! library holds the benchmark registry and the common run helpers.
 //! Every experiment binary accepts `--telemetry <path>` (see
 //! [`telemetry_sink`]) to dump the `autobraid.telemetry/v1` JSON
-//! snapshot documented in `docs/METRICS.md`.
+//! snapshot documented in `docs/METRICS.md`, and `--trace <path>`
+//! (see [`trace_sink`]) to dump an `autobraid.trace/v1` Chrome
+//! trace-event JSON that loads in Perfetto. Unknown `--flags` are
+//! rejected with a usage message ([`enforce_flags`]). The benchmark
+//! regression gate (`bench baseline` / `bench regress`) lives in
+//! [`mod@regression`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,7 +21,11 @@ use autobraid::{schedule_async, schedule_baseline, AutoBraid, ScheduleResult};
 use autobraid_circuit::{generators, Circuit, CircuitError};
 use autobraid_lattice::Grid;
 use autobraid_lattice::{CodeParams, TimingModel};
-use autobraid_telemetry::{install, MemoryRecorder, RecorderGuard, TelemetrySnapshot};
+use autobraid_telemetry::{
+    install, MemoryRecorder, RecorderGuard, TelemetrySnapshot, TraceRecorder,
+};
+
+pub mod regression;
 
 /// One benchmark instance of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +219,39 @@ pub fn full_run_requested() -> bool {
     flag_requested("--full")
 }
 
+/// Validates that every `--flag` in `args` is one of `valid`.
+///
+/// Values (arguments not starting with `--`) are never rejected, so
+/// value-taking flags like `--telemetry out.json` pass as long as the
+/// flag itself is known.
+///
+/// # Errors
+///
+/// Returns a usage message naming the first unknown flag and listing
+/// the valid ones.
+pub fn validate_flags(args: &[String], valid: &[&str]) -> Result<(), String> {
+    for arg in args {
+        if arg.starts_with("--") && !valid.contains(&arg.as_str()) {
+            return Err(format!(
+                "unknown flag `{arg}`\nvalid flags: {}",
+                valid.join(" ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// [`validate_flags`] over the process arguments; prints the usage
+/// message and exits with status 2 on an unknown flag. Call first in
+/// every experiment binary's `main`.
+pub fn enforce_flags(valid: &[&str]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(usage) = validate_flags(&args, valid) {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+}
+
 /// Whether a bare flag (e.g. `--tiny`) is on the command line.
 pub fn flag_requested(name: &str) -> bool {
     std::env::args().any(|a| a == name)
@@ -291,6 +333,76 @@ pub fn telemetry_sink() -> Option<TelemetrySink> {
     None
 }
 
+/// Process-wide event tracing for the experiment binaries, activated by
+/// `--trace <path>` (`-` writes to stdout). Keeps a [`TraceRecorder`]
+/// installed for as long as the sink is alive and writes the
+/// `autobraid.trace/v1` Chrome trace-event JSON (loads in Perfetto; see
+/// `docs/METRICS.md`) when dropped.
+pub struct TraceSink {
+    recorder: std::sync::Arc<TraceRecorder>,
+    path: String,
+    _guard: RecorderGuard,
+}
+
+impl TraceSink {
+    /// The trace recorded so far.
+    pub fn snapshot(&self) -> autobraid_telemetry::Trace {
+        self.recorder.snapshot()
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        let json = self.recorder.snapshot().to_chrome_json();
+        if self.path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(&self.path, json + "\n") {
+            eprintln!("failed to write trace to {}: {e}", self.path);
+        } else {
+            eprintln!(
+                "trace written to {} (open in https://ui.perfetto.dev)",
+                self.path
+            );
+        }
+    }
+}
+
+/// Parses `--trace <path>` from the command line; when present,
+/// installs a [`TraceRecorder`] and returns the sink. Bind the result
+/// for the whole `main` (`let _trace = trace_sink();`) so the Chrome
+/// trace JSON is written on exit.
+///
+/// Composes with [`telemetry_sink`]: when another recorder is already
+/// installed (the `--telemetry` one), the tracer fans out to both, so
+/// `--telemetry x.json --trace y.json` produces complete output of
+/// each. Call `telemetry_sink()` first, then `trace_sink()`.
+pub fn trace_sink() -> Option<TraceSink> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            let path = args.next().unwrap_or_else(|| "-".into());
+            let recorder = std::sync::Arc::new(TraceRecorder::new());
+            let installed: std::sync::Arc<dyn autobraid_telemetry::Recorder> =
+                match autobraid_telemetry::current() {
+                    Some(existing) => {
+                        std::sync::Arc::new(autobraid_telemetry::FanoutRecorder::new(vec![
+                            existing,
+                            recorder.clone(),
+                        ]))
+                    }
+                    None => recorder.clone(),
+                };
+            let guard = install(installed);
+            return Some(TraceSink {
+                recorder,
+                path,
+                _guard: guard,
+            });
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,6 +441,24 @@ mod tests {
         assert!(cmp.full.total_cycles >= cmp.cp_cycles);
         assert!(cmp.baseline.total_cycles >= cmp.cp_cycles);
         assert!(cmp.speedup() > 0.0);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage() {
+        let valid = ["--full", "--telemetry", "--trace"];
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // The regression this guards: `--fulll` and other typos used to
+        // be accepted silently.
+        let err = validate_flags(&args(&["--fulll"]), &valid).unwrap_err();
+        assert!(err.contains("unknown flag `--fulll`"));
+        assert!(err.contains("--full") && err.contains("--trace"));
+        assert!(validate_flags(&args(&["--full"]), &valid).is_ok());
+        // Flag values are not flags.
+        assert!(validate_flags(&args(&["--telemetry", "out.json"]), &valid).is_ok());
+        assert!(validate_flags(&args(&[]), &valid).is_ok());
+        assert!(validate_flags(&args(&["positional"]), &valid).is_ok());
+        let err = validate_flags(&args(&["--telemetry", "x", "--nope"]), &valid).unwrap_err();
+        assert!(err.contains("--nope"));
     }
 
     #[test]

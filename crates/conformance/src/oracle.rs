@@ -128,6 +128,7 @@ fn check_pipeline_matrix(case: &ConformanceCase, cfg: &OracleConfig, out: &mut V
                     optimize,
                     verify: true,
                     telemetry: false,
+                    trace: false,
                     threads,
                 });
                 let compiled = catch_unwind(AssertUnwindSafe(|| pipeline.compile(&case.circuit)));
@@ -181,6 +182,7 @@ fn check_pipeline_matrix(case: &ConformanceCase, cfg: &OracleConfig, out: &mut V
                 optimize,
                 verify: false,
                 telemetry: false,
+                trace: false,
                 threads: cfg.threads[0],
             });
             catch_unwind(AssertUnwindSafe(|| pipeline.compile(&case.circuit)))

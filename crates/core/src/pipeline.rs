@@ -16,7 +16,10 @@ use crate::metrics::verify_schedule_with_dag;
 use crate::AutoBraid;
 use autobraid_circuit::{qasm, Circuit, CircuitError, CircuitStats, DependenceDag};
 use autobraid_lattice::Grid;
-use autobraid_telemetry::{self as telemetry, MemoryRecorder, TelemetrySnapshot};
+use autobraid_telemetry::{
+    self as telemetry, FanoutRecorder, MemoryRecorder, Recorder, TelemetrySnapshot, Trace,
+    TraceRecorder,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -83,6 +86,11 @@ pub struct CompileOptions {
     /// Metric names and the JSON layout are documented in
     /// `docs/METRICS.md`.
     pub telemetry: bool,
+    /// Collect an event-level [`Trace`] per compile (default `false`).
+    /// The `autobraid.trace/v1` event schema is documented in
+    /// `docs/METRICS.md`; export with [`Trace::to_chrome_json`] and
+    /// replay with [`crate::render::explain_trace`].
+    pub trace: bool,
     /// Thread budget (default 1 — fully serial). A single
     /// [`Pipeline::compile`] spends it inside the compile (parallel LLG
     /// routing, annealing portfolio); [`Pipeline::compile_batch`] spends
@@ -99,6 +107,7 @@ impl Default for CompileOptions {
             optimize: true,
             verify: true,
             telemetry: false,
+            trace: false,
             threads: 1,
         }
     }
@@ -203,6 +212,9 @@ pub struct CompileReport {
     /// Telemetry captured during the compile (see `docs/METRICS.md`);
     /// `None` unless [`CompileOptions::telemetry`] enabled collection.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Event trace captured during the compile (see `docs/METRICS.md`);
+    /// `None` unless [`CompileOptions::trace`] enabled collection.
+    pub trace: Option<Trace>,
 }
 
 impl CompileReport {
@@ -318,8 +330,8 @@ impl Pipeline {
     /// # Ok::<(), autobraid::pipeline::PipelineError>(())
     /// ```
     pub fn compile_qasm(&self, source: &str) -> Result<CompileReport, PipelineError> {
-        let recorder = self.make_recorder();
-        let _guard = recorder.clone().map(|r| telemetry::install(r));
+        let (memory, tracer) = self.make_recorders();
+        let _guard = install_recorders(&memory, &tracer);
         let started = Instant::now();
         let circuit = {
             let _span = telemetry::span("parse");
@@ -328,7 +340,8 @@ impl Pipeline {
         let parse_seconds = started.elapsed().as_secs_f64();
         let mut report = self.compile_impl(&circuit)?;
         report.timings.parse_seconds = parse_seconds;
-        report.telemetry = recorder.map(|r| r.snapshot());
+        report.telemetry = memory.map(|r| r.snapshot());
+        report.trace = tracer.map(|r| r.snapshot());
         Ok(report)
     }
 
@@ -339,18 +352,23 @@ impl Pipeline {
     /// [`PipelineError::Verification`] if the schedule fails its own
     /// machine check (a bug).
     pub fn compile(&self, circuit: &Circuit) -> Result<CompileReport, PipelineError> {
-        let recorder = self.make_recorder();
-        let _guard = recorder.clone().map(|r| telemetry::install(r));
+        let (memory, tracer) = self.make_recorders();
+        let _guard = install_recorders(&memory, &tracer);
         let mut report = self.compile_impl(circuit)?;
-        report.telemetry = recorder.map(|r| r.snapshot());
+        report.telemetry = memory.map(|r| r.snapshot());
+        report.trace = tracer.map(|r| r.snapshot());
         Ok(report)
     }
 
-    /// A fresh recorder when telemetry is enabled.
-    fn make_recorder(&self) -> Option<Arc<MemoryRecorder>> {
-        self.options
-            .telemetry
-            .then(|| Arc::new(MemoryRecorder::new()))
+    /// Fresh per-compile recorders for whatever collection the options
+    /// enabled.
+    fn make_recorders(&self) -> (Option<Arc<MemoryRecorder>>, Option<Arc<TraceRecorder>>) {
+        (
+            self.options
+                .telemetry
+                .then(|| Arc::new(MemoryRecorder::new())),
+            self.options.trace.then(|| Arc::new(TraceRecorder::new())),
+        )
     }
 
     /// The scheduling configuration a compile actually runs with: the
@@ -434,7 +452,29 @@ impl Pipeline {
             outcome,
             timings,
             telemetry: None,
+            trace: None,
         })
+    }
+}
+
+/// Installs whichever per-compile recorders are present (fanned out
+/// when both are). `None` when neither is — the compile then records
+/// into the ambient recorder, if the caller installed one.
+fn install_recorders(
+    memory: &Option<Arc<MemoryRecorder>>,
+    tracer: &Option<Arc<TraceRecorder>>,
+) -> Option<telemetry::RecorderGuard> {
+    let sinks: Vec<Arc<dyn Recorder>> = memory
+        .iter()
+        .map(|r| r.clone() as Arc<dyn Recorder>)
+        .chain(tracer.iter().map(|r| r.clone() as Arc<dyn Recorder>))
+        .collect();
+    match sinks.len() {
+        0 => None,
+        1 => Some(telemetry::install(
+            sinks.into_iter().next().expect("one sink"),
+        )),
+        _ => Some(telemetry::install(Arc::new(FanoutRecorder::new(sinks)))),
     }
 }
 

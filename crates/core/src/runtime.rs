@@ -302,17 +302,31 @@ impl Pipeline {
 /// Compiles one job on the calling thread, converting panics into
 /// [`PipelineError::Panicked`] so serial and pooled batches fail alike.
 fn run_job(pipeline: &Pipeline, job: &CompileJob) -> Result<CompileReport, PipelineError> {
+    // Job boundary markers land in the *ambient* (pool-propagated)
+    // recorder, giving a batch trace its per-worker job timeline.
+    if telemetry::decisions_enabled() {
+        telemetry::decision(&telemetry::Decision::JobStart {
+            label: job.label().to_string(),
+        });
+    }
     let compiled = catch_unwind(AssertUnwindSafe(|| match &job.input {
         JobInput::Qasm(source) => pipeline.compile_qasm(source),
         JobInput::Circuit(circuit) => pipeline.compile(circuit),
     }));
-    match compiled {
+    let result = match compiled {
         Ok(result) => result,
         Err(payload) => Err(PipelineError::Panicked {
             circuit: job.label().to_string(),
             detail: panic_message(payload.as_ref()),
         }),
+    };
+    if telemetry::decisions_enabled() {
+        telemetry::decision(&telemetry::Decision::JobFinish {
+            label: job.label().to_string(),
+            ok: result.is_ok(),
+        });
     }
+    result
 }
 
 /// Merges the per-job telemetry snapshots of a batch into one

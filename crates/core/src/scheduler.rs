@@ -179,6 +179,13 @@ pub fn run_with_base_occupancy(
 ) -> Result<(ScheduleResult, Placement), ScheduleError> {
     let started = Instant::now();
     let _span = telemetry::span("engine");
+    if telemetry::decisions_enabled() {
+        telemetry::decision(&telemetry::Decision::EngineBegin {
+            scheduler: scheduler_name.to_string(),
+            circuit: circuit.name().to_string(),
+            grid_side: grid.cells_per_side(),
+        });
+    }
     let mut result = ScheduleResult::new(scheduler_name, circuit.name(), config.timing);
     let dag = if config.commutation_aware {
         DependenceDag::with_commutation(circuit)
@@ -209,6 +216,7 @@ pub fn run_with_base_occupancy(
         remaining
     };
 
+    let mut step_index = 0u64;
     while !frontier.is_drained() {
         let ready: Vec<GateId> = frontier.ready().to_vec();
         let locals: Vec<GateId> = ready
@@ -221,6 +229,14 @@ pub fn run_with_base_occupancy(
             .copied()
             .filter(|&g| circuit.gate(g).is_two_qubit())
             .collect();
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::StepBegin {
+                step: step_index,
+                braids: braids.len(),
+                locals: locals.len(),
+            });
+        }
+        step_index += 1;
 
         if braids.is_empty() {
             debug_assert!(!locals.is_empty(), "frontier non-empty but nothing ready");
@@ -270,6 +286,12 @@ pub fn run_with_base_occupancy(
             if !swaps.is_empty() {
                 for swap in &swaps {
                     placement.swap_qubits(swap.a, swap.b);
+                    if telemetry::decisions_enabled() {
+                        telemetry::decision(&telemetry::Decision::SwapInserted {
+                            a: swap.a,
+                            b: swap.b,
+                        });
+                    }
                 }
                 result.swap_layers += 1;
                 result.swap_count += swaps.len() as u64;

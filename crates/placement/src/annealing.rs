@@ -215,6 +215,12 @@ pub fn anneal(
                 best = current.clone();
             }
             telemetry::observe("placement.anneal.objective", obj as f64);
+            if telemetry::decisions_enabled() {
+                telemetry::decision(&telemetry::Decision::AnnealAccept {
+                    delta,
+                    temp: temperature,
+                });
+            }
         } else {
             current.swap_qubits(a, b); // undo
         }

@@ -60,6 +60,7 @@ pub fn find_path(
     let targets: Vec<Vertex> = b.corners().into_iter().filter(|&v| allowed(v)).collect();
     if targets.is_empty() {
         telemetry::counter("router.astar.failures", 1);
+        record_search(0, false);
         return None;
     }
     let heuristic = |v: Vertex| -> u32 {
@@ -93,12 +94,14 @@ pub fn find_path(
             telemetry::counter("router.astar.limit_hits", 1);
             telemetry::counter("router.astar.failures", 1);
             telemetry::observe("router.astar.expansions", f64::from(expansions));
+            record_search(expansions, false);
             return None;
         }
         expansions += 1;
         let v = grid.vertex_at(idx);
         if b.has_corner(v) {
             telemetry::observe("router.astar.expansions", f64::from(expansions));
+            record_search(expansions, true);
             return Some(reconstruct(grid, a, b, &parent, idx));
         }
         for next in grid.neighbors(v) {
@@ -116,7 +119,20 @@ pub fn find_path(
     }
     telemetry::counter("router.astar.failures", 1);
     telemetry::observe("router.astar.expansions", f64::from(expansions));
+    record_search(expansions, false);
     None
+}
+
+/// Emits the per-search decision event. Expansion counts measure *work
+/// done* and may differ across thread counts (`docs/RUNTIME.md`), like
+/// the parallel search counters.
+fn record_search(expansions: u32, found: bool) {
+    if telemetry::decisions_enabled() {
+        telemetry::decision(&telemetry::Decision::AstarSearch {
+            expansions: u64::from(expansions),
+            found,
+        });
+    }
 }
 
 fn reconstruct(grid: &Grid, a: Cell, b: Cell, parent: &[usize], mut idx: usize) -> BraidPath {

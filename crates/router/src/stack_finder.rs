@@ -153,21 +153,56 @@ pub fn route_concurrent_with(
     telemetry::counter("router.route.requests", requests.len() as u64);
     let snapshot = occupancy.clone();
     let outcome = route_stack_order(grid, occupancy, requests, threads);
-    if outcome.is_complete() {
-        return outcome;
-    }
-    // The stack order is not always dominant on large, dense interference
-    // graphs; when it leaves gates unrouted, also try the plain
-    // shortest-distance order and keep whichever step schedules more.
-    let mut greedy_occupancy = snapshot;
-    let greedy = route_greedy(grid, &mut greedy_occupancy, requests);
-    if greedy.routed.len() > outcome.routed.len() {
-        telemetry::counter("router.route.greedy_fallback_wins", 1);
-        *occupancy = greedy_occupancy;
-        greedy
-    } else {
+    let chosen = if outcome.is_complete() {
         outcome
+    } else {
+        // The stack order is not always dominant on large, dense
+        // interference graphs; when it leaves gates unrouted, also try the
+        // plain shortest-distance order and keep whichever step schedules
+        // more.
+        let mut greedy_occupancy = snapshot;
+        let greedy = route_greedy(grid, &mut greedy_occupancy, requests);
+        if greedy.routed.len() > outcome.routed.len() {
+            telemetry::counter("router.route.greedy_fallback_wins", 1);
+            *occupancy = greedy_occupancy;
+            greedy
+        } else {
+            outcome
+        }
+    };
+    // Decision events describe the *final* outcome of the step — emitted
+    // once, after any greedy fallback, so a trace never shows a commit
+    // that was later discarded.
+    if telemetry::decisions_enabled() {
+        for r in &chosen.routed {
+            telemetry::decision(&telemetry::Decision::RouteCommit {
+                gate: r.request.id,
+                len: r.path.len(),
+                path: path_string(&r.path),
+            });
+        }
+        for &id in &chosen.failed {
+            telemetry::decision(&telemetry::Decision::RouteDefer {
+                gate: id,
+                reason: "congested",
+            });
+        }
     }
+    chosen
+}
+
+/// The `"row,col row,col ..."` vertex list a `route.commit` decision
+/// carries — enough for the trace explainer to redraw occupancy frames
+/// without lattice types.
+fn path_string(path: &BraidPath) -> String {
+    let mut out = String::with_capacity(path.len() * 6);
+    for (i, v) in path.vertices().iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{},{}", v.row, v.col));
+    }
+    out
 }
 
 /// The stack-based finder *without* the hierarchical LLG-local stage or
@@ -248,6 +283,15 @@ fn route_stack_order(
             telemetry::observe("router.llg.size", group.size() as f64);
         }
     }
+    if telemetry::decisions_enabled() {
+        for group in &llgs {
+            telemetry::decision(&telemetry::Decision::LlgFormed {
+                gates: group.size(),
+                bbox_w: group.bbox.width(),
+                bbox_h: group.bbox.height(),
+            });
+        }
+    }
     let mut small: Vec<&crate::llg::Llg> = llgs.iter().filter(|g| g.size() <= 3).collect();
     small.sort_by_key(|g| (g.bbox.area(), g.bbox.min_row, g.bbox.min_col));
     if threads > 1 && small.len() > 1 {
@@ -286,6 +330,12 @@ fn route_stack_order(
             .iter()
             .max_by_key(|&&i| tie_break_key(&requests[i]))
             .expect("max_degree > 2 implies a live node");
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::StackPeel {
+                gate: requests[chosen].id,
+                degree: graph.max_degree(),
+            });
+        }
         stack.push(chosen);
         graph.remove(chosen);
     }

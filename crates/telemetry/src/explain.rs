@@ -1,0 +1,442 @@
+//! Terminal routing explainer: replay an exported trace into a
+//! per-braiding-step narrative.
+//!
+//! [`explain_trace`] consumes the Chrome trace-event JSON written by
+//! [`crate::export`] (the `autobraid.trace/v1` layout) and answers
+//! "why did step 7 only route 3 of 9 gates" from the file alone: for
+//! every braiding step it lists the LLGs formed, the peel order the
+//! stack finder chose, each committed route with its length, each
+//! deferral with its reason, and any swaps inserted — followed by an
+//! ASCII frame of lattice occupancy built from the committed paths.
+//! Unknown event names are ignored (the v1 compat rule), so traces
+//! from newer producers still explain.
+
+use crate::json::JsonValue;
+
+/// Largest grid side (in cells) that still gets ASCII occupancy
+/// frames; bigger lattices print the narrative only.
+const MAX_FRAME_SIDE: u64 = 32;
+
+/// Replays Chrome trace-event JSON (`autobraid.trace/v1`) into a
+/// human-readable per-step narrative.
+///
+/// # Errors
+///
+/// Fails when `chrome_json` is not valid JSON, is not the array form,
+/// or contains no events (an empty trace has nothing to explain).
+pub fn explain_trace(chrome_json: &str) -> Result<String, String> {
+    let parsed = JsonValue::parse(chrome_json)?;
+    let events = parsed
+        .as_array()
+        .ok_or_else(|| "trace is not a JSON array (Chrome trace-event array form)".to_string())?;
+    if events.is_empty() {
+        return Err("trace contains no events".to_string());
+    }
+
+    let mut out = String::new();
+    let mut engines = 0usize;
+    // Replay per tid: a track is one worker's serial event stream.
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter_map(|e| e.get("tid").and_then(JsonValue::as_u64))
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+
+    for tid in tids {
+        let track: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("tid").and_then(JsonValue::as_u64) == Some(tid))
+            .collect();
+        let track_name = track
+            .iter()
+            .find(|e| name_of(e) == Some("thread_name"))
+            .and_then(|e| e.get("args"))
+            .and_then(|a| a.get("name"))
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unnamed");
+        engines += explain_track(&mut out, track_name, &track);
+    }
+
+    if engines == 0 {
+        return Err("trace has no engine.begin event — nothing to explain".to_string());
+    }
+    Ok(out)
+}
+
+fn name_of(event: &JsonValue) -> Option<&str> {
+    event.get("name").and_then(JsonValue::as_str)
+}
+
+fn arg_u64(event: &JsonValue, key: &str) -> u64 {
+    event
+        .get("args")
+        .and_then(|a| a.get(key))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0)
+}
+
+fn arg_str<'a>(event: &'a JsonValue, key: &str) -> &'a str {
+    event
+        .get("args")
+        .and_then(|a| a.get(key))
+        .and_then(JsonValue::as_str)
+        .unwrap_or("")
+}
+
+fn arg_f64(event: &JsonValue, key: &str) -> f64 {
+    event
+        .get("args")
+        .and_then(|a| a.get(key))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// One step's accumulated decisions, flushed as a narrative section.
+#[derive(Default)]
+struct StepState {
+    step: u64,
+    braids: u64,
+    locals: u64,
+    lines: Vec<String>,
+    /// `(label, parsed path vertices)` per committed route.
+    committed: Vec<(char, Vec<(u64, u64)>)>,
+    commits: usize,
+    defers: usize,
+}
+
+/// Explains one tid's events; returns how many engine runs it held.
+fn explain_track(out: &mut String, track_name: &str, track: &[&JsonValue]) -> usize {
+    let mut engines = 0usize;
+    let mut grid_side = 0u64;
+    let mut step: Option<StepState> = None;
+    let mut total_commits = 0usize;
+    let mut total_defers = 0usize;
+    let mut total_swaps = 0usize;
+    let mut anneal_accepts = 0usize;
+
+    for event in track {
+        let Some(name) = name_of(event) else { continue };
+        match name {
+            "job.start" => {
+                out.push_str(&format!(
+                    "[{track_name}] job {} started\n",
+                    arg_str(event, "label")
+                ));
+            }
+            "job.finish" => {
+                flush_step(
+                    out,
+                    &mut step,
+                    grid_side,
+                    &mut total_commits,
+                    &mut total_defers,
+                );
+                out.push_str(&format!(
+                    "[{track_name}] job {} finished ({})\n",
+                    arg_str(event, "label"),
+                    if event
+                        .get("args")
+                        .and_then(|a| a.get("ok"))
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false)
+                    {
+                        "ok"
+                    } else {
+                        "failed"
+                    }
+                ));
+            }
+            "engine.begin" => {
+                flush_step(
+                    out,
+                    &mut step,
+                    grid_side,
+                    &mut total_commits,
+                    &mut total_defers,
+                );
+                engines += 1;
+                grid_side = arg_u64(event, "grid_side");
+                out.push_str(&format!(
+                    "\n=== [{track_name}] compiling '{}' via {} on a {}x{} grid ===\n",
+                    arg_str(event, "circuit"),
+                    arg_str(event, "scheduler"),
+                    grid_side,
+                    grid_side,
+                ));
+            }
+            "step.begin" => {
+                flush_step(
+                    out,
+                    &mut step,
+                    grid_side,
+                    &mut total_commits,
+                    &mut total_defers,
+                );
+                step = Some(StepState {
+                    step: arg_u64(event, "step"),
+                    braids: arg_u64(event, "braids"),
+                    locals: arg_u64(event, "locals"),
+                    ..StepState::default()
+                });
+            }
+            "llg.formed" => {
+                if let Some(s) = &mut step {
+                    s.lines.push(format!(
+                        "llg formed: {} gate(s), bbox {}x{}",
+                        arg_u64(event, "gates"),
+                        arg_u64(event, "bbox_w"),
+                        arg_u64(event, "bbox_h"),
+                    ));
+                }
+            }
+            "stack.peel" => {
+                if let Some(s) = &mut step {
+                    s.lines.push(format!(
+                        "peel gate {} (conflict degree {})",
+                        arg_u64(event, "gate"),
+                        arg_u64(event, "degree"),
+                    ));
+                }
+            }
+            "route.commit" => {
+                if let Some(s) = &mut step {
+                    let label = route_label(s.commits);
+                    s.lines.push(format!(
+                        "route gate {} committed: {} vertices [{label}]",
+                        arg_u64(event, "gate"),
+                        arg_u64(event, "len"),
+                    ));
+                    s.committed
+                        .push((label, parse_path(arg_str(event, "path"))));
+                    s.commits += 1;
+                }
+            }
+            "route.defer" => {
+                if let Some(s) = &mut step {
+                    s.lines.push(format!(
+                        "route gate {} deferred: {}",
+                        arg_u64(event, "gate"),
+                        arg_str(event, "reason"),
+                    ));
+                    s.defers += 1;
+                }
+            }
+            "swap.inserted" => {
+                total_swaps += 1;
+                if let Some(s) = &mut step {
+                    s.lines.push(format!(
+                        "swap inserted between qubits {} and {}",
+                        arg_u64(event, "a"),
+                        arg_u64(event, "b"),
+                    ));
+                }
+            }
+            "anneal.accept" => {
+                anneal_accepts += 1;
+                // Keep the first few verbatim; annealing runs accept
+                // thousands of moves and the narrative must stay
+                // readable.
+                if anneal_accepts <= 3 {
+                    out.push_str(&format!(
+                        "[{track_name}] anneal accepted move (delta {:.3}, temp {:.3})\n",
+                        arg_f64(event, "delta"),
+                        arg_f64(event, "temp"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    flush_step(
+        out,
+        &mut step,
+        grid_side,
+        &mut total_commits,
+        &mut total_defers,
+    );
+
+    if engines > 0 {
+        out.push_str(&format!(
+            "totals [{track_name}]: {total_commits} route(s) committed, \
+             {total_defers} deferred, {total_swaps} swap(s)",
+        ));
+        if anneal_accepts > 0 {
+            out.push_str(&format!(", {anneal_accepts} anneal move(s) accepted"));
+        }
+        out.push('\n');
+    }
+    engines
+}
+
+fn flush_step(
+    out: &mut String,
+    step: &mut Option<StepState>,
+    grid_side: u64,
+    total_commits: &mut usize,
+    total_defers: &mut usize,
+) {
+    let Some(s) = step.take() else { return };
+    out.push_str(&format!(
+        "\nstep {}: {} braid(s) ready, {} local(s)\n",
+        s.step, s.braids, s.locals
+    ));
+    for line in &s.lines {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    if s.braids > 0 {
+        out.push_str(&format!(
+            "  => routed {} of {} braid(s)\n",
+            s.commits, s.braids
+        ));
+    }
+    *total_commits += s.commits;
+    *total_defers += s.defers;
+    if !s.committed.is_empty() && grid_side > 0 && grid_side <= MAX_FRAME_SIDE {
+        render_frame(out, grid_side, &s.committed);
+    }
+}
+
+/// Commit labels cycle a..z — enough to tell paths apart in a frame.
+fn route_label(index: usize) -> char {
+    (b'a' + (index % 26) as u8) as char
+}
+
+/// Parses the `"r,c r,c ..."` vertex list a `route.commit` carries.
+fn parse_path(path: &str) -> Vec<(u64, u64)> {
+    path.split_whitespace()
+        .filter_map(|pair| {
+            let (r, c) = pair.split_once(',')?;
+            Some((r.parse().ok()?, c.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Draws lattice occupancy: `.` free vertex, letters = the vertices of
+/// that step's committed braid paths (later paths overwrite on
+/// crossing, which braids avoid anyway).
+fn render_frame(out: &mut String, grid_side: u64, committed: &[(char, Vec<(u64, u64)>)]) {
+    let side = (grid_side + 1) as usize; // vertices per side
+    let mut frame = vec![vec!['.'; side]; side];
+    for (label, path) in committed {
+        for &(r, c) in path {
+            if let Some(cell) = frame
+                .get_mut(r as usize)
+                .and_then(|row| row.get_mut(c as usize))
+            {
+                *cell = *label;
+            }
+        }
+    }
+    out.push_str("  occupancy:\n");
+    for row in frame {
+        out.push_str("    ");
+        out.extend(row);
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Decision, TraceRecorder};
+    use std::sync::Arc;
+
+    fn sample_chrome_json() -> String {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = crate::install(rec.clone());
+            crate::decision(&Decision::EngineBegin {
+                scheduler: "autobraid".into(),
+                circuit: "demo".into(),
+                grid_side: 4,
+            });
+            crate::decision(&Decision::StepBegin {
+                step: 0,
+                braids: 2,
+                locals: 1,
+            });
+            crate::decision(&Decision::LlgFormed {
+                gates: 2,
+                bbox_w: 3,
+                bbox_h: 2,
+            });
+            crate::decision(&Decision::StackPeel { gate: 1, degree: 2 });
+            crate::decision(&Decision::RouteCommit {
+                gate: 1,
+                len: 3,
+                path: "0,0 0,1 1,1".into(),
+            });
+            crate::decision(&Decision::RouteDefer {
+                gate: 2,
+                reason: "congested",
+            });
+            crate::decision(&Decision::StepBegin {
+                step: 1,
+                braids: 1,
+                locals: 0,
+            });
+            crate::decision(&Decision::RouteCommit {
+                gate: 2,
+                len: 4,
+                path: "2,0 2,1 2,2 2,3".into(),
+            });
+            crate::decision(&Decision::SwapInserted { a: 3, b: 5 });
+        }
+        rec.snapshot().to_chrome_json()
+    }
+
+    #[test]
+    fn narrative_covers_every_step_and_decision() {
+        let narrative = explain_trace(&sample_chrome_json()).unwrap();
+        assert!(narrative.contains("compiling 'demo' via autobraid on a 4x4 grid"));
+        assert!(narrative.contains("step 0: 2 braid(s) ready, 1 local(s)"));
+        assert!(narrative.contains("llg formed: 2 gate(s), bbox 3x2"));
+        assert!(narrative.contains("peel gate 1 (conflict degree 2)"));
+        assert!(narrative.contains("route gate 1 committed: 3 vertices [a]"));
+        assert!(narrative.contains("route gate 2 deferred: congested"));
+        assert!(narrative.contains("=> routed 1 of 2 braid(s)"));
+        assert!(narrative.contains("step 1: 1 braid(s) ready"));
+        assert!(narrative.contains("swap inserted between qubits 3 and 5"));
+        assert!(narrative.contains("totals"));
+        assert!(narrative.contains("2 route(s) committed, 1 deferred, 1 swap(s)"));
+    }
+
+    #[test]
+    fn occupancy_frame_marks_path_vertices() {
+        let narrative = explain_trace(&sample_chrome_json()).unwrap();
+        assert!(narrative.contains("occupancy:"));
+        // Step 0's committed path 0,0 0,1 1,1 on a 5x5 vertex frame.
+        assert!(
+            narrative.contains("aa..."),
+            "frame row missing: {narrative}"
+        );
+        assert!(narrative.contains(".a..."));
+        // Step 1's path fills row 2 with 'a' (label restarts per step).
+        assert!(narrative.contains("aaaa."));
+    }
+
+    #[test]
+    fn rejects_traces_it_cannot_explain() {
+        assert!(explain_trace("not json").is_err());
+        assert!(explain_trace("{}").is_err());
+        assert!(explain_trace("[]").is_err());
+        // Valid array, but no engine.begin anywhere.
+        assert!(explain_trace(r#"[{"name":"x","ph":"i","ts":0,"pid":1,"tid":0}]"#).is_err());
+    }
+
+    #[test]
+    fn unknown_event_names_are_ignored() {
+        let mut json = sample_chrome_json();
+        // Splice in an event from a hypothetical newer producer.
+        json.insert_str(
+            1,
+            r#"{"name":"future.event","ph":"i","ts":0,"pid":1,"tid":0,"args":{"x":1}},"#,
+        );
+        let narrative = explain_trace(&json).unwrap();
+        assert!(narrative.contains("compiling 'demo'"));
+        assert!(!narrative.contains("future.event"));
+    }
+}

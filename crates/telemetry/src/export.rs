@@ -1,0 +1,250 @@
+//! Chrome trace-event JSON export (`autobraid.trace/v1`).
+//!
+//! The output is the array form of the Chrome trace-event format, so
+//! it loads directly in Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`: drop the file onto the UI and each thread that
+//! recorded appears as its own named track, spans as nested duration
+//! slices, decisions as instant markers on their thread's track.
+//!
+//! Layout, in order:
+//! 1. one metadata event named `autobraid.trace` carrying
+//!    `args.schema = "autobraid.trace/v1"`,
+//! 2. one `thread_name` metadata event per track,
+//! 3. the recorded events in normalized `(track, seq)` order — span
+//!    begins as `ph:"B"`, span ends as `ph:"E"`, decisions as
+//!    thread-scoped instants (`ph:"i"`, `s:"t"`).
+//!
+//! Every `B` is guaranteed a matching `E` on the same `tid`: the
+//! exporter synthesizes closing events for spans still open when the
+//! trace was snapshotted.
+
+use crate::json::JsonValue;
+use crate::trace::{Trace, TraceEventKind, TRACE_SCHEMA};
+
+/// Process id used for every event (the suite is one process).
+const PID: u64 = 1;
+
+fn event_base(name: &str, ph: &str, ts_us: f64, tid: usize) -> Vec<(String, JsonValue)> {
+    vec![
+        ("name".to_string(), JsonValue::from(name)),
+        ("ph".to_string(), JsonValue::from(ph)),
+        ("ts".to_string(), JsonValue::from(ts_us)),
+        ("pid".to_string(), JsonValue::from(PID)),
+        ("tid".to_string(), JsonValue::from(tid)),
+    ]
+}
+
+/// Last path segment — the slice name shown on the track (the full
+/// path travels in `args.path`).
+fn leaf(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+/// Builds the Chrome trace-event JSON tree for `trace`.
+pub fn chrome_trace_json(trace: &Trace) -> JsonValue {
+    let normalized = trace.normalized();
+    let mut events = Vec::new();
+
+    let mut schema_meta = event_base("autobraid.trace", "M", 0.0, 0);
+    schema_meta.push((
+        "args".to_string(),
+        JsonValue::object([("schema", JsonValue::from(TRACE_SCHEMA))]),
+    ));
+    events.push(JsonValue::Object(schema_meta));
+
+    for (tid, name) in normalized.tracks.iter().enumerate() {
+        let mut meta = event_base("thread_name", "M", 0.0, tid);
+        meta.push((
+            "args".to_string(),
+            JsonValue::object([("name", JsonValue::from(name.as_str()))]),
+        ));
+        events.push(JsonValue::Object(meta));
+    }
+
+    // Per-track open-span stacks, to synthesize closing E events for
+    // anything still open at snapshot time.
+    let mut open: Vec<Vec<(String, f64)>> = vec![Vec::new(); normalized.tracks.len()];
+    let mut last_ts: Vec<f64> = vec![0.0; normalized.tracks.len()];
+
+    for event in &normalized.events {
+        let ts_us = event.ts_ns as f64 / 1000.0;
+        if let Some(t) = last_ts.get_mut(event.track) {
+            *t = ts_us.max(*t);
+        }
+        match &event.kind {
+            TraceEventKind::SpanBegin { path } => {
+                if let Some(stack) = open.get_mut(event.track) {
+                    stack.push((path.clone(), ts_us));
+                }
+                let mut b = event_base(leaf(path), "B", ts_us, event.track);
+                b.push((
+                    "args".to_string(),
+                    JsonValue::object([("path", JsonValue::from(path.as_str()))]),
+                ));
+                events.push(JsonValue::Object(b));
+            }
+            TraceEventKind::SpanEnd { path } => {
+                if let Some(stack) = open.get_mut(event.track) {
+                    stack.pop();
+                }
+                events.push(JsonValue::Object(event_base(
+                    leaf(path),
+                    "E",
+                    ts_us,
+                    event.track,
+                )));
+            }
+            TraceEventKind::Decision(decision) => {
+                let mut i = event_base(decision.name(), "i", ts_us, event.track);
+                i.push(("s".to_string(), JsonValue::from("t")));
+                i.push(("args".to_string(), decision.args()));
+                events.push(JsonValue::Object(i));
+            }
+        }
+    }
+
+    for (tid, stack) in open.into_iter().enumerate() {
+        for (path, _) in stack.into_iter().rev() {
+            events.push(JsonValue::Object(event_base(
+                leaf(&path),
+                "E",
+                last_ts[tid],
+                tid,
+            )));
+        }
+    }
+
+    JsonValue::Array(events)
+}
+
+/// Renders `trace` as compact Chrome trace-event JSON.
+pub fn chrome_trace(trace: &Trace) -> String {
+    chrome_trace_json(trace).render_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Decision, TraceEvent, TraceRecorder};
+    use std::sync::Arc;
+
+    fn record_sample() -> Trace {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = crate::install(rec.clone());
+            let _outer = crate::span("pipeline");
+            {
+                let _inner = crate::span("schedule");
+                crate::decision(&Decision::RouteCommit {
+                    gate: 7,
+                    len: 5,
+                    path: "0,0 0,1".into(),
+                });
+            }
+        }
+        rec.snapshot()
+    }
+
+    fn events_of(json: &JsonValue) -> &[JsonValue] {
+        json.as_array().expect("top level is an array")
+    }
+
+    #[test]
+    fn every_event_has_required_keys() {
+        let json = chrome_trace_json(&record_sample());
+        for event in events_of(&json) {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(event.get(key).is_some(), "missing {key} in {event:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_event_pins_the_schema() {
+        let json = chrome_trace_json(&record_sample());
+        let first = &events_of(&json)[0];
+        assert_eq!(first.get("ph").and_then(JsonValue::as_str), Some("M"));
+        assert_eq!(
+            first
+                .get("args")
+                .and_then(|a| a.get("schema"))
+                .and_then(JsonValue::as_str),
+            Some(TRACE_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn b_and_e_events_pair_up_per_tid() {
+        let json = chrome_trace_json(&record_sample());
+        let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+        for event in events_of(&json) {
+            let ph = event.get("ph").and_then(JsonValue::as_str).unwrap();
+            let tid = event.get("tid").and_then(JsonValue::as_u64).unwrap();
+            match ph {
+                "B" => *depth.entry(tid).or_insert(0) += 1,
+                "E" => {
+                    let d = depth.entry(tid).or_insert(0);
+                    *d -= 1;
+                    assert!(*d >= 0, "E without matching B on tid {tid}");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            depth.values().all(|&d| d == 0),
+            "unmatched B events: {depth:?}"
+        );
+    }
+
+    #[test]
+    fn unclosed_spans_get_synthesized_ends() {
+        // Hand-build a trace whose span never closed (e.g. snapshot
+        // taken mid-compile).
+        let trace = Trace {
+            tracks: vec!["main".into()],
+            events: vec![TraceEvent {
+                ts_ns: 1000,
+                track: 0,
+                seq: 0,
+                kind: crate::TraceEventKind::SpanBegin {
+                    path: "pipeline".into(),
+                },
+            }],
+        };
+        let json = chrome_trace_json(&trace);
+        let phases: Vec<&str> = events_of(&json)
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(JsonValue::as_str))
+            .filter(|p| *p == "B" || *p == "E")
+            .collect();
+        assert_eq!(phases, vec!["B", "E"]);
+    }
+
+    #[test]
+    fn decisions_export_as_thread_scoped_instants() {
+        let json = chrome_trace_json(&record_sample());
+        let instant = events_of(&json)
+            .iter()
+            .find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("i"))
+            .expect("an instant event");
+        assert_eq!(
+            instant.get("name").and_then(JsonValue::as_str),
+            Some("route.commit")
+        );
+        assert_eq!(instant.get("s").and_then(JsonValue::as_str), Some("t"));
+        assert_eq!(
+            instant
+                .get("args")
+                .and_then(|a| a.get("gate"))
+                .and_then(JsonValue::as_u64),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn output_parses_as_well_formed_json() {
+        let rendered = chrome_trace(&record_sample());
+        let parsed = JsonValue::parse(&rendered).expect("exporter output parses");
+        assert!(parsed.as_array().is_some());
+    }
+}

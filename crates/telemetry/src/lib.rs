@@ -17,11 +17,16 @@
 //!   [`RecorderGuard`]; recorders nest and uninstall on drop, so a
 //!   pipeline run can be measured without global state leaking into
 //!   the next run.
-//! - **Aggregation, not events.** The bundled [`MemoryRecorder`]
-//!   aggregates in place (span totals, counter sums, histogram
-//!   reservoirs) and snapshots into a [`TelemetrySnapshot`] that
-//!   serializes to the stable `autobraid.telemetry/v1` JSON layout
-//!   documented in `docs/METRICS.md`.
+//! - **Aggregation by default, events on demand.** The bundled
+//!   [`MemoryRecorder`] aggregates in place (span totals, counter
+//!   sums, histogram reservoirs) and snapshots into a
+//!   [`TelemetrySnapshot`] that serializes to the stable
+//!   `autobraid.telemetry/v1` JSON layout documented in
+//!   `docs/METRICS.md`. The [`TraceRecorder`] instead keeps every
+//!   timestamped span edge and typed [`Decision`] event, exporting to
+//!   Chrome trace-event JSON (`autobraid.trace/v1`, loads in Perfetto)
+//!   via [`mod@export`] and to a per-step terminal narrative via
+//!   [`mod@explain`]. A [`FanoutRecorder`] captures both in one run.
 //!
 //! The crate also hosts two deterministic utilities the zero-dependency
 //! build needs: [`Rng64`], a seeded xoshiro256** PRNG used by circuit
@@ -54,17 +59,21 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod explain;
+pub mod export;
 mod json;
 mod memory;
 mod recorder;
 mod rng;
 mod span;
+pub mod trace;
 
 pub use json::JsonValue;
 pub use memory::{HistogramSummary, MemoryRecorder, SpanStat, TelemetrySnapshot, SCHEMA};
-pub use recorder::{current, install, is_enabled, Recorder, RecorderGuard};
+pub use recorder::{current, install, is_enabled, FanoutRecorder, Recorder, RecorderGuard};
 pub use rng::{Rng64, SampleRange};
 pub use span::Span;
+pub use trace::{Decision, Trace, TraceEvent, TraceEventKind, TraceRecorder, TRACE_SCHEMA};
 
 /// Opens a timing span named `name`; the returned [`Span`] reports its
 /// wall-clock duration (under the current nesting path) when dropped.
@@ -82,6 +91,25 @@ pub fn counter(name: &str, delta: u64) {
 /// the installed recorder, if any.
 pub fn observe(name: &str, value: f64) {
     recorder::with_recorder(|r| r.observe(name, value));
+}
+
+/// Records a typed [`Decision`] event on the installed recorder, if it
+/// wants decisions (see [`decisions_enabled`]).
+pub fn decision(decision: &Decision) {
+    recorder::with_recorder(|r| {
+        if r.wants_decisions() {
+            r.record_decision(decision);
+        }
+    });
+}
+
+/// Whether the installed recorder wants decision events.
+///
+/// Instrumented code uses this to skip *building* decision payloads
+/// (string formatting, path serialization) when nothing would record
+/// them — the same discipline as [`is_enabled`] for metrics.
+pub fn decisions_enabled() -> bool {
+    recorder::with_recorder(|r| r.wants_decisions()).unwrap_or(false)
 }
 
 #[cfg(test)]

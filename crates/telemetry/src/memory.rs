@@ -392,6 +392,79 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        // A histogram with no observations must answer every query
+        // with the documented zeros — never panic or divide by zero.
+        let h = Histogram::default();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p90, 0.0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn single_sample_histogram_returns_that_value_everywhere() {
+        let rec = MemoryRecorder::new();
+        rec.observe("one", 42.5);
+        let snap = rec.snapshot();
+        let h = snap.histogram("one").unwrap();
+        assert_eq!(h.count, 1);
+        for value in [h.sum, h.min, h.max, h.mean, h.p50, h.p90, h.p99] {
+            assert_eq!(value, 42.5);
+        }
+    }
+
+    #[test]
+    fn reservoir_at_and_past_the_cap_never_panics() {
+        // Exactly at the cap, one past it, and far past it: count stays
+        // exact and every percentile query stays in range.
+        for n in [
+            SAMPLE_CAP as u64,
+            SAMPLE_CAP as u64 + 1,
+            SAMPLE_CAP as u64 * 3,
+        ] {
+            let mut h = Histogram::default();
+            for v in 0..n {
+                h.observe(v as f64);
+            }
+            let s = h.summary();
+            assert_eq!(s.count, n);
+            assert_eq!(s.min, 0.0);
+            assert_eq!(s.max, (n - 1) as f64);
+            for p in [s.p50, s.p90, s.p99] {
+                assert!(
+                    (0.0..=(n - 1) as f64).contains(&p),
+                    "n={n}: {p} out of range"
+                );
+            }
+            assert!(
+                s.p50 <= s.p90 && s.p90 <= s.p99,
+                "n={n}: percentiles unordered"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_observations_do_not_poison_percentiles() {
+        // partial_cmp on NaN falls back to Equal in the sort — queries
+        // must still return without panicking.
+        let mut h = Histogram::default();
+        h.observe(1.0);
+        h.observe(f64::NAN);
+        h.observe(2.0);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        // min/max/mean involve NaN arithmetic, but percentile lookup
+        // itself must not panic; p50 comes from the retained samples.
+        let _ = (s.p50, s.p90, s.p99);
+    }
+
+    #[test]
     fn merge_sums_counters_and_spans() {
         let a = MemoryRecorder::new();
         a.add("shared", 2);

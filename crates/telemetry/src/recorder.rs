@@ -26,6 +26,89 @@ pub trait Recorder: Send + Sync {
 
     /// Record one observation of `value` under the histogram `name`.
     fn observe(&self, name: &str, value: f64);
+
+    /// Record that a span just *opened* at `path`. Only called when
+    /// [`Recorder::wants_span_events`] returns true; aggregating
+    /// recorders ignore it (they only need the completed duration).
+    fn record_span_begin(&self, _path: &str) {}
+
+    /// Whether this recorder wants [`Recorder::record_span_begin`]
+    /// calls. Defaults to false so the span hot path skips building
+    /// the begin-time path string for aggregating recorders.
+    fn wants_span_events(&self) -> bool {
+        false
+    }
+
+    /// Record a typed decision event. Only called when
+    /// [`Recorder::wants_decisions`] returns true.
+    fn record_decision(&self, _decision: &crate::trace::Decision) {}
+
+    /// Whether this recorder wants [`Recorder::record_decision`]
+    /// calls. Defaults to false so instrumented code can skip building
+    /// decision payloads (see [`crate::decisions_enabled`]).
+    fn wants_decisions(&self) -> bool {
+        false
+    }
+}
+
+/// A [`Recorder`] that forwards every event to each of its sinks.
+///
+/// This is how a compile captures an aggregate snapshot *and* an
+/// event trace in one run: fan out to a [`crate::MemoryRecorder`] and
+/// a [`crate::TraceRecorder`].
+pub struct FanoutRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl FanoutRecorder {
+    /// Builds a fanout over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> FanoutRecorder {
+        FanoutRecorder { sinks }
+    }
+}
+
+impl Recorder for FanoutRecorder {
+    fn record_span(&self, path: &str, wall: std::time::Duration) {
+        for sink in &self.sinks {
+            sink.record_span(path, wall);
+        }
+    }
+
+    fn add(&self, name: &str, delta: u64) {
+        for sink in &self.sinks {
+            sink.add(name, delta);
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        for sink in &self.sinks {
+            sink.observe(name, value);
+        }
+    }
+
+    fn record_span_begin(&self, path: &str) {
+        for sink in &self.sinks {
+            if sink.wants_span_events() {
+                sink.record_span_begin(path);
+            }
+        }
+    }
+
+    fn wants_span_events(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_span_events())
+    }
+
+    fn record_decision(&self, decision: &crate::trace::Decision) {
+        for sink in &self.sinks {
+            if sink.wants_decisions() {
+                sink.record_decision(decision);
+            }
+        }
+    }
+
+    fn wants_decisions(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_decisions())
+    }
 }
 
 thread_local! {
@@ -119,6 +202,31 @@ mod tests {
         let events = tape.0.lock().unwrap().clone();
         assert!(events.contains(&"add:from.worker=1".to_string()));
         assert!(events.contains(&"add:from.parent=1".to_string()));
+    }
+
+    #[test]
+    fn fanout_forwards_to_all_sinks() {
+        use crate::{MemoryRecorder, TraceRecorder};
+        let memory = Arc::new(MemoryRecorder::new());
+        let trace = Arc::new(TraceRecorder::new());
+        let fanout = Arc::new(super::FanoutRecorder::new(vec![
+            memory.clone() as Arc<dyn Recorder>,
+            trace.clone() as Arc<dyn Recorder>,
+        ]));
+        assert!(fanout.wants_decisions());
+        assert!(fanout.wants_span_events());
+        {
+            let _guard = install(fanout);
+            let _span = crate::span("work");
+            crate::counter("gates", 2);
+            crate::decision(&crate::trace::Decision::SwapInserted { a: 1, b: 2 });
+        }
+        let snap = memory.snapshot();
+        assert_eq!(snap.counter("gates"), 2);
+        assert_eq!(snap.span("work").unwrap().count, 1);
+        let events = trace.snapshot().events;
+        // Begin, decision, end — the memory sink sees only the end.
+        assert_eq!(events.len(), 3);
     }
 
     #[test]

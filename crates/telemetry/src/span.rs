@@ -26,6 +26,12 @@ impl Span {
             return Span { start: None };
         }
         PATH_STACK.with(|s| s.borrow_mut().push(name));
+        // Event recorders also want the *open* edge (aggregating
+        // recorders only need the duration reported at drop).
+        if crate::recorder::with_recorder(|r| r.wants_span_events()).unwrap_or(false) {
+            let path = PATH_STACK.with(|s| s.borrow().join("/"));
+            crate::recorder::with_recorder(|r| r.record_span_begin(&path));
+        }
         Span {
             start: Some(Instant::now()),
         }

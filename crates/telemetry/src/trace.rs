@@ -1,0 +1,498 @@
+//! Event-level tracing: [`TraceRecorder`] and the [`Trace`] it
+//! produces.
+//!
+//! Where [`crate::MemoryRecorder`] aggregates (span totals, counter
+//! sums), a [`TraceRecorder`] keeps the *individual* timestamped
+//! events: span begin/end with thread tracks, plus typed [`Decision`]
+//! events emitted from instrumented scheduler/router/placement code.
+//! A trace answers causal questions — which LLGs formed in a step,
+//! which gates the stack finder peeled and in what order, which routes
+//! committed vs. deferred — that aggregates cannot.
+//!
+//! Traces export to Chrome trace-event JSON (`autobraid.trace/v1`,
+//! loads in Perfetto / `chrome://tracing`) via [`crate::export`] and
+//! replay into a per-step terminal narrative via [`crate::explain`].
+
+use crate::json::JsonValue;
+use crate::recorder::Recorder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Identifier of the Chrome-trace export layout, emitted in the
+/// leading metadata event. Bump only with a matching update to
+/// `docs/METRICS.md`.
+pub const TRACE_SCHEMA: &str = "autobraid.trace/v1";
+
+/// A typed decision event emitted by instrumented compiler code.
+///
+/// Decisions are facts about *what the compiler chose*, not how long
+/// it took; they export as Perfetto instant events. The enum is
+/// non-exhaustive: new decision kinds may appear in later versions
+/// (the compat rule in `docs/METRICS.md` — consumers must ignore
+/// event names they do not know).
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// The scheduling engine started on a circuit.
+    EngineBegin {
+        /// Name of the scheduler strategy driving the run.
+        scheduler: String,
+        /// Name of the circuit being compiled.
+        circuit: String,
+        /// Lattice side length, in surface-code cells.
+        grid_side: u32,
+    },
+    /// A braiding step began with this much ready work.
+    StepBegin {
+        /// Zero-based braiding step index.
+        step: u64,
+        /// Ready CNOTs that need a braid this step.
+        braids: usize,
+        /// Ready gates executable locally (no braid needed).
+        locals: usize,
+    },
+    /// The router grouped gates into a long-range-link group.
+    LlgFormed {
+        /// Number of gates in the group.
+        gates: usize,
+        /// Bounding-box width, in lattice vertices.
+        bbox_w: u32,
+        /// Bounding-box height, in lattice vertices.
+        bbox_h: u32,
+    },
+    /// The stack finder peeled a gate out of the conflict graph.
+    StackPeel {
+        /// Gate id peeled.
+        gate: usize,
+        /// Conflict-graph max degree at the moment of peeling.
+        degree: usize,
+    },
+    /// A braid path was committed for a gate this step.
+    RouteCommit {
+        /// Gate id routed.
+        gate: usize,
+        /// Path length in lattice vertices.
+        len: usize,
+        /// Space-separated `row,col` vertex list of the braid path.
+        path: String,
+    },
+    /// A gate's routing was deferred to a later step.
+    RouteDefer {
+        /// Gate id deferred.
+        gate: usize,
+        /// Why the router gave up this step.
+        reason: &'static str,
+    },
+    /// The scheduler inserted a SWAP between two qubits.
+    SwapInserted {
+        /// First qubit of the swapped pair.
+        a: u32,
+        /// Second qubit of the swapped pair.
+        b: u32,
+    },
+    /// The annealer accepted a placement move.
+    AnnealAccept {
+        /// Objective delta of the accepted move (negative = better).
+        delta: f64,
+        /// Temperature at acceptance time.
+        temp: f64,
+    },
+    /// One A* search finished (successfully or not).
+    ///
+    /// Expansion counts measure *work done*, which may vary across
+    /// thread counts even though compile outputs are deterministic
+    /// (see `docs/RUNTIME.md`).
+    AstarSearch {
+        /// Nodes expanded before the search ended.
+        expansions: u64,
+        /// Whether a path was found.
+        found: bool,
+    },
+    /// A batch-compile job started on a worker.
+    JobStart {
+        /// Job label (circuit name or index).
+        label: String,
+    },
+    /// A batch-compile job finished on a worker.
+    JobFinish {
+        /// Job label (circuit name or index).
+        label: String,
+        /// Whether the compile succeeded.
+        ok: bool,
+    },
+}
+
+impl Decision {
+    /// The stable event name this decision exports under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Decision::EngineBegin { .. } => "engine.begin",
+            Decision::StepBegin { .. } => "step.begin",
+            Decision::LlgFormed { .. } => "llg.formed",
+            Decision::StackPeel { .. } => "stack.peel",
+            Decision::RouteCommit { .. } => "route.commit",
+            Decision::RouteDefer { .. } => "route.defer",
+            Decision::SwapInserted { .. } => "swap.inserted",
+            Decision::AnnealAccept { .. } => "anneal.accept",
+            Decision::AstarSearch { .. } => "astar.search",
+            Decision::JobStart { .. } => "job.start",
+            Decision::JobFinish { .. } => "job.finish",
+        }
+    }
+
+    /// The decision's fields as a JSON object (the exported `args`).
+    pub fn args(&self) -> JsonValue {
+        match self {
+            Decision::EngineBegin {
+                scheduler,
+                circuit,
+                grid_side,
+            } => JsonValue::object([
+                ("scheduler", JsonValue::from(scheduler.as_str())),
+                ("circuit", JsonValue::from(circuit.as_str())),
+                ("grid_side", JsonValue::from(*grid_side)),
+            ]),
+            Decision::StepBegin {
+                step,
+                braids,
+                locals,
+            } => JsonValue::object([
+                ("step", JsonValue::from(*step)),
+                ("braids", JsonValue::from(*braids)),
+                ("locals", JsonValue::from(*locals)),
+            ]),
+            Decision::LlgFormed {
+                gates,
+                bbox_w,
+                bbox_h,
+            } => JsonValue::object([
+                ("gates", JsonValue::from(*gates)),
+                ("bbox_w", JsonValue::from(*bbox_w)),
+                ("bbox_h", JsonValue::from(*bbox_h)),
+            ]),
+            Decision::StackPeel { gate, degree } => JsonValue::object([
+                ("gate", JsonValue::from(*gate)),
+                ("degree", JsonValue::from(*degree)),
+            ]),
+            Decision::RouteCommit { gate, len, path } => JsonValue::object([
+                ("gate", JsonValue::from(*gate)),
+                ("len", JsonValue::from(*len)),
+                ("path", JsonValue::from(path.as_str())),
+            ]),
+            Decision::RouteDefer { gate, reason } => JsonValue::object([
+                ("gate", JsonValue::from(*gate)),
+                ("reason", JsonValue::from(*reason)),
+            ]),
+            Decision::SwapInserted { a, b } => {
+                JsonValue::object([("a", JsonValue::from(*a)), ("b", JsonValue::from(*b))])
+            }
+            Decision::AnnealAccept { delta, temp } => JsonValue::object([
+                ("delta", JsonValue::from(*delta)),
+                ("temp", JsonValue::from(*temp)),
+            ]),
+            Decision::AstarSearch { expansions, found } => JsonValue::object([
+                ("expansions", JsonValue::from(*expansions)),
+                ("found", JsonValue::from(*found)),
+            ]),
+            Decision::JobStart { label } => {
+                JsonValue::object([("label", JsonValue::from(label.as_str()))])
+            }
+            Decision::JobFinish { label, ok } => JsonValue::object([
+                ("label", JsonValue::from(label.as_str())),
+                ("ok", JsonValue::from(*ok)),
+            ]),
+        }
+    }
+}
+
+/// What one trace event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A timing span opened (full slash-joined path).
+    SpanBegin {
+        /// Slash-joined nesting path, e.g. `pipeline/schedule`.
+        path: String,
+    },
+    /// A timing span closed (full slash-joined path).
+    SpanEnd {
+        /// Slash-joined nesting path, e.g. `pipeline/schedule`.
+        path: String,
+    },
+    /// A typed decision event.
+    Decision(Decision),
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the recorder was created.
+    pub ts_ns: u64,
+    /// Index into [`Trace::tracks`] for the recording thread.
+    pub track: usize,
+    /// Global record order under the recorder's lock. `(track, seq)`
+    /// is the documented normalization sort key: within one track it
+    /// recovers temporal order exactly, and it is deterministic for a
+    /// given recording (unlike `ts_ns`, which can collide).
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// An extracted, immutable event trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Track names (one per thread that recorded), in order of first
+    /// appearance.
+    pub tracks: Vec<String>,
+    /// The recorded events, in global record order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Returns the trace with events sorted by the documented
+    /// normalization key `(track, seq)`. Two recordings of the same
+    /// single-threaded compile normalize to the same event sequence;
+    /// multi-threaded recordings normalize deterministically per
+    /// track.
+    pub fn normalized(&self) -> Trace {
+        let mut out = self.clone();
+        out.events.sort_by_key(|e| (e.track, e.seq));
+        out
+    }
+
+    /// Renders the trace as Chrome trace-event JSON (see
+    /// [`crate::export::chrome_trace`]).
+    pub fn to_chrome_json(&self) -> String {
+        crate::export::chrome_trace(self)
+    }
+}
+
+#[derive(Default)]
+struct TraceInner {
+    /// `(thread_key, name)` pairs; index = track id.
+    tracks: Vec<(u64, String)>,
+    events: Vec<TraceEvent>,
+}
+
+/// Process-wide source of stable per-thread keys (thread ids are not
+/// ordered or dense; these are).
+static NEXT_THREAD_KEY: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_KEY: u64 = NEXT_THREAD_KEY.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A [`Recorder`] that keeps every event.
+///
+/// Install it like any recorder ([`crate::install`] / RAII guard);
+/// threads that share the same `Arc` get their own track, named after
+/// the recording thread. `add`/`observe` calls are intentionally
+/// ignored — aggregates belong to [`crate::MemoryRecorder`]; combine
+/// both with [`crate::FanoutRecorder`] to capture a trace and a
+/// snapshot in one run.
+pub struct TraceRecorder {
+    epoch: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> TraceRecorder {
+        TraceRecorder::new()
+    }
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder; timestamps count from now.
+    pub fn new() -> TraceRecorder {
+        TraceRecorder {
+            epoch: Instant::now(),
+            inner: Mutex::new(TraceInner::default()),
+        }
+    }
+
+    /// Extracts everything recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let inner = self.inner.lock().unwrap();
+        Trace {
+            tracks: inner.tracks.iter().map(|(_, name)| name.clone()).collect(),
+            events: inner.events.clone(),
+        }
+    }
+
+    fn push(&self, kind: TraceEventKind) {
+        let ts_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let key = THREAD_KEY.with(|k| *k);
+        let mut inner = self.inner.lock().unwrap();
+        let track = match inner.tracks.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                let name = std::thread::current()
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("thread-{key}"));
+                inner.tracks.push((key, name));
+                inner.tracks.len() - 1
+            }
+        };
+        let seq = inner.events.len() as u64;
+        inner.events.push(TraceEvent {
+            ts_ns,
+            track,
+            seq,
+            kind,
+        });
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record_span(&self, path: &str, _wall: Duration) {
+        self.push(TraceEventKind::SpanEnd {
+            path: path.to_string(),
+        });
+    }
+
+    fn add(&self, _name: &str, _delta: u64) {}
+
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    fn record_span_begin(&self, path: &str) {
+        self.push(TraceEventKind::SpanBegin {
+            path: path.to_string(),
+        });
+    }
+
+    fn wants_span_events(&self) -> bool {
+        true
+    }
+
+    fn record_decision(&self, decision: &Decision) {
+        self.push(TraceEventKind::Decision(decision.clone()));
+    }
+
+    fn wants_decisions(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_span_begin_end_pairs_in_order() {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = crate::install(rec.clone());
+            let _outer = crate::span("outer");
+            let _inner = crate::span("inner");
+        }
+        let trace = rec.snapshot();
+        let kinds: Vec<String> = trace
+            .events
+            .iter()
+            .map(|e| match &e.kind {
+                TraceEventKind::SpanBegin { path } => format!("B:{path}"),
+                TraceEventKind::SpanEnd { path } => format!("E:{path}"),
+                TraceEventKind::Decision(d) => format!("D:{}", d.name()),
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["B:outer", "B:outer/inner", "E:outer/inner", "E:outer"]
+        );
+        assert_eq!(trace.tracks.len(), 1);
+    }
+
+    #[test]
+    fn decisions_are_kept_verbatim() {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = crate::install(rec.clone());
+            crate::decision(&Decision::StackPeel { gate: 4, degree: 3 });
+            crate::counter("ignored.counter", 1);
+            crate::observe("ignored.histogram", 1.0);
+        }
+        let trace = rec.snapshot();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(
+            trace.events[0].kind,
+            TraceEventKind::Decision(Decision::StackPeel { gate: 4, degree: 3 })
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_named_tracks() {
+        let rec = Arc::new(TraceRecorder::new());
+        let guard = crate::install(rec.clone());
+        crate::decision(&Decision::JobStart {
+            label: "main".into(),
+        });
+        let handoff = crate::current().unwrap();
+        std::thread::Builder::new()
+            .name("trace-worker".into())
+            .spawn(move || {
+                let _g = crate::install(handoff);
+                crate::decision(&Decision::JobStart {
+                    label: "worker".into(),
+                });
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        drop(guard);
+        let trace = rec.snapshot();
+        assert_eq!(trace.tracks.len(), 2);
+        assert!(trace.tracks.contains(&"trace-worker".to_string()));
+        let worker_track = trace
+            .tracks
+            .iter()
+            .position(|t| t == "trace-worker")
+            .unwrap();
+        let worker_events: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| e.track == worker_track)
+            .collect();
+        assert_eq!(worker_events.len(), 1);
+    }
+
+    #[test]
+    fn normalized_sorts_by_track_then_seq() {
+        let trace = Trace {
+            tracks: vec!["a".into(), "b".into()],
+            events: vec![
+                TraceEvent {
+                    ts_ns: 9,
+                    track: 1,
+                    seq: 2,
+                    kind: TraceEventKind::SpanEnd { path: "x".into() },
+                },
+                TraceEvent {
+                    ts_ns: 5,
+                    track: 0,
+                    seq: 1,
+                    kind: TraceEventKind::SpanEnd { path: "y".into() },
+                },
+                TraceEvent {
+                    // Timestamp collision with the event below: the
+                    // sort key must not consult ts_ns at all.
+                    ts_ns: 1,
+                    track: 1,
+                    seq: 0,
+                    kind: TraceEventKind::SpanBegin { path: "x".into() },
+                },
+                TraceEvent {
+                    ts_ns: 1,
+                    track: 0,
+                    seq: 3,
+                    kind: TraceEventKind::SpanBegin { path: "y".into() },
+                },
+            ],
+        };
+        let sorted = trace.normalized();
+        let keys: Vec<(usize, u64)> = sorted.events.iter().map(|e| (e.track, e.seq)).collect();
+        assert_eq!(keys, vec![(0, 1), (0, 3), (1, 0), (1, 2)]);
+    }
+}
