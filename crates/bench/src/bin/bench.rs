@@ -15,15 +15,25 @@
 //!   can be inspected, not just flagged. `--inject-slowdown <factor>`
 //!   multiplies the fresh scores — a self-test hook proving the gate
 //!   fires (used by CI).
+//! - `serve` — throughput/latency bench of the `autobraidd` compile
+//!   service: starts an in-process daemon, hammers it with `--clients`
+//!   concurrent connections issuing `--requests` compiles each, and
+//!   reports compiles/sec with p50/p99 latency. `--threads N` sizes the
+//!   daemon's worker pool; `--no-cache` makes every request pay a full
+//!   compile instead of hitting the content-addressed cache. The same
+//!   round-trips join the regression suite as `serve/roundtrip_hit` /
+//!   `serve/roundtrip_miss`. Protocol details: `docs/SERVICE.md`.
 //!
 //! Run with `cargo run --release -p autobraid-bench --bin bench -- regress`.
 
 use autobraid_bench::regression::{
     compare, run_baseline, suite, Baseline, DEFAULT_BASELINE_PATH, DEFAULT_REPEATS,
 };
-use autobraid_bench::{enforce_flags, string_flag, usize_flag};
+use autobraid_bench::{enforce_flags, flag_requested, string_flag, usize_flag};
+use autobraid_service::{Client, CompileRequest, Server, ServiceConfig};
 use autobraid_telemetry::{install, TraceRecorder};
 use std::sync::Arc;
+use std::time::Instant;
 
 const VALID_FLAGS: &[&str] = &[
     "--out",
@@ -31,6 +41,10 @@ const VALID_FLAGS: &[&str] = &[
     "--repeats",
     "--inject-slowdown",
     "--trace-dir",
+    "--clients",
+    "--requests",
+    "--threads",
+    "--no-cache",
 ];
 
 fn f64_flag(name: &str) -> Option<f64> {
@@ -39,9 +53,10 @@ fn f64_flag(name: &str) -> Option<f64> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <baseline|regress> [flags]\n\
+        "usage: bench <baseline|regress|serve> [flags]\n\
          \x20 baseline  --out <path> --repeats <n>\n\
-         \x20 regress   --baseline <path> --repeats <n> --trace-dir <dir> --inject-slowdown <f>"
+         \x20 regress   --baseline <path> --repeats <n> --trace-dir <dir> --inject-slowdown <f>\n\
+         \x20 serve     --clients <n> --requests <n> --threads <n> [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -56,8 +71,75 @@ fn main() {
     match subcommand.as_str() {
         "baseline" => run_baseline_cmd(repeats),
         "regress" => run_regress_cmd(repeats),
+        "serve" => run_serve_cmd(),
         _ => usage(),
     }
+}
+
+/// Load-tests an in-process daemon: `--clients` concurrent connections
+/// issuing `--requests` compiles of the same circuit each, then reports
+/// compiles/sec and latency percentiles.
+fn run_serve_cmd() {
+    let clients = usize_flag("--clients", 4);
+    let requests = usize_flag("--requests", 64);
+    let threads = usize_flag("--threads", 2);
+    let use_cache = !flag_requested("--no-cache");
+    let server = Server::start(ServiceConfig {
+        threads,
+        ..ServiceConfig::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("serve bench: daemon failed to start: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr();
+    eprintln!(
+        "serve bench: {clients} clients x {requests} requests, {threads} workers, cache {}",
+        if use_cache { "on" } else { "off" }
+    );
+    let qasm = "qreg q[4]; h q[0]; cx q[0],q[1]; cx q[1],q[2]; cx q[2],q[3];";
+    let start = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<Vec<f64>>> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to daemon");
+                let request = CompileRequest::qasm(qasm).with_cache(use_cache);
+                (0..requests)
+                    .map(|_| {
+                        let sent = Instant::now();
+                        client.compile(&request).expect("compile round-trip");
+                        sent.elapsed().as_secs_f64() * 1e3
+                    })
+                    .collect()
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let percentile = |p: f64| -> f64 {
+        let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ms[idx]
+    };
+    let total = latencies_ms.len();
+    let cache = server.cache_stats();
+    println!(
+        "serve: {total} compiles in {elapsed:.2} s -> {:.1} compiles/sec",
+        total as f64 / elapsed
+    );
+    println!(
+        "latency: p50 {:.3} ms, p99 {:.3} ms (max {:.3} ms)",
+        percentile(0.50),
+        percentile(0.99),
+        latencies_ms.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "cache: {} hits, {} misses, {} entries",
+        cache.hits, cache.misses, cache.entries
+    );
 }
 
 fn run_baseline_cmd(repeats: usize) {

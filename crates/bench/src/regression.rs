@@ -24,8 +24,10 @@ use autobraid_placement::{anneal, AnnealConfig, Placement};
 use autobraid_router::astar::{find_path, SearchLimits};
 use autobraid_router::path::CxRequest;
 use autobraid_router::stack_finder::route_concurrent;
+use autobraid_service::{Client, CompileRequest, Server, ServiceConfig};
 use autobraid_telemetry::bench::black_box;
 use autobraid_telemetry::{JsonValue, Rng64};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Identifier of the baseline JSON layout, emitted as the `schema`
@@ -295,6 +297,58 @@ pub fn suite() -> Vec<BenchCase> {
             }),
         });
     }
+
+    // --- service round-trips over loopback TCP (daemon + protocol +
+    // cache overhead; see `crates/service` and docs/SERVICE.md) ---
+    let serve_qasm = "qreg q[4]; h q[0]; cx q[0],q[1]; cx q[1],q[2]; cx q[2],q[3];";
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            threads: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("service binds loopback"),
+    );
+    let addr = server.addr();
+
+    // Hit round-trip: cache primed once, every iteration is answered
+    // from the content-addressed cache — measures pure service overhead
+    // (framing, parsing, lookup), no compile.
+    let hit_request = CompileRequest::qasm(serve_qasm);
+    let mut primer = Client::connect(addr).expect("service connect");
+    primer.compile(&hit_request).expect("cache priming compile");
+    let hit_client = Mutex::new(primer);
+    {
+        let server = Arc::clone(&server);
+        cases.push(BenchCase {
+            name: "serve/roundtrip_hit",
+            run: Box::new(move || {
+                let _keepalive = &server;
+                let outcome = hit_client
+                    .lock()
+                    .expect("client usable")
+                    .compile(&hit_request)
+                    .expect("hit round-trip");
+                black_box(outcome.elapsed_ms);
+            }),
+        });
+    }
+
+    // Uncached round-trip: the cache is skipped, so every iteration
+    // pays the full compile — service overhead plus scheduling.
+    let miss_request = CompileRequest::qasm(serve_qasm).with_cache(false);
+    let miss_client = Mutex::new(Client::connect(addr).expect("service connect"));
+    cases.push(BenchCase {
+        name: "serve/roundtrip_miss",
+        run: Box::new(move || {
+            let _keepalive = &server;
+            let outcome = miss_client
+                .lock()
+                .expect("client usable")
+                .compile(&miss_request)
+                .expect("uncached round-trip");
+            black_box(outcome.elapsed_ms);
+        }),
+    });
 
     cases
 }

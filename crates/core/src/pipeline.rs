@@ -267,50 +267,6 @@ impl Pipeline {
         &self.config
     }
 
-    /// Chooses the scheduler.
-    #[deprecated(
-        since = "0.2.0",
-        note = "set `CompileOptions::strategy` via `with_options`"
-    )]
-    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
-        self.options.strategy = strategy;
-        self
-    }
-
-    /// Enables/disables the peephole optimizer.
-    #[deprecated(
-        since = "0.2.0",
-        note = "set `CompileOptions::optimize` via `with_options`"
-    )]
-    pub fn with_optimizer(mut self, on: bool) -> Self {
-        self.options.optimize = on;
-        self
-    }
-
-    /// Enables/disables post-scheduling verification (requires
-    /// [`Recording::Full`]; the pipeline skips the check otherwise).
-    #[deprecated(
-        since = "0.2.0",
-        note = "set `CompileOptions::verify` via `with_options`"
-    )]
-    pub fn with_verification(mut self, on: bool) -> Self {
-        self.options.verify = on;
-        self
-    }
-
-    /// Enables/disables telemetry collection. When on, each compile
-    /// installs a fresh [`MemoryRecorder`] for its duration (restoring any
-    /// previously installed recorder afterwards) and attaches the
-    /// resulting [`TelemetrySnapshot`] to [`CompileReport::telemetry`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "set `CompileOptions::telemetry` via `with_options`"
-    )]
-    pub fn with_telemetry(mut self, on: bool) -> Self {
-        self.options.telemetry = on;
-        self
-    }
-
     /// Compiles an OpenQASM 2.0 program.
     ///
     /// # Errors
@@ -577,21 +533,6 @@ mod tests {
             .compile(&c)
             .unwrap();
         assert!(report.outcome.result.total_cycles > 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_work() {
-        // The 0.1 builder setters must keep functioning until removal.
-        let p = Pipeline::new()
-            .with_strategy(Strategy::Maslov)
-            .with_optimizer(false)
-            .with_verification(false)
-            .with_telemetry(true);
-        assert_eq!(p.options().strategy, Strategy::Maslov);
-        assert!(!p.options().optimize);
-        assert!(!p.options().verify);
-        assert!(p.options().telemetry);
     }
 
     #[test]

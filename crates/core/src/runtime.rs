@@ -228,6 +228,17 @@ impl From<Circuit> for CompileJob {
 }
 
 impl Pipeline {
+    /// Compiles one [`CompileJob`] on the calling thread with the same
+    /// semantics a batch member gets: a panic inside the compile is
+    /// caught and reported as [`PipelineError::Panicked`] carrying the
+    /// job's label, instead of unwinding into the caller. This is the
+    /// entry point long-running hosts (like the `autobraid-service`
+    /// daemon) use to run externally supplied circuits on pooled
+    /// workers without letting one bad circuit take the worker down.
+    pub fn compile_job(&self, job: &CompileJob) -> Result<CompileReport, PipelineError> {
+        run_job(self, job)
+    }
+
     /// Compiles a batch of jobs, fanning them across
     /// [`CompileOptions::threads`] workers.
     ///

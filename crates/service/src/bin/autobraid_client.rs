@@ -1,0 +1,197 @@
+//! `autobraid-client` — command-line client for `autobraidd`.
+//!
+//! ```text
+//! autobraid-client --addr HOST:PORT ping
+//! autobraid-client --addr HOST:PORT stats
+//! autobraid-client --addr HOST:PORT compile FILE [--label NAME]
+//!     [--format qasm|conformance] [--strategy NAME] [--no-cache]
+//!     [--telemetry] [--trace] [--distance D] [--timeout-ms MS]
+//! ```
+//!
+//! `compile` auto-detects conformance repro files by their
+//! `// autobraid.conformance/v1` header; `FILE` may be `-` for stdin.
+//! The first output line is `cache=<hit|miss|bypass>` (stable for
+//! scripting), followed by the canonical report JSON.
+
+use autobraid::pipeline::Strategy;
+use autobraid_service::protocol::SourceFormat;
+use autobraid_service::{Client, CompileRequest};
+use std::io::Read;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autobraid-client --addr HOST:PORT <ping|stats|compile FILE> \
+         [--label NAME] [--format qasm|conformance] [--strategy NAME] \
+         [--no-cache] [--telemetry] [--trace] [--distance D] [--timeout-ms MS]"
+    );
+    std::process::exit(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("autobraid-client: {message}");
+    std::process::exit(1)
+}
+
+struct Args {
+    addr: Option<String>,
+    command: Option<String>,
+    file: Option<String>,
+    label: Option<String>,
+    format: Option<SourceFormat>,
+    strategy: Option<Strategy>,
+    no_cache: bool,
+    telemetry: bool,
+    trace: bool,
+    distance: Option<u32>,
+    timeout_ms: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: None,
+        command: None,
+        file: None,
+        label: None,
+        format: None,
+        strategy: None,
+        no_cache: false,
+        telemetry: false,
+        trace: false,
+        distance: None,
+        timeout_ms: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("autobraid-client: {flag} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr")),
+            "--label" => parsed.label = Some(value("--label")),
+            "--format" => {
+                let name = value("--format");
+                parsed.format = Some(
+                    SourceFormat::from_name(&name)
+                        .unwrap_or_else(|| fail(format!("unknown format `{name}`"))),
+                );
+            }
+            "--strategy" => {
+                let name = value("--strategy");
+                parsed.strategy = Some(
+                    Strategy::ALL
+                        .into_iter()
+                        .find(|s| s.name() == name)
+                        .unwrap_or_else(|| fail(format!("unknown strategy `{name}`"))),
+                );
+            }
+            "--no-cache" => parsed.no_cache = true,
+            "--telemetry" => parsed.telemetry = true,
+            "--trace" => parsed.trace = true,
+            "--distance" => {
+                parsed.distance = Some(
+                    value("--distance")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --distance")),
+                )
+            }
+            "--timeout-ms" => {
+                parsed.timeout_ms = Some(
+                    value("--timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("bad --timeout-ms")),
+                )
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with("--") => {
+                eprintln!("autobraid-client: unknown flag `{other}`");
+                usage()
+            }
+            other if parsed.command.is_none() => parsed.command = Some(other.to_string()),
+            other if parsed.file.is_none() => parsed.file = Some(other.to_string()),
+            other => {
+                eprintln!("autobraid-client: unexpected argument `{other}`");
+                usage()
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let addr = args.addr.clone().unwrap_or_else(|| {
+        eprintln!("autobraid-client: --addr is required");
+        usage()
+    });
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")));
+    match args.command.as_deref() {
+        Some("ping") => {
+            client.ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        Some("stats") => {
+            let stats = client.stats().unwrap_or_else(|e| fail(e));
+            println!("{}", stats.render_pretty());
+        }
+        Some("compile") => run_compile(&mut client, &args),
+        _ => usage(),
+    }
+}
+
+fn run_compile(client: &mut Client, args: &Args) {
+    let path = args.file.clone().unwrap_or_else(|| {
+        eprintln!("autobraid-client: compile needs a FILE (or `-` for stdin)");
+        usage()
+    });
+    let source = if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .unwrap_or_else(|e| fail(format!("reading stdin: {e}")));
+        text
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")))
+    };
+    let format = args.format.unwrap_or_else(|| {
+        if source.trim_start().starts_with("// autobraid.conformance/") {
+            SourceFormat::Conformance
+        } else {
+            SourceFormat::Qasm
+        }
+    });
+    let mut request = match format {
+        SourceFormat::Qasm => CompileRequest::qasm(source),
+        SourceFormat::Conformance => CompileRequest::conformance(source),
+    };
+    if let Some(label) = &args.label {
+        request = request.with_label(label.clone());
+    }
+    if let Some(strategy) = args.strategy {
+        request = request.with_strategy(strategy);
+    }
+    if args.no_cache {
+        request = request.with_cache(false);
+    }
+    request = request
+        .with_telemetry(args.telemetry)
+        .with_trace(args.trace);
+    if let Some(d) = args.distance {
+        request = request.with_distance(d);
+    }
+    if let Some(t) = args.timeout_ms {
+        request = request.with_timeout_ms(t);
+    }
+    let outcome = client.compile(&request).unwrap_or_else(|e| fail(e));
+    println!("cache={}", outcome.cache.name());
+    println!("{}", outcome.report.render_pretty());
+    if let Some(telemetry) = &outcome.telemetry {
+        println!("{}", telemetry.render_pretty());
+    }
+    if let Some(trace) = &outcome.trace {
+        println!("{}", trace.render_pretty());
+    }
+}

@@ -1,0 +1,69 @@
+//! `autobraidd` — the AutoBraid compile daemon.
+//!
+//! ```text
+//! autobraidd [--addr HOST:PORT] [--threads N] [--queue N] [--cache N]
+//!            [--timeout-ms MS]
+//! ```
+//!
+//! Binds, prints `autobraidd listening on <addr>` on stdout (port 0 in
+//! `--addr` picks a free port, so scripts can scrape the line), and
+//! serves until killed. Protocol and examples: `docs/SERVICE.md`.
+
+use autobraid_service::{Server, ServiceConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autobraidd [--addr HOST:PORT] [--threads N] [--queue N] \
+         [--cache N] [--timeout-ms MS]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("autobraidd: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.bind_addr = value("--addr"),
+            "--threads" => config.threads = parse(&value("--threads"), "--threads"),
+            "--queue" => config.queue_capacity = parse(&value("--queue"), "--queue"),
+            "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
+            "--timeout-ms" => {
+                config.default_timeout_ms = parse(&value("--timeout-ms"), "--timeout-ms")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("autobraidd: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("autobraidd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("autobraidd listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    // Serve until the process is killed; all the work happens on the
+    // acceptor/connection/pool threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("autobraidd: bad value `{text}` for {flag}");
+        usage()
+    })
+}

@@ -1,0 +1,263 @@
+//! The content-addressed compile cache.
+//!
+//! A cache entry maps the *content* of a compile request — the
+//! canonical circuit text, the lattice geometry, and the effective
+//! [`CompileOptions`](autobraid::pipeline::CompileOptions) — to the
+//! canonical compile-report JSON. The determinism contract
+//! (`docs/RUNTIME.md`: `canonical_compile_report_json` is byte-stable
+//! for a given input, whatever the thread count or wall clock) is what
+//! makes a hit *provably* equivalent to recompiling: the cached bytes
+//! are exactly the bytes a fresh compile would produce.
+//!
+//! Keys hash with FNV-1a (stable across processes and platforms, so a
+//! future persistent cache can reuse them), but the full key string is
+//! retained and compared on lookup — a 64-bit hash collision degrades
+//! to a miss, never to a wrong report.
+
+use std::collections::HashMap;
+
+/// 64-bit FNV-1a over a byte string: small, stable, and fast for the
+/// kilobyte-scale keys a circuit produces.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A content-address: the FNV-1a hash plus the full key text it was
+/// computed from (kept to rule out collisions on lookup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    hash: u64,
+    text: String,
+}
+
+impl CacheKey {
+    /// Builds a key from its three content components. The components
+    /// are joined with `\x1f` separators so no concatenation of
+    /// different components can alias.
+    pub fn new(circuit: &str, geometry: &str, options: &str) -> CacheKey {
+        let text = format!("{circuit}\x1f{geometry}\x1f{options}");
+        CacheKey {
+            hash: fnv1a64(text.as_bytes()),
+            text,
+        }
+    }
+
+    /// The stable 64-bit content hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    key_text: String,
+    value: String,
+    last_used: u64,
+}
+
+/// Point-in-time cache counters, reported by the `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a hash collision).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// A least-recently-used map from [`CacheKey`] to canonical report
+/// JSON, with hit/miss/eviction counters.
+///
+/// ```
+/// use autobraid_service::cache::{CacheKey, ReportCache};
+///
+/// let mut cache = ReportCache::new(2);
+/// let key = CacheKey::new("qreg q[2];", "qubits=2", "strategy=autobraid-full");
+/// assert!(cache.get(&key).is_none());
+/// cache.insert(key.clone(), "{\"circuit\":\"x\"}".to_string());
+/// assert_eq!(cache.get(&key).as_deref(), Some("{\"circuit\":\"x\"}"));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct ReportCache {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ReportCache {
+    /// A cache holding at most `capacity` reports (0 disables caching:
+    /// every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> ReportCache {
+        ReportCache {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<String> {
+        self.tick += 1;
+        match self.entries.get_mut(&key.hash) {
+            Some(entry) if entry.key_text == key.text => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one when at capacity.
+    pub fn insert(&mut self, key: CacheKey, value: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key.hash) && self.entries.len() >= self.capacity {
+            if let Some(&oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(h, _)| h)
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key.hash,
+            Entry {
+                key_text: key.text,
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: usize) -> CacheKey {
+        CacheKey::new(
+            &format!("circuit-{n}"),
+            "qubits=4",
+            "strategy=autobraid-full",
+        )
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Published FNV-1a test vectors: the hash must never drift, or
+        // a future persistent cache would silently invalidate.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_components_never_alias() {
+        // "ab" + "c" vs "a" + "bc" must produce different keys.
+        let k1 = CacheKey::new("ab", "c", "x");
+        let k2 = CacheKey::new("a", "bc", "x");
+        assert_ne!(k1, k2);
+        let mut cache = ReportCache::new(4);
+        cache.insert(k1, "one".into());
+        assert!(cache.get(&k2).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut cache = ReportCache::new(2);
+        cache.insert(key(1), "v1".into());
+        cache.insert(key(2), "v2".into());
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("v1")); // warm 1
+        cache.insert(key(3), "v3".into()); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(2)).is_none());
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("v1"));
+        assert_eq!(cache.get(&key(3)).as_deref(), Some("v3"));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.capacity, 2);
+    }
+
+    #[test]
+    fn reinserting_replaces_without_eviction() {
+        let mut cache = ReportCache::new(1);
+        cache.insert(key(1), "old".into());
+        cache.insert(key(1), "new".into());
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&key(1)).as_deref(), Some("new"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ReportCache::new(0);
+        cache.insert(key(1), "v".into());
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn hash_collisions_degrade_to_misses() {
+        let mut cache = ReportCache::new(4);
+        let k = key(1);
+        // Forge a colliding key: same hash, different text.
+        let forged = CacheKey {
+            hash: k.hash(),
+            text: "something else".into(),
+        };
+        cache.insert(k, "real".into());
+        assert!(cache.get(&forged).is_none(), "collision must miss");
+    }
+}

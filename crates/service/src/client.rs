@@ -1,0 +1,192 @@
+//! A small synchronous client for the `autobraid.service/v1` protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues blocking
+//! request/response exchanges. It is deliberately minimal — enough for
+//! tests, the `autobraid-client` CLI, and the `bench serve` load
+//! generator; anything speaking length-prefixed JSON works just as well
+//! (see `docs/SERVICE.md` for a `python3`-only quickstart).
+
+use crate::protocol::{
+    read_frame, write_frame, CacheStatus, CompileRequest, ErrorKind, FrameError, ServiceError,
+    DEFAULT_MAX_FRAME, PROTOCOL,
+};
+use autobraid_telemetry::JsonValue;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(io::Error),
+    /// The server sent something that is not a valid protocol response.
+    Protocol(String),
+    /// The server answered with a typed error response.
+    Service(ServiceError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol violation: {d}"),
+            ClientError::Service(e) => write!(f, "service error — {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A successful compile exchange.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// Where the response came from (hit/miss/bypass).
+    pub cache: CacheStatus,
+    /// Server-side wall-clock for the request, in milliseconds.
+    pub elapsed_ms: f64,
+    /// The canonical compile report (the deterministic view — see
+    /// `docs/RUNTIME.md`).
+    pub report: JsonValue,
+    /// Attached `autobraid.telemetry/v1` snapshot, when requested.
+    pub telemetry: Option<JsonValue>,
+    /// Attached Chrome-format event trace, when requested.
+    pub trace: Option<JsonValue>,
+}
+
+/// One connection to an `autobraidd` instance.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response ping-pong with small frames: Nagle buys
+        // nothing and costs a delayed-ACK round trip per exchange.
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// One raw request/response exchange with an already-rendered
+    /// request document. Returns the parsed response after unwrapping
+    /// typed error envelopes into [`ClientError::Service`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure, a malformed response, or a
+    /// typed error response.
+    pub fn request(&mut self, request: &JsonValue) -> Result<JsonValue, ClientError> {
+        write_frame(&mut self.stream, &request.render_compact())?;
+        let payload = read_frame(&mut self.stream, self.max_frame_bytes)?
+            .ok_or_else(|| ClientError::Protocol("server closed before responding".into()))?;
+        let doc = JsonValue::parse(&payload)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        match doc.get("status").and_then(JsonValue::as_str) {
+            Some("ok") => Ok(doc),
+            Some("error") => {
+                let err = doc.get("error");
+                let kind = err
+                    .and_then(|e| e.get("kind"))
+                    .and_then(JsonValue::as_str)
+                    .and_then(ErrorKind::from_name)
+                    .ok_or_else(|| {
+                        ClientError::Protocol("error response without a known kind".into())
+                    })?;
+                let detail = err
+                    .and_then(|e| e.get("detail"))
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(ClientError::Service(ServiceError::new(kind, detail)))
+            }
+            _ => Err(ClientError::Protocol(
+                "response missing `status` (ok|error)".into(),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let response = self.request(&JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("ping")),
+        ]))?;
+        match response.get("kind").and_then(JsonValue::as_str) {
+            Some("pong") => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's counters, cache statistics, and latency
+    /// percentiles.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure.
+    pub fn stats(&mut self) -> Result<JsonValue, ClientError> {
+        self.request(&JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("stats")),
+        ]))
+    }
+
+    /// Submits a compile and waits for the report.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Service`] with the server's typed error (`parse`,
+    /// `overloaded`, `timeout`, …) or transport/protocol failures.
+    pub fn compile(&mut self, request: &CompileRequest) -> Result<CompileOutcome, ClientError> {
+        let response = self.request(&request.to_json())?;
+        let cache = response
+            .get("cache")
+            .and_then(JsonValue::as_str)
+            .and_then(CacheStatus::from_name)
+            .ok_or_else(|| ClientError::Protocol("report without a cache status".into()))?;
+        let elapsed_ms = response
+            .get("elapsed_ms")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let report = response
+            .get("report")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("report response without a report".into()))?;
+        Ok(CompileOutcome {
+            cache,
+            elapsed_ms,
+            report,
+            telemetry: response.get("telemetry").cloned(),
+            trace: response.get("trace").cloned(),
+        })
+    }
+}

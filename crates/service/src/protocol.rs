@@ -1,0 +1,677 @@
+//! The `autobraid.service/v1` wire protocol: frame codec, request and
+//! response schemas, and the typed error taxonomy.
+//!
+//! A connection carries a sequence of independent request/response
+//! exchanges. Every message is one **frame**: a 4-byte big-endian
+//! `u32` byte length followed by that many bytes of UTF-8 JSON. The
+//! JSON schemas are specified in `docs/SERVICE.md`; both sides parse
+//! with the zero-dependency [`JsonValue`] reader.
+
+use autobraid::pipeline::Strategy;
+use autobraid_telemetry::JsonValue;
+use std::io::{self, Read, Write};
+
+/// Protocol identifier, carried in the `proto` field of every message.
+/// Bump the suffix when the schema changes incompatibly.
+pub const PROTOCOL: &str = "autobraid.service/v1";
+
+/// Default cap on one frame's payload (16 MiB) — large enough for any
+/// realistic circuit or trace, small enough to bound a connection's
+/// memory.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one frame: length prefix, then the payload bytes.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    // One write for prefix + payload: a split write puts the 4-byte
+    // prefix in its own TCP segment, and Nagle + delayed ACK then stall
+    // the payload segment for tens of milliseconds per exchange.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// A frame-level read failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed mid-frame.
+    Io(io::Error),
+    /// The peer announced a frame larger than the configured cap.
+    TooLarge {
+        /// Announced payload length.
+        announced: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The payload was not valid UTF-8.
+    Utf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::TooLarge { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Utf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); an EOF *inside* a frame is an error.
+///
+/// # Errors
+///
+/// [`FrameError`] on transport failure, an oversized announcement, or
+/// a non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Option<String>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None), // clean close
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let announced = u32::from_be_bytes(len_bytes) as usize;
+    if announced > max_bytes {
+        return Err(FrameError::TooLarge {
+            announced,
+            max: max_bytes,
+        });
+    }
+    let mut payload = vec![0u8; announced];
+    r.read_exact(&mut payload).map_err(FrameError::Io)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| FrameError::Utf8)
+}
+
+/// The typed error taxonomy of `autobraid.service/v1` (the `error.kind`
+/// field). Clients can branch on the kind without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request frame was not a valid protocol message (bad JSON,
+    /// missing fields, unknown `kind`, oversized frame).
+    Protocol,
+    /// The submitted circuit failed to parse (QASM or conformance-repro
+    /// syntax error).
+    Parse,
+    /// The request is well-formed but asks for something the service
+    /// does not implement (e.g. a defective-channel overlay).
+    Unsupported,
+    /// Admission control rejected the request: the bounded compile
+    /// queue is full. Retry later; the connection stays usable.
+    Overloaded,
+    /// The compile did not finish within the request's deadline. The
+    /// connection stays usable; the abandoned compile still releases
+    /// its queue slot when it completes.
+    Timeout,
+    /// The compile itself failed (verification rejection or a panic) —
+    /// a compiler bug worth reporting.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<ErrorKind> {
+        [
+            ErrorKind::Protocol,
+            ErrorKind::Parse,
+            ErrorKind::Unsupported,
+            ErrorKind::Overloaded,
+            ErrorKind::Timeout,
+            ErrorKind::Internal,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+/// A typed service error: the taxonomy kind plus a human detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Which taxonomy bucket this error falls in.
+    pub kind: ErrorKind,
+    /// Human-readable context (never required for client branching).
+    pub detail: String,
+}
+
+impl ServiceError {
+    /// Builds an error.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        ServiceError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Renders the error-response JSON envelope.
+    pub fn to_response(&self) -> JsonValue {
+        JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("status", JsonValue::from("error")),
+            (
+                "error",
+                JsonValue::object([
+                    ("kind", JsonValue::from(self.kind.name())),
+                    ("detail", JsonValue::from(self.detail.as_str())),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.detail)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Where a compile response came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the content-addressed cache without compiling.
+    Hit,
+    /// Compiled now; the canonical report was stored for next time.
+    Miss,
+    /// Compiled now; the cache was not consulted (the request disabled
+    /// it, or asked for telemetry/trace which the cache never stores).
+    Bypass,
+}
+
+impl CacheStatus {
+    /// The wire name of this status.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<CacheStatus> {
+        [CacheStatus::Hit, CacheStatus::Miss, CacheStatus::Bypass]
+            .into_iter()
+            .find(|s| s.name() == name)
+    }
+}
+
+/// The circuit text formats a compile request may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceFormat {
+    /// Plain OpenQASM 2.0 (the subset of `autobraid_circuit::qasm`).
+    #[default]
+    Qasm,
+    /// A conformance repro file (`// autobraid.conformance/v1` header
+    /// plus QASM) — the conformance fuzzer's DSL output format.
+    Conformance,
+}
+
+impl SourceFormat {
+    /// The wire name of this format.
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceFormat::Qasm => "qasm",
+            SourceFormat::Conformance => "conformance",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<SourceFormat> {
+        [SourceFormat::Qasm, SourceFormat::Conformance]
+            .into_iter()
+            .find(|f| f.name() == name)
+    }
+}
+
+/// One compile submission, with builder-style construction on the
+/// client side.
+///
+/// ```
+/// use autobraid_service::protocol::CompileRequest;
+/// use autobraid::pipeline::Strategy;
+///
+/// let req = CompileRequest::qasm("qreg q[2]; cx q[0],q[1];")
+///     .with_label("bell")
+///     .with_strategy(Strategy::StackOnly)
+///     .with_timeout_ms(5_000);
+/// assert_eq!(req.to_json().get("kind").unwrap().as_str(), Some("compile"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// How to interpret [`CompileRequest::source`].
+    pub format: SourceFormat,
+    /// The circuit text.
+    pub source: String,
+    /// Optional circuit name override (part of the cache key — the
+    /// canonical report carries the name).
+    pub label: Option<String>,
+    /// Scheduler override; `None` uses the server default.
+    pub strategy: Option<Strategy>,
+    /// Peephole-optimizer override; `None` uses the server default.
+    pub optimize: Option<bool>,
+    /// Verification override; `None` uses the server default.
+    pub verify: Option<bool>,
+    /// Attach an `autobraid.telemetry/v1` snapshot to the response
+    /// (forces a cache bypass).
+    pub telemetry: bool,
+    /// Attach an `autobraid.trace/v1` Chrome trace to the response
+    /// (forces a cache bypass).
+    pub trace: bool,
+    /// Code-distance override: changes the lattice timing model, hence
+    /// the cache key and the reported wall-clock scaling.
+    pub distance: Option<u32>,
+    /// Per-request deadline in milliseconds; `None` uses the server
+    /// default. Clamped to the server's maximum.
+    pub timeout_ms: Option<u64>,
+    /// `false` skips the cache entirely (response says `bypass`).
+    pub use_cache: bool,
+}
+
+impl CompileRequest {
+    /// A request carrying OpenQASM 2.0 source.
+    pub fn qasm(source: impl Into<String>) -> Self {
+        CompileRequest {
+            format: SourceFormat::Qasm,
+            source: source.into(),
+            label: None,
+            strategy: None,
+            optimize: None,
+            verify: None,
+            telemetry: false,
+            trace: false,
+            distance: None,
+            timeout_ms: None,
+            use_cache: true,
+        }
+    }
+
+    /// A request carrying a conformance repro file.
+    pub fn conformance(source: impl Into<String>) -> Self {
+        CompileRequest {
+            format: SourceFormat::Conformance,
+            ..CompileRequest::qasm(source)
+        }
+    }
+
+    /// Sets the circuit name used in reports (and the cache key).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Overrides the scheduler strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Overrides the peephole-optimizer setting.
+    pub fn with_optimize(mut self, on: bool) -> Self {
+        self.optimize = Some(on);
+        self
+    }
+
+    /// Overrides the verification setting.
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = Some(on);
+        self
+    }
+
+    /// Requests an attached telemetry snapshot (cache bypass).
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Requests an attached event trace (cache bypass).
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Overrides the surface-code distance.
+    pub fn with_distance(mut self, distance: u32) -> Self {
+        self.distance = Some(distance);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn with_timeout_ms(mut self, timeout_ms: u64) -> Self {
+        self.timeout_ms = Some(timeout_ms);
+        self
+    }
+
+    /// Enables/disables the cache for this request.
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Renders the request message.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("proto".to_string(), JsonValue::from(PROTOCOL)),
+            ("kind".to_string(), JsonValue::from("compile")),
+            ("format".to_string(), JsonValue::from(self.format.name())),
+            ("source".to_string(), JsonValue::from(self.source.as_str())),
+        ];
+        if let Some(label) = &self.label {
+            fields.push(("label".to_string(), JsonValue::from(label.as_str())));
+        }
+        let mut options: Vec<(String, JsonValue)> = Vec::new();
+        if let Some(s) = self.strategy {
+            options.push(("strategy".to_string(), JsonValue::from(s.name())));
+        }
+        if let Some(o) = self.optimize {
+            options.push(("optimize".to_string(), JsonValue::from(o)));
+        }
+        if let Some(v) = self.verify {
+            options.push(("verify".to_string(), JsonValue::from(v)));
+        }
+        if self.telemetry {
+            options.push(("telemetry".to_string(), JsonValue::from(true)));
+        }
+        if self.trace {
+            options.push(("trace".to_string(), JsonValue::from(true)));
+        }
+        if !options.is_empty() {
+            fields.push(("options".to_string(), JsonValue::Object(options)));
+        }
+        if let Some(d) = self.distance {
+            fields.push(("distance".to_string(), JsonValue::from(d)));
+        }
+        if let Some(t) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), JsonValue::from(t)));
+        }
+        if !self.use_cache {
+            fields.push(("cache".to_string(), JsonValue::from(false)));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// A parsed request message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with `kind: "pong"`.
+    Ping,
+    /// Service counters, cache statistics, and latency percentiles.
+    Stats,
+    /// A compile submission.
+    Compile(Box<CompileRequest>),
+}
+
+impl Request {
+    /// Parses a request frame's JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Protocol`] errors naming the offending field.
+    pub fn from_json(doc: &JsonValue) -> Result<Request, ServiceError> {
+        let proto_err = |detail: String| ServiceError::new(ErrorKind::Protocol, detail);
+        match doc.get("proto").and_then(JsonValue::as_str) {
+            Some(PROTOCOL) => {}
+            Some(other) => {
+                return Err(proto_err(format!(
+                    "unsupported protocol `{other}` (this server speaks {PROTOCOL})"
+                )))
+            }
+            None => return Err(proto_err(format!("missing `proto` (expected {PROTOCOL})"))),
+        }
+        match doc.get("kind").and_then(JsonValue::as_str) {
+            Some("ping") => Ok(Request::Ping),
+            Some("stats") => Ok(Request::Stats),
+            Some("compile") => {
+                let source = doc
+                    .get("source")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| proto_err("compile request missing `source`".to_string()))?
+                    .to_string();
+                let format = match doc.get("format").and_then(JsonValue::as_str) {
+                    None => SourceFormat::Qasm,
+                    Some(name) => SourceFormat::from_name(name).ok_or_else(|| {
+                        proto_err(format!("unknown format `{name}` (qasm|conformance)"))
+                    })?,
+                };
+                let options = doc.get("options");
+                let opt_bool = |key: &str| options.and_then(|o| o.get(key)?.as_bool());
+                let strategy = match options.and_then(|o| o.get("strategy")?.as_str()) {
+                    None => None,
+                    Some(name) => Some(
+                        Strategy::ALL
+                            .into_iter()
+                            .find(|s| s.name() == name)
+                            .ok_or_else(|| {
+                                proto_err(format!(
+                                    "unknown strategy `{name}` (valid: {})",
+                                    Strategy::ALL.map(|s| s.name()).join(", ")
+                                ))
+                            })?,
+                    ),
+                };
+                Ok(Request::Compile(Box::new(CompileRequest {
+                    format,
+                    source,
+                    label: doc
+                        .get("label")
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string),
+                    strategy,
+                    optimize: opt_bool("optimize"),
+                    verify: opt_bool("verify"),
+                    telemetry: opt_bool("telemetry").unwrap_or(false),
+                    trace: opt_bool("trace").unwrap_or(false),
+                    distance: doc
+                        .get("distance")
+                        .and_then(JsonValue::as_u64)
+                        .map(|d| d as u32),
+                    timeout_ms: doc.get("timeout_ms").and_then(JsonValue::as_u64),
+                    use_cache: doc
+                        .get("cache")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(true),
+                })))
+            }
+            Some(other) => Err(proto_err(format!(
+                "unknown request kind `{other}` (ping|stats|compile)"
+            ))),
+            None => Err(proto_err("missing request `kind`".to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some("{\"a\":1}")
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some("")
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "0123456789").unwrap();
+        let mut r = buf.as_slice();
+        assert!(matches!(
+            read_frame(&mut r, 4),
+            Err(FrameError::TooLarge {
+                announced: 10,
+                max: 4
+            })
+        ));
+        // EOF inside the payload.
+        let mut r = &buf[..7];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+        // EOF inside the length prefix.
+        let mut r = &buf[..2];
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Io(_))
+        ));
+        // Invalid UTF-8 payload.
+        let mut bad = 2u32.to_be_bytes().to_vec();
+        bad.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = bad.as_slice();
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Utf8)
+        ));
+    }
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let req = CompileRequest::qasm("qreg q[2]; cx q[0],q[1];")
+            .with_label("bell")
+            .with_strategy(Strategy::Maslov)
+            .with_optimize(false)
+            .with_verify(true)
+            .with_telemetry(true)
+            .with_distance(17)
+            .with_timeout_ms(250)
+            .with_cache(false);
+        let parsed = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(parsed, Request::Compile(Box::new(req)));
+
+        let ping = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("ping")),
+        ]);
+        assert_eq!(Request::from_json(&ping).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn defaults_are_applied_on_parse() {
+        let minimal = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("compile")),
+            ("source", JsonValue::from("qreg q[1];")),
+        ]);
+        let Request::Compile(req) = Request::from_json(&minimal).unwrap() else {
+            panic!("expected compile");
+        };
+        assert_eq!(req.format, SourceFormat::Qasm);
+        assert!(req.use_cache);
+        assert!(req.strategy.is_none() && req.optimize.is_none() && req.verify.is_none());
+        assert!(!req.telemetry && !req.trace);
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        let cases: Vec<(JsonValue, &str)> = vec![
+            (JsonValue::object::<&str>([]), "missing `proto`"),
+            (
+                JsonValue::object([("proto", JsonValue::from("other/v9"))]),
+                "unsupported protocol",
+            ),
+            (
+                JsonValue::object([("proto", JsonValue::from(PROTOCOL))]),
+                "missing request `kind`",
+            ),
+            (
+                JsonValue::object([
+                    ("proto", JsonValue::from(PROTOCOL)),
+                    ("kind", JsonValue::from("frobnicate")),
+                ]),
+                "unknown request kind",
+            ),
+            (
+                JsonValue::object([
+                    ("proto", JsonValue::from(PROTOCOL)),
+                    ("kind", JsonValue::from("compile")),
+                ]),
+                "missing `source`",
+            ),
+        ];
+        for (doc, expected) in cases {
+            let err = Request::from_json(&doc).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol);
+            assert!(err.detail.contains(expected), "{}", err.detail);
+        }
+        let bad_strategy = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("compile")),
+            ("source", JsonValue::from("qreg q[1];")),
+            (
+                "options",
+                JsonValue::object([("strategy", JsonValue::from("warp-drive"))]),
+            ),
+        ]);
+        let err = Request::from_json(&bad_strategy).unwrap_err();
+        assert!(err.detail.contains("warp-drive"));
+        assert!(err.detail.contains("autobraid-full"));
+    }
+
+    #[test]
+    fn error_taxonomy_names_round_trip() {
+        for kind in [
+            ErrorKind::Protocol,
+            ErrorKind::Parse,
+            ErrorKind::Unsupported,
+            ErrorKind::Overloaded,
+            ErrorKind::Timeout,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_name("nope"), None);
+        for status in [CacheStatus::Hit, CacheStatus::Miss, CacheStatus::Bypass] {
+            assert_eq!(CacheStatus::from_name(status.name()), Some(status));
+        }
+        let rendered = ServiceError::new(ErrorKind::Overloaded, "queue full")
+            .to_response()
+            .render_compact();
+        assert!(rendered.contains("\"kind\":\"overloaded\""));
+        assert!(rendered.contains("\"status\":\"error\""));
+    }
+}

@@ -1,0 +1,555 @@
+//! The `autobraidd` server: a TCP listener in front of the compile
+//! worker pool, with content-addressed caching, bounded admission, and
+//! per-request deadlines.
+//!
+//! Degradation is always *graceful and typed*: an overloaded queue or a
+//! blown deadline produces an `overloaded`/`timeout` error **response**
+//! on a connection that stays usable — never a dropped connection. An
+//! abandoned (timed-out) compile keeps its queue slot until the worker
+//! actually finishes it, so admission control reflects real load.
+
+use crate::cache::{CacheKey, CacheStats, ReportCache};
+use crate::protocol::{
+    read_frame, write_frame, CacheStatus, CompileRequest, ErrorKind, FrameError, Request,
+    ServiceError, SourceFormat, PROTOCOL,
+};
+use autobraid::pipeline::{CompileOptions, CompileReport, Pipeline, PipelineError, Strategy};
+use autobraid::report::canonical_compile_report_json;
+use autobraid::runtime::{CompileJob, WorkerPool};
+use autobraid::ScheduleConfig;
+use autobraid_circuit::qasm;
+use autobraid_conformance::ConformanceCase;
+use autobraid_lattice::{CodeParams, TimingModel};
+use autobraid_telemetry::{self as telemetry, JsonValue, MemoryRecorder, Recorder};
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything tunable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks a free port (the bound address is on
+    /// [`Server::addr`]).
+    pub bind_addr: String,
+    /// Compile worker threads.
+    pub threads: usize,
+    /// Bounded-queue depth: compiles admitted (queued + running) at
+    /// once. Submissions beyond this get a typed `overloaded` response.
+    pub queue_capacity: usize,
+    /// Content-addressed cache capacity in reports (0 disables caching).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request does not set `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Upper clamp on any request's deadline.
+    pub max_timeout_ms: u64,
+    /// Per-frame payload cap.
+    pub max_frame_bytes: usize,
+    /// Compile defaults a request can override per-field (`threads` is
+    /// ignored: batch parallelism belongs to the pool).
+    pub defaults: CompileOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            bind_addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            queue_capacity: 32,
+            cache_capacity: 256,
+            default_timeout_ms: 30_000,
+            max_timeout_ms: 300_000,
+            max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME,
+            defaults: CompileOptions::default(),
+        }
+    }
+}
+
+/// State shared by the acceptor, every connection thread, and the
+/// handle.
+struct Shared {
+    config: ServiceConfig,
+    pool: WorkerPool,
+    cache: Mutex<ReportCache>,
+    /// Compiles admitted and not yet finished. Deliberately NOT inside
+    /// `Shared` references held by pool jobs (see `admit`): jobs get
+    /// their own clone of this Arc so a queued job never keeps the pool
+    /// alive through `Shared`.
+    in_flight: Arc<AtomicUsize>,
+    recorder: Arc<MemoryRecorder>,
+    shutting_down: AtomicBool,
+    /// Read halves of live connections, shut down to unblock their
+    /// threads on server shutdown.
+    connections: Mutex<Vec<TcpStream>>,
+}
+
+/// A running daemon. Dropping the handle shuts the server down and
+/// joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and acceptor, and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.bind_addr)?;
+        let addr = listener.local_addr()?;
+        let recorder = Arc::new(MemoryRecorder::new());
+        // Create the pool with the service recorder ambient so every
+        // worker inherits it (WorkerPool propagates the creator's
+        // recorder) — compile-side service counters land in the same
+        // snapshot as connection-side ones.
+        let pool = {
+            let _guard = telemetry::install(Arc::clone(&recorder) as Arc<dyn Recorder>);
+            WorkerPool::new(config.threads.max(1))
+        };
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ReportCache::new(config.cache_capacity)),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            recorder,
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+            pool,
+            config,
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("autobraidd-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+                .expect("failed to spawn acceptor")
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Snapshot of every service metric recorded so far (request
+    /// counters, cache counters, `service.latency_ms` percentiles).
+    pub fn telemetry(&self) -> telemetry::TelemetrySnapshot {
+        self.shared.recorder.snapshot()
+    }
+
+    /// Stops accepting, unblocks and joins every connection thread, and
+    /// joins the acceptor. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Poke the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for conn in self.shared.connections.lock().expect("poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<JoinHandle<()>> = {
+            let mut guard = self.conn_threads.lock().expect("poisoned");
+            guard.drain(..).collect()
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true); // see Client::connect
+        if let Ok(clone) = stream.try_clone() {
+            shared.connections.lock().expect("poisoned").push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("autobraidd-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream))
+            .expect("failed to spawn connection thread");
+        conn_threads.lock().expect("poisoned").push(handle);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _guard = telemetry::install(Arc::clone(&shared.recorder) as Arc<dyn Recorder>);
+    let mut read = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut write = stream;
+    loop {
+        let payload = match read_frame(&mut read, shared.config.max_frame_bytes) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // clean close
+            Err(FrameError::TooLarge { announced, max }) => {
+                // The oversized payload was never consumed; the stream
+                // cannot be resynchronized. Explain, then close.
+                let err = ServiceError::new(
+                    ErrorKind::Protocol,
+                    format!("frame of {announced} bytes exceeds the {max}-byte cap"),
+                );
+                let _ = write_frame(&mut write, &err.to_response().render_compact());
+                break;
+            }
+            Err(FrameError::Utf8) => {
+                // Payload fully consumed: stream is still framed.
+                let err = ServiceError::new(ErrorKind::Protocol, "frame is not valid UTF-8");
+                let _ = write_frame(&mut write, &err.to_response().render_compact());
+                continue;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        let response = match process(shared, &payload) {
+            Ok(ok) => ok,
+            Err(err) => err.to_response(),
+        };
+        if write_frame(&mut write, &response.render_compact()).is_err() {
+            break;
+        }
+    }
+    let _ = write.flush();
+}
+
+/// Handles one request frame, start to finish.
+fn process(shared: &Arc<Shared>, payload: &str) -> Result<JsonValue, ServiceError> {
+    let doc = JsonValue::parse(payload)
+        .map_err(|e| ServiceError::new(ErrorKind::Protocol, format!("invalid JSON: {e}")))?;
+    match Request::from_json(&doc)? {
+        Request::Ping => {
+            telemetry::counter("service.requests.ping", 1);
+            Ok(JsonValue::object([
+                ("proto", JsonValue::from(PROTOCOL)),
+                ("status", JsonValue::from("ok")),
+                ("kind", JsonValue::from("pong")),
+            ]))
+        }
+        Request::Stats => {
+            telemetry::counter("service.requests.stats", 1);
+            Ok(stats_response(shared))
+        }
+        Request::Compile(req) => {
+            telemetry::counter("service.requests.compile", 1);
+            handle_compile(shared, &req)
+        }
+    }
+}
+
+fn stats_response(shared: &Arc<Shared>) -> JsonValue {
+    let cache = shared.cache.lock().expect("cache poisoned").stats();
+    let snapshot = shared.recorder.snapshot();
+    let latency = snapshot
+        .histogram("service.latency_ms")
+        .map(|h| {
+            JsonValue::object([
+                ("count", JsonValue::from(h.count)),
+                ("mean", JsonValue::from(h.mean)),
+                ("p50", JsonValue::from(h.p50)),
+                ("p90", JsonValue::from(h.p90)),
+                ("p99", JsonValue::from(h.p99)),
+            ])
+        })
+        .unwrap_or(JsonValue::Null);
+    let counter_names = [
+        "service.requests.ping",
+        "service.requests.stats",
+        "service.requests.compile",
+        "service.overloaded",
+        "service.timeouts",
+    ];
+    JsonValue::object([
+        ("proto", JsonValue::from(PROTOCOL)),
+        ("status", JsonValue::from("ok")),
+        ("kind", JsonValue::from("stats")),
+        (
+            "in_flight",
+            JsonValue::from(shared.in_flight.load(Ordering::SeqCst)),
+        ),
+        (
+            "queue_capacity",
+            JsonValue::from(shared.config.queue_capacity),
+        ),
+        (
+            "cache",
+            JsonValue::object([
+                ("hits", JsonValue::from(cache.hits)),
+                ("misses", JsonValue::from(cache.misses)),
+                ("evictions", JsonValue::from(cache.evictions)),
+                ("entries", JsonValue::from(cache.entries)),
+                ("capacity", JsonValue::from(cache.capacity)),
+            ]),
+        ),
+        (
+            "counters",
+            JsonValue::Object(
+                counter_names
+                    .iter()
+                    .map(|n| (n.to_string(), JsonValue::from(snapshot.counter(n))))
+                    .collect(),
+            ),
+        ),
+        ("latency_ms", latency),
+    ])
+}
+
+/// The effective compile settings after merging request overrides into
+/// the server defaults.
+struct Effective {
+    strategy: Strategy,
+    optimize: bool,
+    verify: bool,
+}
+
+fn handle_compile(shared: &Arc<Shared>, req: &CompileRequest) -> Result<JsonValue, ServiceError> {
+    let start = Instant::now();
+    let circuit = parse_source(req)?;
+    let effective = Effective {
+        strategy: req.strategy.unwrap_or(shared.config.defaults.strategy),
+        optimize: req.optimize.unwrap_or(shared.config.defaults.optimize),
+        verify: req.verify.unwrap_or(shared.config.defaults.verify),
+    };
+
+    // The content address: canonical circuit text (name + re-emitted
+    // QASM, so formatting differences in the submission don't fragment
+    // the cache), the lattice geometry, and the semantics-affecting
+    // options. `threads` is deliberately absent — the determinism
+    // contract guarantees thread count cannot change the canonical
+    // report, so all thread counts share one entry.
+    let key = CacheKey::new(
+        &format!("{}\n{}", circuit.name(), qasm::emit(&circuit)),
+        &match req.distance {
+            Some(d) => format!("distance={d}"),
+            None => "distance=default".to_string(),
+        },
+        &format!(
+            "strategy={};optimize={};verify={}",
+            effective.strategy.name(),
+            effective.optimize,
+            effective.verify
+        ),
+    );
+
+    let cacheable = req.use_cache && !req.telemetry && !req.trace;
+    if cacheable {
+        let cached = shared.cache.lock().expect("cache poisoned").get(&key);
+        if let Some(report_json) = cached {
+            telemetry::counter("service.cache.hit", 1);
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            telemetry::observe("service.latency_ms", elapsed);
+            let report = JsonValue::parse(&report_json).map_err(|e| {
+                ServiceError::new(ErrorKind::Internal, format!("cache corrupt: {e}"))
+            })?;
+            return Ok(report_response(
+                CacheStatus::Hit,
+                elapsed,
+                report,
+                None,
+                None,
+            ));
+        }
+        telemetry::counter("service.cache.miss", 1);
+    } else {
+        telemetry::counter("service.cache.bypass", 1);
+    }
+
+    let pipeline = build_pipeline(req, &effective)?;
+
+    // Admission control: claim a queue slot or degrade to `overloaded`.
+    admit(shared)?;
+    let in_flight = Arc::clone(&shared.in_flight);
+    let job = match &req.label {
+        Some(label) => CompileJob::circuit(circuit).with_label(label.clone()),
+        None => CompileJob::circuit(circuit),
+    };
+    let (tx, rx) = channel::<Result<CompileReport, PipelineError>>();
+    shared.pool.execute(move || {
+        let result = pipeline.compile_job(&job);
+        // Release the slot only once the work is actually done — a
+        // timed-out request's abandoned compile still occupies capacity
+        // until here, keeping admission honest.
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        // The requester may have timed out and gone: that's fine.
+        let _ = tx.send(result);
+    });
+
+    let deadline = req
+        .timeout_ms
+        .unwrap_or(shared.config.default_timeout_ms)
+        .min(shared.config.max_timeout_ms);
+    let result = match rx.recv_timeout(Duration::from_millis(deadline)) {
+        Ok(result) => result,
+        Err(RecvTimeoutError::Timeout) => {
+            telemetry::counter("service.timeouts", 1);
+            return Err(ServiceError::new(
+                ErrorKind::Timeout,
+                format!("compile exceeded the {deadline} ms deadline"),
+            ));
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            return Err(ServiceError::new(
+                ErrorKind::Internal,
+                "compile worker vanished without reporting",
+            ));
+        }
+    };
+    let report = result.map_err(|e| match e {
+        PipelineError::Parse(inner) => ServiceError::new(ErrorKind::Parse, inner.to_string()),
+        other => ServiceError::new(ErrorKind::Internal, other.to_string()),
+    })?;
+
+    let canonical = canonical_compile_report_json(&report).render_compact();
+    let status = if cacheable {
+        shared
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, canonical.clone());
+        CacheStatus::Miss
+    } else {
+        CacheStatus::Bypass
+    };
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    telemetry::observe("service.latency_ms", elapsed);
+    let report_doc =
+        JsonValue::parse(&canonical).expect("canonical report is valid JSON by construction");
+    let telemetry_doc = report.telemetry.as_ref().map(|s| s.to_json_value());
+    let trace_doc = report
+        .trace
+        .as_ref()
+        .and_then(|t| JsonValue::parse(&t.to_chrome_json()).ok());
+    Ok(report_response(
+        status,
+        elapsed,
+        report_doc,
+        telemetry_doc,
+        trace_doc,
+    ))
+}
+
+/// Parses the request's circuit text per its declared format.
+fn parse_source(req: &CompileRequest) -> Result<autobraid_circuit::Circuit, ServiceError> {
+    let mut circuit = match req.format {
+        SourceFormat::Qasm => qasm::parse(&req.source)
+            .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))?,
+        SourceFormat::Conformance => {
+            let case = ConformanceCase::from_repro(&req.source)
+                .map_err(|e| ServiceError::new(ErrorKind::Parse, e.to_string()))?;
+            if !case.defects.is_empty() {
+                return Err(ServiceError::new(
+                    ErrorKind::Unsupported,
+                    format!(
+                        "repro carries {} defective-channel vertices; the compile \
+                         service only schedules pristine lattices (run the \
+                         conformance oracle for defect overlays)",
+                        case.defects.len()
+                    ),
+                ));
+            }
+            case.circuit
+        }
+    };
+    if let Some(label) = &req.label {
+        circuit.set_name(label.clone());
+    }
+    Ok(circuit)
+}
+
+/// Builds the per-request pipeline (always single-threaded inside: the
+/// pool provides the parallelism across requests).
+fn build_pipeline(req: &CompileRequest, effective: &Effective) -> Result<Pipeline, ServiceError> {
+    let mut pipeline = Pipeline::new().with_options(CompileOptions {
+        strategy: effective.strategy,
+        optimize: effective.optimize,
+        verify: effective.verify,
+        telemetry: req.telemetry,
+        trace: req.trace,
+        threads: 1,
+    });
+    if let Some(d) = req.distance {
+        let params = CodeParams::with_distance(d).map_err(|e| {
+            ServiceError::new(ErrorKind::Protocol, format!("invalid distance {d}: {e}"))
+        })?;
+        pipeline =
+            pipeline.with_config(ScheduleConfig::default().with_timing(TimingModel::new(params)));
+    }
+    Ok(pipeline)
+}
+
+/// Claims one bounded-queue slot, or reports `overloaded`.
+fn admit(shared: &Arc<Shared>) -> Result<(), ServiceError> {
+    let capacity = shared.config.queue_capacity.max(1);
+    let claim = shared
+        .in_flight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < capacity).then_some(n + 1)
+        });
+    if claim.is_err() {
+        telemetry::counter("service.overloaded", 1);
+        return Err(ServiceError::new(
+            ErrorKind::Overloaded,
+            format!("compile queue is full ({capacity} in flight); retry later"),
+        ));
+    }
+    Ok(())
+}
+
+fn report_response(
+    status: CacheStatus,
+    elapsed_ms: f64,
+    report: JsonValue,
+    telemetry_doc: Option<JsonValue>,
+    trace_doc: Option<JsonValue>,
+) -> JsonValue {
+    let mut fields = vec![
+        ("proto".to_string(), JsonValue::from(PROTOCOL)),
+        ("status".to_string(), JsonValue::from("ok")),
+        ("kind".to_string(), JsonValue::from("report")),
+        ("cache".to_string(), JsonValue::from(status.name())),
+        ("elapsed_ms".to_string(), JsonValue::from(elapsed_ms)),
+        ("report".to_string(), report),
+    ];
+    if let Some(t) = telemetry_doc {
+        fields.push(("telemetry".to_string(), t));
+    }
+    if let Some(t) = trace_doc {
+        fields.push(("trace".to_string(), t));
+    }
+    JsonValue::Object(fields)
+}

@@ -1,0 +1,280 @@
+//! End-to-end tests of the compile service over real TCP connections:
+//! cache correctness (byte-identical hits, keying, eviction), the
+//! graceful-degradation contract (typed `overloaded`/`timeout`
+//! responses on connections that stay usable), and format ingestion.
+
+use autobraid::pipeline::{Pipeline, Strategy};
+use autobraid_circuit::Circuit;
+use autobraid_conformance::ConformanceCase;
+use autobraid_service::protocol::{CacheStatus, ErrorKind};
+use autobraid_service::{Client, ClientError, CompileRequest, Server, ServiceConfig};
+use std::time::{Duration, Instant};
+
+fn server(configure: impl FnOnce(&mut ServiceConfig)) -> Server {
+    let mut config = ServiceConfig::default();
+    configure(&mut config);
+    Server::start(config).expect("server failed to start")
+}
+
+const BELL_QASM: &str = "qreg q[2]; h q[0]; cx q[0],q[1];";
+
+/// A circuit big enough that its compile reliably outlasts a 1 ms
+/// deadline even on a fast machine (hundreds of two-qubit gates on a
+/// wide lattice).
+fn slow_qasm() -> String {
+    use std::fmt::Write;
+    let qubits = 36;
+    let mut source = format!("qreg q[{qubits}];\n");
+    for layer in 0..40 {
+        let offset = layer % (qubits - 1) + 1; // never 0 mod qubits
+        for q in 0..qubits {
+            let _ = writeln!(source, "cx q[{}],q[{}];", q, (q + offset) % qubits);
+        }
+    }
+    source
+}
+
+fn expect_service_error(result: Result<impl std::fmt::Debug, ClientError>) -> (ErrorKind, String) {
+    match result {
+        Err(ClientError::Service(e)) => (e.kind, e.detail),
+        other => panic!("expected a typed service error, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_hit_is_byte_identical_to_cold_compile_across_thread_counts() {
+    // The same circuit through a 1-thread and a 4-thread daemon, plus a
+    // direct in-process compile: all three canonical reports must agree
+    // byte for byte, and the warm resubmission must be a hit that
+    // returns the same bytes again.
+    let direct = Pipeline::new()
+        .compile_qasm(BELL_QASM)
+        .expect("direct compile")
+        .canonical_json();
+    for threads in [1, 4] {
+        let server = server(|c| c.threads = threads);
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let request = CompileRequest::qasm(BELL_QASM);
+        let cold = client.compile(&request).expect("cold compile");
+        let warm = client.compile(&request).expect("warm compile");
+        assert_eq!(cold.cache, CacheStatus::Miss, "threads={threads}");
+        assert_eq!(warm.cache, CacheStatus::Hit, "threads={threads}");
+        assert_eq!(cold.report.render_compact(), direct, "threads={threads}");
+        assert_eq!(
+            warm.report.render_compact(),
+            cold.report.render_compact(),
+            "threads={threads}: hit must be byte-identical to the cold compile"
+        );
+    }
+}
+
+#[test]
+fn formatting_differences_share_one_cache_entry() {
+    // The key is the *re-emitted* canonical QASM, so whitespace and
+    // comment differences in the submission must not fragment the cache.
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let cold = client
+        .compile(&CompileRequest::qasm(BELL_QASM))
+        .expect("cold");
+    let reformatted = "// a comment\nqreg  q[2] ;\n h q[0];\ncx q[0], q[1];";
+    let warm = client
+        .compile(&CompileRequest::qasm(reformatted))
+        .expect("warm");
+    assert_eq!(cold.cache, CacheStatus::Miss);
+    assert_eq!(warm.cache, CacheStatus::Hit);
+    assert_eq!(warm.report.render_compact(), cold.report.render_compact());
+}
+
+#[test]
+fn geometry_or_option_changes_are_misses() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let base = CompileRequest::qasm(BELL_QASM);
+    assert_eq!(
+        client.compile(&base).expect("base").cache,
+        CacheStatus::Miss
+    );
+    assert_eq!(client.compile(&base).expect("base").cache, CacheStatus::Hit);
+
+    // A different code distance is a different lattice: miss.
+    let rescaled = base.clone().with_distance(9);
+    assert_eq!(
+        client.compile(&rescaled).expect("distance").cache,
+        CacheStatus::Miss
+    );
+    // A different strategy is a different compiler: miss.
+    let restrategized = base.clone().with_strategy(Strategy::Baseline);
+    assert_eq!(
+        client.compile(&restrategized).expect("strategy").cache,
+        CacheStatus::Miss
+    );
+    // Toggling the optimizer changes the compiled artifact: miss.
+    let unoptimized = base.clone().with_optimize(false);
+    assert_eq!(
+        client.compile(&unoptimized).expect("optimize").cache,
+        CacheStatus::Miss
+    );
+    // And each variant then hits its own entry.
+    assert_eq!(
+        client.compile(&rescaled).expect("distance warm").cache,
+        CacheStatus::Hit
+    );
+    // Telemetry/trace/no-cache requests bypass the cache entirely.
+    let bypass = base.clone().with_telemetry(true);
+    let outcome = client.compile(&bypass).expect("telemetry");
+    assert_eq!(outcome.cache, CacheStatus::Bypass);
+    assert!(outcome.telemetry.is_some(), "telemetry payload attached");
+    assert_eq!(
+        client
+            .compile(&base.clone().with_cache(false))
+            .expect("no-cache")
+            .cache,
+        CacheStatus::Bypass
+    );
+}
+
+#[test]
+fn lru_eviction_is_visible_in_stats() {
+    let server = server(|c| c.cache_capacity = 1);
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let one = CompileRequest::qasm(BELL_QASM);
+    let two = CompileRequest::qasm("qreg q[3]; h q[0]; cx q[0],q[1]; cx q[1],q[2];");
+    assert_eq!(client.compile(&one).expect("one").cache, CacheStatus::Miss);
+    assert_eq!(client.compile(&two).expect("two").cache, CacheStatus::Miss);
+    // `two` evicted `one` from the single slot.
+    assert_eq!(
+        client.compile(&one).expect("one again").cache,
+        CacheStatus::Miss
+    );
+    let stats = server.cache_stats();
+    assert!(stats.evictions >= 2, "evictions recorded: {stats:?}");
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn overload_and_timeout_degrade_gracefully() {
+    // One worker, one queue slot. A compile that blows its 1 ms
+    // deadline gets a typed `timeout` — but its abandoned job keeps the
+    // slot, so the next submission gets a typed `overloaded`. Both
+    // arrive on a connection that stays usable, and once the worker
+    // drains, the same connection compiles again.
+    let server = server(|c| {
+        c.threads = 1;
+        c.queue_capacity = 1;
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let slow = CompileRequest::qasm(slow_qasm()).with_timeout_ms(1);
+    let (kind, detail) = expect_service_error(client.compile(&slow));
+    assert_eq!(kind, ErrorKind::Timeout, "{detail}");
+
+    // The abandoned compile still occupies the only slot.
+    let quick = CompileRequest::qasm(BELL_QASM);
+    let (kind, detail) = expect_service_error(client.compile(&quick));
+    assert_eq!(kind, ErrorKind::Overloaded, "{detail}");
+
+    // Same connection, after the worker drains: fully serviceable.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        match client.compile(&quick) {
+            Ok(outcome) => {
+                assert_eq!(outcome.cache, CacheStatus::Miss);
+                break;
+            }
+            Err(ClientError::Service(e)) if e.kind == ErrorKind::Overloaded => {
+                assert!(Instant::now() < deadline, "worker never drained");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert_eq!(
+        client.compile(&quick).expect("warm").cache,
+        CacheStatus::Hit
+    );
+    let snapshot = server.telemetry();
+    assert_eq!(snapshot.counter("service.timeouts"), 1);
+    // The drain-polling loop above may itself have been told
+    // `overloaded` several times; at least the first rejection counts.
+    assert!(snapshot.counter("service.overloaded") >= 1);
+}
+
+#[test]
+fn conformance_repros_compile_and_defect_overlays_are_rejected() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let mut circuit = Circuit::named(3, "repro circuit");
+    circuit.h(0).cx(0, 1).cx(1, 2);
+    let clean = ConformanceCase::new(circuit.clone(), 7);
+    let outcome = client
+        .compile(&CompileRequest::conformance(clean.to_repro()))
+        .expect("clean repro compiles");
+    assert_eq!(outcome.cache, CacheStatus::Miss);
+    assert_eq!(
+        outcome.report.get("circuit").and_then(|v| v.as_str()),
+        Some("repro circuit")
+    );
+
+    let defective = ConformanceCase {
+        circuit,
+        defects: vec![(1, 1)],
+        seed: 7,
+    };
+    let (kind, detail) =
+        expect_service_error(client.compile(&CompileRequest::conformance(defective.to_repro())));
+    assert_eq!(kind, ErrorKind::Unsupported);
+    assert!(detail.contains("defective"), "{detail}");
+}
+
+#[test]
+fn parse_errors_are_typed_and_do_not_poison_the_connection() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (kind, _) = expect_service_error(client.compile(&CompileRequest::qasm("qreg q[2")));
+    assert_eq!(kind, ErrorKind::Parse);
+    // A repro submitted as QASM parses (comments are stripped), but
+    // QASM submitted as a repro is a typed parse error.
+    let (kind, detail) =
+        expect_service_error(client.compile(&CompileRequest::conformance(BELL_QASM)));
+    assert_eq!(kind, ErrorKind::Parse);
+    assert!(detail.contains("not a conformance repro"), "{detail}");
+    // The connection survives every typed error.
+    client.ping().expect("connection still usable");
+    assert_eq!(
+        client
+            .compile(&CompileRequest::qasm(BELL_QASM))
+            .expect("compiles after errors")
+            .cache,
+        CacheStatus::Miss
+    );
+}
+
+#[test]
+fn stats_report_counters_cache_and_latency() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.ping().expect("ping");
+    let request = CompileRequest::qasm(BELL_QASM);
+    client.compile(&request).expect("cold");
+    client.compile(&request).expect("warm");
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| {
+        stats
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("service.requests.ping"), 1);
+    assert_eq!(counter("service.requests.compile"), 2);
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.get("hits").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(cache.get("misses").and_then(|v| v.as_u64()), Some(1));
+    let latency = stats.get("latency_ms").expect("latency block");
+    assert_eq!(latency.get("count").and_then(|v| v.as_u64()), Some(2));
+    assert!(latency.get("p99").and_then(|v| v.as_f64()).unwrap_or(-1.0) >= 0.0);
+    // The queue is idle again.
+    assert_eq!(stats.get("in_flight").and_then(|v| v.as_u64()), Some(0));
+}

@@ -1,0 +1,165 @@
+//! Documentation link checker.
+//!
+//! Scans the repo's markdown (README, DESIGN, EXPERIMENTS, ROADMAP,
+//! and everything under `docs/`) for inline links and asserts that
+//! every *relative* target resolves to a real file or directory.
+//! External links (`http(s)://`, `mailto:`) and in-page anchors
+//! (`#...`) are skipped; fenced code blocks and inline code spans are
+//! ignored so protocol examples can show literal `[text](target)`
+//! without tripping the checker.
+//!
+//! This runs as part of `cargo test` and as a dedicated CI step, so a
+//! renamed doc or crate directory fails the build instead of rotting
+//! quietly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Markdown files to scan, relative to the repo root. `docs/` is
+/// globbed at runtime so new documents are covered automatically.
+const ROOT_DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Strips fenced code blocks (``` ... ```) and inline code spans
+/// (`...`) so link-shaped text inside examples is not checked.
+fn strip_code(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            out.push('\n');
+            continue;
+        }
+        if in_fence {
+            out.push('\n');
+            continue;
+        }
+        // Drop inline code spans on this line.
+        let mut in_span = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_span = !in_span;
+            } else if !in_span {
+                out.push(ch);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the targets of inline links `[text](target)` and images
+/// `![alt](target)` from already-code-stripped markdown.
+fn link_targets(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(rel_end) = text[start..].find(')') {
+                let target = text[start..start + rel_end].trim();
+                // `[x](url "title")` — keep only the URL part.
+                let target = target.split_whitespace().next().unwrap_or("");
+                if !target.is_empty() {
+                    targets.push(target.to_string());
+                }
+                i = start + rel_end;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+fn check_file(path: &Path, broken: &mut Vec<String>) {
+    let text =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let dir = path.parent().expect("doc file has a parent directory");
+    for target in link_targets(&strip_code(&text)) {
+        if is_external(&target) {
+            continue;
+        }
+        // Drop an in-page anchor suffix: `FILE.md#section` checks FILE.md.
+        let file_part = target.split('#').next().unwrap_or("");
+        if file_part.is_empty() {
+            continue;
+        }
+        let resolved = dir.join(file_part);
+        if !resolved.exists() {
+            broken.push(format!(
+                "{}: broken link `{}` (resolved to {})",
+                path.display(),
+                target,
+                resolved.display()
+            ));
+        }
+    }
+}
+
+#[test]
+fn all_relative_doc_links_resolve() {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = ROOT_DOCS.iter().map(|f| root.join(f)).collect();
+    let docs_dir = root.join("docs");
+    let mut listed: Vec<_> = fs::read_dir(&docs_dir)
+        .expect("docs/ directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    listed.sort();
+    files.extend(listed);
+
+    let mut broken = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        assert!(
+            file.exists(),
+            "expected doc file missing: {}",
+            file.display()
+        );
+        check_file(file, &mut broken);
+        scanned += 1;
+    }
+    assert!(
+        scanned >= 6,
+        "doc scan looks incomplete: only {scanned} files"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken documentation links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn code_stripping_ignores_fenced_examples() {
+    let md = "```\n[not checked](missing.md)\n```\nand `[inline](also-missing.md)` spans\n";
+    assert!(link_targets(&strip_code(md)).is_empty());
+}
+
+#[test]
+fn link_extraction_handles_anchors_and_titles() {
+    let md = "see [a](docs/X.md#sec) and ![img](shot.png \"t\") and [web](https://e.com)";
+    let targets = link_targets(md);
+    assert_eq!(targets, vec!["docs/X.md#sec", "shot.png", "https://e.com"]);
+}
