@@ -16,13 +16,14 @@
 //! `crates/conformance`) so the perf trajectory tracks the same
 //! workloads the differential oracle checks for correctness.
 
-use autobraid::pipeline::Pipeline;
+use autobraid::pipeline::{CompileOptions, Pipeline, Strategy};
 use autobraid_circuit::generators::{ising::ising, qft::qft, random};
 use autobraid_circuit::Circuit;
 use autobraid_lattice::{Cell, Grid, Occupancy};
 use autobraid_placement::{anneal, AnnealConfig, Placement};
 use autobraid_router::astar::{find_path, SearchLimits};
 use autobraid_router::path::CxRequest;
+use autobraid_router::route_negotiated;
 use autobraid_router::stack_finder::route_concurrent;
 use autobraid_service::{Client, CompileRequest, Server, ServiceConfig};
 use autobraid_telemetry::bench::black_box;
@@ -253,6 +254,49 @@ pub fn suite() -> Vec<BenchCase> {
         }),
     });
 
+    // --- micro: negotiated congestion (PathFinder) on a feasible but
+    // contended layered batch — nested spans that must spread across
+    // row corridors to become disjoint ---
+    let grid = Grid::new(10).expect("valid grid");
+    let base = Occupancy::new(&grid);
+    let requests: Vec<CxRequest> = (0..5)
+        .map(|r| CxRequest::new(r as usize, Cell::new(4, r), Cell::new(4, 9 - r)))
+        .collect();
+    cases.push(BenchCase {
+        name: "route/pathfinder_layered",
+        run: Box::new(move || {
+            let mut occ = base.clone();
+            black_box(route_negotiated(&grid, &mut occ, &requests));
+        }),
+    });
+
+    // --- micro: negotiated congestion on an oversubscribed all-to-all
+    // burst (most gates cannot route; measures rip-up churn plus the
+    // cap-hit serial commit) ---
+    let grid = Grid::new(8).expect("valid grid");
+    let base = Occupancy::new(&grid);
+    let corners = [
+        Cell::new(0, 0),
+        Cell::new(0, 7),
+        Cell::new(7, 0),
+        Cell::new(7, 7),
+        Cell::new(4, 4),
+        Cell::new(4, 1),
+    ];
+    let mut requests = Vec::new();
+    for (i, &a) in corners.iter().enumerate() {
+        for &b in &corners[i + 1..] {
+            requests.push(CxRequest::new(requests.len(), a, b));
+        }
+    }
+    cases.push(BenchCase {
+        name: "route/pathfinder_burst",
+        run: Box::new(move || {
+            let mut occ = base.clone();
+            black_box(route_negotiated(&grid, &mut occ, &requests));
+        }),
+    });
+
     // --- micro: placement annealing ---
     let circuit = qft(12).expect("qft builds");
     let grid = Grid::with_capacity_for(12);
@@ -297,6 +341,20 @@ pub fn suite() -> Vec<BenchCase> {
             }),
         });
     }
+
+    // --- end-to-end compile under the per-layer strategy portfolio
+    // (feature chooser + finder races on top of the plain compile) ---
+    let circuit = qft(10).expect("qft builds");
+    let portfolio = Pipeline::new().with_options(CompileOptions {
+        strategy: Strategy::Portfolio,
+        ..CompileOptions::default()
+    });
+    cases.push(BenchCase {
+        name: "compile/portfolio_qft",
+        run: Box::new(move || {
+            black_box(portfolio.compile(&circuit).expect("compiles"));
+        }),
+    });
 
     // --- service round-trips over loopback TCP (daemon + protocol +
     // cache overhead; see `crates/service` and docs/SERVICE.md) ---

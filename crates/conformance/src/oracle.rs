@@ -9,7 +9,7 @@
 //! * canonical reports that differ across thread counts where
 //!   determinism is promised (`docs/RUNTIME.md`);
 //! * a broken invariant: `total_cycles` below the critical path,
-//!   `Full` scheduling worse than `StackOnly`, or optimizer gate
+//!   `Full` scheduling worse than `Stack`, or optimizer gate
 //!   accounting that does not add up;
 //! * an optimized circuit that is not semantically equivalent to the
 //!   original (state-vector simulation, small cases only);
@@ -22,7 +22,7 @@
 use crate::case::ConformanceCase;
 use autobraid::pipeline::{CompileOptions, CompileReport, Pipeline, Strategy};
 use autobraid::{
-    critical_path_cycles, run_with_base_occupancy, verify_schedule_with_dag, ParallelStackPolicy,
+    critical_path_cycles, policy_for, run_with_base_occupancy, verify_schedule_with_dag,
     RoutePolicy, ScheduleConfig, ScheduleError, ScheduleResult, Step,
 };
 use autobraid_circuit::sim::circuits_equivalent;
@@ -173,8 +173,8 @@ fn check_pipeline_matrix(case: &ConformanceCase, cfg: &OracleConfig, out: &mut V
     }
 
     // `schedule_full` takes the best of a candidate set that includes the
-    // plain stack run, so Full can never lose to StackOnly under
-    // identical options.
+    // plain stack run, so Full can never lose to Stack under identical
+    // options.
     for optimize in [false, true] {
         let compile = |strategy| {
             let pipeline = Pipeline::new().with_options(CompileOptions {
@@ -187,8 +187,7 @@ fn check_pipeline_matrix(case: &ConformanceCase, cfg: &OracleConfig, out: &mut V
             });
             catch_unwind(AssertUnwindSafe(|| pipeline.compile(&case.circuit)))
         };
-        if let (Ok(Ok(full)), Ok(Ok(sp))) = (compile(Strategy::Full), compile(Strategy::StackOnly))
-        {
+        if let (Ok(Ok(full)), Ok(Ok(sp))) = (compile(Strategy::Full), compile(Strategy::Stack)) {
             let (full, sp) = (
                 full.outcome.result.total_cycles,
                 sp.outcome.result.total_cycles,
@@ -198,7 +197,7 @@ fn check_pipeline_matrix(case: &ConformanceCase, cfg: &OracleConfig, out: &mut V
                     case: case.label(),
                     setting: format!("optimize={optimize} threads={}", cfg.threads[0]),
                     detail: format!(
-                        "Full scheduled {full} cycles, worse than StackOnly's {sp} — \
+                        "Full scheduled {full} cycles, worse than Stack's {sp} — \
                          the candidate-minimum contract is broken"
                     ),
                 });
@@ -303,38 +302,49 @@ fn check_routing_invariants(case: &ConformanceCase, cfg: &OracleConfig, out: &mu
 
 /// Full-schedule checks on a defective lattice, where the pipeline façade
 /// does not reach: outcome consistency across thread counts, defect
-/// avoidance, and schedule validity.
+/// avoidance, and schedule validity. Every registry strategy that
+/// declares defect support (and resolves to a standalone policy via
+/// [`policy_for`]) is swept.
 fn check_defective_lattice(case: &ConformanceCase, cfg: &OracleConfig, out: &mut Vec<Divergence>) {
-    let mut reference: Option<Result<ScheduleResult, ScheduleError>> = None;
-    for &threads in &cfg.threads {
-        let setting = format!("defective lattice threads={threads}");
-        let policy = ParallelStackPolicy::new(threads);
-        let Some(run) = run_case_with_policy(case, &policy, &setting, out) else {
+    for info in autobraid::REGISTRY {
+        // `Full` shares `Stack`'s engine policy — the layout-optimizer
+        // layer it adds on top is exercised by the pipeline matrix.
+        if !info.supports_defects || info.strategy == Strategy::Full {
             continue;
-        };
-        let run = run.map(|mut result| {
-            result.compile_seconds = 0.0;
-            result
-        });
-        match &reference {
-            None => reference = Some(run),
-            Some(r) if *r != run => {
-                let describe = |o: &Result<ScheduleResult, ScheduleError>| match o {
-                    Ok(res) => format!("{} cycles", res.total_cycles),
-                    Err(e) => format!("error `{e}`"),
-                };
-                out.push(Divergence {
-                    case: case.label(),
-                    setting,
-                    detail: format!(
-                        "outcome differs from threads={}: {} vs {}",
-                        cfg.threads[0],
-                        describe(&run),
-                        describe(r)
-                    ),
-                });
+        }
+        let mut reference: Option<Result<ScheduleResult, ScheduleError>> = None;
+        for &threads in &cfg.threads {
+            let Some(policy) = policy_for(info.strategy, threads) else {
+                break;
+            };
+            let setting = format!("defective lattice strategy={} threads={threads}", info.name);
+            let Some(run) = run_case_with_policy(case, policy.as_ref(), &setting, out) else {
+                continue;
+            };
+            let run = run.map(|mut result| {
+                result.compile_seconds = 0.0;
+                result
+            });
+            match &reference {
+                None => reference = Some(run),
+                Some(r) if *r != run => {
+                    let describe = |o: &Result<ScheduleResult, ScheduleError>| match o {
+                        Ok(res) => format!("{} cycles", res.total_cycles),
+                        Err(e) => format!("error `{e}`"),
+                    };
+                    out.push(Divergence {
+                        case: case.label(),
+                        setting,
+                        detail: format!(
+                            "outcome differs from threads={}: {} vs {}",
+                            cfg.threads[0],
+                            describe(&run),
+                            describe(r)
+                        ),
+                    });
+                }
+                Some(_) => {}
             }
-            Some(_) => {}
         }
     }
 }

@@ -12,7 +12,7 @@
 use crate::config::ScheduleConfig;
 use crate::maslov::schedule_maslov;
 use crate::metrics::ScheduleResult;
-use crate::scheduler::{run, ParallelStackPolicy};
+use crate::scheduler::{run, ParallelStackPolicy, PathFinderPolicy, PortfolioPolicy, RoutePolicy};
 use autobraid_circuit::Circuit;
 use autobraid_lattice::Grid;
 use autobraid_placement::{
@@ -89,18 +89,55 @@ impl AutoBraid {
     /// Schedules with the stack-based path finder only (no dynamic
     /// placement) — the paper's **autobraid-sp**.
     pub fn schedule_sp(&self, circuit: &Circuit) -> ScheduleOutcome {
+        self.schedule_with_policy(
+            "autobraid-sp",
+            &ParallelStackPolicy::new(self.config.effective_threads()),
+            circuit,
+        )
+    }
+
+    /// Schedules with the negotiated-congestion PathFinder router
+    /// ([`autobraid_router::pathfinder`]) over the same LLG-optimized
+    /// initial placement as [`schedule_sp`](AutoBraid::schedule_sp) —
+    /// the rival of the paper's stack finder, no dynamic placement.
+    pub fn schedule_pathfinder(&self, circuit: &Circuit) -> ScheduleOutcome {
+        self.schedule_with_policy("pathfinder", &PathFinderPolicy::default(), circuit)
+    }
+
+    /// Schedules with the per-layer strategy portfolio
+    /// ([`PortfolioPolicy`]): each braiding layer is routed by whichever
+    /// of the stack finder and PathFinder the layer's features favour,
+    /// racing both where the chooser is uncertain. Per-layer picks are
+    /// recorded in [`ScheduleResult::layer_policies`].
+    pub fn schedule_portfolio(&self, circuit: &Circuit) -> ScheduleOutcome {
+        self.schedule_with_policy(
+            "portfolio",
+            &PortfolioPolicy::new(self.config.effective_threads()),
+            circuit,
+        )
+    }
+
+    /// The shared single-policy engine drive behind `schedule_sp`,
+    /// `schedule_pathfinder`, and `schedule_portfolio`: LLG-optimized
+    /// initial placement, no layout optimizer.
+    fn schedule_with_policy(
+        &self,
+        name: &str,
+        policy: &dyn RoutePolicy,
+        circuit: &Circuit,
+    ) -> ScheduleOutcome {
         let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
         let placement = self.initial_placement(circuit, &grid);
         let (mut result, _) = run(
-            "autobraid-sp",
+            name,
             circuit,
             &grid,
             placement.clone(),
-            &ParallelStackPolicy::new(self.config.effective_threads()),
+            policy,
             false,
             &self.config,
         );
-        result.scheduler = "autobraid-sp".into();
+        result.scheduler = name.into();
         ScheduleOutcome {
             result,
             grid,

@@ -70,6 +70,7 @@ pub mod render;
 pub mod report;
 pub mod runtime;
 pub mod scheduler;
+pub mod strategy;
 pub mod swap;
 
 pub use async_engine::{schedule_async, verify_async, AsyncSchedule};
@@ -77,11 +78,15 @@ pub use autobraid::{AutoBraid, ScheduleOutcome};
 pub use baseline::schedule_baseline;
 pub use config::{Recording, ScheduleConfig};
 pub use critical_path::{critical_path_cycles, critical_path_cycles_relaxed, critical_path_us};
-pub use metrics::{verify_schedule, verify_schedule_with_dag, ScheduleResult, Step, SwapOp};
+pub use metrics::{
+    verify_schedule, verify_schedule_with_dag, LayerPolicy, ScheduleResult, Step, SwapOp,
+};
 pub use scheduler::{
-    run, run_with_base_occupancy, GreedyPolicy, ParallelStackPolicy, RoutePolicy, ScheduleError,
+    policy_for, run, run_with_base_occupancy, GreedyPolicy, LayerRoute, LayerView,
+    ParallelStackPolicy, PathFinderPolicy, PortfolioPolicy, RoutePolicy, ScheduleError,
     StackPolicy,
 };
+pub use strategy::{Strategy, StrategyInfo, REGISTRY};
 
 /// The observability layer (re-exported for downstream convenience):
 /// install a recorder, create spans, bump counters — see `docs/METRICS.md`.

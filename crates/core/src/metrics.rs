@@ -39,6 +39,20 @@ pub enum Step {
     },
 }
 
+/// Which routing policy handled one committed braiding layer, and why
+/// — the per-layer strategy attribution the portfolio mode exposes
+/// (fixed policies report themselves with reason `"fixed"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPolicy {
+    /// Zero-based engine step index of the committed layer.
+    pub step: u64,
+    /// Name of the finder that routed it (`"stack"`, `"pathfinder"`, …).
+    pub policy: String,
+    /// Short justification (`"fixed"`, `"dense-interference"`,
+    /// `"race-stack-won"`, …).
+    pub reason: String,
+}
+
 /// The outcome of scheduling one circuit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleResult {
@@ -66,6 +80,10 @@ pub struct ScheduleResult {
     /// The step-by-step schedule (empty under
     /// [`crate::config::Recording::StatsOnly`]).
     pub steps: Vec<Step>,
+    /// Per-committed-braid-layer strategy attribution, in step order
+    /// (recorded alongside [`ScheduleResult::steps`], so likewise empty
+    /// under [`crate::config::Recording::StatsOnly`]).
+    pub layer_policies: Vec<LayerPolicy>,
     timing: TimingModel,
 }
 
@@ -88,6 +106,7 @@ impl ScheduleResult {
             mean_utilization: 0.0,
             compile_seconds: 0.0,
             steps: Vec::new(),
+            layer_policies: Vec::new(),
             timing,
         }
     }

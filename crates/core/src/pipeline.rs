@@ -23,40 +23,7 @@ use autobraid_telemetry::{
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Which scheduler the pipeline drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Strategy {
-    /// AutoBraid with dynamic placement (the paper's best configuration).
-    #[default]
-    Full,
-    /// Stack-based path finder only.
-    StackOnly,
-    /// The greedy comparison baseline.
-    Baseline,
-    /// The Maslov swap network.
-    Maslov,
-}
-
-impl Strategy {
-    /// Every strategy, in report order — the differential oracle and other
-    /// exhaustive sweeps iterate this instead of hand-listing variants.
-    pub const ALL: [Strategy; 4] = [
-        Strategy::Full,
-        Strategy::StackOnly,
-        Strategy::Baseline,
-        Strategy::Maslov,
-    ];
-
-    /// The scheduler name as it appears in reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            Strategy::Full => "autobraid-full",
-            Strategy::StackOnly => "autobraid-sp",
-            Strategy::Baseline => "baseline",
-            Strategy::Maslov => "maslov",
-        }
-    }
-}
+pub use crate::strategy::{Strategy, StrategyInfo};
 
 /// What one compile should do — everything about a [`Pipeline`] except
 /// the scheduling parameters themselves ([`ScheduleConfig`]).
@@ -67,7 +34,7 @@ impl Strategy {
 /// use autobraid::pipeline::{CompileOptions, Strategy};
 ///
 /// let options = CompileOptions {
-///     strategy: Strategy::StackOnly,
+///     strategy: Strategy::Stack,
 ///     threads: 4,
 ///     ..CompileOptions::default()
 /// };
@@ -354,7 +321,9 @@ impl Pipeline {
         let compiler = AutoBraid::new(config.clone());
         let outcome = match self.options.strategy {
             Strategy::Full => compiler.schedule_full(&circuit),
-            Strategy::StackOnly => compiler.schedule_sp(&circuit),
+            Strategy::Stack => compiler.schedule_sp(&circuit),
+            Strategy::PathFinder => compiler.schedule_pathfinder(&circuit),
+            Strategy::Portfolio => compiler.schedule_portfolio(&circuit),
             Strategy::Baseline => {
                 let (result, placement) = schedule_baseline(&circuit, &config);
                 let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
@@ -479,12 +448,7 @@ mod tests {
     #[test]
     fn all_strategies_compile_qft() {
         let c = qft(10).unwrap();
-        for strategy in [
-            Strategy::Full,
-            Strategy::StackOnly,
-            Strategy::Baseline,
-            Strategy::Maslov,
-        ] {
+        for strategy in Strategy::ALL {
             let report = Pipeline::new()
                 .with_options(CompileOptions {
                     strategy,
@@ -538,7 +502,12 @@ mod tests {
     #[test]
     fn strategy_names_match_report_schedulers() {
         let c = qft(8).unwrap();
-        for strategy in [Strategy::Full, Strategy::StackOnly] {
+        for strategy in [
+            Strategy::Full,
+            Strategy::Stack,
+            Strategy::PathFinder,
+            Strategy::Portfolio,
+        ] {
             let report = Pipeline::new()
                 .with_options(CompileOptions {
                     strategy,
@@ -567,7 +536,7 @@ mod tests {
 
     #[test]
     fn strategy_all_is_exhaustive_and_ordered() {
-        assert_eq!(Strategy::ALL.len(), 4);
+        assert_eq!(Strategy::ALL.len(), crate::strategy::REGISTRY.len());
         let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
         let mut deduped = names.clone();
         deduped.dedup();

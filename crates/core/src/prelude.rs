@@ -29,5 +29,6 @@ pub use crate::pipeline::{
 pub use crate::render::render_telemetry;
 pub use crate::report::{canonical_compile_report_json, compile_report_json};
 pub use crate::runtime::{merged_batch_telemetry, CompileJob, WorkerPool};
+pub use crate::strategy::StrategyInfo;
 pub use autobraid_circuit::{Circuit, CircuitStats};
 pub use autobraid_lattice::Grid;

@@ -116,8 +116,23 @@ pub fn comparison_row(
     ]
 }
 
-/// Serializes one [`ScheduleResult`]'s headline statistics.
+/// Serializes one [`ScheduleResult`]'s headline statistics, including
+/// the per-layer strategy attribution (`layer_policies`, empty under
+/// stats-only recording). The attribution is part of the schedule, not
+/// a measurement, so it also appears in — and is byte-checked by — the
+/// canonical report.
 pub fn schedule_result_json(result: &ScheduleResult) -> JsonValue {
+    let layer_policies: Vec<JsonValue> = result
+        .layer_policies
+        .iter()
+        .map(|lp| {
+            JsonValue::object([
+                ("step", JsonValue::from(lp.step)),
+                ("policy", JsonValue::from(lp.policy.as_str())),
+                ("reason", JsonValue::from(lp.reason.as_str())),
+            ])
+        })
+        .collect();
     JsonValue::object([
         ("scheduler", JsonValue::from(result.scheduler.as_str())),
         ("benchmark", JsonValue::from(result.benchmark.as_str())),
@@ -130,6 +145,7 @@ pub fn schedule_result_json(result: &ScheduleResult) -> JsonValue {
         ("peak_utilization", JsonValue::from(result.peak_utilization)),
         ("mean_utilization", JsonValue::from(result.mean_utilization)),
         ("compile_seconds", JsonValue::from(result.compile_seconds)),
+        ("layer_policies", JsonValue::Array(layer_policies)),
     ])
 }
 

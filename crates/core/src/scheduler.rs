@@ -7,15 +7,17 @@
 //! This makes every reported speedup a pure algorithm comparison.
 
 use crate::config::{Recording, ScheduleConfig};
-use crate::metrics::{ScheduleResult, Step};
+use crate::metrics::{LayerPolicy, ScheduleResult, Step};
+use crate::strategy::Strategy;
 use crate::swap::plan_swap_layer;
 use autobraid_circuit::{Circuit, DependenceDag, Frontier, GateId};
 use autobraid_lattice::{Grid, Occupancy};
 use autobraid_placement::Placement;
+use autobraid_router::pathfinder::{route_negotiated_with, PathFinderConfig};
 use autobraid_router::stack_finder::{
     route_concurrent, route_concurrent_with, route_greedy, RouteOutcome,
 };
-use autobraid_router::CxRequest;
+use autobraid_router::{CxRequest, InterferenceGraph};
 use autobraid_telemetry as telemetry;
 use std::time::Instant;
 
@@ -45,6 +47,38 @@ impl std::fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// One whole braiding layer, as the engine hands it to a policy: every
+/// concurrent request at once plus the step context, so a policy can
+/// compute layer features (interference density, LLG sizes, defect
+/// count) before — or instead of — routing gate by gate.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerView<'a> {
+    /// Zero-based engine step index this layer would commit as.
+    pub step: u64,
+    /// The pre-step base occupancy: defective channel vertices only,
+    /// no paths. `occupancy` starts as a copy of this.
+    pub base: &'a Occupancy,
+    /// Every ready CX of the layer, priorities already assigned.
+    pub requests: &'a [CxRequest],
+}
+
+/// What a policy reports about one routed layer: the outcome plus
+/// which finder actually handled it and why — the per-layer strategy
+/// attribution recorded in [`ScheduleResult::layer_policies`] and
+/// emitted as a `strategy.chosen` trace event.
+#[derive(Debug, Clone)]
+pub struct LayerRoute {
+    /// The routing outcome, paths reserved in the engine's occupancy.
+    pub outcome: RouteOutcome,
+    /// Name of the finder that routed the layer (a fixed policy reports
+    /// its own [`RoutePolicy::name`]; the portfolio reports its pick).
+    pub chosen: &'static str,
+    /// Short justification (`"fixed"` for single-finder policies;
+    /// feature-based reasons like `"dense-interference"` from the
+    /// portfolio chooser).
+    pub reason: &'static str,
+}
+
 /// A routing-order policy for one concurrent batch of CX gates.
 pub trait RoutePolicy {
     /// Policy name used in result labels.
@@ -53,6 +87,20 @@ pub trait RoutePolicy {
     /// Routes the batch, reserving paths in `occupancy`.
     fn route(&self, grid: &Grid, occupancy: &mut Occupancy, requests: &[CxRequest])
         -> RouteOutcome;
+
+    /// Routes one whole layer, reporting which finder handled it and
+    /// why. The engine calls this; the default defers to
+    /// [`route`](RoutePolicy::route) with a `"fixed"` attribution, so
+    /// existing policies (including downstream implementors) keep
+    /// working unchanged. Override to make per-layer decisions, like
+    /// [`PortfolioPolicy`].
+    fn route_layer(&self, grid: &Grid, occupancy: &mut Occupancy, layer: LayerView) -> LayerRoute {
+        LayerRoute {
+            outcome: self.route(grid, occupancy, layer.requests),
+            chosen: self.name(),
+            reason: "fixed",
+        }
+    }
 }
 
 /// The paper's stack-based path finder (Fig. 13).
@@ -124,6 +172,188 @@ impl RoutePolicy for GreedyPolicy {
         requests: &[CxRequest],
     ) -> RouteOutcome {
         route_greedy(grid, occupancy, requests)
+    }
+}
+
+/// The negotiated-congestion PathFinder policy
+/// ([`autobraid_router::pathfinder`]): route every gate of the layer
+/// optimistically, then rip up and reroute under rising present +
+/// history congestion costs until the paths are disjoint (or the
+/// iteration cap forces a deterministic serial commit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathFinderPolicy {
+    /// Negotiation knobs (iteration cap, cost weights).
+    pub config: PathFinderConfig,
+}
+
+impl RoutePolicy for PathFinderPolicy {
+    fn name(&self) -> &'static str {
+        "pathfinder"
+    }
+
+    fn route(
+        &self,
+        grid: &Grid,
+        occupancy: &mut Occupancy,
+        requests: &[CxRequest],
+    ) -> RouteOutcome {
+        route_negotiated_with(grid, occupancy, requests, &self.config).0
+    }
+}
+
+/// Per-layer chooser between the stack finder and PathFinder.
+///
+/// Cheap layer features decide most layers outright:
+///
+/// * ≤ 3 gates — the stack finder's small-LLG stage is already optimal
+///   (`"tiny-layer"`);
+/// * sparse interference (density ≤ 0.25) with no oversized LLG — the
+///   Theorem 1 regime the stack finder was built for
+///   (`"sparse-interference"`);
+/// * dense interference (density ≥ 0.6) — the peeling relaxation
+///   degrades and negotiation shines (`"dense-interference"`).
+///
+/// In between the chooser is uncertain and *races* both finders on
+/// clones of the layer's occupancy, keeping whichever routes more
+/// gates (ties broken toward fewer total path vertices, then toward
+/// the stack finder). Every input to the decision is deterministic, so
+/// the per-layer picks — and therefore the schedule — are too.
+#[derive(Debug, Clone, Copy)]
+pub struct PortfolioPolicy {
+    /// Worker threads handed to the stack finder (the PathFinder side
+    /// is single-threaded by construction).
+    pub threads: usize,
+    /// Negotiation knobs for the PathFinder side.
+    pub config: PathFinderConfig,
+}
+
+impl PortfolioPolicy {
+    /// A portfolio over `threads` stack-finder workers and a default
+    /// PathFinder configuration.
+    pub fn new(threads: usize) -> Self {
+        PortfolioPolicy {
+            threads,
+            config: PathFinderConfig::default(),
+        }
+    }
+
+    /// Interference-graph edge density in `[0, 1]` (1 = every pair of
+    /// gates interferes).
+    fn interference_density(requests: &[CxRequest]) -> f64 {
+        let n = requests.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let graph = InterferenceGraph::build(requests);
+        let edge_ends: usize = (0..n).map(|i| graph.degree(i)).sum();
+        edge_ends as f64 / (n * (n - 1)) as f64
+    }
+}
+
+impl RoutePolicy for PortfolioPolicy {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn route(
+        &self,
+        grid: &Grid,
+        occupancy: &mut Occupancy,
+        requests: &[CxRequest],
+    ) -> RouteOutcome {
+        let base = occupancy.clone();
+        self.route_layer(
+            grid,
+            occupancy,
+            LayerView {
+                step: 0,
+                base: &base,
+                requests,
+            },
+        )
+        .outcome
+    }
+
+    fn route_layer(&self, grid: &Grid, occupancy: &mut Occupancy, layer: LayerView) -> LayerRoute {
+        let requests = layer.requests;
+        let stack = |occ: &mut Occupancy| route_concurrent_with(grid, occ, requests, self.threads);
+        let negotiate =
+            |occ: &mut Occupancy| route_negotiated_with(grid, occ, requests, &self.config).0;
+
+        if requests.len() <= 3 {
+            telemetry::counter("scheduler.portfolio.stack_picks", 1);
+            return LayerRoute {
+                outcome: stack(occupancy),
+                chosen: "stack",
+                reason: "tiny-layer",
+            };
+        }
+        let density = Self::interference_density(requests);
+        telemetry::observe("scheduler.portfolio.density", density);
+        if density <= 0.25 {
+            let oversized = autobraid_router::llg::decompose(requests)
+                .iter()
+                .any(|g| g.size() > 3);
+            if !oversized {
+                telemetry::counter("scheduler.portfolio.stack_picks", 1);
+                return LayerRoute {
+                    outcome: stack(occupancy),
+                    chosen: "stack",
+                    reason: "sparse-interference",
+                };
+            }
+        }
+        if density >= 0.6 {
+            telemetry::counter("scheduler.portfolio.pathfinder_picks", 1);
+            return LayerRoute {
+                outcome: negotiate(occupancy),
+                chosen: "pathfinder",
+                reason: "dense-interference",
+            };
+        }
+
+        // Uncertain band: race both finders on clones of the base
+        // occupancy and keep the better step.
+        telemetry::counter("scheduler.portfolio.races", 1);
+        let mut stack_occ = occupancy.clone();
+        let stack_out = stack(&mut stack_occ);
+        let mut nego_occ = occupancy.clone();
+        let nego_out = negotiate(&mut nego_occ);
+        let path_vertices = |o: &RouteOutcome| o.routed.iter().map(|r| r.path.len()).sum::<usize>();
+        let pathfinder_wins = nego_out.routed.len() > stack_out.routed.len()
+            || (nego_out.routed.len() == stack_out.routed.len()
+                && path_vertices(&nego_out) < path_vertices(&stack_out));
+        if pathfinder_wins {
+            *occupancy = nego_occ;
+            LayerRoute {
+                outcome: nego_out,
+                chosen: "pathfinder",
+                reason: "race-pathfinder-won",
+            }
+        } else {
+            *occupancy = stack_occ;
+            LayerRoute {
+                outcome: stack_out,
+                chosen: "stack",
+                reason: "race-stack-won",
+            }
+        }
+    }
+}
+
+/// The [`RoutePolicy`] a strategy drives the braiding engine with, or
+/// `None` for strategies that bypass it (the Maslov swap network).
+/// Derived from the strategy itself so sweeps — like the conformance
+/// oracle's defective-lattice pass over every
+/// [`crate::strategy::StrategyInfo::supports_defects`] row — never
+/// hand-maintain the mapping.
+pub fn policy_for(strategy: Strategy, threads: usize) -> Option<Box<dyn RoutePolicy>> {
+    match strategy {
+        Strategy::Full | Strategy::Stack => Some(Box::new(ParallelStackPolicy::new(threads))),
+        Strategy::PathFinder => Some(Box::new(PathFinderPolicy::default())),
+        Strategy::Portfolio => Some(Box::new(PortfolioPolicy::new(threads))),
+        Strategy::Baseline => Some(Box::new(GreedyPolicy)),
+        _ => None,
     }
 }
 
@@ -262,7 +492,19 @@ pub fn run_with_base_occupancy(
             .collect();
 
         occupancy.clone_from(base);
-        let outcome = policy.route(grid, &mut occupancy, &requests);
+        let LayerRoute {
+            outcome,
+            chosen,
+            reason,
+        } = policy.route_layer(
+            grid,
+            &mut occupancy,
+            LayerView {
+                step: step_index - 1,
+                base,
+                requests: &requests,
+            },
+        );
         if telemetry::is_enabled() {
             telemetry::counter("scheduler.gates.routed", outcome.routed.len() as u64);
             telemetry::counter("scheduler.gates.deferred", outcome.failed.len() as u64);
@@ -328,7 +570,22 @@ pub fn run_with_base_occupancy(
         result.braid_steps += 1;
         telemetry::counter("scheduler.steps.braid", 1);
         result.total_cycles += config.timing.braid_step_cycles();
+        // Strategy attribution describes *committed* layers only — a
+        // routing pass discarded in favour of a swap layer never shows
+        // up here or in the trace.
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::StrategyChosen {
+                step: step_index - 1,
+                policy: chosen.to_string(),
+                reason: reason.to_string(),
+            });
+        }
         if record {
+            result.layer_policies.push(LayerPolicy {
+                step: step_index - 1,
+                policy: chosen.to_string(),
+                reason: reason.to_string(),
+            });
             result.steps.push(Step::Braid {
                 braids: outcome
                     .routed

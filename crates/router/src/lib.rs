@@ -10,6 +10,8 @@
 //!   schedulability predicates of §3.3.1;
 //! * [`stack_finder`] — the paper's Fig. 13 stack-based path finder and
 //!   the greedy (GP) baseline ordering of Javadi-Abhari et al.;
+//! * [`pathfinder`] — negotiated-congestion (classic PathFinder)
+//!   rip-up-and-reroute routing, the stack finder's rival strategy;
 //! * [`probe`] — independent invariant re-validation of routing outcomes
 //!   for the conformance oracle and randomized tests.
 //!
@@ -44,6 +46,7 @@ pub mod interference;
 pub mod llg;
 pub mod lowering;
 pub mod path;
+pub mod pathfinder;
 pub mod probe;
 pub mod stack_finder;
 pub mod topology;
@@ -52,6 +55,7 @@ pub use astar::{find_path, SearchLimits};
 pub use interference::InterferenceGraph;
 pub use llg::{decompose, Llg};
 pub use path::{BraidPath, CxRequest};
+pub use pathfinder::{route_negotiated, route_negotiated_with, NegotiationStats, PathFinderConfig};
 pub use probe::check_route_outcome;
 pub use stack_finder::{
     route_concurrent, route_greedy, route_stack_flat, RouteOutcome, RoutedGate,

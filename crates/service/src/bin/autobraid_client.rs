@@ -80,12 +80,12 @@ fn parse_args() -> Args {
             }
             "--strategy" => {
                 let name = value("--strategy");
-                parsed.strategy = Some(
-                    Strategy::ALL
-                        .into_iter()
-                        .find(|s| s.name() == name)
-                        .unwrap_or_else(|| fail(format!("unknown strategy `{name}`"))),
-                );
+                parsed.strategy = Some(Strategy::from_name(&name).unwrap_or_else(|| {
+                    fail(format!(
+                        "unknown strategy `{name}` (valid: {})",
+                        Strategy::names().join(", ")
+                    ))
+                }));
             }
             "--no-cache" => parsed.no_cache = true,
             "--telemetry" => parsed.telemetry = true,

@@ -266,7 +266,7 @@ impl SourceFormat {
 ///
 /// let req = CompileRequest::qasm("qreg q[2]; cx q[0],q[1];")
 ///     .with_label("bell")
-///     .with_strategy(Strategy::StackOnly)
+///     .with_strategy(Strategy::Stack)
 ///     .with_timeout_ms(5_000);
 /// assert_eq!(req.to_json().get("kind").unwrap().as_str(), Some("compile"));
 /// ```
@@ -471,17 +471,12 @@ impl Request {
                 let opt_bool = |key: &str| options.and_then(|o| o.get(key)?.as_bool());
                 let strategy = match options.and_then(|o| o.get("strategy")?.as_str()) {
                     None => None,
-                    Some(name) => Some(
-                        Strategy::ALL
-                            .into_iter()
-                            .find(|s| s.name() == name)
-                            .ok_or_else(|| {
-                                proto_err(format!(
-                                    "unknown strategy `{name}` (valid: {})",
-                                    Strategy::ALL.map(|s| s.name()).join(", ")
-                                ))
-                            })?,
-                    ),
+                    Some(name) => Some(Strategy::from_name(name).ok_or_else(|| {
+                        proto_err(format!(
+                            "unknown strategy `{name}` (valid: {})",
+                            Strategy::names().join(", ")
+                        ))
+                    })?),
                 };
                 Ok(Request::Compile(Box::new(CompileRequest {
                     format,

@@ -222,6 +222,26 @@ fn explain_track(out: &mut String, track_name: &str, track: &[&JsonValue]) -> us
                     s.defers += 1;
                 }
             }
+            "pathfinder.iteration" => {
+                if let Some(s) = &mut step {
+                    s.lines.push(format!(
+                        "negotiation round {}: {} overused vertex(es), {} gate(s) ripped up (present factor {})",
+                        arg_u64(event, "iteration"),
+                        arg_u64(event, "overused"),
+                        arg_u64(event, "rerouted"),
+                        arg_u64(event, "present_factor"),
+                    ));
+                }
+            }
+            "strategy.chosen" => {
+                if let Some(s) = &mut step {
+                    s.lines.push(format!(
+                        "strategy: {} handled this layer ({})",
+                        arg_str(event, "policy"),
+                        arg_str(event, "reason"),
+                    ));
+                }
+            }
             "swap.inserted" => {
                 total_swaps += 1;
                 if let Some(s) = &mut step {
@@ -373,6 +393,17 @@ mod tests {
                 gate: 2,
                 reason: "congested",
             });
+            crate::decision(&Decision::NegotiationRound {
+                iteration: 1,
+                overused: 4,
+                rerouted: 2,
+                present_factor: 2,
+            });
+            crate::decision(&Decision::StrategyChosen {
+                step: 0,
+                policy: "pathfinder".into(),
+                reason: "dense-interference".into(),
+            });
             crate::decision(&Decision::StepBegin {
                 step: 1,
                 braids: 1,
@@ -397,6 +428,10 @@ mod tests {
         assert!(narrative.contains("peel gate 1 (conflict degree 2)"));
         assert!(narrative.contains("route gate 1 committed: 3 vertices [a]"));
         assert!(narrative.contains("route gate 2 deferred: congested"));
+        assert!(narrative.contains(
+            "negotiation round 1: 4 overused vertex(es), 2 gate(s) ripped up (present factor 2)"
+        ));
+        assert!(narrative.contains("strategy: pathfinder handled this layer (dense-interference)"));
         assert!(narrative.contains("=> routed 1 of 2 braid(s)"));
         assert!(narrative.contains("step 1: 1 braid(s) ready"));
         assert!(narrative.contains("swap inserted between qubits 3 and 5"));

@@ -109,6 +109,32 @@ pub enum Decision {
         /// Whether a path was found.
         found: bool,
     },
+    /// One negotiation iteration of the PathFinder router finished.
+    ///
+    /// Emitted once per rip-up-and-reroute round so a trace shows how
+    /// congestion drained (or failed to) across the loop.
+    NegotiationRound {
+        /// Zero-based iteration index within the routing pass.
+        iteration: u64,
+        /// Vertices still shared by more than one path after this round.
+        overused: usize,
+        /// Gates ripped up and rerouted this round.
+        rerouted: usize,
+        /// Present-cost factor in effect during this round.
+        present_factor: u64,
+    },
+    /// A routing policy was chosen for one braiding layer.
+    ///
+    /// Fixed-strategy runs emit this with their own name; the portfolio
+    /// policy records *which* finder it picked and why.
+    StrategyChosen {
+        /// Zero-based braiding step index.
+        step: u64,
+        /// Name of the routing policy that handled the layer.
+        policy: String,
+        /// Short feature-based justification (e.g. `dense-interference`).
+        reason: String,
+    },
     /// A batch-compile job started on a worker.
     JobStart {
         /// Job label (circuit name or index).
@@ -136,6 +162,8 @@ impl Decision {
             Decision::SwapInserted { .. } => "swap.inserted",
             Decision::AnnealAccept { .. } => "anneal.accept",
             Decision::AstarSearch { .. } => "astar.search",
+            Decision::NegotiationRound { .. } => "pathfinder.iteration",
+            Decision::StrategyChosen { .. } => "strategy.chosen",
             Decision::JobStart { .. } => "job.start",
             Decision::JobFinish { .. } => "job.finish",
         }
@@ -194,6 +222,26 @@ impl Decision {
             Decision::AstarSearch { expansions, found } => JsonValue::object([
                 ("expansions", JsonValue::from(*expansions)),
                 ("found", JsonValue::from(*found)),
+            ]),
+            Decision::NegotiationRound {
+                iteration,
+                overused,
+                rerouted,
+                present_factor,
+            } => JsonValue::object([
+                ("iteration", JsonValue::from(*iteration)),
+                ("overused", JsonValue::from(*overused)),
+                ("rerouted", JsonValue::from(*rerouted)),
+                ("present_factor", JsonValue::from(*present_factor)),
+            ]),
+            Decision::StrategyChosen {
+                step,
+                policy,
+                reason,
+            } => JsonValue::object([
+                ("step", JsonValue::from(*step)),
+                ("policy", JsonValue::from(policy.as_str())),
+                ("reason", JsonValue::from(reason.as_str())),
             ]),
             Decision::JobStart { label } => {
                 JsonValue::object([("label", JsonValue::from(label.as_str()))])

@@ -88,12 +88,9 @@ fn batch_results_are_thread_invariant_and_input_ordered() {
 #[test]
 fn batch_covers_every_strategy_deterministically() {
     let circuit = qft(10).unwrap();
-    for strategy in [
-        Strategy::Full,
-        Strategy::StackOnly,
-        Strategy::Baseline,
-        Strategy::Maslov,
-    ] {
+    // `Strategy::ALL` derives from the registry, so new strategies are
+    // swept here automatically.
+    for strategy in Strategy::ALL {
         let make = |threads| {
             Pipeline::new().with_options(CompileOptions {
                 strategy,
