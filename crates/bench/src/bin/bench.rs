@@ -9,12 +9,13 @@
 //! - `regress` — re-measure the suite and compare machine-normalized
 //!   scores against the checked-in baseline (`--baseline <path>`,
 //!   `--repeats N`); exits nonzero when an entry slows down past its
-//!   noise-aware threshold. Each regressing entry is re-run under a
-//!   `TraceRecorder` and its Perfetto trace written to
-//!   `--trace-dir` (default `target/regress-traces`) so the slow run
-//!   can be inspected, not just flagged. `--inject-slowdown <factor>`
-//!   multiplies the fresh scores — a self-test hook proving the gate
-//!   fires (used by CI).
+//!   noise-aware threshold. Each regressing entry — and each
+//!   *near-threshold* entry, past 90% of its allowed ratio without
+//!   firing — is re-run under a `TraceRecorder` and its Perfetto trace
+//!   written to `--trace-dir` (default `target/regress-traces`) so the
+//!   slow run can be inspected, not just flagged.
+//!   `--inject-slowdown <factor>` multiplies the fresh scores — a
+//!   self-test hook proving the gate fires (used by CI).
 //! - `serve` — throughput/latency bench of the `autobraidd` compile
 //!   service: starts an in-process daemon, hammers it with `--clients`
 //!   concurrent connections issuing `--requests` compiles each, and
@@ -27,7 +28,7 @@
 //! Run with `cargo run --release -p autobraid-bench --bin bench -- regress`.
 
 use autobraid_bench::regression::{
-    compare, run_baseline, suite, Baseline, DEFAULT_BASELINE_PATH, DEFAULT_REPEATS,
+    classify, run_baseline, suite, Baseline, DEFAULT_BASELINE_PATH, DEFAULT_REPEATS,
 };
 use autobraid_bench::{enforce_flags, flag_requested, string_flag, usize_flag};
 use autobraid_service::{Client, CompileRequest, Server, ServiceConfig};
@@ -177,13 +178,34 @@ fn run_regress_cmd(repeats: usize) {
             entry.normalized *= factor;
         }
     }
-    let regressions = compare(&base, &fresh);
+    let comparisons = classify(&base, &fresh);
+    let trace_dir =
+        string_flag("--trace-dir").unwrap_or_else(|| "target/regress-traces".to_string());
+
+    // Entries inside the "watch" band (past NEAR_THRESHOLD of their
+    // allowed ratio but not over it) don't fail the gate, but they ship
+    // with a Perfetto trace so the run that eventually crosses the line
+    // arrives with its profile already attached.
+    let near: Vec<_> = comparisons
+        .iter()
+        .filter(|c| c.is_near_threshold())
+        .collect();
+    if !near.is_empty() {
+        eprintln!("near-threshold ({}):", near.len());
+        for c in &near {
+            eprintln!(
+                "  {:<22} x{:.2} of allowed x{:.2} (normalized {:.3} -> {:.3})",
+                c.name, c.ratio, c.allowed, c.base_normalized, c.fresh_normalized
+            );
+            write_trace_for(&c.name, &trace_dir);
+        }
+    }
+
+    let regressions: Vec<_> = comparisons.iter().filter(|c| c.regressed()).collect();
     if regressions.is_empty() {
         eprintln!("OK: no entry regressed past its noise-aware threshold");
         return;
     }
-    let trace_dir =
-        string_flag("--trace-dir").unwrap_or_else(|| "target/regress-traces".to_string());
     eprintln!("REGRESSIONS ({}):", regressions.len());
     for r in &regressions {
         eprintln!(

@@ -37,6 +37,62 @@ use autobraid_conformance::{
 use std::path::Path;
 use std::time::Instant;
 
+/// Counts heap allocations per thread so the zero-alloc guard
+/// ([`autobraid_conformance::alloc_guard`]) can observe the steady-state
+/// A* loop on every fuzzed case. Lives here rather than in a library
+/// because every workspace crate is `#![forbid(unsafe_code)]` and a
+/// `GlobalAlloc` impl cannot avoid `unsafe`; binaries that want the
+/// guard each install their own copy of this thin wrapper.
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Heap allocations performed by the current thread so far (reads 0
+    /// during thread teardown rather than panicking).
+    pub fn thread_allocs() -> u64 {
+        ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    #[inline]
+    fn bump() {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    }
+
+    /// [`System`] plus a per-thread allocation counter. Only `alloc`,
+    /// `alloc_zeroed`, and `realloc` count — frees are not heap
+    /// *acquisition*, and a zero-alloc region may legitimately drop
+    /// values allocated earlier.
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            bump();
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            bump();
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            bump();
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+}
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAllocator = counting_alloc::CountingAllocator;
+
 fn main() {
     autobraid_bench::enforce_flags(&[
         "--seed",
@@ -77,6 +133,16 @@ fn main() {
         let divergences = check_case(&case, &cfg);
         if let Some(first) = divergences.first() {
             report_failure(&case, first, &cfg);
+            std::process::exit(1);
+        }
+        // Differential conformance passed; now hold the router to its
+        // zero-allocation claim on the same grid/defect overlay. (A
+        // no-op when `--telemetry` instruments the searches.)
+        if let Some(alloc) = autobraid_conformance::alloc_guard::check_search_allocs(
+            &case,
+            counting_alloc::thread_allocs,
+        ) {
+            eprintln!("ALLOC GUARD on seed {case_seed}: {alloc}");
             std::process::exit(1);
         }
         ran += 1;

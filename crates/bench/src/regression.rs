@@ -434,10 +434,23 @@ pub fn calibrate() -> f64 {
     median(&samples)
 }
 
-/// Measures one case: grows the iteration count until a sample fills
-/// the sample budget (~2 ms), takes `repeats` samples, and returns
-/// `(median ns/iter, relative IQR)`.
+/// Vertex capacity the measurement thread's [`SearchArena`] is
+/// pre-sized for — comfortably above the largest grid any suite entry
+/// touches (`Grid::new(16)`), so no timed iteration pays the arena's
+/// one-time growth.
+///
+/// [`SearchArena`]: autobraid_router::arena::SearchArena
+const WARM_VERTICES: usize = 4096;
+
+/// Bucket-queue f-value ceiling matching [`WARM_VERTICES`].
+const WARM_MAX_F: u32 = 1024;
+
+/// Measures one case: pre-warms the thread's search arena, grows the
+/// iteration count until a sample fills the sample budget (~2 ms),
+/// takes `repeats` samples, and returns `(median ns/iter, relative
+/// IQR)`.
 pub fn measure(case: &BenchCase, repeats: usize) -> (f64, f64) {
+    autobraid_router::arena::warm_thread_arena(WARM_VERTICES, WARM_MAX_F);
     let mut iters: u64 = 1;
     loop {
         let start = Instant::now();
@@ -528,6 +541,59 @@ pub struct Regression {
 /// baselines are skipped — the gate compares, it does not enforce
 /// suite membership.
 pub fn compare(base: &Baseline, fresh: &Baseline) -> Vec<Regression> {
+    classify(base, fresh)
+        .into_iter()
+        .filter(Comparison::regressed)
+        .map(|c| Regression {
+            name: c.name,
+            base_normalized: c.base_normalized,
+            fresh_normalized: c.fresh_normalized,
+            ratio: c.ratio,
+            allowed: c.allowed,
+        })
+        .collect()
+}
+
+/// Fraction of its allowed threshold an entry must consume to count as
+/// *near-threshold* in [`Comparison::is_near_threshold`]: close enough
+/// that the next bit of drift would fire the gate.
+pub const NEAR_THRESHOLD: f64 = 0.9;
+
+/// One suite entry's comparison against the baseline — regressed or
+/// not. [`compare`] keeps only the failures; perf-gate tooling that
+/// also wants the *near misses* (for proactive tracing) uses
+/// [`classify`] and [`Comparison::is_near_threshold`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Suite entry name.
+    pub name: String,
+    /// Recorded normalized score.
+    pub base_normalized: f64,
+    /// Fresh normalized score.
+    pub fresh_normalized: f64,
+    /// `fresh / base`.
+    pub ratio: f64,
+    /// The noise-aware threshold the ratio is judged against.
+    pub allowed: f64,
+}
+
+impl Comparison {
+    /// Whether this entry slowed down past its threshold.
+    pub fn regressed(&self) -> bool {
+        self.ratio > self.allowed
+    }
+
+    /// Whether this entry is within [`NEAR_THRESHOLD`] of firing
+    /// without having fired — the "watch this one" band.
+    pub fn is_near_threshold(&self) -> bool {
+        !self.regressed() && self.ratio > NEAR_THRESHOLD * self.allowed
+    }
+}
+
+/// Compares every shared suite entry against the baseline, regressed
+/// or not, using the same noise-aware threshold as [`compare`].
+/// Entries present in only one of the two baselines are skipped.
+pub fn classify(base: &Baseline, fresh: &Baseline) -> Vec<Comparison> {
     let mut out = Vec::new();
     for b in &base.entries {
         let Some(f) = fresh.entry(&b.name) else {
@@ -538,15 +604,13 @@ pub fn compare(base: &Baseline, fresh: &Baseline) -> Vec<Regression> {
         }
         let ratio = f.normalized / b.normalized;
         let allowed = (BASE_SLACK + 2.0 * (b.dispersion + f.dispersion)).min(MAX_ALLOWED);
-        if ratio > allowed {
-            out.push(Regression {
-                name: b.name.clone(),
-                base_normalized: b.normalized,
-                fresh_normalized: f.normalized,
-                ratio,
-                allowed,
-            });
-        }
+        out.push(Comparison {
+            name: b.name.clone(),
+            base_normalized: b.normalized,
+            fresh_normalized: f.normalized,
+            ratio,
+            allowed,
+        });
     }
     out
 }
@@ -628,6 +692,34 @@ mod tests {
         let regressions = compare(&base, &fresh);
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].name, "quiet");
+    }
+
+    #[test]
+    fn near_threshold_band_sits_between_ok_and_regressed() {
+        // dispersion 0 → allowed = 1.35, watch band starts at 1.215.
+        let base = baseline(vec![
+            entry("ok", 10.0, 0.0),
+            entry("near", 10.0, 0.0),
+            entry("fired", 10.0, 0.0),
+        ]);
+        let fresh = baseline(vec![
+            entry("ok", 11.0, 0.0),    // x1.10: quiet
+            entry("near", 13.0, 0.0),  // x1.30: watch band
+            entry("fired", 15.0, 0.0), // x1.50: regressed
+        ]);
+        let by_name = |name: &str| {
+            classify(&base, &fresh)
+                .into_iter()
+                .find(|c| c.name == name)
+                .unwrap()
+        };
+        assert!(!by_name("ok").regressed() && !by_name("ok").is_near_threshold());
+        assert!(!by_name("near").regressed() && by_name("near").is_near_threshold());
+        assert!(by_name("fired").regressed() && !by_name("fired").is_near_threshold());
+        // compare() remains exactly the regressed subset.
+        let regressions = compare(&base, &fresh);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "fired");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_guard;
 pub mod case;
 pub mod dsl;
 pub mod oracle;

@@ -10,10 +10,12 @@
 //!   better of the two is kept, as in §3.3.2).
 
 use crate::config::ScheduleConfig;
-use crate::maslov::schedule_maslov;
+use crate::maslov::schedule_maslov_with_dag;
 use crate::metrics::ScheduleResult;
-use crate::scheduler::{run, ParallelStackPolicy, PathFinderPolicy, PortfolioPolicy, RoutePolicy};
-use autobraid_circuit::Circuit;
+use crate::scheduler::{
+    run, run_with_dag, ParallelStackPolicy, PathFinderPolicy, PortfolioPolicy, RoutePolicy,
+};
+use autobraid_circuit::{Circuit, DependenceDag};
 use autobraid_lattice::Grid;
 use autobraid_placement::{
     anneal_portfolio, initial::partition_placement, linear_placement, CouplingGraph, Placement,
@@ -152,9 +154,26 @@ impl AutoBraid {
     /// paper sweeps `p` and "chooses the best one among all"), and, for
     /// all-to-all communication patterns, Maslov's swap-network schedule.
     pub fn schedule_full(&self, circuit: &Circuit) -> ScheduleOutcome {
+        let dag = if self.config.commutation_aware {
+            DependenceDag::with_commutation(circuit)
+        } else {
+            DependenceDag::new(circuit)
+        };
+        self.schedule_full_with_dag(circuit, &dag)
+    }
+
+    /// [`Self::schedule_full`] against a caller-supplied dependence DAG,
+    /// shared across the candidate strategies (and reusable for
+    /// verification). `dag` must have been built from `circuit`
+    /// consistently with `config.commutation_aware`.
+    pub fn schedule_full_with_dag(
+        &self,
+        circuit: &Circuit,
+        dag: &DependenceDag,
+    ) -> ScheduleOutcome {
         let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
         let placement = self.initial_placement(circuit, &grid);
-        let (result, _) = run(
+        let (result, _) = run_with_dag(
             "autobraid-full",
             circuit,
             &grid,
@@ -162,6 +181,7 @@ impl AutoBraid {
             &ParallelStackPolicy::new(self.config.effective_threads()),
             self.config.layout_threshold > 0.0,
             &self.config,
+            dag,
         );
         let mut outcome = ScheduleOutcome {
             result,
@@ -170,24 +190,31 @@ impl AutoBraid {
         };
 
         if self.config.layout_threshold > 0.0 {
-            let (sp, _) = run(
-                "autobraid-full",
-                circuit,
-                &grid,
-                placement.clone(),
-                &ParallelStackPolicy::new(self.config.effective_threads()),
-                false,
-                &self.config,
-            );
-            if sp.total_cycles < outcome.result.total_cycles {
-                outcome = ScheduleOutcome {
-                    result: sp,
-                    grid: grid.clone(),
-                    initial_placement: placement,
-                };
+            // The optimizer-off candidate can only differ when the first
+            // run actually committed a swap layer: with zero committed
+            // layers the optimizer branch fell through on every step, so
+            // the p = 0 run would replay the exact same schedule. Skip it.
+            if outcome.result.swap_layers > 0 {
+                let (sp, _) = run_with_dag(
+                    "autobraid-full",
+                    circuit,
+                    &grid,
+                    placement.clone(),
+                    &ParallelStackPolicy::new(self.config.effective_threads()),
+                    false,
+                    &self.config,
+                    dag,
+                );
+                if sp.total_cycles < outcome.result.total_cycles {
+                    outcome = ScheduleOutcome {
+                        result: sp,
+                        grid: grid.clone(),
+                        initial_placement: placement,
+                    };
+                }
             }
             if is_all_to_all(circuit) {
-                let (maslov, maslov_initial) = schedule_maslov(circuit, &self.config);
+                let (maslov, maslov_initial) = schedule_maslov_with_dag(circuit, &self.config, dag);
                 if maslov.total_cycles < outcome.result.total_cycles {
                     let mut result = maslov;
                     result.scheduler = "autobraid-full".into();

@@ -30,6 +30,23 @@ use std::time::Instant;
 /// `n` transposition layers every pair of line positions has been
 /// adjacent, so the dependence frontier always progresses.
 pub fn schedule_maslov(circuit: &Circuit, config: &ScheduleConfig) -> (ScheduleResult, Placement) {
+    let dag = if config.commutation_aware {
+        DependenceDag::with_commutation(circuit)
+    } else {
+        DependenceDag::new(circuit)
+    };
+    schedule_maslov_with_dag(circuit, config, &dag)
+}
+
+/// [`schedule_maslov`] against a caller-supplied dependence DAG, so one
+/// DAG build can be shared with the other strategies `schedule_full`
+/// races. `dag` must have been built from `circuit` consistently with
+/// `config.commutation_aware`.
+pub fn schedule_maslov_with_dag(
+    circuit: &Circuit,
+    config: &ScheduleConfig,
+    dag: &DependenceDag,
+) -> (ScheduleResult, Placement) {
     let started = Instant::now();
     let n = circuit.num_qubits();
     let grid = Grid::with_capacity_for(n as usize);
@@ -40,12 +57,7 @@ pub fn schedule_maslov(circuit: &Circuit, config: &ScheduleConfig) -> (ScheduleR
     let mut placement = initial.clone();
 
     let mut result = ScheduleResult::new("maslov", circuit.name(), config.timing);
-    let dag = if config.commutation_aware {
-        DependenceDag::with_commutation(circuit)
-    } else {
-        DependenceDag::new(circuit)
-    };
-    let mut frontier = Frontier::new(&dag);
+    let mut frontier = Frontier::new(dag);
     let mut occupancy = Occupancy::new(&grid);
     let mut utilization_sum = 0.0;
     let mut parity = 0u32;
@@ -56,36 +68,41 @@ pub fn schedule_maslov(circuit: &Circuit, config: &ScheduleConfig) -> (ScheduleR
     // position[q] = serpentine index of qubit q.
     let mut position: Vec<u32> = (0..n).collect();
 
+    // Step-loop scratch, hoisted so the hot loop stays allocation-free
+    // (the recorded `Step`s still own their payload vectors).
+    let mut ready: Vec<GateId> = Vec::new();
+    let mut adjacent: Vec<GateId> = Vec::new();
+    let mut requests: Vec<CxRequest> = Vec::new();
+    let mut ready_pairs: Vec<(QubitId, QubitId)> = Vec::new();
+    let mut swap_requests: Vec<CxRequest> = Vec::new();
+    let mut pairs: Vec<(QubitId, QubitId)> = Vec::new();
+
     while !frontier.is_drained() {
-        let ready: Vec<GateId> = frontier.ready().to_vec();
+        ready.clear();
+        ready.extend_from_slice(frontier.ready());
         let locals: Vec<GateId> = ready
             .iter()
             .copied()
             .filter(|&g| !circuit.gate(g).is_two_qubit())
             .collect();
-        let adjacent: Vec<GateId> = ready
-            .iter()
-            .copied()
-            .filter(|&g| {
-                circuit
-                    .gate(g)
-                    .pair()
-                    .is_some_and(|(a, b)| position[a as usize].abs_diff(position[b as usize]) == 1)
-            })
-            .collect();
+        adjacent.clear();
+        adjacent.extend(ready.iter().copied().filter(|&g| {
+            circuit
+                .gate(g)
+                .pair()
+                .is_some_and(|(a, b)| position[a as usize].abs_diff(position[b as usize]) == 1)
+        }));
         let any_braid_ready = ready.len() > locals.len();
 
         if !adjacent.is_empty() {
             // Execute all adjacent ready CX gates simultaneously. Their
             // operand pairs are disjoint (gates sharing a qubit are never
             // concurrently ready), and adjacent tiles always route.
-            let requests: Vec<CxRequest> = adjacent
-                .iter()
-                .map(|&g| {
-                    let (a, b) = circuit.gate(g).pair().expect("adjacent gates are CX");
-                    CxRequest::new(g, placement.cell_of(a), placement.cell_of(b))
-                })
-                .collect();
+            requests.clear();
+            requests.extend(adjacent.iter().map(|&g| {
+                let (a, b) = circuit.gate(g).pair().expect("adjacent gates are CX");
+                CxRequest::new(g, placement.cell_of(a), placement.cell_of(b))
+            }));
             occupancy.clear();
             let outcome = route_concurrent(&grid, &mut occupancy, &requests);
             debug_assert!(!outcome.routed.is_empty(), "adjacent pairs must route");
@@ -129,10 +146,8 @@ pub fn schedule_maslov(circuit: &Circuit, config: &ScheduleConfig) -> (ScheduleR
             // (summed over all ready gates). When neither parity offers a
             // benefit, fall back to one unconditional brick-wall layer,
             // which guarantees every pair eventually meets.
-            let ready_pairs: Vec<(QubitId, QubitId)> = ready
-                .iter()
-                .filter_map(|&g| circuit.gate(g).pair())
-                .collect();
+            ready_pairs.clear();
+            ready_pairs.extend(ready.iter().filter_map(|&g| circuit.gate(g).pair()));
             let chosen_parity = if unconditional_mode {
                 None
             } else {
@@ -152,8 +167,8 @@ pub fn schedule_maslov(circuit: &Circuit, config: &ScheduleConfig) -> (ScheduleR
             };
 
             let mut swaps: Vec<SwapOp> = Vec::new();
-            let mut swap_requests: Vec<CxRequest> = Vec::new();
-            let mut pairs: Vec<(QubitId, QubitId)> = Vec::new();
+            swap_requests.clear();
+            pairs.clear();
             let start = match chosen_parity {
                 Some(par) => par,
                 // An unconditional layer at parity 1 would be empty on a

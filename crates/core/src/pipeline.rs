@@ -11,7 +11,6 @@
 use crate::autobraid::ScheduleOutcome;
 use crate::baseline::schedule_baseline;
 use crate::config::{Recording, ScheduleConfig};
-use crate::maslov::schedule_maslov;
 use crate::metrics::verify_schedule_with_dag;
 use crate::AutoBraid;
 use autobraid_circuit::{qasm, Circuit, CircuitError, CircuitStats, DependenceDag};
@@ -319,8 +318,15 @@ impl Pipeline {
         let started = Instant::now();
         let schedule_span = telemetry::span("schedule");
         let compiler = AutoBraid::new(config.clone());
+        // One dependence DAG serves every strategy `schedule_full` races
+        // *and* the post-schedule verification below.
+        let dag = if config.commutation_aware {
+            DependenceDag::with_commutation(&circuit)
+        } else {
+            DependenceDag::new(&circuit)
+        };
         let outcome = match self.options.strategy {
-            Strategy::Full => compiler.schedule_full(&circuit),
+            Strategy::Full => compiler.schedule_full_with_dag(&circuit, &dag),
             Strategy::Stack => compiler.schedule_sp(&circuit),
             Strategy::PathFinder => compiler.schedule_pathfinder(&circuit),
             Strategy::Portfolio => compiler.schedule_portfolio(&circuit),
@@ -334,7 +340,8 @@ impl Pipeline {
                 }
             }
             Strategy::Maslov => {
-                let (result, placement) = schedule_maslov(&circuit, &config);
+                let (result, placement) =
+                    crate::maslov::schedule_maslov_with_dag(&circuit, &config, &dag);
                 let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
                 ScheduleOutcome {
                     result,
@@ -349,11 +356,6 @@ impl Pipeline {
         if self.options.verify && config.recording == Recording::Full {
             let started = Instant::now();
             let _span = telemetry::span("verify");
-            let dag = if config.commutation_aware {
-                DependenceDag::with_commutation(&circuit)
-            } else {
-                DependenceDag::new(&circuit)
-            };
             verify_schedule_with_dag(
                 &circuit,
                 &dag,

@@ -15,9 +15,9 @@ use autobraid_lattice::{Grid, Occupancy};
 use autobraid_placement::Placement;
 use autobraid_router::pathfinder::{route_negotiated_with, PathFinderConfig};
 use autobraid_router::stack_finder::{
-    route_concurrent, route_concurrent_with, route_greedy, RouteOutcome,
+    route_concurrent, route_concurrent_seeded, route_concurrent_with, route_greedy, RouteOutcome,
 };
-use autobraid_router::{CxRequest, InterferenceGraph};
+use autobraid_router::{CxRequest, IncrementalInterference, InterferenceGraph};
 use autobraid_telemetry as telemetry;
 use std::time::Instant;
 
@@ -60,6 +60,11 @@ pub struct LayerView<'a> {
     pub base: &'a Occupancy,
     /// Every ready CX of the layer, priorities already assigned.
     pub requests: &'a [CxRequest],
+    /// The layer's interference graph over `requests` (every node
+    /// live), equal to `InterferenceGraph::build(requests)`. The engine
+    /// assembles it from incrementally maintained gate-commit deltas;
+    /// policies consume it instead of rebuilding per layer.
+    pub interference: &'a InterferenceGraph,
 }
 
 /// What a policy reports about one routed layer: the outcome plus
@@ -120,6 +125,20 @@ impl RoutePolicy for StackPolicy {
     ) -> RouteOutcome {
         route_concurrent(grid, occupancy, requests)
     }
+
+    fn route_layer(&self, grid: &Grid, occupancy: &mut Occupancy, layer: LayerView) -> LayerRoute {
+        LayerRoute {
+            outcome: route_concurrent_seeded(
+                grid,
+                occupancy,
+                layer.requests,
+                1,
+                layer.interference,
+            ),
+            chosen: self.name(),
+            reason: "fixed",
+        }
+    }
 }
 
 /// [`StackPolicy`] with a worker-thread budget: independent small LLGs
@@ -153,6 +172,20 @@ impl RoutePolicy for ParallelStackPolicy {
         requests: &[CxRequest],
     ) -> RouteOutcome {
         route_concurrent_with(grid, occupancy, requests, self.threads.max(1))
+    }
+
+    fn route_layer(&self, grid: &Grid, occupancy: &mut Occupancy, layer: LayerView) -> LayerRoute {
+        LayerRoute {
+            outcome: route_concurrent_seeded(
+                grid,
+                occupancy,
+                layer.requests,
+                self.threads.max(1),
+                layer.interference,
+            ),
+            chosen: self.name(),
+            reason: "fixed",
+        }
     }
 }
 
@@ -238,13 +271,12 @@ impl PortfolioPolicy {
     }
 
     /// Interference-graph edge density in `[0, 1]` (1 = every pair of
-    /// gates interferes).
-    fn interference_density(requests: &[CxRequest]) -> f64 {
-        let n = requests.len();
+    /// gates interferes), read off the layer's pre-built graph.
+    fn interference_density(graph: &InterferenceGraph) -> f64 {
+        let n = graph.len();
         if n < 2 {
             return 0.0;
         }
-        let graph = InterferenceGraph::build(requests);
         let edge_ends: usize = (0..n).map(|i| graph.degree(i)).sum();
         edge_ends as f64 / (n * (n - 1)) as f64
     }
@@ -262,6 +294,7 @@ impl RoutePolicy for PortfolioPolicy {
         requests: &[CxRequest],
     ) -> RouteOutcome {
         let base = occupancy.clone();
+        let interference = InterferenceGraph::build(requests);
         self.route_layer(
             grid,
             occupancy,
@@ -269,6 +302,7 @@ impl RoutePolicy for PortfolioPolicy {
                 step: 0,
                 base: &base,
                 requests,
+                interference: &interference,
             },
         )
         .outcome
@@ -276,7 +310,9 @@ impl RoutePolicy for PortfolioPolicy {
 
     fn route_layer(&self, grid: &Grid, occupancy: &mut Occupancy, layer: LayerView) -> LayerRoute {
         let requests = layer.requests;
-        let stack = |occ: &mut Occupancy| route_concurrent_with(grid, occ, requests, self.threads);
+        let stack = |occ: &mut Occupancy| {
+            route_concurrent_seeded(grid, occ, requests, self.threads, layer.interference)
+        };
         let negotiate =
             |occ: &mut Occupancy| route_negotiated_with(grid, occ, requests, &self.config).0;
 
@@ -288,7 +324,7 @@ impl RoutePolicy for PortfolioPolicy {
                 reason: "tiny-layer",
             };
         }
-        let density = Self::interference_density(requests);
+        let density = Self::interference_density(layer.interference);
         telemetry::observe("scheduler.portfolio.density", density);
         if density <= 0.25 {
             let oversized = autobraid_router::llg::decompose(requests)
@@ -341,6 +377,28 @@ impl RoutePolicy for PortfolioPolicy {
     }
 }
 
+/// The layer's interference graph, assembled from the engine's
+/// incrementally maintained gate-commit deltas. Debug builds cross-check
+/// it against a from-scratch `InterferenceGraph::build`; reference mode
+/// uses the from-scratch build outright so differential tests can diff
+/// the two end to end.
+fn layer_interference(
+    incremental: &IncrementalInterference,
+    requests: &[CxRequest],
+) -> InterferenceGraph {
+    #[cfg(any(test, feature = "reference"))]
+    if telemetry::reference_mode() {
+        return InterferenceGraph::build(requests);
+    }
+    let graph = incremental.layer_graph(requests);
+    debug_assert_eq!(
+        graph,
+        InterferenceGraph::build(requests),
+        "incremental interference diverged from a from-scratch build"
+    );
+    graph
+}
+
 /// The [`RoutePolicy`] a strategy drives the braiding engine with, or
 /// `None` for strategies that bypass it (the Maslov swap network).
 /// Derived from the strategy itself so sweeps — like the conformance
@@ -386,6 +444,36 @@ pub fn run(
     .expect("an empty base occupancy never makes a gate unroutable")
 }
 
+/// [`run`] against a caller-supplied dependence DAG, so one DAG build can
+/// be shared across several engine drives (and the verifier) of the same
+/// circuit. `dag` must have been built from `circuit` consistently with
+/// `config.commutation_aware`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_dag(
+    scheduler_name: &str,
+    circuit: &Circuit,
+    grid: &Grid,
+    placement: Placement,
+    policy: &dyn RoutePolicy,
+    allow_layout_optimizer: bool,
+    config: &ScheduleConfig,
+    dag: &DependenceDag,
+) -> (ScheduleResult, Placement) {
+    let base = Occupancy::new(grid);
+    run_with_base_and_dag(
+        scheduler_name,
+        circuit,
+        grid,
+        placement,
+        policy,
+        allow_layout_optimizer,
+        config,
+        &base,
+        dag,
+    )
+    .expect("an empty base occupancy never makes a gate unroutable")
+}
+
 /// [`run`] on a lattice with *defective channels*: every vertex reserved
 /// in `base` is permanently unavailable (broken measurement hardware, a
 /// region reserved for magic-state distillation, …). Each braiding step
@@ -401,11 +489,43 @@ pub fn run_with_base_occupancy(
     scheduler_name: &str,
     circuit: &Circuit,
     grid: &Grid,
+    placement: Placement,
+    policy: &dyn RoutePolicy,
+    allow_layout_optimizer: bool,
+    config: &ScheduleConfig,
+    base: &Occupancy,
+) -> Result<(ScheduleResult, Placement), ScheduleError> {
+    let dag = if config.commutation_aware {
+        DependenceDag::with_commutation(circuit)
+    } else {
+        DependenceDag::new(circuit)
+    };
+    run_with_base_and_dag(
+        scheduler_name,
+        circuit,
+        grid,
+        placement,
+        policy,
+        allow_layout_optimizer,
+        config,
+        base,
+        &dag,
+    )
+}
+
+/// [`run_with_base_occupancy`] against a caller-supplied dependence DAG
+/// (see [`run_with_dag`] for the sharing contract).
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_base_and_dag(
+    scheduler_name: &str,
+    circuit: &Circuit,
+    grid: &Grid,
     mut placement: Placement,
     policy: &dyn RoutePolicy,
     allow_layout_optimizer: bool,
     config: &ScheduleConfig,
     base: &Occupancy,
+    dag: &DependenceDag,
 ) -> Result<(ScheduleResult, Placement), ScheduleError> {
     let started = Instant::now();
     let _span = telemetry::span("engine");
@@ -417,13 +537,13 @@ pub fn run_with_base_occupancy(
         });
     }
     let mut result = ScheduleResult::new(scheduler_name, circuit.name(), config.timing);
-    let dag = if config.commutation_aware {
-        DependenceDag::with_commutation(circuit)
-    } else {
-        DependenceDag::new(circuit)
-    };
-    let mut frontier = Frontier::new(&dag);
+    let mut frontier = Frontier::new(dag);
     let mut occupancy = Occupancy::new(grid);
+    // Interference maintained across layers by gate-commit deltas: gates
+    // arrive when they become ready, leave when committed, and refresh
+    // when a swap layer moves an operand (`sync` detects the stale
+    // tiles). Each layer's graph is then assembled in O(V + E).
+    let mut interference = IncrementalInterference::new();
     let mut utilization_sum = 0.0;
     let mut consecutive_swap_rounds = 0usize;
     let record = config.recording == Recording::Full;
@@ -491,6 +611,14 @@ pub fn run_with_base_occupancy(
             })
             .collect();
 
+        // Refresh the incremental interference state: newly ready gates
+        // arrive, and gates whose operands a swap layer moved get their
+        // tiles (and edges) recomputed.
+        for r in &requests {
+            interference.sync(r);
+        }
+        let graph = layer_interference(&interference, &requests);
+
         occupancy.clone_from(base);
         let LayerRoute {
             outcome,
@@ -503,6 +631,7 @@ pub fn run_with_base_occupancy(
                 step: step_index - 1,
                 base,
                 requests: &requests,
+                interference: &graph,
             },
         );
         if telemetry::is_enabled() {
@@ -563,6 +692,7 @@ pub fn run_with_base_occupancy(
 
         for routed in &outcome.routed {
             frontier.complete(routed.request.id);
+            interference.remove(routed.request.id);
         }
         for &g in &locals {
             frontier.complete(g);

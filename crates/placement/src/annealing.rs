@@ -105,6 +105,191 @@ pub fn llg_objective(circuit: &Circuit, layers: &[Vec<GateId>], placement: &Plac
     total
 }
 
+/// Incremental evaluation of [`llg_objective`] across swap proposals.
+///
+/// The objective is a sum of independent per-layer scores, and a swap of
+/// qubits `a` and `b` can only change the layers containing a gate that
+/// touches `a` or `b`. The cache keeps every layer's score plus a
+/// qubit → layers index, so a proposal re-scores only the affected
+/// layers (through the allocation-free [`llg::score_layer`]) and a
+/// rejection costs nothing. The annealer cross-checks every proposal
+/// against the full recompute in debug builds, and reference mode
+/// (`autobraid_telemetry::reference_mode`) bypasses the cache entirely.
+struct ObjectiveCache {
+    /// Per layer: the routing requests under the *current* placement
+    /// (committed state plus any pending proposal's patches).
+    layer_requests: Vec<Vec<CxRequest>>,
+    /// Per layer: each gate's outer bounding box, kept in lockstep with
+    /// `layer_requests` so scoring skips the box recomputation.
+    layer_boxes: Vec<Vec<autobraid_lattice::BBox>>,
+    /// Per qubit: its `(layer, gate index, operand side)` occurrences,
+    /// ascending by layer. Gates within one parallelism layer act on
+    /// disjoint qubits, so a qubit appears at most once per layer and the
+    /// lists come out sorted for free.
+    qubit_positions: Vec<Vec<(u32, u32, bool)>>,
+    /// Current score of each layer under the committed placement.
+    layer_obj: Vec<u64>,
+    /// Σ `layer_obj` — the committed objective.
+    total: u64,
+    scratch: llg::LlgScratch,
+    affected: Vec<u32>,
+    /// `(layer, gate index, side, previous cell, previous box)` undo log
+    /// of the pending proposal's request patches.
+    patches: Vec<(
+        u32,
+        u32,
+        bool,
+        autobraid_lattice::Cell,
+        autobraid_lattice::BBox,
+    )>,
+    /// `(layer, new score)` of the pending proposal.
+    proposed: Vec<(u32, u64)>,
+    proposed_total: u64,
+}
+
+impl ObjectiveCache {
+    fn new(
+        circuit: &Circuit,
+        layers: &[Vec<GateId>],
+        placement: &Placement,
+        num_qubits: usize,
+    ) -> Self {
+        let mut qubit_positions: Vec<Vec<(u32, u32, bool)>> = vec![Vec::new(); num_qubits];
+        let layer_requests: Vec<Vec<CxRequest>> = layers
+            .iter()
+            .enumerate()
+            .map(|(l, layer)| {
+                layer
+                    .iter()
+                    .enumerate()
+                    .map(|(gi, &g)| {
+                        let (a, b) = circuit.gate(g).pair().expect("layers hold CX gates only");
+                        qubit_positions[a as usize].push((l as u32, gi as u32, false));
+                        qubit_positions[b as usize].push((l as u32, gi as u32, true));
+                        CxRequest::new(g, placement.cell_of(a), placement.cell_of(b))
+                    })
+                    .collect()
+            })
+            .collect();
+        let layer_boxes: Vec<Vec<autobraid_lattice::BBox>> = layer_requests
+            .iter()
+            .map(|reqs| reqs.iter().map(|r| r.outer_bbox()).collect())
+            .collect();
+        let mut cache = ObjectiveCache {
+            layer_requests,
+            layer_boxes,
+            qubit_positions,
+            layer_obj: vec![0; layers.len()],
+            total: 0,
+            scratch: llg::LlgScratch::default(),
+            affected: Vec::new(),
+            patches: Vec::new(),
+            proposed: Vec::new(),
+            proposed_total: 0,
+        };
+        for l in 0..cache.layer_boxes.len() {
+            let score = llg::score_boxes(&mut cache.scratch, &cache.layer_boxes[l]);
+            cache.layer_obj[l] = score;
+            cache.total += score;
+        }
+        cache
+    }
+
+    /// Overwrites `q`'s operand slots with its current cell, logging the
+    /// previous cells for [`Self::revert`].
+    fn patch_qubit(&mut self, q: QubitId, placement: &Placement) {
+        let cell = placement.cell_of(q);
+        for &(l, gi, side) in &self.qubit_positions[q as usize] {
+            let req = &mut self.layer_requests[l as usize][gi as usize];
+            let bbox = &mut self.layer_boxes[l as usize][gi as usize];
+            let slot = if side { &mut req.b } else { &mut req.a };
+            self.patches.push((l, gi, side, *slot, *bbox));
+            *slot = cell;
+            *bbox = autobraid_lattice::BBox::of_gate(req.a, req.b);
+        }
+    }
+
+    /// Objective of `placement` (which already has `a` and `b` swapped):
+    /// patches the cached requests in place and re-scores only the layers
+    /// touching either qubit. The new scores are staged; [`Self::commit`]
+    /// keeps them on acceptance, [`Self::revert`] undoes the patches on
+    /// rejection.
+    fn propose(&mut self, a: QubitId, b: QubitId, placement: &Placement) -> u64 {
+        self.affected.clear();
+        {
+            let (pa, pb) = (
+                &self.qubit_positions[a as usize],
+                &self.qubit_positions[b as usize],
+            );
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < pa.len() || j < pb.len() {
+                let next = match (pa.get(i), pb.get(j)) {
+                    (Some(&(x, _, _)), Some(&(y, _, _))) if x == y => {
+                        i += 1;
+                        j += 1;
+                        x
+                    }
+                    (Some(&(x, _, _)), Some(&(y, _, _))) if x < y => {
+                        i += 1;
+                        x
+                    }
+                    (Some(_), Some(&(y, _, _))) => {
+                        j += 1;
+                        y
+                    }
+                    (Some(&(x, _, _)), None) => {
+                        i += 1;
+                        x
+                    }
+                    (None, Some(&(y, _, _))) => {
+                        j += 1;
+                        y
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                };
+                self.affected.push(next);
+            }
+        }
+        self.patches.clear();
+        self.patch_qubit(a, placement);
+        self.patch_qubit(b, placement);
+
+        self.proposed.clear();
+        let mut total = self.total;
+        for k in 0..self.affected.len() {
+            let l = self.affected[k] as usize;
+            let new = llg::score_boxes(&mut self.scratch, &self.layer_boxes[l]);
+            total = total - self.layer_obj[l] + new;
+            self.proposed.push((l as u32, new));
+        }
+        self.proposed_total = total;
+        total
+    }
+
+    /// Keeps the staged proposal (the swap was accepted).
+    fn commit(&mut self) {
+        for &(l, score) in &self.proposed {
+            self.layer_obj[l as usize] = score;
+        }
+        self.total = self.proposed_total;
+    }
+
+    /// Restores the cached requests to the committed placement (the swap
+    /// was rejected).
+    fn revert(&mut self) {
+        for &(l, gi, side, old_cell, old_box) in self.patches.iter().rev() {
+            let req = &mut self.layer_requests[l as usize][gi as usize];
+            if side {
+                req.b = old_cell;
+            } else {
+                req.a = old_cell;
+            }
+            self.layer_boxes[l as usize][gi as usize] = old_box;
+        }
+        self.patches.clear();
+    }
+}
+
 /// Counts oversized LLGs (the raw Table 1 "# of LLG's (size > 3)" number)
 /// across *all* CX layers of the circuit under `placement`.
 pub fn count_oversized_llgs(circuit: &Circuit, placement: &Placement) -> u64 {
@@ -172,6 +357,16 @@ pub fn anneal(
     let mut rng = Rng64::seed_from_u64(config.seed);
     let mut current = initial.clone();
     let mut current_obj = initial_objective;
+    // Incremental objective: re-score only the layers a swap touches.
+    // Reference mode falls back to the full recompute each proposal; the
+    // two agree exactly (debug-asserted below), so the RNG stream — and
+    // therefore the whole anneal — is identical either way.
+    let use_incremental = !telemetry::reference_mode();
+    let mut cache = ObjectiveCache::new(circuit, &layers, &current, n as usize);
+    debug_assert_eq!(
+        cache.total, initial_objective,
+        "cached objective diverged from llg_objective at start"
+    );
     let mut best = initial;
     let mut best_obj = initial_objective;
     let mut temperature = config.initial_temperature;
@@ -203,11 +398,24 @@ pub fn anneal(
             b = rng.gen_range(0..n);
         }
         current.swap_qubits(a, b);
-        let obj = llg_objective(circuit, &layers, &current);
+        let obj = if use_incremental {
+            let incremental = cache.propose(a, b, &current);
+            debug_assert_eq!(
+                incremental,
+                llg_objective(circuit, &layers, &current),
+                "incremental objective diverged on swap ({a}, {b})"
+            );
+            incremental
+        } else {
+            llg_objective(circuit, &layers, &current)
+        };
         let delta = obj as f64 - current_obj as f64;
         let accept = delta <= 0.0
             || (temperature > 1e-12 && rng.gen_bool((-delta / temperature).exp().min(1.0)));
         if accept {
+            if use_incremental {
+                cache.commit();
+            }
             current_obj = obj;
             accepted += 1;
             if obj < best_obj {
@@ -223,6 +431,9 @@ pub fn anneal(
             }
         } else {
             current.swap_qubits(a, b); // undo
+            if use_incremental {
+                cache.revert();
+            }
         }
         temperature *= config.cooling;
     }
@@ -450,6 +661,26 @@ mod tests {
         let one = anneal(&c, &grid, Placement::row_major(&grid, 16), &single);
         let best = anneal_portfolio(&c, &grid, Placement::row_major(&grid, 16), &multi, 2);
         assert!(best.final_objective <= one.final_objective);
+    }
+
+    #[test]
+    fn incremental_anneal_is_byte_identical_to_reference() {
+        // The cached-delta objective must leave the whole anneal — RNG
+        // stream, accepted moves, final placement — bit-identical to the
+        // recompute-every-proposal reference.
+        for circuit in [qft(14).unwrap(), ising(16, 2).unwrap()] {
+            let grid = Grid::with_capacity_for(16);
+            let n = circuit.num_qubits();
+            let cfg = AnnealConfig {
+                iterations: 300,
+                ..Default::default()
+            };
+            let fast = anneal(&circuit, &grid, Placement::row_major(&grid, n), &cfg);
+            let was = telemetry::set_reference_mode(true);
+            let reference = anneal(&circuit, &grid, Placement::row_major(&grid, n), &cfg);
+            telemetry::set_reference_mode(was);
+            assert_eq!(fast, reference);
+        }
     }
 
     #[test]

@@ -7,11 +7,10 @@
 //! consume fewer routing vertices, so A* still minimizes length to
 //! preserve resources for other gates.
 
+use crate::arena::{with_search_arena, SearchArena, NO_PARENT};
 use crate::path::BraidPath;
 use autobraid_lattice::{BBox, Cell, Grid, Occupancy, Vertex};
 use autobraid_telemetry as telemetry;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Search configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,6 +52,131 @@ pub fn find_path(
     b: Cell,
     limits: SearchLimits,
 ) -> Option<BraidPath> {
+    #[cfg(any(test, feature = "reference"))]
+    if telemetry::reference_mode() {
+        return find_path_reference(grid, occupancy, a, b, limits);
+    }
+    with_search_arena(|arena| find_path_in(arena, grid, occupancy, a, b, limits))
+}
+
+/// [`find_path`] against caller-provided scratch. Pops the open set in
+/// (f asc, **g desc**, index asc) order — on f-ties the deepest node
+/// wins, so an open grid is traversed goal-first instead of expanding
+/// the whole equal-f plateau (see `arena.rs` module docs). The search
+/// loop performs **zero heap allocations** once the arena is warm; the
+/// fuzz oracle's counting-allocator guard enforces this.
+pub fn find_path_in(
+    arena: &mut SearchArena,
+    grid: &Grid,
+    occupancy: &Occupancy,
+    a: Cell,
+    b: Cell,
+    limits: SearchLimits,
+) -> Option<BraidPath> {
+    let goal = search_in(arena, grid, occupancy, a, b, limits)?;
+    Some(reconstruct_arena(grid, a, b, arena, goal))
+}
+
+/// The arena search loop alone: runs the bucket-queue A* and returns
+/// the goal *vertex index* (feed it to the arena's parent chain)
+/// without reconstructing a path. With a warm arena and no telemetry
+/// recorder installed this call performs **zero heap allocations** —
+/// the conformance suite's counting-allocator guard
+/// (`autobraid_conformance::alloc_guard`) measures exactly this entry
+/// point.
+pub fn search_in(
+    arena: &mut SearchArena,
+    grid: &Grid,
+    occupancy: &Occupancy,
+    a: Cell,
+    b: Cell,
+    limits: SearchLimits,
+) -> Option<usize> {
+    telemetry::counter("router.astar.searches", 1);
+    let allowed = |v: Vertex| -> bool {
+        occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
+    };
+    let mut targets = [Vertex::new(0, 0); 4];
+    let mut target_count = 0usize;
+    for v in b.corners() {
+        if allowed(v) {
+            targets[target_count] = v;
+            target_count += 1;
+        }
+    }
+    if target_count == 0 {
+        telemetry::counter("router.astar.failures", 1);
+        record_search(0, false);
+        return None;
+    }
+    let targets = &targets[..target_count];
+    let heuristic = |v: Vertex| -> u32 {
+        targets
+            .iter()
+            .map(|t| v.manhattan_distance(*t))
+            .min()
+            .unwrap()
+    };
+
+    arena.begin(grid.vertex_count());
+    for start in a.corners() {
+        if allowed(start) {
+            let i = grid.vertex_index(start);
+            arena.improve(i, 0, NO_PARENT);
+            arena.push(heuristic(start), 0, i as u32);
+        }
+    }
+
+    let mut expansions = 0u32;
+    while let Some((g, idx)) = arena.pop() {
+        if limits.max_expansions.is_some_and(|cap| expansions >= cap) {
+            telemetry::counter("router.astar.limit_hits", 1);
+            telemetry::counter("router.astar.failures", 1);
+            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            record_search(expansions, false);
+            return None;
+        }
+        expansions += 1;
+        let v = grid.vertex_at(idx as usize);
+        if b.has_corner(v) {
+            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            record_search(expansions, true);
+            return Some(idx as usize);
+        }
+        for next in grid.neighbors(v) {
+            if !allowed(next) {
+                continue;
+            }
+            let ni = grid.vertex_index(next);
+            let ng = g + 1;
+            if ng < arena.g(ni) {
+                arena.improve(ni, ng, idx);
+                arena.push(ng + heuristic(next), ng, ni as u32);
+            }
+        }
+    }
+    telemetry::counter("router.astar.failures", 1);
+    telemetry::observe("router.astar.expansions", f64::from(expansions));
+    record_search(expansions, false);
+    None
+}
+
+/// Reference implementation of [`find_path`]: fresh allocations and a
+/// `BinaryHeap` ordered (f asc, g desc, index asc) — the same abstract
+/// pop contract as the arena's bucket queue, realized independently.
+/// Differential tests flip [`telemetry::set_reference_mode`] and assert
+/// the full pipeline output is byte-identical either way.
+#[cfg(any(test, feature = "reference"))]
+pub fn find_path_reference(
+    grid: &Grid,
+    occupancy: &Occupancy,
+    a: Cell,
+    b: Cell,
+    limits: SearchLimits,
+) -> Option<BraidPath> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
     telemetry::counter("router.astar.searches", 1);
     let allowed = |v: Vertex| -> bool {
         occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
@@ -74,19 +198,19 @@ pub fn find_path(
     let n = grid.vertex_count();
     let mut g_cost: Vec<u32> = vec![u32::MAX; n];
     let mut parent: Vec<usize> = vec![usize::MAX; n];
-    // (f, g, vertex_index): ties broken on g then index for determinism.
-    let mut open: BinaryHeap<Reverse<(u32, u32, usize)>> = BinaryHeap::new();
+    // Min-heap on (f, Reverse(g), index): f asc, g desc, index asc.
+    let mut open: BinaryHeap<Reverse<(u32, Reverse<u32>, usize)>> = BinaryHeap::new();
 
     for start in a.corners() {
         if allowed(start) {
             let i = grid.vertex_index(start);
             g_cost[i] = 0;
-            open.push(Reverse((heuristic(start), 0, i)));
+            open.push(Reverse((heuristic(start), Reverse(0), i)));
         }
     }
 
     let mut expansions = 0u32;
-    while let Some(Reverse((_, g, idx))) = open.pop() {
+    while let Some(Reverse((_, Reverse(g), idx))) = open.pop() {
         if g > g_cost[idx] {
             continue; // stale entry
         }
@@ -113,7 +237,7 @@ pub fn find_path(
             if ng < g_cost[ni] {
                 g_cost[ni] = ng;
                 parent[ni] = idx;
-                open.push(Reverse((ng + heuristic(next), ng, ni)));
+                open.push(Reverse((ng + heuristic(next), Reverse(ng), ni)));
             }
         }
     }
@@ -142,7 +266,23 @@ fn reconstruct(grid: &Grid, a: Cell, b: Cell, parent: &[usize], mut idx: usize) 
         vertices.push(grid.vertex_at(idx));
     }
     vertices.reverse();
-    BraidPath::new(grid, a, b, vertices).expect("A* reconstruction yields a valid path")
+    BraidPath::from_search(grid, a, b, vertices)
+}
+
+fn reconstruct_arena(
+    grid: &Grid,
+    a: Cell,
+    b: Cell,
+    arena: &SearchArena,
+    mut idx: usize,
+) -> BraidPath {
+    let mut vertices = vec![grid.vertex_at(idx)];
+    while arena.parent(idx) != NO_PARENT {
+        idx = arena.parent(idx) as usize;
+        vertices.push(grid.vertex_at(idx));
+    }
+    vertices.reverse();
+    BraidPath::from_search(grid, a, b, vertices)
 }
 
 /// Free-space connectivity labels for fast reachability prechecks.
@@ -427,6 +567,53 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn arena_search_is_byte_identical_to_reference() {
+        use autobraid_telemetry::Rng64;
+        let mut rng = Rng64::seed_from_u64(29);
+        for trial in 0..80 {
+            let (g, mut occ) = setup(8);
+            for v in g.vertices() {
+                if rng.gen_bool(0.3) {
+                    occ.reserve(&g, v);
+                }
+            }
+            let a = Cell::new(rng.gen_range(0..8u32), rng.gen_range(0..8u32));
+            let mut b = a;
+            while b == a {
+                b = Cell::new(rng.gen_range(0..8u32), rng.gen_range(0..8u32));
+            }
+            let optimized = find_path(&g, &occ, a, b, SearchLimits::default());
+            let reference = find_path_reference(&g, &occ, a, b, SearchLimits::default());
+            assert_eq!(
+                optimized, reference,
+                "trial {trial}: arena and reference searches diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_mode_dispatches_identically() {
+        let (g, occ) = setup(6);
+        let direct = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(5, 5),
+            SearchLimits::default(),
+        );
+        let prev = autobraid_telemetry::set_reference_mode(true);
+        let via_flag = find_path(
+            &g,
+            &occ,
+            Cell::new(0, 0),
+            Cell::new(5, 5),
+            SearchLimits::default(),
+        );
+        autobraid_telemetry::set_reference_mode(prev);
+        assert_eq!(direct, via_flag);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod astar;
 pub mod interference;
 pub mod llg;
@@ -51,8 +52,9 @@ pub mod probe;
 pub mod stack_finder;
 pub mod topology;
 
+pub use arena::{warm_thread_arena, with_search_arena, SearchArena};
 pub use astar::{find_path, SearchLimits};
-pub use interference::InterferenceGraph;
+pub use interference::{IncrementalInterference, InterferenceGraph};
 pub use llg::{decompose, Llg};
 pub use path::{BraidPath, CxRequest};
 pub use pathfinder::{route_negotiated, route_negotiated_with, NegotiationStats, PathFinderConfig};

@@ -135,6 +135,203 @@ pub fn decompose(requests: &[CxRequest]) -> Vec<Llg> {
         .collect()
 }
 
+/// Reusable scratch for [`score_layer`]. The annealer evaluates the LLG
+/// objective thousands of times per run; routing the union-find state,
+/// box tables, and nesting buffers through this struct makes repeated
+/// scoring allocation-free once the buffers have grown to the layer
+/// size.
+#[derive(Debug, Default)]
+pub struct LlgScratch {
+    parent: Vec<usize>,
+    boxes: Vec<Option<BBox>>,
+    roots: Vec<usize>,
+    sizes: Vec<usize>,
+    input_boxes: Vec<BBox>,
+    comp_boxes: Vec<BBox>,
+    comp_masks: Vec<u64>,
+    nest: Vec<BBox>,
+}
+
+#[inline]
+fn find_halving(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// The annealing score of one concurrent layer: Σ over LLGs of size
+/// `k > 3` of `(k - 3)`, plus 1 per such group that is not guaranteed
+/// schedulable by Theorem 1/2 — exactly the per-layer term of the
+/// placement optimizer's `llg_objective`, computed without building the
+/// [`Llg`] vector. Equality with the [`decompose`]-based computation is
+/// proven by `score_layer_matches_decompose` and by the annealer's own
+/// debug cross-check.
+pub fn score_layer(scratch: &mut LlgScratch, requests: &[CxRequest]) -> u64 {
+    // Every LLG is a subset of the layer, so a layer of ≤ 3 gates cannot
+    // contain an oversized group.
+    if requests.len() <= 3 {
+        return 0;
+    }
+    let mut boxes = std::mem::take(&mut scratch.input_boxes);
+    boxes.clear();
+    boxes.extend(requests.iter().map(|r| r.outer_bbox()));
+    let total = score_boxes(scratch, &boxes);
+    scratch.input_boxes = boxes;
+    total
+}
+
+/// [`score_layer`] on precomputed outer bounding boxes — callers that
+/// cache the per-gate boxes (the annealer's incremental objective) skip
+/// the box recomputation entirely.
+pub fn score_boxes(scratch: &mut LlgScratch, boxes: &[BBox]) -> u64 {
+    let n = boxes.len();
+    if n <= 3 {
+        return 0;
+    }
+    if n <= 64 {
+        score_boxes_small(scratch, boxes)
+    } else {
+        score_boxes_large(scratch, boxes)
+    }
+}
+
+/// [`score_boxes`] for layers of ≤ 64 gates: the union-find is replaced
+/// by a shrinking component list with `u64` membership masks, so the
+/// common sparse case (no overlaps at all) costs one quadratic sweep of
+/// plain box comparisons and nothing else. The partition computed is the
+/// same unique overlap-closure as `decompose`'s.
+fn score_boxes_small(scratch: &mut LlgScratch, boxes: &[BBox]) -> u64 {
+    let LlgScratch {
+        comp_boxes,
+        comp_masks,
+        nest,
+        ..
+    } = scratch;
+    let n = boxes.len();
+    comp_boxes.clear();
+    comp_boxes.extend_from_slice(boxes);
+    comp_masks.clear();
+    comp_masks.extend((0..n).map(|i| 1u64 << i));
+
+    // Merge overlapping components until stable; a merged box grows, so
+    // pairs skipped earlier in the sweep are revisited by the outer loop.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < comp_boxes.len() {
+            let mut j = i + 1;
+            while j < comp_boxes.len() {
+                if comp_boxes[i].overlaps_open(&comp_boxes[j]) {
+                    let merged = comp_boxes[i].union(&comp_boxes[j]);
+                    comp_boxes[i] = merged;
+                    comp_masks[i] |= comp_masks[j];
+                    comp_boxes.swap_remove(j);
+                    comp_masks.swap_remove(j);
+                    changed = true;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let mut total = 0u64;
+    for &mask in comp_masks.iter() {
+        let k = mask.count_ones() as u64;
+        if k <= 3 {
+            continue;
+        }
+        total += k - 3;
+        nest.clear();
+        let mut m = mask;
+        while m != 0 {
+            nest.push(boxes[m.trailing_zeros() as usize]);
+            m &= m - 1;
+        }
+        // Unstable sort is safe: equal keys imply identical boxes.
+        nest.sort_unstable_by_key(|b| (b.area(), b.width(), b.min_row, b.min_col));
+        if !nest.windows(2).all(|w| w[1].strictly_nests(&w[0])) {
+            total += 1;
+        }
+    }
+    total
+}
+
+/// [`score_boxes`] beyond 64 gates: the same overlap-merge fixpoint as
+/// `decompose`, run through scratch-allocated union-find state.
+fn score_boxes_large(scratch: &mut LlgScratch, input: &[BBox]) -> u64 {
+    let n = input.len();
+    scratch.parent.clear();
+    scratch.parent.extend(0..n);
+    scratch.boxes.clear();
+    scratch.boxes.extend(input.iter().map(|b| Some(*b)));
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        scratch.roots.clear();
+        for i in 0..n {
+            if find_halving(&mut scratch.parent, i) == i && scratch.boxes[i].is_some() {
+                scratch.roots.push(i);
+            }
+        }
+        for i in 0..scratch.roots.len() {
+            let ri = find_halving(&mut scratch.parent, scratch.roots[i]);
+            for j in i + 1..scratch.roots.len() {
+                let rj = find_halving(&mut scratch.parent, scratch.roots[j]);
+                if ri == rj {
+                    continue;
+                }
+                let bi = scratch.boxes[ri].expect("root has box");
+                let bj = scratch.boxes[rj].expect("root has box");
+                if bi.overlaps_open(&bj) {
+                    scratch.parent[rj] = ri;
+                    scratch.boxes[ri] = Some(bi.union(&bj));
+                    scratch.boxes[rj] = None;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    scratch.sizes.clear();
+    scratch.sizes.resize(n, 0);
+    for i in 0..n {
+        let root = find_halving(&mut scratch.parent, i);
+        scratch.sizes[root] += 1;
+    }
+
+    let mut total = 0u64;
+    for root in 0..n {
+        let k = scratch.sizes[root];
+        if k <= 3 {
+            continue;
+        }
+        total += k as u64 - 3;
+        scratch.nest.clear();
+        for (i, bbox) in input.iter().enumerate() {
+            if find_halving(&mut scratch.parent, i) == root {
+                scratch.nest.push(*bbox);
+            }
+        }
+        // Unstable sort is safe here: equal keys imply identical boxes
+        // (area + width fix the dimensions, min corner fixes the
+        // position), so every permutation of ties chains identically.
+        scratch
+            .nest
+            .sort_unstable_by_key(|b| (b.area(), b.width(), b.min_row, b.min_col));
+        let nested = scratch.nest.windows(2).all(|w| w[1].strictly_nests(&w[0]));
+        if !nested {
+            total += 1;
+        }
+    }
+    total
+}
+
 /// Number of LLGs of size > 3 that are not strictly nested — the paper's
 /// Table 1 metric and the simulated-annealing objective for initial
 /// placement.
@@ -262,6 +459,40 @@ mod tests {
         assert_eq!(count_unguaranteed(&rs), 1);
         let llgs = decompose(&rs);
         assert!(!llgs[0].is_strictly_nested(&rs));
+    }
+
+    #[test]
+    fn score_layer_matches_decompose() {
+        // The scratch-based score must equal the per-layer objective term
+        // computed from `decompose` on random layers, including the
+        // oversized-and-unnested +1.
+        use autobraid_telemetry::Rng64;
+        let mut rng = Rng64::seed_from_u64(23);
+        let mut scratch = LlgScratch::default();
+        for trial in 0..64 {
+            // The last trials exceed 64 gates to also exercise the
+            // union-find fallback path.
+            let count = if trial >= 60 {
+                rng.gen_range(65usize..80)
+            } else {
+                rng.gen_range(0usize..12)
+            };
+            let mut rs = Vec::new();
+            while rs.len() < count {
+                let a = Cell::new(rng.gen_range(0u32..8), rng.gen_range(0u32..8));
+                let b = Cell::new(rng.gen_range(0u32..8), rng.gen_range(0u32..8));
+                if a == b {
+                    continue;
+                }
+                rs.push(CxRequest::new(rs.len(), a, b));
+            }
+            let expected: u64 = decompose(&rs)
+                .iter()
+                .filter(|g| g.size() > 3)
+                .map(|g| g.size() as u64 - 3 + u64::from(!g.guaranteed_schedulable(&rs)))
+                .sum();
+            assert_eq!(score_layer(&mut scratch, &rs), expected, "layer {rs:?}");
+        }
     }
 
     #[test]

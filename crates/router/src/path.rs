@@ -106,6 +106,20 @@ impl BraidPath {
         Some(BraidPath { vertices })
     }
 
+    /// Wraps a vertex sequence produced by a search reconstruction
+    /// without the O(n log n) clone-and-sort validation of
+    /// [`BraidPath::new`] — a correct search cannot emit an invalid
+    /// path, and the hot routers construct thousands of these per
+    /// compile. Debug builds still run the full validation.
+    pub(crate) fn from_search(grid: &Grid, a: Cell, b: Cell, vertices: Vec<Vertex>) -> Self {
+        debug_assert!(
+            BraidPath::new(grid, a, b, vertices.clone()).is_some(),
+            "search reconstruction produced an invalid path"
+        );
+        let _ = (grid, a, b);
+        BraidPath { vertices }
+    }
+
     /// Number of vertices on the path.
     pub fn len(&self) -> usize {
         self.vertices.len()

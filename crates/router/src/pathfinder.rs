@@ -21,6 +21,7 @@
 //! documented in `docs/ROUTING.md`; telemetry lands on the
 //! `router.pathfinder.*` metrics of `docs/METRICS.md`.
 
+use crate::arena::{with_search_arena, SearchArena, NO_PARENT};
 use crate::astar::find_path;
 use crate::astar::SearchLimits;
 use crate::path::{BraidPath, CxRequest};
@@ -28,7 +29,6 @@ use crate::stack_finder::{RouteOutcome, RoutedGate};
 use autobraid_lattice::{Grid, Occupancy, Vertex};
 use autobraid_telemetry as telemetry;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Fixed-point base cost of occupying one free vertex. Every other
 /// cost term scales against this, and the A* heuristic multiplies
@@ -303,6 +303,144 @@ fn find_negotiated(
     a: autobraid_lattice::Cell,
     b: autobraid_lattice::Cell,
 ) -> Option<BraidPath> {
+    #[cfg(any(test, feature = "reference"))]
+    if telemetry::reference_mode() {
+        return find_negotiated_reference(
+            grid,
+            base,
+            usage,
+            history,
+            present_factor,
+            history_weight,
+            a,
+            b,
+        );
+    }
+    with_search_arena(|arena| {
+        find_negotiated_in(
+            arena,
+            grid,
+            base,
+            usage,
+            history,
+            present_factor,
+            history_weight,
+            a,
+            b,
+        )
+    })
+}
+
+/// [`find_negotiated`] against caller-provided scratch: the weighted
+/// half of the [`SearchArena`] replaces the per-call `g_cost`/`parent`
+/// vectors and the throwaway `BinaryHeap`. The tie-break —
+/// `(f, g, vertex index)` ascending — is unchanged from the original.
+#[allow(clippy::too_many_arguments)]
+fn find_negotiated_in(
+    arena: &mut SearchArena,
+    grid: &Grid,
+    base: &Occupancy,
+    usage: &[u32],
+    history: &[u64],
+    present_factor: u64,
+    history_weight: u64,
+    a: autobraid_lattice::Cell,
+    b: autobraid_lattice::Cell,
+) -> Option<BraidPath> {
+    telemetry::counter("router.pathfinder.searches", 1);
+    let allowed = |v: Vertex| -> bool { base.is_free(grid, v) };
+    let mut targets = [Vertex::new(0, 0); 4];
+    let mut target_count = 0usize;
+    for corner in b.corners() {
+        if allowed(corner) {
+            targets[target_count] = corner;
+            target_count += 1;
+        }
+    }
+    if target_count == 0 {
+        return None;
+    }
+    let targets = &targets[..target_count];
+    let heuristic = |v: Vertex| -> u64 {
+        let d = targets
+            .iter()
+            .map(|t| v.manhattan_distance(*t))
+            .min()
+            .unwrap();
+        u64::from(d) * BASE_COST
+    };
+    let vertex_cost = |i: usize| -> u64 {
+        (BASE_COST + history[i] * history_weight) * (1 + u64::from(usage[i]) * present_factor)
+    };
+
+    arena.begin_weighted(grid.vertex_count());
+    for start in a.corners() {
+        if allowed(start) {
+            let i = grid.vertex_index(start);
+            let g = vertex_cost(i);
+            if g < arena.weighted_g(i) {
+                arena.weighted_improve(i, g, NO_PARENT);
+                arena.weighted_push(g + heuristic(start), g, i);
+            }
+        }
+    }
+
+    while let Some((_, g, idx)) = arena.weighted_pop() {
+        if g > arena.weighted_g(idx) {
+            continue; // stale entry
+        }
+        let v = grid.vertex_at(idx);
+        if b.has_corner(v) {
+            return Some(reconstruct_arena(arena, grid, a, b, idx));
+        }
+        for next in grid.neighbors(v) {
+            if !allowed(next) {
+                continue;
+            }
+            let ni = grid.vertex_index(next);
+            let ng = g + vertex_cost(ni);
+            if ng < arena.weighted_g(ni) {
+                arena.weighted_improve(ni, ng, idx as u32);
+                arena.weighted_push(ng + heuristic(next), ng, ni);
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct_arena(
+    arena: &SearchArena,
+    grid: &Grid,
+    a: autobraid_lattice::Cell,
+    b: autobraid_lattice::Cell,
+    mut idx: usize,
+) -> BraidPath {
+    let mut vertices = vec![grid.vertex_at(idx)];
+    while arena.weighted_parent(idx) != NO_PARENT {
+        idx = arena.weighted_parent(idx) as usize;
+        vertices.push(grid.vertex_at(idx));
+    }
+    vertices.reverse();
+    BraidPath::from_search(grid, a, b, vertices)
+}
+
+/// Reference implementation of the negotiated search: the original
+/// allocate-per-call structure (fresh cost vectors, fresh heap), kept
+/// for differential testing against the arena-backed fast path.
+#[cfg(any(test, feature = "reference"))]
+#[allow(clippy::too_many_arguments)]
+fn find_negotiated_reference(
+    grid: &Grid,
+    base: &Occupancy,
+    usage: &[u32],
+    history: &[u64],
+    present_factor: u64,
+    history_weight: u64,
+    a: autobraid_lattice::Cell,
+    b: autobraid_lattice::Cell,
+) -> Option<BraidPath> {
+    use std::collections::BinaryHeap;
+
     telemetry::counter("router.pathfinder.searches", 1);
     let allowed = |v: Vertex| -> bool { base.is_free(grid, v) };
     let targets: Vec<Vertex> = b.corners().into_iter().filter(|&v| allowed(v)).collect();
@@ -343,7 +481,17 @@ fn find_negotiated(
         }
         let v = grid.vertex_at(idx);
         if b.has_corner(v) {
-            return Some(reconstruct(grid, a, b, &parent, idx));
+            let mut vertices = vec![grid.vertex_at(idx)];
+            let mut at = idx;
+            while parent[at] != usize::MAX {
+                at = parent[at];
+                vertices.push(grid.vertex_at(at));
+            }
+            vertices.reverse();
+            return Some(
+                BraidPath::new(grid, a, b, vertices)
+                    .expect("negotiated search yields a valid path"),
+            );
         }
         for next in grid.neighbors(v) {
             if !allowed(next) {
@@ -359,22 +507,6 @@ fn find_negotiated(
         }
     }
     None
-}
-
-fn reconstruct(
-    grid: &Grid,
-    a: autobraid_lattice::Cell,
-    b: autobraid_lattice::Cell,
-    parent: &[usize],
-    mut idx: usize,
-) -> BraidPath {
-    let mut vertices = vec![grid.vertex_at(idx)];
-    while parent[idx] != usize::MAX {
-        idx = parent[idx];
-        vertices.push(grid.vertex_at(idx));
-    }
-    vertices.reverse();
-    BraidPath::new(grid, a, b, vertices).expect("negotiated search yields a valid path")
 }
 
 #[cfg(test)]
@@ -527,6 +659,41 @@ mod tests {
         assert_eq!(sa, sb);
         assert_eq!(a.failed, b.failed);
         assert_eq!(a.routed, b.routed);
+    }
+
+    #[test]
+    fn arena_negotiation_is_byte_identical_to_reference() {
+        // The arena-backed weighted search must reproduce the original
+        // allocate-per-call implementation exactly — same paths, same
+        // stats — across random congested batches.
+        use autobraid_telemetry::Rng64;
+        let mut rng = Rng64::seed_from_u64(31);
+        for _ in 0..25 {
+            let (g, occ) = setup(8);
+            let mut rs: Vec<CxRequest> = Vec::new();
+            while rs.len() < 8 {
+                let a = Cell::new(rng.gen_range(0u32..8), rng.gen_range(0u32..8));
+                let b = Cell::new(rng.gen_range(0u32..8), rng.gen_range(0u32..8));
+                if a == b {
+                    continue;
+                }
+                rs.push(
+                    CxRequest::new(rs.len(), a, b).with_priority(rng.gen_range(0u32..5) as i64),
+                );
+            }
+            let mut fast_occ = occ.clone();
+            let (fast, fast_stats) =
+                route_negotiated_with(&g, &mut fast_occ, &rs, &PathFinderConfig::default());
+            let was = autobraid_telemetry::set_reference_mode(true);
+            let mut ref_occ = occ.clone();
+            let (reference, ref_stats) =
+                route_negotiated_with(&g, &mut ref_occ, &rs, &PathFinderConfig::default());
+            autobraid_telemetry::set_reference_mode(was);
+            assert_eq!(fast_stats, ref_stats);
+            assert_eq!(fast.routed, reference.routed);
+            assert_eq!(fast.failed, reference.failed);
+            assert_eq!(fast_occ, ref_occ);
+        }
     }
 
     #[test]

@@ -149,10 +149,37 @@ pub fn route_concurrent_with(
     requests: &[CxRequest],
     threads: usize,
 ) -> RouteOutcome {
+    route_concurrent_impl(grid, occupancy, requests, threads, None)
+}
+
+/// [`route_concurrent_with`] seeded with the layer's interference graph
+/// (every node live), so the scheduling engine's incrementally
+/// maintained graph replaces the per-layer O(n²) rebuild. The outcome
+/// is byte-identical to the unseeded call whenever `interference`
+/// equals `InterferenceGraph::build(requests)` — which
+/// [`crate::interference::IncrementalInterference::layer_graph`]
+/// guarantees.
+pub fn route_concurrent_seeded(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    threads: usize,
+    interference: &InterferenceGraph,
+) -> RouteOutcome {
+    route_concurrent_impl(grid, occupancy, requests, threads, Some(interference))
+}
+
+fn route_concurrent_impl(
+    grid: &Grid,
+    occupancy: &mut Occupancy,
+    requests: &[CxRequest],
+    threads: usize,
+    interference: Option<&InterferenceGraph>,
+) -> RouteOutcome {
     let _span = telemetry::span("route_concurrent");
     telemetry::counter("router.route.requests", requests.len() as u64);
     let snapshot = occupancy.clone();
-    let outcome = route_stack_order(grid, occupancy, requests, threads);
+    let outcome = route_stack_order(grid, occupancy, requests, threads, interference);
     let chosen = if outcome.is_complete() {
         outcome
     } else {
@@ -268,6 +295,7 @@ fn route_stack_order(
     occupancy: &mut Occupancy,
     requests: &[CxRequest],
     threads: usize,
+    interference: Option<&InterferenceGraph>,
 ) -> RouteOutcome {
     let mut outcome = RouteOutcome::default();
 
@@ -313,10 +341,14 @@ fn route_stack_order(
     }
 
     // Peel max-degree nodes of the residual interference graph onto the
-    // stack until max degree ≤ 2 (paper Fig. 13). The graph is built over
-    // all requests; small-LLG members are already routed and isolated, so
+    // stack until max degree ≤ 2 (paper Fig. 13). The graph spans all
+    // requests (seeded by the engine's incremental maintenance when
+    // available); small-LLG members are already routed and isolated, so
     // only deferred nodes matter.
-    let mut graph = InterferenceGraph::build(requests);
+    let mut graph = match interference {
+        Some(seed) => seed.clone(),
+        None => InterferenceGraph::build(requests),
+    };
     for (i, deferred) in is_deferred.iter().enumerate() {
         if !deferred {
             graph.remove(i);
@@ -612,20 +644,28 @@ fn route_small_llgs_parallel(
         }
     });
 
-    // Vertices committed by this phase so far; a plan is valid only while
-    // its box is untouched by them. Everything the phase commits lands in
+    // Vertices committed by this phase so far, tracked as a phase-local
+    // bitmap so "is the group's box untouched?" is an O(words)
+    // [`Occupancy::any_in_bbox`] test instead of a walk over every
+    // committed path vertex. Everything the phase commits lands in
     // `outcome.routed`, which starts empty (small LLGs route first).
     debug_assert!(outcome.routed.is_empty());
+    let mut committed = Occupancy::new(grid);
     for (group, plan) in groups.iter().zip(plans) {
         let plan = plan.into_inner().expect("plan slot never poisoned");
-        let box_untouched = |routed: &[RoutedGate]| {
-            routed
+        #[allow(unused_mut)]
+        let mut box_untouched = !committed.any_in_bbox(grid, &group.bbox);
+        #[cfg(any(test, feature = "reference"))]
+        if telemetry::reference_mode() {
+            box_untouched = outcome
+                .routed
                 .iter()
                 .flat_map(|r| r.path.vertices())
-                .all(|v| !group.bbox.contains(*v))
-        };
+                .all(|v| !group.bbox.contains(*v));
+        }
+        let before = outcome.routed.len();
         match plan {
-            Some(routed) if box_untouched(&outcome.routed) => {
+            Some(routed) if box_untouched => {
                 for r in &routed {
                     let reserved = occupancy.try_reserve(grid, r.path.vertices().iter().copied());
                     debug_assert!(
@@ -640,6 +680,10 @@ fn route_small_llgs_parallel(
                 telemetry::counter("router.llg.parallel_replans", 1);
                 route_small_llg(grid, occupancy, requests, group, outcome);
             }
+        }
+        for r in &outcome.routed[before..] {
+            let tracked = committed.try_reserve(grid, r.path.vertices().iter().copied());
+            debug_assert!(tracked, "phase commits are vertex-disjoint");
         }
     }
 }

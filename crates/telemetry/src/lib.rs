@@ -64,6 +64,7 @@ pub mod export;
 mod json;
 mod memory;
 mod recorder;
+mod reference;
 mod rng;
 mod span;
 pub mod trace;
@@ -71,6 +72,7 @@ pub mod trace;
 pub use json::JsonValue;
 pub use memory::{HistogramSummary, MemoryRecorder, SpanStat, TelemetrySnapshot, SCHEMA};
 pub use recorder::{current, install, is_enabled, FanoutRecorder, Recorder, RecorderGuard};
+pub use reference::{reference_mode, set_reference_mode};
 pub use rng::{Rng64, SampleRange};
 pub use span::Span;
 pub use trace::{Decision, Trace, TraceEvent, TraceEventKind, TraceRecorder, TRACE_SCHEMA};

@@ -1,0 +1,53 @@
+//! Process-wide switch that routes hot-path kernels to their reference
+//! implementations.
+//!
+//! The performance-critical kernels (arena A*, incremental interference,
+//! incremental annealing objective, bitset bbox tests) each retain a
+//! straightforward reference implementation behind
+//! `#[cfg(any(test, feature = "reference"))]`. Differential tests flip
+//! this switch, run the full pipeline twice, and assert the canonical
+//! reports are byte-identical — proving the optimized kernels compute
+//! exactly the same function.
+//!
+//! The flag lives here (rather than in each kernel crate) because every
+//! crate already depends on telemetry, and a single switch guarantees a
+//! reference-mode run is reference *end to end* rather than per-crate.
+//! Reads use `Relaxed` ordering: the flag is toggled only at test
+//! boundaries, never mid-search, and carries no data dependencies.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Whether kernels should dispatch to their reference implementations.
+///
+/// Always `false` in production builds: the optimized call sites only
+/// consult this under `#[cfg(any(test, feature = "reference"))]`.
+#[inline]
+pub fn reference_mode() -> bool {
+    REFERENCE_MODE.load(Ordering::Relaxed)
+}
+
+/// Enables or disables reference-mode dispatch process-wide.
+///
+/// Returns the previous value so tests can restore it. Tests that flip
+/// this should run the pipeline to completion before flipping it back;
+/// the switch is process-global, so differential tests serialize on it.
+pub fn set_reference_mode(enabled: bool) -> bool {
+    REFERENCE_MODE.swap(enabled, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_off_and_round_trips() {
+        assert!(!reference_mode());
+        let prev = set_reference_mode(true);
+        assert!(!prev);
+        assert!(reference_mode());
+        set_reference_mode(false);
+        assert!(!reference_mode());
+    }
+}
