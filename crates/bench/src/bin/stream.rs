@@ -1,0 +1,134 @@
+//! Online-compilation penalty: what streaming costs relative to the
+//! batch pipeline, per conformance generator family.
+//!
+//! For each family the circuit is compiled twice — offline through
+//! [`Pipeline`] (optimizer on, the batch best-case) and online through
+//! [`StreamingPipeline`] with every gate pushed one at a time — and the
+//! table reports the cycle ratio (schedule quality lost to streaming:
+//! no global peephole, frontier-local routing) and the wall-clock
+//! ratio (compile-time cost of the incremental engine). A third column
+//! repeats the stream under a zero per-step budget, the worst-case
+//! trimming mode, so the budget mechanism's quality floor is visible.
+//!
+//! Run with `cargo run --release -p autobraid-bench --bin stream`
+//! (`--markdown` emits the docs/STREAMING.md table body, `--repeats N`
+//! overrides the per-cell sample count).
+
+use autobraid::pipeline::{CompileReport, Pipeline};
+use autobraid::report::Table;
+use autobraid::streaming::{StreamingOptions, StreamingPipeline};
+use autobraid_circuit::generators::{ising::ising, qft::qft, random};
+use autobraid_circuit::Circuit;
+use std::time::{Duration, Instant};
+
+/// Per-cell wall-clock samples; the median is reported.
+const DEFAULT_REPEATS: usize = 5;
+
+fn families() -> Vec<(&'static str, Circuit)> {
+    vec![
+        (
+            "layered",
+            random::layered_cx(10, 4, 0.3, 7).expect("layered builds"),
+        ),
+        (
+            "burst",
+            random::all_to_all_burst(10, 3, 4, 7).expect("burst builds"),
+        ),
+        (
+            "chain",
+            random::neighbor_chain(10, 5, 7).expect("chain builds"),
+        ),
+        ("qft", qft(10).expect("qft builds")),
+        ("ising", ising(10, 2).expect("ising builds")),
+    ]
+}
+
+/// Streams every gate of `circuit` through a fresh pipeline and closes
+/// it, the whole-circuit equivalent of the batch compile.
+fn stream_once(circuit: &Circuit, budget: Option<Duration>) -> CompileReport {
+    let mut options = StreamingOptions::default().with_label(circuit.name());
+    if let Some(budget) = budget {
+        options = options.with_step_budget(budget);
+    }
+    let mut stream = StreamingPipeline::open(circuit.num_qubits().max(1), options);
+    for (_, gate) in circuit.iter() {
+        stream.push_gate(*gate).expect("gate streams");
+    }
+    stream.finish().expect("stream finishes")
+}
+
+/// Median wall-clock seconds of `run` over `repeats` samples, plus the
+/// last report (cycles are deterministic across repeats).
+fn measure<F: FnMut() -> CompileReport>(repeats: usize, mut run: F) -> (f64, CompileReport) {
+    let mut samples = Vec::with_capacity(repeats);
+    let mut report = run();
+    for _ in 0..repeats {
+        let started = Instant::now();
+        report = run();
+        samples.push(started.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    (samples[samples.len() / 2], report)
+}
+
+fn main() {
+    autobraid_bench::enforce_flags(&["--markdown", "--repeats", "--telemetry", "--trace"]);
+    let _telemetry = autobraid_bench::telemetry_sink();
+    let _trace = autobraid_bench::trace_sink();
+    let markdown = autobraid_bench::flag_requested("--markdown");
+    let repeats = autobraid_bench::usize_flag("--repeats", DEFAULT_REPEATS).max(1);
+
+    let header = [
+        "Family",
+        "offline cycles",
+        "online cycles",
+        "cycle penalty",
+        "budgeted cycles",
+        "budget penalty",
+        "wall penalty",
+    ];
+    let mut table = Table::new(header);
+    if markdown {
+        println!("| {} |", header.join(" | "));
+        println!("|{}|", header.map(|_| "---").join("|"));
+    }
+
+    for (family, circuit) in families() {
+        let pipeline = Pipeline::new();
+        let (offline_s, offline) =
+            measure(repeats, || pipeline.compile(&circuit).expect("compiles"));
+        let (online_s, online) = measure(repeats, || stream_once(&circuit, None));
+        // Zero budget: every step overruns, so each braiding layer after
+        // the first routes only its most critical half — the floor of
+        // what budget trimming can cost.
+        let (_, budgeted) = measure(1, || stream_once(&circuit, Some(Duration::ZERO)));
+
+        let offline_cycles = offline.outcome.result.total_cycles;
+        let online_cycles = online.outcome.result.total_cycles;
+        let budgeted_cycles = budgeted.outcome.result.total_cycles;
+        let cycle_penalty = online_cycles as f64 / offline_cycles.max(1) as f64;
+        let budget_penalty = budgeted_cycles as f64 / offline_cycles.max(1) as f64;
+        let wall_penalty = online_s / offline_s.max(1e-12);
+
+        let row = [
+            family.to_string(),
+            offline_cycles.to_string(),
+            online_cycles.to_string(),
+            format!("{cycle_penalty:.2}x"),
+            budgeted_cycles.to_string(),
+            format!("{budget_penalty:.2}x"),
+            format!("{wall_penalty:.2}x"),
+        ];
+        if markdown {
+            println!("| {} |", row.join(" | "));
+        } else {
+            table.add_row(row);
+        }
+        eprintln!("done: {family}");
+    }
+
+    if !markdown {
+        println!("\nOnline streaming penalty vs offline batch compile\n");
+        println!("{}", table.render());
+    }
+}

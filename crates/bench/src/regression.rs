@@ -17,6 +17,7 @@
 //! workloads the differential oracle checks for correctness.
 
 use autobraid::pipeline::{CompileOptions, Pipeline, Strategy};
+use autobraid::streaming::{StreamingOptions, StreamingPipeline};
 use autobraid_circuit::generators::{ising::ising, qft::qft, random};
 use autobraid_circuit::Circuit;
 use autobraid_lattice::{Cell, Grid, Occupancy};
@@ -338,6 +339,37 @@ pub fn suite() -> Vec<BenchCase> {
             name,
             run: Box::new(move || {
                 black_box(Pipeline::new().compile(&circuit).expect("compiles"));
+            }),
+        });
+    }
+
+    // --- streaming compiles: the same families pushed gate-at-a-time
+    // through the online engine (frontier maintenance + per-step
+    // routing; the online-penalty companion of the compile/* entries,
+    // see `bench stream` and docs/STREAMING.md) ---
+    let stream_families = [
+        (
+            "stream/layered",
+            random::layered_cx(10, 4, 0.3, 7).expect("layered builds"),
+        ),
+        (
+            "stream/burst",
+            random::all_to_all_burst(10, 3, 4, 7).expect("burst builds"),
+        ),
+        ("stream/qft", qft(10).expect("qft builds")),
+    ];
+    for (name, circuit) in stream_families {
+        cases.push(BenchCase {
+            name,
+            run: Box::new(move || {
+                let mut stream = StreamingPipeline::open(
+                    circuit.num_qubits().max(1),
+                    StreamingOptions::default().with_label(circuit.name()),
+                );
+                for (_, gate) in circuit.iter() {
+                    stream.push_gate(*gate).expect("gate streams");
+                }
+                black_box(stream.finish().expect("stream finishes"));
             }),
         });
     }

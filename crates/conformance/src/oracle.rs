@@ -17,13 +17,20 @@
 //!   differ across thread counts, braids through defects, or an
 //!   inconsistent final placement;
 //! * at the router layer: a [`check_route_outcome`] violation, or
-//!   batches routed differently at different thread counts.
+//!   batches routed differently at different thread counts;
+//! * on the streaming path: a fully pushed
+//!   [`StreamingPipeline`] that does not reproduce the batch engine's
+//!   schedule byte-for-byte (per strategy, per thread count), or a
+//!   mid-frontier fault injection (tile death, magic-state stall) that
+//!   panics, drops a gate, or reports anything other than a valid
+//!   schedule / a typed `Unroutable` error.
 
 use crate::case::ConformanceCase;
 use autobraid::pipeline::{CompileOptions, CompileReport, Pipeline, Strategy};
+use autobraid::streaming::{FaultEvent, StreamError, StreamingOptions, StreamingPipeline};
 use autobraid::{
     critical_path_cycles, policy_for, run_with_base_occupancy, verify_schedule_with_dag,
-    RoutePolicy, ScheduleConfig, ScheduleError, ScheduleResult, Step,
+    ParallelStackPolicy, RoutePolicy, ScheduleConfig, ScheduleError, ScheduleResult, Step,
 };
 use autobraid_circuit::sim::circuits_equivalent;
 use autobraid_circuit::DependenceDag;
@@ -89,6 +96,8 @@ pub fn check_case(case: &ConformanceCase, cfg: &OracleConfig) -> Vec<Divergence>
     if !case.defects.is_empty() {
         check_defective_lattice(case, cfg, &mut divergences);
     }
+    check_streaming_differential(case, cfg, &mut divergences);
+    check_streaming_fault_injection(case, &mut divergences);
     divergences
 }
 
@@ -344,6 +353,207 @@ fn check_defective_lattice(case: &ConformanceCase, cfg: &OracleConfig, out: &mut
                     });
                 }
                 Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Replays the case through the streaming pipeline (every gate pushed
+/// up front, then drained) and demands the *exact* batch-engine
+/// schedule, for every registry strategy at every thread count. A
+/// fully pushed stream sees the same priorities, interference graphs,
+/// and base occupancy as the batch engine driving the same policy, so
+/// anything short of byte-equality is an online-path bug. `Unroutable`
+/// outcomes must agree too — same error, same stuck gate.
+fn check_streaming_differential(
+    case: &ConformanceCase,
+    cfg: &OracleConfig,
+    out: &mut Vec<Divergence>,
+) {
+    for info in autobraid::REGISTRY {
+        for &threads in &cfg.threads {
+            let setting = format!("streaming strategy={} threads={threads}", info.name);
+            let diverge = |detail: String| Divergence {
+                case: case.label(),
+                setting: setting.clone(),
+                detail,
+            };
+
+            let options = StreamingOptions::default()
+                .with_strategy(info.strategy)
+                .with_threads(threads)
+                .with_label(case.circuit.name())
+                .with_defects(case.defects.clone());
+            let streamed = catch_unwind(AssertUnwindSafe(|| {
+                let mut stream = StreamingPipeline::open(case.circuit.num_qubits().max(1), options);
+                for (_, gate) in case.circuit.iter() {
+                    stream.push_gate(*gate)?;
+                }
+                stream.finish()
+            }));
+            let streamed = match streamed {
+                Err(payload) => {
+                    out.push(diverge(format!(
+                        "streaming panicked: {}",
+                        panic_message(payload)
+                    )));
+                    continue;
+                }
+                Ok(outcome) => outcome,
+            };
+
+            // The batch twin: same policy (Maslov degrades to the stack
+            // finder online, so its twin is the stack policy), same
+            // row-major placement, same defect overlay, no optimizer.
+            let grid = case.grid();
+            let placement = Placement::row_major(&grid, case.circuit.num_qubits());
+            let policy = policy_for(info.strategy, threads)
+                .unwrap_or_else(|| Box::new(ParallelStackPolicy::new(threads)));
+            let batch = run_with_base_occupancy(
+                info.name,
+                &case.circuit,
+                &grid,
+                placement.clone(),
+                policy.as_ref(),
+                false,
+                &ScheduleConfig::default().with_threads(threads),
+                &case.base_occupancy(),
+            );
+
+            match (streamed, batch) {
+                (Ok(report), Ok((batch_result, _))) => {
+                    if report.circuit.len() != case.circuit.len() {
+                        out.push(diverge(format!(
+                            "stream dropped gates: {} scheduled vs {} pushed",
+                            report.circuit.len(),
+                            case.circuit.len()
+                        )));
+                    }
+                    let canon = |r: &ScheduleResult| {
+                        let mut r = r.clone();
+                        r.compile_seconds = 0.0;
+                        autobraid::report::schedule_result_json(&r).render_compact()
+                    };
+                    if canon(&report.outcome.result) != canon(&batch_result) {
+                        out.push(diverge(format!(
+                            "streaming schedule differs from the batch engine: \
+                             {} vs {} cycles over {} vs {} braid steps",
+                            report.outcome.result.total_cycles,
+                            batch_result.total_cycles,
+                            report.outcome.result.braid_steps,
+                            batch_result.braid_steps
+                        )));
+                    }
+                    let dag = DependenceDag::new(&case.circuit);
+                    if let Err(e) = verify_schedule_with_dag(
+                        &case.circuit,
+                        &dag,
+                        &report.outcome.grid,
+                        &report.outcome.initial_placement,
+                        &report.outcome.result,
+                    ) {
+                        out.push(diverge(format!("invalid streaming schedule: {e}")));
+                    }
+                }
+                (
+                    Err(StreamError::Unroutable { gate }),
+                    Err(ScheduleError::UnroutableGate { gate: batch_gate }),
+                ) => {
+                    if gate != batch_gate {
+                        out.push(diverge(format!(
+                            "streaming stuck on gate {gate}, batch on gate {batch_gate}"
+                        )));
+                    }
+                }
+                (Err(e), Ok(_)) => {
+                    out.push(diverge(format!(
+                        "streaming failed (`{e}`) where the batch engine succeeded"
+                    )));
+                }
+                (Ok(_), Err(e)) => {
+                    out.push(diverge(format!(
+                        "streaming succeeded where the batch engine failed (`{e}`)"
+                    )));
+                }
+                (Err(stream_err), Err(batch_err)) => {
+                    out.push(diverge(format!(
+                        "mismatched failures: streaming `{stream_err}` vs batch `{batch_err}`"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Graceful-degradation check: a tile death mid-frontier plus a
+/// magic-state stall must yield either a complete, valid schedule or a
+/// typed `Unroutable` error — never a panic, a dropped gate, or an
+/// invariant violation.
+fn check_streaming_fault_injection(case: &ConformanceCase, out: &mut Vec<Divergence>) {
+    if case.circuit.is_empty() {
+        return;
+    }
+    let setting = "streaming fault-injection".to_string();
+    let diverge = |detail: String| Divergence {
+        case: case.label(),
+        setting: setting.clone(),
+        detail,
+    };
+    let grid = case.grid();
+    // A deterministic mid-grid vertex: central, so it actually perturbs
+    // routes on small lattices.
+    let side = grid.cells_per_side();
+    let fault = FaultEvent::TileFailure {
+        row: side / 2,
+        col: side / 2,
+    };
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let options = StreamingOptions::default()
+            .with_label(case.circuit.name())
+            .with_defects(case.defects.clone());
+        let mut stream = StreamingPipeline::open(case.circuit.num_qubits().max(1), options);
+        let half = case.circuit.len().div_ceil(2);
+        for (id, gate) in case.circuit.iter() {
+            stream.push_gate(*gate)?;
+            if id + 1 == half {
+                // Mid-frontier: some gates are in flight, more follow.
+                stream.step()?;
+                stream.inject(fault)?;
+                stream.inject(FaultEvent::MagicStall { steps: 2 })?;
+            }
+        }
+        stream.finish()
+    }));
+    match run {
+        Err(payload) => out.push(diverge(format!(
+            "fault injection panicked: {}",
+            panic_message(payload)
+        ))),
+        // A central tile death may legitimately disconnect operand
+        // tiles for good; the typed error is the graceful outcome.
+        Ok(Err(StreamError::Unroutable { .. })) => {}
+        Ok(Err(e)) => out.push(diverge(format!(
+            "fault injection surfaced a non-routing error: {e}"
+        ))),
+        Ok(Ok(report)) => {
+            if report.circuit.len() != case.circuit.len() {
+                out.push(diverge(format!(
+                    "fault injection dropped gates: {} scheduled vs {} pushed",
+                    report.circuit.len(),
+                    case.circuit.len()
+                )));
+            }
+            let dag = DependenceDag::new(&case.circuit);
+            if let Err(e) = verify_schedule_with_dag(
+                &case.circuit,
+                &dag,
+                &report.outcome.grid,
+                &report.outcome.initial_placement,
+                &report.outcome.result,
+            ) {
+                out.push(diverge(format!(
+                    "schedule after fault injection is invalid: {e}"
+                )));
             }
         }
     }

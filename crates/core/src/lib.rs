@@ -71,6 +71,7 @@ pub mod report;
 pub mod runtime;
 pub mod scheduler;
 pub mod strategy;
+pub mod streaming;
 pub mod swap;
 
 pub use async_engine::{schedule_async, verify_async, AsyncSchedule};
@@ -87,6 +88,7 @@ pub use scheduler::{
     StackPolicy,
 };
 pub use strategy::{Strategy, StrategyInfo, REGISTRY};
+pub use streaming::{FaultEvent, StepOutcome, StreamError, StreamingOptions, StreamingPipeline};
 
 /// The observability layer (re-exported for downstream convenience):
 /// install a recorder, create spans, bump counters — see `docs/METRICS.md`.

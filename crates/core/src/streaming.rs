@@ -1,0 +1,1070 @@
+//! Streaming (online) compilation: gates arrive incrementally and
+//! braiding steps are emitted as the frontier drains, instead of
+//! compiling a complete circuit in one batch.
+//!
+//! A [`StreamingPipeline`] is opened for a fixed qubit capacity, fed
+//! gates one at a time (or in bursts) with [`StreamingPipeline::push_gate`],
+//! and stepped with [`StreamingPipeline::step`]. Each step mirrors one
+//! iteration of the batch engine loop ([`crate::scheduler::run_with_base_and_dag`]):
+//! ready local gates execute together, ready two-qubit gates become a
+//! braiding layer routed by the strategy's [`RoutePolicy`], and gates the
+//! router defers stay in the frontier for a later step. Because the
+//! stepping reuses the same policies ([`crate::scheduler::policy_for`]),
+//! every registry strategy works online; the Maslov swap network — whose
+//! construction needs the whole circuit up front — degrades to the stack
+//! finder.
+//!
+//! Streaming also accepts *dynamic events* injected mid-run via
+//! [`StreamingPipeline::inject`]:
+//!
+//! * [`FaultEvent::TileFailure`] — a channel vertex dies and becomes
+//!   permanently unavailable (the same defective-channel model the
+//!   conformance generator uses for its overlays);
+//! * [`FaultEvent::MagicStall`] — the magic-state supply
+//!   ([`crate::magic`]) runs dry for a number of steps, idling the
+//!   braiding engine while local gates wait.
+//!
+//! Faults surface as `fault.injected` / `fault.recovered`
+//! `autobraid.trace/v1` decision events and `streaming.*` telemetry
+//! counters; gates whose routes a fault or congestion displaced are
+//! retried on later steps (counted under `streaming.reroutes`).
+//!
+//! Every committed layer is re-validated by the router probe
+//! ([`autobraid_router::probe::check_route_outcome`]) and
+//! [`Placement::validate`], so the invariants the conformance oracle
+//! enforces on batch compiles hold on the online path too — violations
+//! are typed [`StreamError`]s, never silent corruption.
+//!
+//! When the same gate sequence is pushed up front and drained with no
+//! faults and no step budget, the streaming schedule is *identical* to
+//! the batch engine run with the same policy, placement, and base
+//! occupancy — the equality the conformance oracle's streaming
+//! differential check enforces. With a [`StreamingOptions::step_budget`],
+//! overrunning steps deterministically shrink the next layer to its
+//! most critical half, trading schedule quality for bounded per-step
+//! routing work (see `docs/STREAMING.md` for the budget semantics).
+
+use crate::autobraid::ScheduleOutcome;
+use crate::config::{Recording, ScheduleConfig};
+use crate::metrics::{LayerPolicy, ScheduleResult, Step};
+use crate::pipeline::{CompileReport, StageTimings};
+use crate::scheduler::{policy_for, LayerRoute, LayerView, ParallelStackPolicy, RoutePolicy};
+use crate::strategy::Strategy;
+use autobraid_circuit::{Circuit, CircuitStats, Gate, GateId};
+use autobraid_lattice::{Grid, Occupancy, Vertex};
+use autobraid_placement::Placement;
+use autobraid_router::{CxRequest, InterferenceGraph};
+use autobraid_telemetry as telemetry;
+use std::time::{Duration, Instant};
+
+/// How a [`StreamingPipeline`] is opened.
+#[derive(Debug, Clone)]
+pub struct StreamingOptions {
+    /// Routing strategy driving the online steps (default
+    /// [`Strategy::Full`]; note the layout optimizer never runs online,
+    /// so `Full` and `Stack` route identically in a stream).
+    pub strategy: Strategy,
+    /// Worker-thread budget handed to the routing policy (default 1).
+    pub threads: usize,
+    /// Per-step wall-clock routing budget. `None` (the default) means
+    /// unbounded: every ready gate is offered to the router each step.
+    /// With a budget, a step that overruns it makes the *next* braiding
+    /// layer route only its most critical half (deterministic given the
+    /// same overrun pattern; see `docs/STREAMING.md`).
+    pub step_budget: Option<Duration>,
+    /// Label used as the circuit/benchmark name in reports (default
+    /// `"stream"`).
+    pub label: String,
+    /// Defective channel vertices present from the start, as
+    /// `(row, col)` vertex coordinates; off-grid entries are ignored,
+    /// matching the conformance repro semantics.
+    pub defects: Vec<(u32, u32)>,
+}
+
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        StreamingOptions {
+            strategy: Strategy::default(),
+            threads: 1,
+            step_budget: None,
+            label: "stream".to_string(),
+            defects: Vec::new(),
+        }
+    }
+}
+
+impl StreamingOptions {
+    /// Sets the routing strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the worker-thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-step wall-clock routing budget.
+    pub fn with_step_budget(mut self, budget: Duration) -> Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
+    /// Sets the report label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the initial defective channel overlay.
+    pub fn with_defects(mut self, defects: Vec<(u32, u32)>) -> Self {
+        self.defects = defects;
+        self
+    }
+}
+
+/// A dynamic event injected into a running stream.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The channel vertex at `(row, col)` fails permanently: no braid
+    /// may cross it from now on. Already-committed steps are unaffected
+    /// (their braids have completed).
+    TileFailure {
+        /// Vertex row.
+        row: u32,
+        /// Vertex column.
+        col: u32,
+    },
+    /// The magic-state supply stalls for `steps` braiding-step slots:
+    /// the engine idles (charging braid-step cycles) until the supply
+    /// recovers. Models a distillation-factory hiccup for the
+    /// [`crate::magic`] rewrite's factory-CX traffic.
+    MagicStall {
+        /// Number of braiding-step slots the supply is dry for.
+        steps: u64,
+    },
+}
+
+impl FaultEvent {
+    /// Stable taxonomy name (`docs/STREAMING.md`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::TileFailure { .. } => "tile-failure",
+            FaultEvent::MagicStall { .. } => "magic-stall",
+        }
+    }
+}
+
+/// Errors the streaming path can report. Every failure mode is typed —
+/// a stream never panics on bad input, a dead tile, or a corrupted
+/// routing pass.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// A ready two-qubit gate can never be routed: the defective
+    /// channel vertices (initial overlay plus injected tile failures)
+    /// disconnect its operand tiles even on an otherwise empty grid.
+    Unroutable {
+        /// The stuck gate's id.
+        gate: GateId,
+    },
+    /// A pushed gate addresses a qubit outside the capacity the stream
+    /// was opened with.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: u32,
+        /// The stream's fixed qubit capacity.
+        capacity: u32,
+    },
+    /// An injected fault was rejected (e.g. a tile failure off the
+    /// grid).
+    InvalidFault {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The router probe ([`autobraid_router::probe::check_route_outcome`])
+    /// rejected a committed layer — accounting, path validity,
+    /// disjointness, or defect avoidance was violated.
+    RouteInvariant {
+        /// Zero-based step index of the offending layer.
+        step: u64,
+        /// The probe's first violation.
+        detail: String,
+    },
+    /// [`Placement::validate`] failed after a step commit.
+    PlacementInvariant {
+        /// Zero-based step index of the offending commit.
+        step: u64,
+        /// The validator's message.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Unroutable { gate } => write!(
+                f,
+                "gate {gate} is permanently unroutable under the defective channel map"
+            ),
+            StreamError::QubitOutOfRange { qubit, capacity } => write!(
+                f,
+                "gate addresses qubit {qubit} but the stream was opened for {capacity} qubits"
+            ),
+            StreamError::InvalidFault { detail } => write!(f, "invalid fault: {detail}"),
+            StreamError::RouteInvariant { step, detail } => {
+                write!(f, "route invariant violated at step {step}: {detail}")
+            }
+            StreamError::PlacementInvariant { step, detail } => {
+                write!(f, "placement invariant violated at step {step}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What one [`StreamingPipeline::step`] call did.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Nothing is ready: every pushed gate has completed.
+    Idle,
+    /// A local-only step: this many single-qubit gates executed.
+    Local {
+        /// Gates executed.
+        gates: usize,
+    },
+    /// A braiding step committed.
+    Braid {
+        /// Two-qubit gates routed this step.
+        routed: usize,
+        /// Two-qubit gates deferred to a later step (congestion or
+        /// budget trimming).
+        deferred: usize,
+    },
+    /// The magic-state supply is stalled; the engine idled one
+    /// braiding-step slot.
+    Stalled {
+        /// Stall slots remaining after this one.
+        remaining: u64,
+    },
+}
+
+/// Incremental dependence frontier: the growable online counterpart of
+/// [`autobraid_circuit::Frontier`]. Gates arrive one at a time; edges
+/// are the same per-qubit last-writer edges [`autobraid_circuit::DependenceDag::new`]
+/// builds, so draining a fully pushed stream visits gates in exactly
+/// the batch frontier's order.
+#[derive(Debug, Default)]
+struct StreamFrontier {
+    /// Last gate touching each qubit (for edge construction).
+    last_on_qubit: Vec<Option<GateId>>,
+    /// Unsatisfied predecessor count per gate.
+    remaining_preds: Vec<usize>,
+    /// Forward edges (only from gates not yet done at push time).
+    successors: Vec<Vec<GateId>>,
+    /// Gates with no unsatisfied predecessors, in release order.
+    ready: Vec<GateId>,
+    /// Completion flags.
+    done: Vec<bool>,
+    /// Pushed but not yet completed gates.
+    outstanding: usize,
+}
+
+impl StreamFrontier {
+    fn with_qubits(num_qubits: u32) -> Self {
+        StreamFrontier {
+            last_on_qubit: vec![None; num_qubits as usize],
+            ..StreamFrontier::default()
+        }
+    }
+
+    /// Registers gate `id` (which must equal the next dense id) with
+    /// the given operands; returns nothing — the gate becomes ready
+    /// immediately if every live predecessor has completed.
+    fn push(&mut self, id: GateId, gate: &Gate) {
+        debug_assert_eq!(id, self.remaining_preds.len());
+        let mut preds = 0usize;
+        let mut first_pred: Option<GateId> = None;
+        for q in gate.qubits() {
+            let slot = &mut self.last_on_qubit[q as usize];
+            if let Some(p) = *slot {
+                // Dedup: a two-qubit gate whose operands were both last
+                // written by the same gate gets a single edge, matching
+                // DependenceDag::new.
+                if first_pred != Some(p) && !self.done[p] {
+                    self.successors[p].push(id);
+                    preds += 1;
+                }
+                if first_pred.is_none() {
+                    first_pred = Some(p);
+                }
+            }
+            *slot = Some(id);
+        }
+        self.remaining_preds.push(preds);
+        self.successors.push(Vec::new());
+        self.done.push(false);
+        self.outstanding += 1;
+        if preds == 0 {
+            self.ready.push(id);
+        }
+    }
+
+    /// Ready gates in release order (mirrors `Frontier::ready`).
+    fn ready(&self) -> &[GateId] {
+        &self.ready
+    }
+
+    /// Marks `gate` executed, releasing newly ready successors in the
+    /// same `swap_remove` + push order as the batch frontier.
+    fn complete(&mut self, gate: GateId) {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&g| g == gate)
+            .expect("completed gate must be ready");
+        self.ready.swap_remove(pos);
+        self.done[gate] = true;
+        self.outstanding -= 1;
+        // Successor lists are append-only and edges only come from
+        // not-yet-done predecessors, so each decrement here is unique.
+        let successors = std::mem::take(&mut self.successors[gate]);
+        for &s in &successors {
+            self.remaining_preds[s] -= 1;
+            if self.remaining_preds[s] == 0 {
+                self.ready.push(s);
+            }
+        }
+        self.successors[gate] = successors;
+    }
+}
+
+/// The streaming compiler: see the [module docs](crate::streaming).
+///
+/// # Examples
+///
+/// ```
+/// use autobraid::streaming::{StreamingOptions, StreamingPipeline};
+/// use autobraid_circuit::gate::{Gate, TwoKind};
+///
+/// let mut stream = StreamingPipeline::open(4, StreamingOptions::default());
+/// stream.push_gate(Gate::two(TwoKind::Cx, 0, 1))?;
+/// stream.push_gate(Gate::two(TwoKind::Cx, 2, 3))?;
+/// let report = stream.finish()?;
+/// assert_eq!(report.circuit.len(), 2);
+/// # Ok::<(), autobraid::streaming::StreamError>(())
+/// ```
+pub struct StreamingPipeline {
+    options: StreamingOptions,
+    config: ScheduleConfig,
+    grid: Grid,
+    placement: Placement,
+    initial_placement: Placement,
+    policy: Box<dyn RoutePolicy>,
+    /// Defective channel vertices: initial overlay plus injected tile
+    /// failures. Every step's routing starts from a copy of this.
+    base: Occupancy,
+    /// Per-step scratch occupancy.
+    occupancy: Occupancy,
+    circuit: Circuit,
+    frontier: StreamFrontier,
+    result: ScheduleResult,
+    utilization_sum: f64,
+    step_index: u64,
+    /// Remaining magic-stall slots.
+    stall_steps: u64,
+    /// Fault kinds injected but not yet acknowledged by a committed step.
+    pending_recovery: Vec<&'static str>,
+    /// Gates deferred by an earlier routing pass (for reroute counting).
+    deferred_before: Vec<bool>,
+    /// Whether the last braid step overran the budget (trims the next).
+    over_budget: bool,
+    started: Instant,
+    record: bool,
+}
+
+impl std::fmt::Debug for StreamingPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingPipeline")
+            .field("strategy", &self.options.strategy)
+            .field("pushed", &self.circuit.len())
+            .field("outstanding", &self.frontier.outstanding)
+            .field("steps", &self.step_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingPipeline {
+    /// Opens a stream for up to `num_qubits` qubits with the default
+    /// [`ScheduleConfig`].
+    pub fn open(num_qubits: u32, options: StreamingOptions) -> Self {
+        Self::open_with_config(num_qubits, options, ScheduleConfig::default())
+    }
+
+    /// Opens a stream with an explicit engine configuration (timing
+    /// model, recording mode). `config.threads` is overridden by
+    /// [`StreamingOptions::threads`].
+    pub fn open_with_config(
+        num_qubits: u32,
+        options: StreamingOptions,
+        config: ScheduleConfig,
+    ) -> Self {
+        let config = config.with_threads(options.threads.max(1));
+        let grid = Grid::with_capacity_for(num_qubits.max(2) as usize);
+        let placement = Placement::row_major(&grid, num_qubits);
+        // Every registry strategy streams: strategies without an online
+        // policy (the Maslov swap network needs the whole circuit up
+        // front) degrade to the stack finder.
+        let policy = policy_for(options.strategy, config.effective_threads())
+            .unwrap_or_else(|| Box::new(ParallelStackPolicy::new(config.effective_threads())));
+        let mut base = Occupancy::new(&grid);
+        for &(row, col) in &options.defects {
+            let v = Vertex::new(row, col);
+            if grid.contains_vertex(v) {
+                base.reserve(&grid, v);
+            }
+        }
+        let mut circuit = Circuit::new(num_qubits);
+        circuit.set_name(options.label.clone());
+        let result = ScheduleResult::new(
+            options.strategy.name(),
+            options.label.clone(),
+            config.timing,
+        );
+        let record = config.recording == Recording::Full;
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::EngineBegin {
+                scheduler: format!("{}+stream", options.strategy.name()),
+                circuit: options.label.clone(),
+                grid_side: grid.cells_per_side(),
+            });
+        }
+        StreamingPipeline {
+            frontier: StreamFrontier::with_qubits(num_qubits),
+            occupancy: Occupancy::new(&grid),
+            initial_placement: placement.clone(),
+            placement,
+            policy,
+            base,
+            circuit,
+            result,
+            utilization_sum: 0.0,
+            step_index: 0,
+            stall_steps: 0,
+            pending_recovery: Vec::new(),
+            deferred_before: Vec::new(),
+            over_budget: false,
+            started: Instant::now(),
+            record,
+            options,
+            config,
+            grid,
+        }
+    }
+
+    /// The lattice the stream schedules on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The (fixed) placement of logical qubits.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Gates pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Gates pushed but not yet executed.
+    pub fn outstanding(&self) -> usize {
+        self.frontier.outstanding
+    }
+
+    /// Whether every pushed gate has executed.
+    pub fn is_drained(&self) -> bool {
+        self.frontier.outstanding == 0 && self.stall_steps == 0
+    }
+
+    /// Engine steps taken so far (local + braid; stall slots excluded).
+    pub fn steps_taken(&self) -> u64 {
+        self.step_index
+    }
+
+    /// Appends one gate to the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::QubitOutOfRange`] when the gate addresses a qubit
+    /// at or beyond the capacity the stream was opened with.
+    pub fn push_gate(&mut self, gate: Gate) -> Result<GateId, StreamError> {
+        let max = gate.max_qubit();
+        if max >= self.circuit.num_qubits() {
+            return Err(StreamError::QubitOutOfRange {
+                qubit: max,
+                capacity: self.circuit.num_qubits(),
+            });
+        }
+        let id = self.circuit.len();
+        self.circuit.push(gate);
+        self.frontier.push(id, &gate);
+        self.deferred_before.push(false);
+        telemetry::counter("streaming.gates.pushed", 1);
+        Ok(id)
+    }
+
+    /// Injects a dynamic event; see [`FaultEvent`]. Surfaced as a
+    /// `fault.injected` trace decision and `streaming.faults.injected`
+    /// counter; the first step committed afterwards emits
+    /// `fault.recovered`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::InvalidFault`] for a tile failure off the grid or
+    /// a zero-length stall.
+    pub fn inject(&mut self, fault: FaultEvent) -> Result<(), StreamError> {
+        let detail = match fault {
+            FaultEvent::TileFailure { row, col } => {
+                let v = Vertex::new(row, col);
+                if !self.grid.contains_vertex(v) {
+                    return Err(StreamError::InvalidFault {
+                        detail: format!(
+                            "vertex ({row}, {col}) is outside the {0}x{0} grid",
+                            self.grid.cells_per_side()
+                        ),
+                    });
+                }
+                self.base.reserve(&self.grid, v);
+                format!("vertex ({row}, {col}) failed")
+            }
+            FaultEvent::MagicStall { steps } => {
+                if steps == 0 {
+                    return Err(StreamError::InvalidFault {
+                        detail: "magic-state stall of zero steps".to_string(),
+                    });
+                }
+                self.stall_steps += steps;
+                format!("magic-state supply dry for {steps} step(s)")
+            }
+        };
+        telemetry::counter("streaming.faults.injected", 1);
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::FaultInjected {
+                kind: fault.kind().to_string(),
+                detail,
+                step: self.step_index,
+            });
+        }
+        self.pending_recovery.push(fault.kind());
+        Ok(())
+    }
+
+    /// Runs one engine step; see [`StepOutcome`] for what can happen.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Unroutable`] when a ready gate can never route
+    /// under the accumulated defect map, and the invariant variants
+    /// when the probe or placement validator rejects a commit.
+    pub fn step(&mut self) -> Result<StepOutcome, StreamError> {
+        if self.stall_steps > 0 {
+            self.stall_steps -= 1;
+            self.result.total_cycles += self.config.timing.braid_step_cycles();
+            telemetry::counter("streaming.stall.steps", 1);
+            return Ok(StepOutcome::Stalled {
+                remaining: self.stall_steps,
+            });
+        }
+        if self.frontier.outstanding == 0 {
+            return Ok(StepOutcome::Idle);
+        }
+
+        let ready: Vec<GateId> = self.frontier.ready().to_vec();
+        let locals: Vec<GateId> = ready
+            .iter()
+            .copied()
+            .filter(|&g| !self.circuit.gate(g).is_two_qubit())
+            .collect();
+        let mut braids: Vec<GateId> = ready
+            .iter()
+            .copied()
+            .filter(|&g| self.circuit.gate(g).is_two_qubit())
+            .collect();
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::StepBegin {
+                step: self.step_index,
+                braids: braids.len(),
+                locals: locals.len(),
+            });
+        }
+        self.step_index += 1;
+
+        if braids.is_empty() {
+            debug_assert!(!locals.is_empty(), "frontier non-empty but nothing ready");
+            let executed = locals.len();
+            for &g in &locals {
+                self.frontier.complete(g);
+            }
+            self.result.local_steps += 1;
+            telemetry::counter("streaming.steps.local", 1);
+            self.result.total_cycles += self.config.timing.local_step_cycles();
+            if self.record {
+                self.result.steps.push(Step::Local { gates: locals });
+            }
+            self.acknowledge_recovery();
+            return Ok(StepOutcome::Local { gates: executed });
+        }
+
+        // Routing priority: remaining critical-path weight over the
+        // gates known *so far* (recomputed per step as the stream
+        // grows). With every gate pushed up front this equals the batch
+        // engine's priorities exactly.
+        let remaining_cp = self.remaining_critical_path();
+
+        // Budget trimming: after an overrun, offer the router only the
+        // most critical half of the layer (ties broken by gate id, so
+        // the trim is deterministic for a given overrun pattern).
+        let mut trimmed = 0usize;
+        if self.over_budget && braids.len() > 1 {
+            braids.sort_by_key(|&g| (std::cmp::Reverse(remaining_cp[g]), g));
+            let keep = braids.len().div_ceil(2);
+            trimmed = braids.len() - keep;
+            braids.truncate(keep);
+            telemetry::counter("streaming.budget.trimmed_gates", trimmed as u64);
+        }
+
+        let requests: Vec<CxRequest> = braids
+            .iter()
+            .map(|&g| {
+                let (a, b) = self
+                    .circuit
+                    .gate(g)
+                    .pair()
+                    .expect("braid gates are two-qubit");
+                CxRequest::new(g, self.placement.cell_of(a), self.placement.cell_of(b))
+                    .with_priority(remaining_cp[g] as i64)
+            })
+            .collect();
+        let graph = InterferenceGraph::build(&requests);
+
+        let route_started = Instant::now();
+        self.occupancy.clone_from(&self.base);
+        let LayerRoute {
+            outcome,
+            chosen,
+            reason,
+        } = self.policy.route_layer(
+            &self.grid,
+            &mut self.occupancy,
+            LayerView {
+                step: self.step_index - 1,
+                base: &self.base,
+                requests: &requests,
+                interference: &graph,
+            },
+        );
+        let wall = route_started.elapsed();
+        if let Some(budget) = self.options.step_budget {
+            self.over_budget = wall > budget;
+            if self.over_budget {
+                telemetry::counter("streaming.budget.overruns", 1);
+            }
+        }
+        if telemetry::is_enabled() {
+            telemetry::observe("streaming.step.route_us", wall.as_secs_f64() * 1e6);
+            telemetry::counter("streaming.gates.routed", outcome.routed.len() as u64);
+            telemetry::counter(
+                "streaming.gates.deferred",
+                (outcome.failed.len() + trimmed) as u64,
+            );
+        }
+
+        if outcome.routed.is_empty() {
+            // On a defect-free lattice at least one gate always routes;
+            // injected tile failures can disconnect operand tiles for
+            // good.
+            return Err(StreamError::Unroutable {
+                gate: requests.first().map(|r| r.id).unwrap_or_default(),
+            });
+        }
+
+        // Satellite invariants: the probe re-derives accounting, path
+        // validity, disjointness, and defect avoidance from nothing but
+        // the batch and the outcome; the placement validator guards the
+        // qubit→cell map. Both ran only on batch compiles before.
+        if let Err(detail) = autobraid_router::probe::check_route_outcome(
+            &self.grid, &requests, &self.base, &outcome,
+        ) {
+            return Err(StreamError::RouteInvariant {
+                step: self.step_index - 1,
+                detail,
+            });
+        }
+        if let Err(detail) = self.placement.validate(&self.grid) {
+            return Err(StreamError::PlacementInvariant {
+                step: self.step_index - 1,
+                detail,
+            });
+        }
+
+        let utilization = self.occupancy.utilization();
+        self.result.peak_utilization = self.result.peak_utilization.max(utilization);
+        self.utilization_sum += utilization;
+
+        let routed = outcome.routed.len();
+        let deferred = outcome.failed.len() + trimmed;
+        let mut reroutes = 0u64;
+        for r in &outcome.routed {
+            if self.deferred_before[r.request.id] {
+                reroutes += 1;
+            }
+            self.frontier.complete(r.request.id);
+        }
+        for &g in &outcome.failed {
+            self.deferred_before[g] = true;
+        }
+        if reroutes > 0 {
+            telemetry::counter("streaming.reroutes", reroutes);
+        }
+        for &g in &locals {
+            self.frontier.complete(g);
+        }
+        self.result.braid_steps += 1;
+        telemetry::counter("streaming.steps.braid", 1);
+        self.result.total_cycles += self.config.timing.braid_step_cycles();
+        if telemetry::decisions_enabled() {
+            telemetry::decision(&telemetry::Decision::StrategyChosen {
+                step: self.step_index - 1,
+                policy: chosen.to_string(),
+                reason: reason.to_string(),
+            });
+        }
+        if self.record {
+            self.result.layer_policies.push(LayerPolicy {
+                step: self.step_index - 1,
+                policy: chosen.to_string(),
+                reason: reason.to_string(),
+            });
+            self.result.steps.push(Step::Braid {
+                braids: outcome
+                    .routed
+                    .into_iter()
+                    .map(|r| (r.request.id, r.path))
+                    .collect(),
+                locals,
+            });
+        }
+        self.acknowledge_recovery();
+        Ok(StepOutcome::Braid { routed, deferred })
+    }
+
+    /// Steps until every pushed gate has executed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StreamError`] a step reports.
+    pub fn drain(&mut self) -> Result<(), StreamError> {
+        while !self.is_drained() {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the stream and closes it, producing the same
+    /// [`CompileReport`] shape a batch [`crate::pipeline::Pipeline`]
+    /// compile yields — including the byte-stable
+    /// [`CompileReport::canonical_json`] used for replay comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`StreamError`] hit while draining.
+    pub fn finish(mut self) -> Result<CompileReport, StreamError> {
+        self.drain()?;
+        if self.result.braid_steps > 0 {
+            self.result.mean_utilization = self.utilization_sum / self.result.braid_steps as f64;
+        }
+        self.result.compile_seconds = self.started.elapsed().as_secs_f64();
+        let timings = StageTimings {
+            schedule_seconds: self.result.compile_seconds,
+            ..StageTimings::default()
+        };
+        let stats = CircuitStats::of(&self.circuit);
+        Ok(CompileReport {
+            stats,
+            gates_removed: 0,
+            outcome: ScheduleOutcome {
+                result: self.result,
+                grid: self.grid,
+                initial_placement: self.initial_placement,
+            },
+            timings,
+            telemetry: None,
+            trace: None,
+            circuit: self.circuit,
+        })
+    }
+
+    /// Remaining critical-path weight of each known gate (itself
+    /// included), in engine cycles — the same priority the batch engine
+    /// assigns, over the prefix of the circuit seen so far. Gate ids
+    /// are topologically ordered by construction, so one reverse sweep
+    /// suffices.
+    fn remaining_critical_path(&self) -> Vec<u64> {
+        let mut remaining = vec![0u64; self.circuit.len()];
+        for g in (0..self.circuit.len()).rev() {
+            let tail = self.frontier.successors[g]
+                .iter()
+                .map(|&s| remaining[s])
+                .max()
+                .unwrap_or(0);
+            remaining[g] =
+                tail + crate::critical_path::gate_cycles(self.circuit.gate(g), &self.config.timing);
+        }
+        remaining
+    }
+
+    /// Emits `fault.recovered` for every fault the stream has survived:
+    /// called after each committed step.
+    fn acknowledge_recovery(&mut self) {
+        if self.pending_recovery.is_empty() {
+            return;
+        }
+        for kind in std::mem::take(&mut self.pending_recovery) {
+            telemetry::counter("streaming.faults.recovered", 1);
+            if telemetry::decisions_enabled() {
+                telemetry::decision(&telemetry::Decision::FaultRecovered {
+                    kind: kind.to_string(),
+                    step: self.step_index - 1,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::verify_schedule;
+    use crate::report::schedule_result_json;
+    use crate::scheduler::run_with_base_occupancy;
+    use autobraid_circuit::generators::{ising::ising, qft::qft};
+    use autobraid_telemetry::trace::{TraceEventKind, TraceRecorder};
+    use std::sync::Arc;
+
+    /// Streams every gate of `circuit` up front and drains.
+    fn stream_all(circuit: &Circuit, options: StreamingOptions) -> CompileReport {
+        let mut stream = StreamingPipeline::open(circuit.num_qubits(), options);
+        for (_, gate) in circuit.iter() {
+            stream.push_gate(*gate).unwrap();
+        }
+        stream.finish().unwrap()
+    }
+
+    fn canonical_schedule(result: &ScheduleResult) -> String {
+        let mut r = result.clone();
+        r.compile_seconds = 0.0;
+        schedule_result_json(&r).render_compact()
+    }
+
+    #[test]
+    fn fully_pushed_stream_matches_batch_engine_exactly() {
+        for strategy in Strategy::ALL {
+            let circuit = qft(8).unwrap();
+            let report = stream_all(
+                &circuit,
+                StreamingOptions::default()
+                    .with_strategy(strategy)
+                    .with_label(circuit.name()),
+            );
+            let grid = Grid::with_capacity_for(circuit.num_qubits() as usize);
+            let placement = Placement::row_major(&grid, circuit.num_qubits());
+            let policy =
+                policy_for(strategy, 1).unwrap_or_else(|| Box::new(ParallelStackPolicy::new(1)));
+            let (batch, _) = run_with_base_occupancy(
+                strategy.name(),
+                &circuit,
+                &grid,
+                placement,
+                policy.as_ref(),
+                false,
+                &ScheduleConfig::default(),
+                &Occupancy::new(&grid),
+            )
+            .unwrap();
+            assert_eq!(
+                canonical_schedule(&report.outcome.result),
+                canonical_schedule(&batch),
+                "streaming diverged from the batch engine under {}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_pushes_interleaved_with_steps_still_verify() {
+        let circuit = qft(6).unwrap();
+        let mut stream = StreamingPipeline::open(6, StreamingOptions::default());
+        for (i, (_, gate)) in circuit.iter().enumerate() {
+            stream.push_gate(*gate).unwrap();
+            if i % 3 == 0 {
+                // Interleave: the frontier drains while gates arrive.
+                let _ = stream.step().unwrap();
+            }
+        }
+        let report = stream.finish().unwrap();
+        assert_eq!(report.circuit.len(), circuit.len());
+        verify_schedule(
+            &report.circuit,
+            &report.outcome.grid,
+            &report.outcome.initial_placement,
+            &report.outcome.result,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn tile_failure_mid_run_recovers_with_trace_events() {
+        let rec = Arc::new(TraceRecorder::new());
+        let report = {
+            let _guard = telemetry::install(rec.clone());
+            let circuit = ising(9, 2).unwrap();
+            let mut stream = StreamingPipeline::open(9, StreamingOptions::default());
+            for (_, gate) in circuit.iter() {
+                stream.push_gate(*gate).unwrap();
+            }
+            let _ = stream.step().unwrap();
+            stream
+                .inject(FaultEvent::TileFailure { row: 1, col: 1 })
+                .unwrap();
+            stream.finish().unwrap()
+        };
+        verify_schedule(
+            &report.circuit,
+            &report.outcome.grid,
+            &report.outcome.initial_placement,
+            &report.outcome.result,
+        )
+        .unwrap();
+        let trace = rec.snapshot();
+        let names: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Decision(d) => Some(d.name()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"fault.injected"), "{names:?}");
+        assert!(names.contains(&"fault.recovered"), "{names:?}");
+    }
+
+    #[test]
+    fn magic_stall_idles_the_engine_but_completes() {
+        let circuit = qft(5).unwrap();
+        let baseline = stream_all(
+            &circuit,
+            StreamingOptions::default().with_label(circuit.name()),
+        );
+        let mut stream = StreamingPipeline::open(5, StreamingOptions::default());
+        for (_, gate) in circuit.iter() {
+            stream.push_gate(*gate).unwrap();
+        }
+        stream.inject(FaultEvent::MagicStall { steps: 4 }).unwrap();
+        assert!(matches!(
+            stream.step().unwrap(),
+            StepOutcome::Stalled { remaining: 3 }
+        ));
+        let report = stream.finish().unwrap();
+        let stall_cycles = 4 * report.outcome.result.timing().braid_step_cycles();
+        assert_eq!(
+            report.outcome.result.total_cycles,
+            baseline.outcome.result.total_cycles + stall_cycles
+        );
+    }
+
+    #[test]
+    fn walled_in_qubit_is_a_typed_error_not_a_panic() {
+        let mut stream = StreamingPipeline::open(
+            4,
+            StreamingOptions::default().with_defects(vec![(0, 0), (0, 1), (1, 0), (1, 1)]),
+        );
+        stream
+            .push_gate(Gate::two(autobraid_circuit::gate::TwoKind::Cx, 0, 3))
+            .unwrap();
+        match stream.drain() {
+            Err(StreamError::Unroutable { gate }) => assert_eq!(gate, 0),
+            other => panic!("expected Unroutable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_gate_is_rejected() {
+        let mut stream = StreamingPipeline::open(2, StreamingOptions::default());
+        let err = stream
+            .push_gate(Gate::two(autobraid_circuit::gate::TwoKind::Cx, 0, 5))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::QubitOutOfRange {
+                qubit: 5,
+                capacity: 2
+            }
+        );
+        assert_eq!(stream.pushed(), 0);
+    }
+
+    #[test]
+    fn off_grid_fault_is_rejected() {
+        let mut stream = StreamingPipeline::open(4, StreamingOptions::default());
+        assert!(matches!(
+            stream.inject(FaultEvent::TileFailure { row: 99, col: 0 }),
+            Err(StreamError::InvalidFault { .. })
+        ));
+        assert!(matches!(
+            stream.inject(FaultEvent::MagicStall { steps: 0 }),
+            Err(StreamError::InvalidFault { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_budget_trims_layers_but_schedule_still_verifies() {
+        let circuit = qft(7).unwrap();
+        let report = stream_all(
+            &circuit,
+            StreamingOptions::default()
+                .with_step_budget(Duration::ZERO)
+                .with_label(circuit.name()),
+        );
+        assert_eq!(report.circuit.len(), circuit.len());
+        verify_schedule(
+            &report.circuit,
+            &report.outcome.grid,
+            &report.outcome.initial_placement,
+            &report.outcome.result,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let stream = StreamingPipeline::open(3, StreamingOptions::default());
+        let report = stream.finish().unwrap();
+        assert_eq!(report.outcome.result.total_cycles, 0);
+        assert!(report.circuit.is_empty());
+    }
+
+    #[test]
+    fn session_replayed_twice_is_byte_identical() {
+        let circuit = ising(8, 1).unwrap();
+        let opts = StreamingOptions::default().with_label("replay");
+        let a = stream_all(&circuit, opts.clone());
+        let b = stream_all(&circuit, opts);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+    }
+}

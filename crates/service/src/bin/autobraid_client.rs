@@ -6,23 +6,36 @@
 //! autobraid-client --addr HOST:PORT compile FILE [--label NAME]
 //!     [--format qasm|conformance] [--strategy NAME] [--no-cache]
 //!     [--telemetry] [--trace] [--distance D] [--timeout-ms MS]
+//! autobraid-client --addr HOST:PORT stream FILE [--label NAME]
+//!     [--strategy NAME] [--fault-row R] [--fault-col C] [--stall N]
+//!     [--trace-out PATH]
 //! ```
 //!
 //! `compile` auto-detects conformance repro files by their
 //! `// autobraid.conformance/v1` header; `FILE` may be `-` for stdin.
 //! The first output line is `cache=<hit|miss|bypass>` (stable for
 //! scripting), followed by the canonical report JSON.
+//!
+//! `stream` drives the circuit through a streaming session instead:
+//! half the gates are pushed, a tile failure and a magic-state stall
+//! are injected mid-frontier, then the rest streams in and the session
+//! closes. The stable output lines `gates=`, `fault.injected=`, and
+//! `fault.recovered=` let CI assert recovery; `--trace-out` writes the
+//! session's Chrome trace for artifact upload.
 
 use autobraid::pipeline::Strategy;
-use autobraid_service::protocol::SourceFormat;
+use autobraid::streaming::FaultEvent;
+use autobraid_circuit::{qasm, Gate};
+use autobraid_service::protocol::{SessionOpen, SourceFormat};
 use autobraid_service::{Client, CompileRequest};
 use std::io::Read;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: autobraid-client --addr HOST:PORT <ping|stats|compile FILE> \
+        "usage: autobraid-client --addr HOST:PORT <ping|stats|compile FILE|stream FILE> \
          [--label NAME] [--format qasm|conformance] [--strategy NAME] \
-         [--no-cache] [--telemetry] [--trace] [--distance D] [--timeout-ms MS]"
+         [--no-cache] [--telemetry] [--trace] [--distance D] [--timeout-ms MS] \
+         [--fault-row R] [--fault-col C] [--stall N] [--trace-out PATH]"
     );
     std::process::exit(2)
 }
@@ -44,6 +57,10 @@ struct Args {
     trace: bool,
     distance: Option<u32>,
     timeout_ms: Option<u64>,
+    fault_row: u32,
+    fault_col: u32,
+    stall: u64,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -59,6 +76,10 @@ fn parse_args() -> Args {
         trace: false,
         distance: None,
         timeout_ms: None,
+        fault_row: 1,
+        fault_col: 1,
+        stall: 2,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -104,6 +125,22 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| fail("bad --timeout-ms")),
                 )
             }
+            "--fault-row" => {
+                parsed.fault_row = value("--fault-row")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --fault-row"))
+            }
+            "--fault-col" => {
+                parsed.fault_col = value("--fault-col")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --fault-col"))
+            }
+            "--stall" => {
+                parsed.stall = value("--stall")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --stall"))
+            }
+            "--trace-out" => parsed.trace_out = Some(value("--trace-out")),
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("autobraid-client: unknown flag `{other}`");
@@ -138,6 +175,7 @@ fn main() {
             println!("{}", stats.render_pretty());
         }
         Some("compile") => run_compile(&mut client, &args),
+        Some("stream") => run_stream(&mut client, &args),
         _ => usage(),
     }
 }
@@ -194,4 +232,85 @@ fn run_compile(client: &mut Client, args: &Args) {
     if let Some(trace) = &outcome.trace {
         println!("{}", trace.render_pretty());
     }
+}
+
+/// The fault-injection smoke path: stream a circuit through a session,
+/// kill a tile and stall the magic supply mid-frontier, and report
+/// whether the schedule recovered.
+fn run_stream(client: &mut Client, args: &Args) {
+    let path = args.file.clone().unwrap_or_else(|| {
+        eprintln!("autobraid-client: stream needs a FILE (or `-` for stdin)");
+        usage()
+    });
+    let source = if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .unwrap_or_else(|e| fail(format!("reading stdin: {e}")));
+        text
+    } else {
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("reading {path}: {e}")))
+    };
+    let circuit = qasm::parse(&source).unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
+    let gates: Vec<Gate> = circuit.iter().map(|(_, g)| *g).collect();
+
+    let mut open = SessionOpen::new(circuit.num_qubits().max(1)).with_trace(true);
+    if let Some(label) = &args.label {
+        open = open.with_label(label.clone());
+    }
+    if let Some(strategy) = args.strategy {
+        open = open.with_strategy(strategy);
+    }
+    client.session_open(&open).unwrap_or_else(|e| fail(e));
+
+    // Half the circuit in, one engine step, then the faults land
+    // mid-frontier — the shape the recovery contract is about.
+    let half = gates.len().div_ceil(2);
+    if half > 0 {
+        client
+            .session_gate(&gates[..half])
+            .unwrap_or_else(|e| fail(e));
+        client.session_step(1).unwrap_or_else(|e| fail(e));
+    }
+    client
+        .session_inject(&FaultEvent::TileFailure {
+            row: args.fault_row,
+            col: args.fault_col,
+        })
+        .unwrap_or_else(|e| fail(e));
+    if args.stall > 0 {
+        client
+            .session_inject(&FaultEvent::MagicStall { steps: args.stall })
+            .unwrap_or_else(|e| fail(e));
+    }
+    if half < gates.len() {
+        client
+            .session_gate(&gates[half..])
+            .unwrap_or_else(|e| fail(e));
+    }
+    let outcome = client.session_close().unwrap_or_else(|e| fail(e));
+
+    let trace = outcome
+        .trace
+        .as_ref()
+        .map(|t| t.render_compact())
+        .unwrap_or_default();
+    println!(
+        "gates={}",
+        outcome
+            .report
+            .get("gates")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    );
+    println!("fault.injected={}", trace.matches("fault.injected").count());
+    println!(
+        "fault.recovered={}",
+        trace.matches("fault.recovered").count()
+    );
+    if let Some(out) = &args.trace_out {
+        std::fs::write(out, &trace).unwrap_or_else(|e| fail(format!("writing {out}: {e}")));
+        println!("trace={out}");
+    }
+    println!("{}", outcome.report.render_pretty());
 }

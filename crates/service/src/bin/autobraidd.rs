@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! autobraidd [--addr HOST:PORT] [--threads N] [--queue N] [--cache N]
-//!            [--timeout-ms MS]
+//!            [--timeout-ms MS] [--idle-timeout-ms MS]
 //! ```
 //!
 //! Binds, prints `autobraidd listening on <addr>` on stdout (port 0 in
@@ -15,7 +15,7 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: autobraidd [--addr HOST:PORT] [--threads N] [--queue N] \
-         [--cache N] [--timeout-ms MS]"
+         [--cache N] [--timeout-ms MS] [--idle-timeout-ms MS]"
     );
     std::process::exit(2)
 }
@@ -37,6 +37,10 @@ fn main() {
             "--cache" => config.cache_capacity = parse(&value("--cache"), "--cache"),
             "--timeout-ms" => {
                 config.default_timeout_ms = parse(&value("--timeout-ms"), "--timeout-ms")
+            }
+            "--idle-timeout-ms" => {
+                config.session_idle_timeout_ms =
+                    parse(&value("--idle-timeout-ms"), "--idle-timeout-ms")
             }
             "--help" | "-h" => usage(),
             other => {

@@ -7,9 +7,11 @@
 //! (see `docs/SERVICE.md` for a `python3`-only quickstart).
 
 use crate::protocol::{
-    read_frame, write_frame, CacheStatus, CompileRequest, ErrorKind, FrameError, ServiceError,
-    DEFAULT_MAX_FRAME, PROTOCOL,
+    fault_to_json, gate_to_json, read_frame, write_frame, CacheStatus, CompileRequest, ErrorKind,
+    FrameError, ServiceError, SessionOpen, DEFAULT_MAX_FRAME, PROTOCOL,
 };
+use autobraid::streaming::FaultEvent;
+use autobraid_circuit::Gate;
 use autobraid_telemetry::JsonValue;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -168,25 +170,135 @@ impl Client {
     /// `overloaded`, `timeout`, …) or transport/protocol failures.
     pub fn compile(&mut self, request: &CompileRequest) -> Result<CompileOutcome, ClientError> {
         let response = self.request(&request.to_json())?;
-        let cache = response
-            .get("cache")
-            .and_then(JsonValue::as_str)
-            .and_then(CacheStatus::from_name)
-            .ok_or_else(|| ClientError::Protocol("report without a cache status".into()))?;
-        let elapsed_ms = response
-            .get("elapsed_ms")
-            .and_then(JsonValue::as_f64)
-            .unwrap_or(0.0);
-        let report = response
-            .get("report")
-            .cloned()
-            .ok_or_else(|| ClientError::Protocol("report response without a report".into()))?;
-        Ok(CompileOutcome {
-            cache,
-            elapsed_ms,
-            report,
-            telemetry: response.get("telemetry").cloned(),
-            trace: response.get("trace").cloned(),
-        })
+        parse_report_response(&response)
     }
+
+    /// Opens a streaming session on this connection. The session holds
+    /// one of the server's bounded-queue slots until it is closed (or
+    /// times out idle) — an `overloaded` error means no slot was free.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure (notably `overloaded`).
+    pub fn session_open(&mut self, open: &SessionOpen) -> Result<(), ClientError> {
+        let response = self.request(&open.to_json())?;
+        expect_session(&response, "open").map(|_| ())
+    }
+
+    /// Feeds gates into the open session. Returns the number of gates
+    /// still outstanding (pushed but not yet scheduled).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure (e.g. `parse` for an out-of-range
+    /// qubit — the session stays open).
+    pub fn session_gate(&mut self, gates: &[Gate]) -> Result<usize, ClientError> {
+        let frame = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("session.gate")),
+            (
+                "gates",
+                JsonValue::Array(gates.iter().map(gate_to_json).collect()),
+            ),
+        ]);
+        let response = self.request(&frame)?;
+        let doc = expect_session(&response, "gate")?;
+        Ok(doc
+            .get("outstanding")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0) as usize)
+    }
+
+    /// Advances the open session's engine by `count` steps. Returns the
+    /// per-step outcome objects (`{"outcome": "braid", "routed": …}`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure (notably `unsupported` when the
+    /// frontier became unroutable).
+    pub fn session_step(&mut self, count: u64) -> Result<Vec<JsonValue>, ClientError> {
+        let frame = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("session.step")),
+            ("count", JsonValue::from(count)),
+        ]);
+        let response = self.request(&frame)?;
+        let doc = expect_session(&response, "step")?;
+        match doc.get("outcomes") {
+            Some(JsonValue::Array(items)) => Ok(items.clone()),
+            _ => Err(ClientError::Protocol(
+                "session.step response without `outcomes`".into(),
+            )),
+        }
+    }
+
+    /// Injects a dynamic fault event into the open session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure (`protocol` for an off-grid tile or a
+    /// zero-length stall).
+    pub fn session_inject(&mut self, fault: &FaultEvent) -> Result<(), ClientError> {
+        let mut fields = vec![
+            ("proto".to_string(), JsonValue::from(PROTOCOL)),
+            ("kind".to_string(), JsonValue::from("session.inject")),
+        ];
+        if let JsonValue::Object(fault_fields) = fault_to_json(fault) {
+            fields.extend(fault_fields);
+        }
+        let response = self.request(&JsonValue::Object(fields))?;
+        expect_session(&response, "inject").map(|_| ())
+    }
+
+    /// Drains the open session and returns its canonical compile
+    /// report (always a cache `bypass` — streams are never cached).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure (notably `unsupported` when the
+    /// remaining frontier is unroutable).
+    pub fn session_close(&mut self) -> Result<CompileOutcome, ClientError> {
+        let response = self.request(&JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("session.close")),
+        ]))?;
+        parse_report_response(&response)
+    }
+}
+
+/// Unwraps a `{kind: "session", session: <op>}` acknowledgement.
+fn expect_session<'a>(response: &'a JsonValue, op: &str) -> Result<&'a JsonValue, ClientError> {
+    match (
+        response.get("kind").and_then(JsonValue::as_str),
+        response.get("session").and_then(JsonValue::as_str),
+    ) {
+        (Some("session"), Some(actual)) if actual == op => Ok(response),
+        other => Err(ClientError::Protocol(format!(
+            "expected session.{op} acknowledgement, got {other:?}"
+        ))),
+    }
+}
+
+/// Unwraps a `{kind: "report"}` response into a [`CompileOutcome`].
+fn parse_report_response(response: &JsonValue) -> Result<CompileOutcome, ClientError> {
+    let cache = response
+        .get("cache")
+        .and_then(JsonValue::as_str)
+        .and_then(CacheStatus::from_name)
+        .ok_or_else(|| ClientError::Protocol("report without a cache status".into()))?;
+    let elapsed_ms = response
+        .get("elapsed_ms")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(0.0);
+    let report = response
+        .get("report")
+        .cloned()
+        .ok_or_else(|| ClientError::Protocol("report response without a report".into()))?;
+    Ok(CompileOutcome {
+        cache,
+        elapsed_ms,
+        report,
+        telemetry: response.get("telemetry").cloned(),
+        trace: response.get("trace").cloned(),
+    })
 }

@@ -10,7 +10,12 @@
 //! correctness rests on the determinism contract — the canonical
 //! compile report is byte-stable for a given (circuit, geometry,
 //! options) triple, so a cached answer is exactly the answer a fresh
-//! compile would give (`docs/RUNTIME.md`).
+//! compile would give (`docs/RUNTIME.md`). Alongside batch compiles,
+//! a connection can open a **streaming session** (`session.*` frames):
+//! gates are fed incrementally into an online
+//! [`StreamingPipeline`](autobraid::streaming::StreamingPipeline),
+//! faults are injected mid-run, and the session holds one admission
+//! slot until it closes or times out idle (`docs/STREAMING.md`).
 //!
 //! Three layers:
 //!
@@ -53,5 +58,7 @@ pub mod server;
 
 pub use cache::{CacheKey, CacheStats, ReportCache};
 pub use client::{Client, ClientError, CompileOutcome};
-pub use protocol::{CacheStatus, CompileRequest, ErrorKind, Request, ServiceError, PROTOCOL};
+pub use protocol::{
+    CacheStatus, CompileRequest, ErrorKind, Request, ServiceError, SessionOpen, PROTOCOL,
+};
 pub use server::{Server, ServiceConfig};

@@ -8,6 +8,8 @@
 //! with the zero-dependency [`JsonValue`] reader.
 
 use autobraid::pipeline::Strategy;
+use autobraid::streaming::FaultEvent;
+use autobraid_circuit::{Gate, SingleKind, TwoKind};
 use autobraid_telemetry::JsonValue;
 use std::io::{self, Read, Write};
 
@@ -424,6 +426,254 @@ impl CompileRequest {
     }
 }
 
+/// Opens a streaming compile session (`kind: "session.open"`). A
+/// session holds one bounded-queue slot for its whole lifetime —
+/// admission control treats the open stream exactly like an in-flight
+/// batch compile.
+///
+/// ```
+/// use autobraid_service::protocol::SessionOpen;
+/// use autobraid::pipeline::Strategy;
+///
+/// let open = SessionOpen::new(4)
+///     .with_label("bell-stream")
+///     .with_strategy(Strategy::Stack);
+/// assert_eq!(open.to_json().get("kind").unwrap().as_str(), Some("session.open"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOpen {
+    /// Register width of the incoming stream.
+    pub qubits: u32,
+    /// Optional circuit name carried into the final report.
+    pub label: Option<String>,
+    /// Scheduler override; `None` uses the server default.
+    pub strategy: Option<Strategy>,
+    /// Defective-channel vertices reserved before the first gate.
+    pub defects: Vec<(u32, u32)>,
+    /// Attach an `autobraid.trace/v1` Chrome trace to the close report.
+    pub trace: bool,
+    /// Per-step wall-clock budget in microseconds; `None` streams
+    /// unbudgeted (fully deterministic — see `docs/STREAMING.md`).
+    pub budget_us: Option<u64>,
+}
+
+impl SessionOpen {
+    /// A session over a `qubits`-wide register with server defaults.
+    pub fn new(qubits: u32) -> Self {
+        SessionOpen {
+            qubits,
+            label: None,
+            strategy: None,
+            defects: Vec::new(),
+            trace: false,
+            budget_us: None,
+        }
+    }
+
+    /// Sets the circuit name used in the close report.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Overrides the scheduler strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Pre-reserves defective channel vertices.
+    pub fn with_defects(mut self, defects: Vec<(u32, u32)>) -> Self {
+        self.defects = defects;
+        self
+    }
+
+    /// Requests an attached event trace on close.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Sets the per-step routing budget.
+    pub fn with_budget_us(mut self, budget_us: u64) -> Self {
+        self.budget_us = Some(budget_us);
+        self
+    }
+
+    /// Renders the request message.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("proto".to_string(), JsonValue::from(PROTOCOL)),
+            ("kind".to_string(), JsonValue::from("session.open")),
+            ("qubits".to_string(), JsonValue::from(self.qubits)),
+        ];
+        if let Some(label) = &self.label {
+            fields.push(("label".to_string(), JsonValue::from(label.as_str())));
+        }
+        if let Some(s) = self.strategy {
+            fields.push(("strategy".to_string(), JsonValue::from(s.name())));
+        }
+        if !self.defects.is_empty() {
+            fields.push((
+                "defects".to_string(),
+                JsonValue::Array(
+                    self.defects
+                        .iter()
+                        .map(|&(r, c)| {
+                            JsonValue::Array(vec![JsonValue::from(r), JsonValue::from(c)])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if self.trace {
+            fields.push(("trace".to_string(), JsonValue::from(true)));
+        }
+        if let Some(b) = self.budget_us {
+            fields.push(("budget_us".to_string(), JsonValue::from(b)));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// Renders one gate as its wire object:
+/// `{"op": "cx", "qubits": [0, 1]}`, with an `"angle"` field for
+/// parameterized rotations.
+pub fn gate_to_json(gate: &Gate) -> JsonValue {
+    let mut fields = Vec::with_capacity(3);
+    match gate {
+        Gate::Single { kind, qubit } => {
+            fields.push(("op".to_string(), JsonValue::from(kind.mnemonic())));
+            fields.push((
+                "qubits".to_string(),
+                JsonValue::Array(vec![JsonValue::from(*qubit)]),
+            ));
+            if let SingleKind::Rx(a) | SingleKind::Ry(a) | SingleKind::Rz(a) = kind {
+                fields.push(("angle".to_string(), JsonValue::from(*a)));
+            }
+        }
+        Gate::Two {
+            kind,
+            control,
+            target,
+        } => {
+            fields.push(("op".to_string(), JsonValue::from(kind.mnemonic())));
+            fields.push((
+                "qubits".to_string(),
+                JsonValue::Array(vec![JsonValue::from(*control), JsonValue::from(*target)]),
+            ));
+            if let TwoKind::CPhase(a) = kind {
+                fields.push(("angle".to_string(), JsonValue::from(*a)));
+            }
+        }
+    }
+    JsonValue::Object(fields)
+}
+
+/// Parses a gate wire object.
+///
+/// # Errors
+///
+/// [`ErrorKind::Protocol`] errors naming the offending field.
+pub fn gate_from_json(doc: &JsonValue) -> Result<Gate, ServiceError> {
+    let proto_err = |detail: String| ServiceError::new(ErrorKind::Protocol, detail);
+    let op = doc
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| proto_err("gate missing `op`".to_string()))?;
+    let qubits: Vec<u32> = match doc.get("qubits") {
+        Some(JsonValue::Array(items)) => items
+            .iter()
+            .map(|q| q.as_u64().map(|q| q as u32))
+            .collect::<Option<Vec<u32>>>()
+            .ok_or_else(|| proto_err("gate `qubits` must be non-negative integers".to_string()))?,
+        _ => return Err(proto_err("gate missing `qubits` array".to_string())),
+    };
+    let angle = doc.get("angle").and_then(JsonValue::as_f64);
+    let arity_err = |want: usize| {
+        proto_err(format!(
+            "gate `{op}` takes {want} qubit(s), got {}",
+            qubits.len()
+        ))
+    };
+    let single = |kind: SingleKind| match qubits.as_slice() {
+        [q] => Ok(Gate::Single { kind, qubit: *q }),
+        _ => Err(arity_err(1)),
+    };
+    let two = |kind: TwoKind| match qubits.as_slice() {
+        [c, t] => Ok(Gate::Two {
+            kind,
+            control: *c,
+            target: *t,
+        }),
+        _ => Err(arity_err(2)),
+    };
+    let need_angle = || angle.ok_or_else(|| proto_err(format!("gate `{op}` requires an `angle`")));
+    match op {
+        "x" => single(SingleKind::X),
+        "y" => single(SingleKind::Y),
+        "z" => single(SingleKind::Z),
+        "h" => single(SingleKind::H),
+        "s" => single(SingleKind::S),
+        "sdg" => single(SingleKind::Sdg),
+        "t" => single(SingleKind::T),
+        "tdg" => single(SingleKind::Tdg),
+        "rx" => single(SingleKind::Rx(need_angle()?)),
+        "ry" => single(SingleKind::Ry(need_angle()?)),
+        "rz" => single(SingleKind::Rz(need_angle()?)),
+        "measure" => single(SingleKind::Measure),
+        "cx" => two(TwoKind::Cx),
+        "cz" => two(TwoKind::Cz),
+        "cp" => two(TwoKind::CPhase(need_angle()?)),
+        "swap" => two(TwoKind::Swap),
+        other => Err(proto_err(format!("unknown gate op `{other}`"))),
+    }
+}
+
+/// Renders a fault event as its wire object: `{"fault": "tile-failure",
+/// "row": r, "col": c}` or `{"fault": "magic-stall", "steps": n}`.
+pub fn fault_to_json(fault: &FaultEvent) -> JsonValue {
+    match fault {
+        FaultEvent::TileFailure { row, col } => JsonValue::object([
+            ("fault", JsonValue::from(fault.kind())),
+            ("row", JsonValue::from(*row)),
+            ("col", JsonValue::from(*col)),
+        ]),
+        FaultEvent::MagicStall { steps } => JsonValue::object([
+            ("fault", JsonValue::from(fault.kind())),
+            ("steps", JsonValue::from(*steps)),
+        ]),
+        _ => JsonValue::object([("fault", JsonValue::from(fault.kind()))]),
+    }
+}
+
+/// Parses a fault wire object.
+///
+/// # Errors
+///
+/// [`ErrorKind::Protocol`] errors naming the offending field.
+pub fn fault_from_json(doc: &JsonValue) -> Result<FaultEvent, ServiceError> {
+    let proto_err = |detail: String| ServiceError::new(ErrorKind::Protocol, detail);
+    let field = |name: &str| {
+        doc.get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| proto_err(format!("fault missing numeric `{name}`")))
+    };
+    match doc.get("fault").and_then(JsonValue::as_str) {
+        Some("tile-failure") => Ok(FaultEvent::TileFailure {
+            row: field("row")? as u32,
+            col: field("col")? as u32,
+        }),
+        Some("magic-stall") => Ok(FaultEvent::MagicStall {
+            steps: field("steps")?,
+        }),
+        Some(other) => Err(proto_err(format!(
+            "unknown fault `{other}` (tile-failure|magic-stall)"
+        ))),
+        None => Err(proto_err("inject request missing `fault`".to_string())),
+    }
+}
+
 /// A parsed request message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -433,6 +683,19 @@ pub enum Request {
     Stats,
     /// A compile submission.
     Compile(Box<CompileRequest>),
+    /// Opens a streaming session (holds one queue slot until closed).
+    SessionOpen(Box<SessionOpen>),
+    /// Feeds gates into the open session's frontier.
+    SessionGate(Vec<Gate>),
+    /// Advances the open session's engine by `count` steps.
+    SessionStep {
+        /// How many engine steps to attempt (default 1).
+        count: u64,
+    },
+    /// Injects a dynamic fault event into the open session.
+    SessionInject(FaultEvent),
+    /// Drains the open session and returns its canonical report.
+    SessionClose,
 }
 
 impl Request {
@@ -501,8 +764,79 @@ impl Request {
                         .unwrap_or(true),
                 })))
             }
+            Some("session.open") => {
+                let qubits = doc
+                    .get("qubits")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| proto_err("session.open missing numeric `qubits`".to_string()))?
+                    as u32;
+                let strategy = match doc.get("strategy").and_then(JsonValue::as_str) {
+                    None => None,
+                    Some(name) => Some(Strategy::from_name(name).ok_or_else(|| {
+                        proto_err(format!(
+                            "unknown strategy `{name}` (valid: {})",
+                            Strategy::names().join(", ")
+                        ))
+                    })?),
+                };
+                let defects = match doc.get("defects") {
+                    None => Vec::new(),
+                    Some(JsonValue::Array(items)) => items
+                        .iter()
+                        .map(|pair| match pair {
+                            JsonValue::Array(rc) if rc.len() == 2 => {
+                                let r = rc[0].as_u64()?;
+                                let c = rc[1].as_u64()?;
+                                Some((r as u32, c as u32))
+                            }
+                            _ => None,
+                        })
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| {
+                            proto_err("`defects` must be an array of [row, col] pairs".to_string())
+                        })?,
+                    Some(_) => {
+                        return Err(proto_err(
+                            "`defects` must be an array of [row, col] pairs".to_string(),
+                        ))
+                    }
+                };
+                Ok(Request::SessionOpen(Box::new(SessionOpen {
+                    qubits,
+                    label: doc
+                        .get("label")
+                        .and_then(JsonValue::as_str)
+                        .map(str::to_string),
+                    strategy,
+                    defects,
+                    trace: doc
+                        .get("trace")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false),
+                    budget_us: doc.get("budget_us").and_then(JsonValue::as_u64),
+                })))
+            }
+            Some("session.gate") => match doc.get("gates") {
+                Some(JsonValue::Array(items)) => {
+                    let gates = items
+                        .iter()
+                        .map(gate_from_json)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if gates.is_empty() {
+                        return Err(proto_err("session.gate carried no gates".to_string()));
+                    }
+                    Ok(Request::SessionGate(gates))
+                }
+                _ => Err(proto_err("session.gate missing `gates` array".to_string())),
+            },
+            Some("session.step") => Ok(Request::SessionStep {
+                count: doc.get("count").and_then(JsonValue::as_u64).unwrap_or(1),
+            }),
+            Some("session.inject") => Ok(Request::SessionInject(fault_from_json(doc)?)),
+            Some("session.close") => Ok(Request::SessionClose),
             Some(other) => Err(proto_err(format!(
-                "unknown request kind `{other}` (ping|stats|compile)"
+                "unknown request kind `{other}` (ping|stats|compile|session.open|\
+                 session.gate|session.step|session.inject|session.close)"
             ))),
             None => Err(proto_err("missing request `kind`".to_string())),
         }
@@ -645,6 +979,135 @@ mod tests {
         let err = Request::from_json(&bad_strategy).unwrap_err();
         assert!(err.detail.contains("warp-drive"));
         assert!(err.detail.contains("autobraid-full"));
+    }
+
+    #[test]
+    fn session_open_round_trips_through_json() {
+        let open = SessionOpen::new(6)
+            .with_label("stream")
+            .with_strategy(Strategy::PathFinder)
+            .with_defects(vec![(1, 2), (3, 4)])
+            .with_trace(true)
+            .with_budget_us(500);
+        let parsed = Request::from_json(&open.to_json()).unwrap();
+        assert_eq!(parsed, Request::SessionOpen(Box::new(open)));
+
+        let minimal = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("session.open")),
+            ("qubits", JsonValue::from(3u32)),
+        ]);
+        let Request::SessionOpen(open) = Request::from_json(&minimal).unwrap() else {
+            panic!("expected session.open");
+        };
+        assert_eq!(open.qubits, 3);
+        assert!(open.defects.is_empty() && !open.trace && open.budget_us.is_none());
+    }
+
+    #[test]
+    fn gates_and_faults_round_trip_through_json() {
+        let gates = [
+            Gate::Single {
+                kind: SingleKind::H,
+                qubit: 0,
+            },
+            Gate::Single {
+                kind: SingleKind::Rz(0.25),
+                qubit: 3,
+            },
+            Gate::Two {
+                kind: TwoKind::Cx,
+                control: 1,
+                target: 2,
+            },
+            Gate::Two {
+                kind: TwoKind::CPhase(1.5),
+                control: 0,
+                target: 4,
+            },
+            Gate::Two {
+                kind: TwoKind::Swap,
+                control: 2,
+                target: 5,
+            },
+        ];
+        for gate in gates {
+            assert_eq!(gate_from_json(&gate_to_json(&gate)).unwrap(), gate);
+        }
+        for fault in [
+            FaultEvent::TileFailure { row: 2, col: 3 },
+            FaultEvent::MagicStall { steps: 4 },
+        ] {
+            assert_eq!(fault_from_json(&fault_to_json(&fault)).unwrap(), fault);
+        }
+
+        let frame = JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("session.gate")),
+            (
+                "gates",
+                JsonValue::Array(vec![gate_to_json(&gates[0]), gate_to_json(&gates[2])]),
+            ),
+        ]);
+        let Request::SessionGate(parsed) = Request::from_json(&frame).unwrap() else {
+            panic!("expected session.gate");
+        };
+        assert_eq!(parsed, vec![gates[0], gates[2]]);
+    }
+
+    #[test]
+    fn malformed_session_frames_name_the_problem() {
+        let frame = |kind: &str, extra: Vec<(&str, JsonValue)>| {
+            let mut fields = vec![
+                ("proto".to_string(), JsonValue::from(PROTOCOL)),
+                ("kind".to_string(), JsonValue::from(kind)),
+            ];
+            fields.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+            JsonValue::Object(fields)
+        };
+        let cases = vec![
+            (frame("session.open", vec![]), "missing numeric `qubits`"),
+            (frame("session.gate", vec![]), "missing `gates`"),
+            (
+                frame("session.gate", vec![("gates", JsonValue::Array(vec![]))]),
+                "no gates",
+            ),
+            (
+                frame(
+                    "session.gate",
+                    vec![(
+                        "gates",
+                        JsonValue::Array(vec![JsonValue::object([(
+                            "op",
+                            JsonValue::from("frob"),
+                        )])]),
+                    )],
+                ),
+                "gate missing `qubits`",
+            ),
+            (frame("session.inject", vec![]), "missing `fault`"),
+            (
+                frame(
+                    "session.inject",
+                    vec![("fault", JsonValue::from("cosmic-ray"))],
+                ),
+                "unknown fault",
+            ),
+        ];
+        for (doc, expected) in cases {
+            let err = Request::from_json(&doc).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::Protocol);
+            assert!(err.detail.contains(expected), "{}", err.detail);
+        }
+        // `session.step` without a count defaults to one step.
+        assert_eq!(
+            Request::from_json(&frame("session.step", vec![])).unwrap(),
+            Request::SessionStep { count: 1 }
+        );
+        assert_eq!(
+            Request::from_json(&frame("session.close", vec![])).unwrap(),
+            Request::SessionClose
+        );
     }
 
     #[test]

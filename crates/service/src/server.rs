@@ -11,16 +11,19 @@
 use crate::cache::{CacheKey, CacheStats, ReportCache};
 use crate::protocol::{
     read_frame, write_frame, CacheStatus, CompileRequest, ErrorKind, FrameError, Request,
-    ServiceError, SourceFormat, PROTOCOL,
+    ServiceError, SessionOpen, SourceFormat, PROTOCOL,
 };
 use autobraid::pipeline::{CompileOptions, CompileReport, Pipeline, PipelineError, Strategy};
 use autobraid::report::canonical_compile_report_json;
 use autobraid::runtime::{CompileJob, WorkerPool};
+use autobraid::streaming::{StepOutcome, StreamError, StreamingOptions, StreamingPipeline};
 use autobraid::ScheduleConfig;
 use autobraid_circuit::qasm;
 use autobraid_conformance::ConformanceCase;
 use autobraid_lattice::{CodeParams, TimingModel};
-use autobraid_telemetry::{self as telemetry, JsonValue, MemoryRecorder, Recorder};
+use autobraid_telemetry::{
+    self as telemetry, FanoutRecorder, JsonValue, MemoryRecorder, Recorder, TraceRecorder,
+};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -48,6 +51,10 @@ pub struct ServiceConfig {
     pub max_timeout_ms: u64,
     /// Per-frame payload cap.
     pub max_frame_bytes: usize,
+    /// How long an open streaming session may sit idle (no frames from
+    /// the client) before the server times it out, releases its queue
+    /// slot, and closes the connection with a typed `timeout` error.
+    pub session_idle_timeout_ms: u64,
     /// Compile defaults a request can override per-field (`threads` is
     /// ignored: batch parallelism belongs to the pool).
     pub defaults: CompileOptions,
@@ -63,6 +70,7 @@ impl Default for ServiceConfig {
             default_timeout_ms: 30_000,
             max_timeout_ms: 300_000,
             max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME,
+            session_idle_timeout_ms: 30_000,
             defaults: CompileOptions::default(),
         }
     }
@@ -208,6 +216,40 @@ fn accept_loop(
     }
 }
 
+/// One bounded-queue slot, released when dropped. A streaming session
+/// holds one for its whole lifetime so admission control counts open
+/// streams alongside in-flight batch compiles — and counts them
+/// correctly even when the connection dies without a `session.close`.
+struct SlotHold {
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Drop for SlotHold {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The per-connection state of one open streaming session.
+struct OpenSession {
+    stream: StreamingPipeline,
+    /// Decisions recorded during this session's steps, when the open
+    /// frame asked for a trace.
+    tracer: Option<Arc<TraceRecorder>>,
+    start: Instant,
+    _slot: SlotHold,
+}
+
+impl OpenSession {
+    /// Runs `f` with this session's trace recorder fanned into the
+    /// ambient (service) recorder, so session decisions reach the trace
+    /// while `service.*` counters still reach the daemon snapshot.
+    fn scoped<T>(&mut self, f: impl FnOnce(&mut StreamingPipeline) -> T) -> T {
+        let _guard = self.tracer.as_ref().map(session_trace_guard);
+        f(&mut self.stream)
+    }
+}
+
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let _guard = telemetry::install(Arc::clone(&shared.recorder) as Arc<dyn Recorder>);
     let mut read = match stream.try_clone() {
@@ -215,7 +257,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         Err(_) => return,
     };
     let mut write = stream;
+    let mut session: Option<OpenSession> = None;
     loop {
+        // An idle open session may not hold its queue slot forever: arm
+        // a read deadline while one is open.
+        let idle = Duration::from_millis(shared.config.session_idle_timeout_ms.max(1));
+        let _ = read.set_read_timeout(session.as_ref().map(|_| idle));
         let payload = match read_frame(&mut read, shared.config.max_frame_bytes) {
             Ok(Some(payload)) => payload,
             Ok(None) => break, // clean close
@@ -235,9 +282,30 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 let _ = write_frame(&mut write, &err.to_response().render_compact());
                 continue;
             }
+            Err(FrameError::Io(e))
+                if session.is_some()
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // Idle-session timeout: release the slot (session drop),
+                // tell the client why, and close the connection.
+                telemetry::counter("service.sessions.idle_timeout", 1);
+                session = None;
+                let err = ServiceError::new(
+                    ErrorKind::Timeout,
+                    format!(
+                        "session idle for more than {} ms; slot released",
+                        shared.config.session_idle_timeout_ms
+                    ),
+                );
+                let _ = write_frame(&mut write, &err.to_response().render_compact());
+                break;
+            }
             Err(FrameError::Io(_)) => break,
         };
-        let response = match process(shared, &payload) {
+        let response = match process(shared, &mut session, &payload) {
             Ok(ok) => ok,
             Err(err) => err.to_response(),
         };
@@ -245,11 +313,21 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             break;
         }
     }
+    // An abandoned session's slot is released here, by drop.
+    drop(session);
     let _ = write.flush();
+    // The shutdown list holds a clone of this socket; shut the shared
+    // descriptor down explicitly so the peer sees EOF now rather than
+    // at server shutdown.
+    let _ = write.shutdown(Shutdown::Both);
 }
 
 /// Handles one request frame, start to finish.
-fn process(shared: &Arc<Shared>, payload: &str) -> Result<JsonValue, ServiceError> {
+fn process(
+    shared: &Arc<Shared>,
+    session: &mut Option<OpenSession>,
+    payload: &str,
+) -> Result<JsonValue, ServiceError> {
     let doc = JsonValue::parse(payload)
         .map_err(|e| ServiceError::new(ErrorKind::Protocol, format!("invalid JSON: {e}")))?;
     match Request::from_json(&doc)? {
@@ -269,7 +347,207 @@ fn process(shared: &Arc<Shared>, payload: &str) -> Result<JsonValue, ServiceErro
             telemetry::counter("service.requests.compile", 1);
             handle_compile(shared, &req)
         }
+        Request::SessionOpen(open) => {
+            telemetry::counter("service.requests.session", 1);
+            handle_session_open(shared, session, &open)
+        }
+        Request::SessionGate(gates) => {
+            telemetry::counter("service.requests.session", 1);
+            let open = require_session(session)?;
+            let mut accepted = 0usize;
+            open.scoped(|stream| {
+                for gate in &gates {
+                    stream.push_gate(*gate).map_err(stream_error)?;
+                    accepted += 1;
+                }
+                Ok::<(), ServiceError>(())
+            })?;
+            let outstanding = open.stream.outstanding();
+            Ok(session_response(
+                "gate",
+                vec![
+                    ("accepted".to_string(), JsonValue::from(accepted)),
+                    ("outstanding".to_string(), JsonValue::from(outstanding)),
+                ],
+            ))
+        }
+        Request::SessionStep { count } => {
+            telemetry::counter("service.requests.session", 1);
+            let open = require_session(session)?;
+            let mut outcomes = Vec::new();
+            open.scoped(|stream| {
+                for _ in 0..count.max(1) {
+                    outcomes.push(step_outcome_json(stream.step().map_err(stream_error)?));
+                }
+                Ok::<(), ServiceError>(())
+            })?;
+            let outstanding = open.stream.outstanding();
+            let steps_taken = open.stream.steps_taken();
+            Ok(session_response(
+                "step",
+                vec![
+                    ("outcomes".to_string(), JsonValue::Array(outcomes)),
+                    ("outstanding".to_string(), JsonValue::from(outstanding)),
+                    ("steps_taken".to_string(), JsonValue::from(steps_taken)),
+                ],
+            ))
+        }
+        Request::SessionInject(fault) => {
+            telemetry::counter("service.requests.session", 1);
+            let open = require_session(session)?;
+            open.scoped(|stream| stream.inject(fault).map_err(stream_error))?;
+            Ok(session_response(
+                "inject",
+                vec![("fault".to_string(), JsonValue::from(fault.kind()))],
+            ))
+        }
+        Request::SessionClose => {
+            telemetry::counter("service.requests.session", 1);
+            let OpenSession {
+                stream,
+                tracer,
+                start,
+                _slot,
+            } = session
+                .take()
+                .ok_or_else(|| ServiceError::new(ErrorKind::Protocol, "no open session"))?;
+            telemetry::counter("service.sessions.closed", 1);
+            // Drain inside the trace scope so the final decisions land
+            // in the session trace too. The slot is held (by `_slot`)
+            // until the drain finishes — admission stays honest.
+            let finished = {
+                let _guard = tracer.as_ref().map(session_trace_guard);
+                stream.finish().map_err(stream_error)?
+            };
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            telemetry::observe("service.latency_ms", elapsed);
+            let canonical = canonical_compile_report_json(&finished).render_compact();
+            let report_doc = JsonValue::parse(&canonical)
+                .expect("canonical report is valid JSON by construction");
+            let trace_doc = tracer
+                .as_ref()
+                .and_then(|tracer| JsonValue::parse(&tracer.snapshot().to_chrome_json()).ok());
+            Ok(report_response(
+                CacheStatus::Bypass,
+                elapsed,
+                report_doc,
+                None,
+                trace_doc,
+            ))
+        }
     }
+}
+
+/// Installs the session trace recorder fanned into the ambient
+/// (service) recorder for the duration of the returned guard.
+fn session_trace_guard(tracer: &Arc<TraceRecorder>) -> telemetry::RecorderGuard {
+    let mut sinks: Vec<Arc<dyn Recorder>> = vec![Arc::clone(tracer) as Arc<dyn Recorder>];
+    if let Some(ambient) = telemetry::current() {
+        sinks.push(ambient);
+    }
+    telemetry::install(Arc::new(FanoutRecorder::new(sinks)))
+}
+
+/// Opens a streaming session on this connection, claiming a queue slot.
+fn handle_session_open(
+    shared: &Arc<Shared>,
+    session: &mut Option<OpenSession>,
+    open: &SessionOpen,
+) -> Result<JsonValue, ServiceError> {
+    if session.is_some() {
+        return Err(ServiceError::new(
+            ErrorKind::Protocol,
+            "a session is already open on this connection (close it first)",
+        ));
+    }
+    // Admission control: an open stream is held work, exactly like an
+    // in-flight batch compile.
+    admit(shared)?;
+    let slot = SlotHold {
+        in_flight: Arc::clone(&shared.in_flight),
+    };
+    telemetry::counter("service.sessions.opened", 1);
+    let strategy = open.strategy.unwrap_or(shared.config.defaults.strategy);
+    let mut options = StreamingOptions::default()
+        .with_strategy(strategy)
+        .with_defects(open.defects.clone());
+    if let Some(label) = &open.label {
+        options = options.with_label(label.clone());
+    }
+    if let Some(budget_us) = open.budget_us {
+        options = options.with_step_budget(Duration::from_micros(budget_us));
+    }
+    let tracer = open.trace.then(|| Arc::new(TraceRecorder::new()));
+    let stream = {
+        let _guard = tracer.as_ref().map(session_trace_guard);
+        StreamingPipeline::open(open.qubits.max(1), options)
+    };
+    *session = Some(OpenSession {
+        stream,
+        tracer,
+        start: Instant::now(),
+        _slot: slot,
+    });
+    Ok(session_response(
+        "open",
+        vec![
+            ("qubits".to_string(), JsonValue::from(open.qubits.max(1))),
+            ("strategy".to_string(), JsonValue::from(strategy.name())),
+        ],
+    ))
+}
+
+/// The open session on this connection, or a typed protocol error.
+fn require_session(
+    session: &mut Option<OpenSession>,
+) -> Result<&mut OpenSession, ServiceError> {
+    session
+        .as_mut()
+        .ok_or_else(|| ServiceError::new(ErrorKind::Protocol, "no open session"))
+}
+
+/// Maps a typed streaming failure onto the service error taxonomy.
+fn stream_error(e: StreamError) -> ServiceError {
+    let kind = match &e {
+        StreamError::Unroutable { .. } => ErrorKind::Unsupported,
+        StreamError::QubitOutOfRange { .. } => ErrorKind::Parse,
+        StreamError::InvalidFault { .. } => ErrorKind::Protocol,
+        _ => ErrorKind::Internal,
+    };
+    ServiceError::new(kind, e.to_string())
+}
+
+/// Renders one engine-step outcome for the wire.
+fn step_outcome_json(outcome: StepOutcome) -> JsonValue {
+    match outcome {
+        StepOutcome::Idle => JsonValue::object([("outcome", JsonValue::from("idle"))]),
+        StepOutcome::Local { gates } => JsonValue::object([
+            ("outcome", JsonValue::from("local")),
+            ("gates", JsonValue::from(gates)),
+        ]),
+        StepOutcome::Braid { routed, deferred } => JsonValue::object([
+            ("outcome", JsonValue::from("braid")),
+            ("routed", JsonValue::from(routed)),
+            ("deferred", JsonValue::from(deferred)),
+        ]),
+        StepOutcome::Stalled { remaining } => JsonValue::object([
+            ("outcome", JsonValue::from("stalled")),
+            ("remaining", JsonValue::from(remaining)),
+        ]),
+        _ => JsonValue::object([("outcome", JsonValue::from("unknown"))]),
+    }
+}
+
+/// The `{status: ok, kind: session, session: <op>, ...}` envelope.
+fn session_response(op: &str, extra: Vec<(String, JsonValue)>) -> JsonValue {
+    let mut fields = vec![
+        ("proto".to_string(), JsonValue::from(PROTOCOL)),
+        ("status".to_string(), JsonValue::from("ok")),
+        ("kind".to_string(), JsonValue::from("session")),
+        ("session".to_string(), JsonValue::from(op)),
+    ];
+    fields.extend(extra);
+    JsonValue::Object(fields)
 }
 
 fn stats_response(shared: &Arc<Shared>) -> JsonValue {

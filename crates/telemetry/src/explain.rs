@@ -252,6 +252,24 @@ fn explain_track(out: &mut String, track_name: &str, track: &[&JsonValue]) -> us
                     ));
                 }
             }
+            "fault.injected" => {
+                let line = format!(
+                    "fault injected: {} ({})",
+                    arg_str(event, "kind"),
+                    arg_str(event, "detail"),
+                );
+                match &mut step {
+                    Some(s) => s.lines.push(line),
+                    None => out.push_str(&format!("[{track_name}] {line}\n")),
+                }
+            }
+            "fault.recovered" => {
+                let line = format!("fault recovered: {}", arg_str(event, "kind"));
+                match &mut step {
+                    Some(s) => s.lines.push(line),
+                    None => out.push_str(&format!("[{track_name}] {line}\n")),
+                }
+            }
             "anneal.accept" => {
                 anneal_accepts += 1;
                 // Keep the first few verbatim; annealing runs accept

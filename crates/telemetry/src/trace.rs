@@ -147,6 +147,26 @@ pub enum Decision {
         /// Whether the compile succeeded.
         ok: bool,
     },
+    /// A dynamic event was injected into a streaming compilation: a
+    /// tile failure (a channel vertex died mid-run) or a magic-state
+    /// supply stall. The fault taxonomy is documented in
+    /// `docs/STREAMING.md`.
+    FaultInjected {
+        /// Fault taxonomy name (`tile-failure`, `magic-stall`).
+        kind: String,
+        /// Human-readable locus (vertex coordinates, stall length).
+        detail: String,
+        /// Zero-based streaming step index at injection time.
+        step: u64,
+    },
+    /// The streaming engine committed a braiding step again after an
+    /// injected fault — the schedule survived the event.
+    FaultRecovered {
+        /// Fault taxonomy name the engine recovered from.
+        kind: String,
+        /// Zero-based index of the first step committed after the fault.
+        step: u64,
+    },
 }
 
 impl Decision {
@@ -166,6 +186,8 @@ impl Decision {
             Decision::StrategyChosen { .. } => "strategy.chosen",
             Decision::JobStart { .. } => "job.start",
             Decision::JobFinish { .. } => "job.finish",
+            Decision::FaultInjected { .. } => "fault.injected",
+            Decision::FaultRecovered { .. } => "fault.recovered",
         }
     }
 
@@ -249,6 +271,15 @@ impl Decision {
             Decision::JobFinish { label, ok } => JsonValue::object([
                 ("label", JsonValue::from(label.as_str())),
                 ("ok", JsonValue::from(*ok)),
+            ]),
+            Decision::FaultInjected { kind, detail, step } => JsonValue::object([
+                ("kind", JsonValue::from(kind.as_str())),
+                ("detail", JsonValue::from(detail.as_str())),
+                ("step", JsonValue::from(*step)),
+            ]),
+            Decision::FaultRecovered { kind, step } => JsonValue::object([
+                ("kind", JsonValue::from(kind.as_str())),
+                ("step", JsonValue::from(*step)),
             ]),
         }
     }
