@@ -378,6 +378,11 @@ pub struct StreamingPipeline {
     step_index: u64,
     /// Remaining magic-stall slots.
     stall_steps: u64,
+    /// Cached remaining critical-path weight per known gate (see
+    /// [`Self::refresh_critical_path`]).
+    cp_cache: Vec<u64>,
+    /// Whether gates were pushed since [`Self::cp_cache`] was rebuilt.
+    cp_dirty: bool,
     /// Fault kinds injected but not yet acknowledged by a committed step.
     pending_recovery: Vec<&'static str>,
     /// Gates deferred by an earlier routing pass (for reroute counting).
@@ -456,6 +461,8 @@ impl StreamingPipeline {
             utilization_sum: 0.0,
             step_index: 0,
             stall_steps: 0,
+            cp_cache: Vec::new(),
+            cp_dirty: false,
             pending_recovery: Vec::new(),
             deferred_before: Vec::new(),
             over_budget: false,
@@ -475,6 +482,13 @@ impl StreamingPipeline {
     /// The (fixed) placement of logical qubits.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// The fixed qubit capacity the stream was opened with: gates
+    /// addressing a qubit at or beyond this are rejected by
+    /// [`Self::push_gate`].
+    pub fn capacity(&self) -> u32 {
+        self.circuit.num_qubits()
     }
 
     /// Gates pushed so far.
@@ -515,6 +529,7 @@ impl StreamingPipeline {
         self.circuit.push(gate);
         self.frontier.push(id, &gate);
         self.deferred_before.push(false);
+        self.cp_dirty = true;
         telemetry::counter("streaming.gates.pushed", 1);
         Ok(id)
     }
@@ -522,7 +537,10 @@ impl StreamingPipeline {
     /// Injects a dynamic event; see [`FaultEvent`]. Surfaced as a
     /// `fault.injected` trace decision and `streaming.faults.injected`
     /// counter; the first step committed afterwards emits
-    /// `fault.recovered`.
+    /// `fault.recovered`. A fault injected into an already-drained
+    /// stream is trivially survived and acknowledged by the next idle
+    /// [`Self::step`] or by [`Self::drain`]/[`Self::finish`], so the
+    /// injected/recovered events always balance.
     ///
     /// # Errors
     ///
@@ -582,6 +600,10 @@ impl StreamingPipeline {
             });
         }
         if self.frontier.outstanding == 0 {
+            // A drained frontier trivially survives any pending fault;
+            // acknowledge here so every `fault.injected` gets its
+            // `fault.recovered` even when no further step ever commits.
+            self.acknowledge_recovery();
             return Ok(StepOutcome::Idle);
         }
 
@@ -622,17 +644,18 @@ impl StreamingPipeline {
         }
 
         // Routing priority: remaining critical-path weight over the
-        // gates known *so far* (recomputed per step as the stream
-        // grows). With every gate pushed up front this equals the batch
-        // engine's priorities exactly.
-        let remaining_cp = self.remaining_critical_path();
+        // gates known *so far*, cached between steps and rebuilt only
+        // when new gates have arrived — a push-then-drain session is
+        // linear in pushed gates, not quadratic. With every gate pushed
+        // up front this equals the batch engine's priorities exactly.
+        self.refresh_critical_path();
 
         // Budget trimming: after an overrun, offer the router only the
         // most critical half of the layer (ties broken by gate id, so
         // the trim is deterministic for a given overrun pattern).
         let mut trimmed = 0usize;
         if self.over_budget && braids.len() > 1 {
-            braids.sort_by_key(|&g| (std::cmp::Reverse(remaining_cp[g]), g));
+            braids.sort_by_key(|&g| (std::cmp::Reverse(self.cp_cache[g]), g));
             let keep = braids.len().div_ceil(2);
             trimmed = braids.len() - keep;
             braids.truncate(keep);
@@ -648,7 +671,7 @@ impl StreamingPipeline {
                     .pair()
                     .expect("braid gates are two-qubit");
                 CxRequest::new(g, self.placement.cell_of(a), self.placement.cell_of(b))
-                    .with_priority(remaining_cp[g] as i64)
+                    .with_priority(self.cp_cache[g] as i64)
             })
             .collect();
         let graph = InterferenceGraph::build(&requests);
@@ -773,6 +796,10 @@ impl StreamingPipeline {
         while !self.is_drained() {
             self.step()?;
         }
+        // A fault injected after the stream drained never sees a
+        // committed step; balance its `fault.recovered` event here
+        // (finish() routes through this too).
+        self.acknowledge_recovery();
         Ok(())
     }
 
@@ -810,27 +837,34 @@ impl StreamingPipeline {
         })
     }
 
-    /// Remaining critical-path weight of each known gate (itself
-    /// included), in engine cycles — the same priority the batch engine
-    /// assigns, over the prefix of the circuit seen so far. Gate ids
-    /// are topologically ordered by construction, so one reverse sweep
-    /// suffices.
-    fn remaining_critical_path(&self) -> Vec<u64> {
-        let mut remaining = vec![0u64; self.circuit.len()];
+    /// Rebuilds [`Self::cp_cache`]: the remaining critical-path weight
+    /// of each known gate (itself included), in engine cycles — the
+    /// same priority the batch engine assigns, over the prefix of the
+    /// circuit seen so far. Gate ids are topologically ordered by
+    /// construction, so one reverse sweep suffices; weights only change
+    /// when gates are pushed (successor lists are append-only), so the
+    /// sweep runs once per push batch instead of once per step.
+    fn refresh_critical_path(&mut self) {
+        if !self.cp_dirty {
+            return;
+        }
+        self.cp_cache.clear();
+        self.cp_cache.resize(self.circuit.len(), 0);
         for g in (0..self.circuit.len()).rev() {
             let tail = self.frontier.successors[g]
                 .iter()
-                .map(|&s| remaining[s])
+                .map(|&s| self.cp_cache[s])
                 .max()
                 .unwrap_or(0);
-            remaining[g] =
+            self.cp_cache[g] =
                 tail + crate::critical_path::gate_cycles(self.circuit.gate(g), &self.config.timing);
         }
-        remaining
+        self.cp_dirty = false;
     }
 
     /// Emits `fault.recovered` for every fault the stream has survived:
-    /// called after each committed step.
+    /// called after each committed step, and on idle steps and drains
+    /// so faults injected into an already-drained stream still balance.
     fn acknowledge_recovery(&mut self) {
         if self.pending_recovery.is_empty() {
             return;
@@ -840,7 +874,10 @@ impl StreamingPipeline {
             if telemetry::decisions_enabled() {
                 telemetry::decision(&telemetry::Decision::FaultRecovered {
                     kind: kind.to_string(),
-                    step: self.step_index - 1,
+                    // Saturating: a fault can be acknowledged before any
+                    // step was ever taken (injection into an empty or
+                    // fully drained stream).
+                    step: self.step_index.saturating_sub(1),
                 });
             }
         }
@@ -962,6 +999,61 @@ mod tests {
             .collect();
         assert!(names.contains(&"fault.injected"), "{names:?}");
         assert!(names.contains(&"fault.recovered"), "{names:?}");
+    }
+
+    /// Counts `fault.injected` / `fault.recovered` decisions in `rec`.
+    fn fault_event_counts(rec: &TraceRecorder) -> (usize, usize) {
+        let trace = rec.snapshot();
+        let names: Vec<&str> = trace
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Decision(d) => Some(d.name()),
+                _ => None,
+            })
+            .collect();
+        (
+            names.iter().filter(|&&n| n == "fault.injected").count(),
+            names.iter().filter(|&&n| n == "fault.recovered").count(),
+        )
+    }
+
+    #[test]
+    fn fault_injected_after_drain_is_acknowledged_by_the_next_idle_step() {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = telemetry::install(rec.clone());
+            let mut stream = StreamingPipeline::open(4, StreamingOptions::default());
+            stream
+                .push_gate(Gate::two(autobraid_circuit::gate::TwoKind::Cx, 0, 1))
+                .unwrap();
+            stream.drain().unwrap();
+            assert!(stream.is_drained());
+            stream
+                .inject(FaultEvent::TileFailure { row: 1, col: 1 })
+                .unwrap();
+            // The frontier is empty, so the fault is trivially survived:
+            // the very next (idle) step must acknowledge it.
+            assert_eq!(stream.step().unwrap(), StepOutcome::Idle);
+        }
+        assert_eq!(fault_event_counts(&rec), (1, 1));
+    }
+
+    #[test]
+    fn fault_injected_into_an_empty_stream_is_acknowledged_by_finish() {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = telemetry::install(rec.clone());
+            let mut stream = StreamingPipeline::open(3, StreamingOptions::default());
+            // Zero gates, zero steps taken: recovery must still balance
+            // (and must not underflow the step index).
+            stream
+                .inject(FaultEvent::TileFailure { row: 0, col: 0 })
+                .unwrap();
+            stream.inject(FaultEvent::MagicStall { steps: 1 }).unwrap();
+            stream.finish().unwrap();
+        }
+        assert_eq!(fault_event_counts(&rec), (2, 2));
     }
 
     #[test]

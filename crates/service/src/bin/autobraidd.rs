@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! autobraidd [--addr HOST:PORT] [--threads N] [--queue N] [--cache N]
-//!            [--timeout-ms MS] [--idle-timeout-ms MS]
+//!            [--timeout-ms MS] [--idle-timeout-ms MS] [--max-steps N]
 //! ```
 //!
 //! Binds, prints `autobraidd listening on <addr>` on stdout (port 0 in
@@ -15,7 +15,7 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: autobraidd [--addr HOST:PORT] [--threads N] [--queue N] \
-         [--cache N] [--timeout-ms MS] [--idle-timeout-ms MS]"
+         [--cache N] [--timeout-ms MS] [--idle-timeout-ms MS] [--max-steps N]"
     );
     std::process::exit(2)
 }
@@ -41,6 +41,9 @@ fn main() {
             "--idle-timeout-ms" => {
                 config.session_idle_timeout_ms =
                     parse(&value("--idle-timeout-ms"), "--idle-timeout-ms")
+            }
+            "--max-steps" => {
+                config.max_session_steps = parse(&value("--max-steps"), "--max-steps")
             }
             "--help" | "-h" => usage(),
             other => {

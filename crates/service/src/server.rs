@@ -55,6 +55,13 @@ pub struct ServiceConfig {
     /// the client) before the server times it out, releases its queue
     /// slot, and closes the connection with a typed `timeout` error.
     pub session_idle_timeout_ms: u64,
+    /// Upper clamp on one `session.step` frame's `count`. A frame
+    /// asking for more advances at most this many engine steps (the
+    /// outcomes array and `steps_taken` show how far it got); stepping
+    /// also stops at the first idle outcome. Keeps a client-controlled
+    /// count from pinning a connection thread and growing an unbounded
+    /// response — per-frame work stays bounded like everything else.
+    pub max_session_steps: u64,
     /// Compile defaults a request can override per-field (`threads` is
     /// ignored: batch parallelism belongs to the pool).
     pub defaults: CompileOptions,
@@ -71,6 +78,7 @@ impl Default for ServiceConfig {
             max_timeout_ms: 300_000,
             max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME,
             session_idle_timeout_ms: 30_000,
+            max_session_steps: 4096,
             defaults: CompileOptions::default(),
         }
     }
@@ -354,11 +362,20 @@ fn process(
         Request::SessionGate(gates) => {
             telemetry::counter("service.requests.session", 1);
             let open = require_session(session)?;
-            let mut accepted = 0usize;
+            // All-or-nothing: validate the whole batch before any gate
+            // lands, so a rejected frame leaves the session exactly as
+            // it was and the client's view never desyncs from the
+            // server's.
+            let capacity = open.stream.capacity();
+            if let Some(qubit) = gates.iter().map(|g| g.max_qubit()).find(|&q| q >= capacity) {
+                return Err(stream_error(StreamError::QubitOutOfRange {
+                    qubit,
+                    capacity,
+                }));
+            }
             open.scoped(|stream| {
                 for gate in &gates {
                     stream.push_gate(*gate).map_err(stream_error)?;
-                    accepted += 1;
                 }
                 Ok::<(), ServiceError>(())
             })?;
@@ -366,7 +383,7 @@ fn process(
             Ok(session_response(
                 "gate",
                 vec![
-                    ("accepted".to_string(), JsonValue::from(accepted)),
+                    ("accepted".to_string(), JsonValue::from(gates.len())),
                     ("outstanding".to_string(), JsonValue::from(outstanding)),
                 ],
             ))
@@ -374,10 +391,20 @@ fn process(
         Request::SessionStep { count } => {
             telemetry::counter("service.requests.session", 1);
             let open = require_session(session)?;
+            // Per-frame work is bounded: clamp the client-controlled
+            // count and stop at the first idle outcome — an idle
+            // frontier cannot progress, so looping on it would only
+            // grow the response.
+            let steps = count.clamp(1, shared.config.max_session_steps.max(1));
             let mut outcomes = Vec::new();
             open.scoped(|stream| {
-                for _ in 0..count.max(1) {
-                    outcomes.push(step_outcome_json(stream.step().map_err(stream_error)?));
+                for _ in 0..steps {
+                    let outcome = stream.step().map_err(stream_error)?;
+                    let idle = matches!(outcome, StepOutcome::Idle);
+                    outcomes.push(step_outcome_json(outcome));
+                    if idle {
+                        break;
+                    }
                 }
                 Ok::<(), ServiceError>(())
             })?;

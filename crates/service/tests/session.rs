@@ -226,6 +226,65 @@ fn fault_injection_mid_stream_recovers_and_traces() {
 }
 
 #[test]
+fn session_step_count_is_clamped_and_stops_at_idle() {
+    let server = server(|c| c.max_session_steps = 2);
+    let (qubits, gates) = bell_gates();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .session_open(&SessionOpen::new(qubits))
+        .expect("session opens");
+    client.session_gate(&gates).expect("gates accepted");
+
+    // A hostile count must not pin the connection thread or grow an
+    // unbounded response: the server advances at most max_session_steps.
+    let outcomes = client.session_step(u64::MAX).expect("clamped step");
+    assert_eq!(outcomes.len(), 2, "{outcomes:?}");
+
+    // The frontier drained within the clamp (local h, then the cx
+    // braid); a further large count stops at the first idle outcome
+    // instead of padding the response with idles.
+    let outcomes = client.session_step(1_000_000).expect("idle step");
+    assert_eq!(outcomes.len(), 1, "{outcomes:?}");
+    assert_eq!(
+        outcomes[0].get("outcome").and_then(JsonValue::as_str),
+        Some("idle")
+    );
+    client.session_close().expect("session closes");
+}
+
+#[test]
+fn invalid_gate_batch_is_rejected_atomically() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (qubits, gates) = bell_gates();
+    client
+        .session_open(&SessionOpen::new(qubits))
+        .expect("session opens");
+
+    // A batch whose *last* gate is out of range must reject the whole
+    // frame: no prefix may land, or the client's accepted-gate count
+    // desyncs from the server's frontier.
+    let mut poisoned = gates.clone();
+    poisoned.push(Gate::Two {
+        kind: autobraid_circuit::TwoKind::Cx,
+        control: 0,
+        target: 99,
+    });
+    let (kind, detail) = expect_service_error(client.session_gate(&poisoned));
+    assert_eq!(kind, ErrorKind::Parse, "{detail}");
+
+    // The session is untouched: the valid batch is accepted in full and
+    // the close report counts exactly those gates.
+    let accepted = client.session_gate(&gates).expect("valid batch lands");
+    assert_eq!(accepted, gates.len());
+    let outcome = client.session_close().expect("session closes");
+    assert_eq!(
+        outcome.report.get("gates").and_then(JsonValue::as_u64),
+        Some(gates.len() as u64)
+    );
+}
+
+#[test]
 fn session_errors_are_typed_and_keep_the_connection_usable() {
     let server = server(|_| {});
     let mut client = Client::connect(server.addr()).expect("connect");
