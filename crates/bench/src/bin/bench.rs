@@ -28,7 +28,8 @@
 //! Run with `cargo run --release -p autobraid-bench --bin bench -- regress`.
 
 use autobraid_bench::regression::{
-    classify, run_baseline, suite, Baseline, DEFAULT_BASELINE_PATH, DEFAULT_REPEATS,
+    classify, measure, observe_cases, run_baseline, suite, Baseline, DEFAULT_BASELINE_PATH,
+    DEFAULT_REPEATS,
 };
 use autobraid_bench::{enforce_flags, flag_requested, string_flag, usize_flag};
 use autobraid_service::{Client, CompileRequest, Server, ServiceConfig};
@@ -46,6 +47,7 @@ const VALID_FLAGS: &[&str] = &[
     "--requests",
     "--threads",
     "--no-cache",
+    "--check",
 ];
 
 fn f64_flag(name: &str) -> Option<f64> {
@@ -54,10 +56,11 @@ fn f64_flag(name: &str) -> Option<f64> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench <baseline|regress|serve> [flags]\n\
+        "usage: bench <baseline|regress|serve|observe> [flags]\n\
          \x20 baseline  --out <path> --repeats <n>\n\
          \x20 regress   --baseline <path> --repeats <n> --trace-dir <dir> --inject-slowdown <f>\n\
-         \x20 serve     --clients <n> --requests <n> --threads <n> [--no-cache]"
+         \x20 serve     --clients <n> --requests <n> --threads <n> [--no-cache]\n\
+         \x20 observe   --repeats <n> [--check]"
     );
     std::process::exit(2);
 }
@@ -73,7 +76,50 @@ fn main() {
         "baseline" => run_baseline_cmd(repeats),
         "regress" => run_regress_cmd(repeats),
         "serve" => run_serve_cmd(),
+        "observe" => run_observe_cmd(repeats),
         _ => usage(),
+    }
+}
+
+/// Measures the cost of the service's always-on observability stack:
+/// the same `qft(10)` compile bare and under the ambient recorder
+/// fanout (lifetime + windowed + flight), reporting the relative
+/// overhead. `--check` enforces the documented <2% budget (exit
+/// nonzero past it) — CI calls it that way.
+fn run_observe_cmd(repeats: usize) {
+    let check = flag_requested("--check");
+    let (off, on) = observe_cases();
+    eprintln!("observe bench: {} repeats per side", repeats.max(1));
+    // Interleaving would be fairer under thermal drift, but measure()
+    // already medians over repeats; run off first, on second, so a
+    // warming machine penalizes the observed side, not the budget.
+    let (off_ns, off_disp) = measure(&off, repeats);
+    let (on_ns, on_disp) = measure(&on, repeats);
+    let overhead = if off_ns > 0.0 {
+        100.0 * (on_ns - off_ns) / off_ns
+    } else {
+        0.0
+    };
+    println!("case                     median       iqr/median");
+    println!(
+        "  {:<22} {:>9.1} us   {:>6.3}",
+        off.name,
+        off_ns / 1e3,
+        off_disp
+    );
+    println!(
+        "  {:<22} {:>9.1} us   {:>6.3}",
+        on.name,
+        on_ns / 1e3,
+        on_disp
+    );
+    println!("observability overhead: {overhead:+.2}% of the bare median");
+    if check && overhead > 2.0 {
+        eprintln!("FAIL: overhead {overhead:+.2}% exceeds the 2% budget (docs/METRICS.md)");
+        std::process::exit(1);
+    }
+    if check {
+        eprintln!("OK: within the 2% budget");
     }
 }
 
@@ -131,12 +177,38 @@ fn run_serve_cmd() {
         "serve: {total} compiles in {elapsed:.2} s -> {:.1} compiles/sec",
         total as f64 / elapsed
     );
+    // The daemon's own windowed view of the same run, from the
+    // `autobraid.metrics/v1` frame — client-side numbers include the
+    // socket round-trip, the daemon's only the request handling, so
+    // the gap between the rows is wire + framing cost.
+    let window = Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .map(|frame| {
+            let at = |key: &str| {
+                frame
+                    .get("window")
+                    .and_then(|w| w.get("histograms"))
+                    .and_then(|h| h.get("service.latency_ms"))
+                    .and_then(|s| s.get(key))
+                    .and_then(autobraid_telemetry::JsonValue::as_f64)
+                    .unwrap_or(0.0)
+            };
+            (at("p50"), at("p99"), at("count"))
+        });
+    println!("latency                 p50 ms      p99 ms");
     println!(
-        "latency: p50 {:.3} ms, p99 {:.3} ms (max {:.3} ms)",
+        "  client round-trip   {:>8.3}    {:>8.3}   (max {:.3} ms)",
         percentile(0.50),
         percentile(0.99),
         latencies_ms.last().copied().unwrap_or(0.0)
     );
+    match window {
+        Some((p50, p99, n)) => println!(
+            "  daemon window       {p50:>8.3}    {p99:>8.3}   (n {n:.0}, autobraid.metrics/v1)"
+        ),
+        None => println!("  daemon window       (metrics frame unavailable)"),
+    }
     println!(
         "cache: {} hits, {} misses, {} entries",
         cache.hits, cache.misses, cache.entries

@@ -28,7 +28,10 @@ use autobraid_router::route_negotiated;
 use autobraid_router::stack_finder::route_concurrent;
 use autobraid_service::{Client, CompileRequest, Server, ServiceConfig};
 use autobraid_telemetry::bench::black_box;
-use autobraid_telemetry::{JsonValue, Rng64};
+use autobraid_telemetry::{
+    install, FanoutRecorder, FlightRecorder, JsonValue, MemoryRecorder, Recorder, Rng64,
+    WindowedRecorder,
+};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -343,6 +346,12 @@ pub fn suite() -> Vec<BenchCase> {
         });
     }
 
+    // --- observability overhead: the on-half of `bench observe`,
+    // tracked in the regression gate so the always-on recorder stack
+    // cannot quietly grow past its budget ---
+    let (_, observed) = observe_cases();
+    cases.push(observed);
+
     // --- streaming compiles: the same families pushed gate-at-a-time
     // through the online engine (frontier maintenance + per-step
     // routing; the online-penalty companion of the compile/* entries,
@@ -441,6 +450,38 @@ pub fn suite() -> Vec<BenchCase> {
     });
 
     cases
+}
+
+/// The `bench observe` pair: the same `qft(10)` end-to-end compile
+/// measured bare (`compile/qft`, the suite's reference entry) and under
+/// the service's always-on ambient observability stack — lifetime
+/// aggregates, windowed metrics, and the flight recorder fanned out
+/// exactly as `autobraidd` installs them. The "on" case doubles as the
+/// suite's `observe/overhead` entry; the delta between the two is the
+/// cost of observability, which `docs/METRICS.md` budgets at <2% of
+/// the bare median.
+pub fn observe_cases() -> (BenchCase, BenchCase) {
+    let circuit = qft(10).expect("qft builds");
+    let off = BenchCase {
+        name: "compile/qft",
+        run: Box::new(move || {
+            black_box(Pipeline::new().compile(&circuit).expect("compiles"));
+        }),
+    };
+    let circuit = qft(10).expect("qft builds");
+    let ambient: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+        Arc::new(MemoryRecorder::ambient()),
+        Arc::new(WindowedRecorder::new()),
+        Arc::new(FlightRecorder::new()),
+    ]));
+    let on = BenchCase {
+        name: "observe/overhead",
+        run: Box::new(move || {
+            let _ambient = install(Arc::clone(&ambient));
+            black_box(Pipeline::new().compile(&circuit).expect("compiles"));
+        }),
+    };
+    (off, on)
 }
 
 /// The machine-calibration workload: a fixed PRNG churn whose cost

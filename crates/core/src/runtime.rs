@@ -106,7 +106,18 @@ impl WorkerPool {
 
     /// Enqueues a job. Jobs run in submission order per worker but
     /// complete in no guaranteed order across workers.
+    ///
+    /// The submitting thread's request scope
+    /// ([`telemetry::current_request`]) travels with the job: the
+    /// worker re-enters it for the job's duration, so trace and
+    /// flight-recorder events stay correlated to the originating
+    /// service request across the pool handoff.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let request = telemetry::current_request();
+        let job = move || {
+            let _req = telemetry::begin_request(request);
+            job();
+        };
         self.sender
             .as_ref()
             .expect("pool is shutting down")
@@ -315,7 +326,7 @@ impl Pipeline {
 fn run_job(pipeline: &Pipeline, job: &CompileJob) -> Result<CompileReport, PipelineError> {
     // Job boundary markers land in the *ambient* (pool-propagated)
     // recorder, giving a batch trace its per-worker job timeline.
-    if telemetry::decisions_enabled() {
+    if telemetry::fine_decisions_enabled() {
         telemetry::decision(&telemetry::Decision::JobStart {
             label: job.label().to_string(),
         });
@@ -331,7 +342,7 @@ fn run_job(pipeline: &Pipeline, job: &CompileJob) -> Result<CompileReport, Pipel
             detail: panic_message(payload.as_ref()),
         }),
     };
-    if telemetry::decisions_enabled() {
+    if telemetry::fine_decisions_enabled() {
         telemetry::decision(&telemetry::Decision::JobFinish {
             label: job.label().to_string(),
             ok: result.is_ok(),

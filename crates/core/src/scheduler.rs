@@ -317,7 +317,7 @@ impl RoutePolicy for PortfolioPolicy {
             |occ: &mut Occupancy| route_negotiated_with(grid, occ, requests, &self.config).0;
 
         if requests.len() <= 3 {
-            telemetry::counter("scheduler.portfolio.stack_picks", 1);
+            telemetry::fine_counter("scheduler.portfolio.stack_picks", 1);
             return LayerRoute {
                 outcome: stack(occupancy),
                 chosen: "stack",
@@ -325,13 +325,13 @@ impl RoutePolicy for PortfolioPolicy {
             };
         }
         let density = Self::interference_density(layer.interference);
-        telemetry::observe("scheduler.portfolio.density", density);
+        telemetry::fine_observe("scheduler.portfolio.density", density);
         if density <= 0.25 {
             let oversized = autobraid_router::llg::decompose(requests)
                 .iter()
                 .any(|g| g.size() > 3);
             if !oversized {
-                telemetry::counter("scheduler.portfolio.stack_picks", 1);
+                telemetry::fine_counter("scheduler.portfolio.stack_picks", 1);
                 return LayerRoute {
                     outcome: stack(occupancy),
                     chosen: "stack",
@@ -340,7 +340,7 @@ impl RoutePolicy for PortfolioPolicy {
             }
         }
         if density >= 0.6 {
-            telemetry::counter("scheduler.portfolio.pathfinder_picks", 1);
+            telemetry::fine_counter("scheduler.portfolio.pathfinder_picks", 1);
             return LayerRoute {
                 outcome: negotiate(occupancy),
                 chosen: "pathfinder",
@@ -350,7 +350,7 @@ impl RoutePolicy for PortfolioPolicy {
 
         // Uncertain band: race both finders on clones of the base
         // occupancy and keep the better step.
-        telemetry::counter("scheduler.portfolio.races", 1);
+        telemetry::fine_counter("scheduler.portfolio.races", 1);
         let mut stack_occ = occupancy.clone();
         let stack_out = stack(&mut stack_occ);
         let mut nego_occ = occupancy.clone();
@@ -579,7 +579,7 @@ pub fn run_with_base_and_dag(
             .copied()
             .filter(|&g| circuit.gate(g).is_two_qubit())
             .collect();
-        if telemetry::decisions_enabled() {
+        if telemetry::fine_decisions_enabled() {
             telemetry::decision(&telemetry::Decision::StepBegin {
                 step: step_index,
                 braids: braids.len(),
@@ -594,7 +594,7 @@ pub fn run_with_base_and_dag(
                 frontier.complete(g);
             }
             result.local_steps += 1;
-            telemetry::counter("scheduler.steps.local", 1);
+            telemetry::fine_counter("scheduler.steps.local", 1);
             result.total_cycles += config.timing.local_step_cycles();
             if record {
                 result.steps.push(Step::Local { gates: locals });
@@ -634,7 +634,7 @@ pub fn run_with_base_and_dag(
                 interference: &graph,
             },
         );
-        if telemetry::is_enabled() {
+        if telemetry::fine_metrics_enabled() {
             telemetry::counter("scheduler.gates.routed", outcome.routed.len() as u64);
             telemetry::counter("scheduler.gates.deferred", outcome.failed.len() as u64);
             telemetry::observe("scheduler.step.batch_size", requests.len() as f64);
@@ -657,7 +657,7 @@ pub fn run_with_base_and_dag(
             if !swaps.is_empty() {
                 for swap in &swaps {
                     placement.swap_qubits(swap.a, swap.b);
-                    if telemetry::decisions_enabled() {
+                    if telemetry::fine_decisions_enabled() {
                         telemetry::decision(&telemetry::Decision::SwapInserted {
                             a: swap.a,
                             b: swap.b,
@@ -666,8 +666,8 @@ pub fn run_with_base_and_dag(
                 }
                 result.swap_layers += 1;
                 result.swap_count += swaps.len() as u64;
-                telemetry::counter("scheduler.steps.swap", 1);
-                telemetry::counter("scheduler.swaps.inserted", swaps.len() as u64);
+                telemetry::fine_counter("scheduler.steps.swap", 1);
+                telemetry::fine_counter("scheduler.swaps.inserted", swaps.len() as u64);
                 result.total_cycles += 3 * config.timing.braid_step_cycles();
                 consecutive_swap_rounds += 1;
                 if record {
@@ -698,12 +698,12 @@ pub fn run_with_base_and_dag(
             frontier.complete(g);
         }
         result.braid_steps += 1;
-        telemetry::counter("scheduler.steps.braid", 1);
+        telemetry::fine_counter("scheduler.steps.braid", 1);
         result.total_cycles += config.timing.braid_step_cycles();
         // Strategy attribution describes *committed* layers only — a
         // routing pass discarded in favour of a swap layer never shows
         // up here or in the trace.
-        if telemetry::decisions_enabled() {
+        if telemetry::fine_decisions_enabled() {
             telemetry::decision(&telemetry::Decision::StrategyChosen {
                 step: step_index - 1,
                 policy: chosen.to_string(),

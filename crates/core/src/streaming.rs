@@ -530,7 +530,7 @@ impl StreamingPipeline {
         self.frontier.push(id, &gate);
         self.deferred_before.push(false);
         self.cp_dirty = true;
-        telemetry::counter("streaming.gates.pushed", 1);
+        telemetry::fine_counter("streaming.gates.pushed", 1);
         Ok(id)
     }
 
@@ -618,7 +618,7 @@ impl StreamingPipeline {
             .copied()
             .filter(|&g| self.circuit.gate(g).is_two_qubit())
             .collect();
-        if telemetry::decisions_enabled() {
+        if telemetry::fine_decisions_enabled() {
             telemetry::decision(&telemetry::Decision::StepBegin {
                 step: self.step_index,
                 braids: braids.len(),
@@ -634,7 +634,7 @@ impl StreamingPipeline {
                 self.frontier.complete(g);
             }
             self.result.local_steps += 1;
-            telemetry::counter("streaming.steps.local", 1);
+            telemetry::fine_counter("streaming.steps.local", 1);
             self.result.total_cycles += self.config.timing.local_step_cycles();
             if self.record {
                 self.result.steps.push(Step::Local { gates: locals });
@@ -659,7 +659,7 @@ impl StreamingPipeline {
             let keep = braids.len().div_ceil(2);
             trimmed = braids.len() - keep;
             braids.truncate(keep);
-            telemetry::counter("streaming.budget.trimmed_gates", trimmed as u64);
+            telemetry::fine_counter("streaming.budget.trimmed_gates", trimmed as u64);
         }
 
         let requests: Vec<CxRequest> = braids
@@ -696,10 +696,10 @@ impl StreamingPipeline {
         if let Some(budget) = self.options.step_budget {
             self.over_budget = wall > budget;
             if self.over_budget {
-                telemetry::counter("streaming.budget.overruns", 1);
+                telemetry::fine_counter("streaming.budget.overruns", 1);
             }
         }
-        if telemetry::is_enabled() {
+        if telemetry::fine_metrics_enabled() {
             telemetry::observe("streaming.step.route_us", wall.as_secs_f64() * 1e6);
             telemetry::counter("streaming.gates.routed", outcome.routed.len() as u64);
             telemetry::counter(
@@ -753,15 +753,15 @@ impl StreamingPipeline {
             self.deferred_before[g] = true;
         }
         if reroutes > 0 {
-            telemetry::counter("streaming.reroutes", reroutes);
+            telemetry::fine_counter("streaming.reroutes", reroutes);
         }
         for &g in &locals {
             self.frontier.complete(g);
         }
         self.result.braid_steps += 1;
-        telemetry::counter("streaming.steps.braid", 1);
+        telemetry::fine_counter("streaming.steps.braid", 1);
         self.result.total_cycles += self.config.timing.braid_step_cycles();
-        if telemetry::decisions_enabled() {
+        if telemetry::fine_decisions_enabled() {
             telemetry::decision(&telemetry::Decision::StrategyChosen {
                 step: self.step_index - 1,
                 policy: chosen.to_string(),

@@ -339,7 +339,7 @@ pub fn anneal(
         initial.is_consistent(grid),
         "inconsistent starting placement"
     );
-    let _span = telemetry::span("anneal");
+    let _span = telemetry::fine_span("anneal");
     let layers = sample_layers(circuit, config.max_sampled_layers);
     let initial_objective = llg_objective(circuit, &layers, &initial);
     let n = circuit.num_qubits();
@@ -422,8 +422,10 @@ pub fn anneal(
                 best_obj = obj;
                 best = current.clone();
             }
-            telemetry::observe("placement.anneal.objective", obj as f64);
-            if telemetry::decisions_enabled() {
+            if telemetry::fine_metrics_enabled() {
+                telemetry::observe("placement.anneal.objective", obj as f64);
+            }
+            if telemetry::fine_decisions_enabled() {
                 telemetry::decision(&telemetry::Decision::AnnealAccept {
                     delta,
                     temp: temperature,
@@ -438,15 +440,19 @@ pub fn anneal(
         temperature *= config.cooling;
     }
 
-    telemetry::counter("placement.anneal.proposals", proposals as u64);
-    telemetry::counter("placement.anneal.accepted", accepted as u64);
-    telemetry::counter("placement.anneal.initial_objective", initial_objective);
-    telemetry::counter("placement.anneal.final_objective", best_obj);
-    if proposals > 0 {
-        telemetry::observe(
-            "placement.anneal.acceptance_rate",
-            accepted as f64 / proposals as f64,
-        );
+    // Per-anneal profiling detail: skipped for always-on ambient
+    // recorders (see `telemetry::fine_metrics_enabled`).
+    if telemetry::fine_metrics_enabled() {
+        telemetry::counter("placement.anneal.proposals", proposals as u64);
+        telemetry::counter("placement.anneal.accepted", accepted as u64);
+        telemetry::counter("placement.anneal.initial_objective", initial_objective);
+        telemetry::counter("placement.anneal.final_objective", best_obj);
+        if proposals > 0 {
+            telemetry::observe(
+                "placement.anneal.acceptance_rate",
+                accepted as f64 / proposals as f64,
+            );
+        }
     }
 
     AnnealOutcome {
@@ -490,7 +496,7 @@ pub fn anneal_portfolio(
     if config.chains <= 1 {
         return anneal(circuit, grid, initial, config);
     }
-    let _span = telemetry::span("anneal_portfolio");
+    let _span = telemetry::fine_span("anneal_portfolio");
     let chains = config.chains;
     let mut outcomes: Vec<Option<AnnealOutcome>> = vec![None; chains];
     if threads <= 1 {

@@ -92,7 +92,7 @@ pub fn search_in(
     b: Cell,
     limits: SearchLimits,
 ) -> Option<usize> {
-    telemetry::counter("router.astar.searches", 1);
+    telemetry::fine_counter("router.astar.searches", 1);
     let allowed = |v: Vertex| -> bool {
         occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
     };
@@ -105,7 +105,7 @@ pub fn search_in(
         }
     }
     if target_count == 0 {
-        telemetry::counter("router.astar.failures", 1);
+        telemetry::fine_counter("router.astar.failures", 1);
         record_search(0, false);
         return None;
     }
@@ -130,16 +130,16 @@ pub fn search_in(
     let mut expansions = 0u32;
     while let Some((g, idx)) = arena.pop() {
         if limits.max_expansions.is_some_and(|cap| expansions >= cap) {
-            telemetry::counter("router.astar.limit_hits", 1);
-            telemetry::counter("router.astar.failures", 1);
-            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            telemetry::fine_counter("router.astar.limit_hits", 1);
+            telemetry::fine_counter("router.astar.failures", 1);
+            telemetry::fine_observe("router.astar.expansions", f64::from(expansions));
             record_search(expansions, false);
             return None;
         }
         expansions += 1;
         let v = grid.vertex_at(idx as usize);
         if b.has_corner(v) {
-            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            telemetry::fine_observe("router.astar.expansions", f64::from(expansions));
             record_search(expansions, true);
             return Some(idx as usize);
         }
@@ -155,8 +155,8 @@ pub fn search_in(
             }
         }
     }
-    telemetry::counter("router.astar.failures", 1);
-    telemetry::observe("router.astar.expansions", f64::from(expansions));
+    telemetry::fine_counter("router.astar.failures", 1);
+    telemetry::fine_observe("router.astar.expansions", f64::from(expansions));
     record_search(expansions, false);
     None
 }
@@ -177,13 +177,13 @@ pub fn find_path_reference(
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
-    telemetry::counter("router.astar.searches", 1);
+    telemetry::fine_counter("router.astar.searches", 1);
     let allowed = |v: Vertex| -> bool {
         occupancy.is_free(grid, v) && limits.region.is_none_or(|r| r.contains(v))
     };
     let targets: Vec<Vertex> = b.corners().into_iter().filter(|&v| allowed(v)).collect();
     if targets.is_empty() {
-        telemetry::counter("router.astar.failures", 1);
+        telemetry::fine_counter("router.astar.failures", 1);
         record_search(0, false);
         return None;
     }
@@ -215,16 +215,16 @@ pub fn find_path_reference(
             continue; // stale entry
         }
         if limits.max_expansions.is_some_and(|cap| expansions >= cap) {
-            telemetry::counter("router.astar.limit_hits", 1);
-            telemetry::counter("router.astar.failures", 1);
-            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            telemetry::fine_counter("router.astar.limit_hits", 1);
+            telemetry::fine_counter("router.astar.failures", 1);
+            telemetry::fine_observe("router.astar.expansions", f64::from(expansions));
             record_search(expansions, false);
             return None;
         }
         expansions += 1;
         let v = grid.vertex_at(idx);
         if b.has_corner(v) {
-            telemetry::observe("router.astar.expansions", f64::from(expansions));
+            telemetry::fine_observe("router.astar.expansions", f64::from(expansions));
             record_search(expansions, true);
             return Some(reconstruct(grid, a, b, &parent, idx));
         }
@@ -241,8 +241,8 @@ pub fn find_path_reference(
             }
         }
     }
-    telemetry::counter("router.astar.failures", 1);
-    telemetry::observe("router.astar.expansions", f64::from(expansions));
+    telemetry::fine_counter("router.astar.failures", 1);
+    telemetry::fine_observe("router.astar.expansions", f64::from(expansions));
     record_search(expansions, false);
     None
 }
@@ -251,7 +251,7 @@ pub fn find_path_reference(
 /// done* and may differ across thread counts (`docs/RUNTIME.md`), like
 /// the parallel search counters.
 fn record_search(expansions: u32, found: bool) {
-    if telemetry::decisions_enabled() {
+    if telemetry::fine_decisions_enabled() {
         telemetry::decision(&telemetry::Decision::AstarSearch {
             expansions: u64::from(expansions),
             found,

@@ -120,8 +120,8 @@ pub fn route_negotiated_with(
     requests: &[CxRequest],
     config: &PathFinderConfig,
 ) -> (RouteOutcome, NegotiationStats) {
-    let _span = telemetry::span("route_negotiated");
-    telemetry::counter("router.pathfinder.requests", requests.len() as u64);
+    let _span = telemetry::fine_span("route_negotiated");
+    telemetry::fine_counter("router.pathfinder.requests", requests.len() as u64);
     if requests.is_empty() {
         return (
             RouteOutcome::default(),
@@ -208,8 +208,8 @@ pub fn route_negotiated_with(
             }
         }
         let overused = usage.iter().filter(|&&u| u > 1).count();
-        telemetry::observe("router.pathfinder.overused", overused as f64);
-        if telemetry::decisions_enabled() {
+        telemetry::fine_observe("router.pathfinder.overused", overused as f64);
+        if telemetry::fine_decisions_enabled() {
             telemetry::decision(&telemetry::Decision::NegotiationRound {
                 iteration: u64::from(iterations - 1),
                 overused,
@@ -229,11 +229,11 @@ pub fn route_negotiated_with(
         present_factor = (present_factor * 2).min(config.max_present_factor);
     }
 
-    telemetry::observe("router.pathfinder.iterations", f64::from(iterations));
+    telemetry::fine_observe("router.pathfinder.iterations", f64::from(iterations));
     if converged {
-        telemetry::counter("router.pathfinder.converged", 1);
+        telemetry::fine_counter("router.pathfinder.converged", 1);
     } else {
-        telemetry::counter("router.pathfinder.cap_hits", 1);
+        telemetry::fine_counter("router.pathfinder.cap_hits", 1);
     }
 
     // Commit. On convergence every path is disjoint by construction;
@@ -257,7 +257,7 @@ pub fn route_negotiated_with(
             Some(retry) => {
                 let reserved = occupancy.try_reserve(grid, retry.vertices().iter().copied());
                 debug_assert!(reserved, "A* avoids reserved vertices");
-                telemetry::counter("router.pathfinder.retry_commits", 1);
+                telemetry::fine_counter("router.pathfinder.retry_commits", 1);
                 outcome.routed.push(RoutedGate {
                     request: r,
                     path: retry,
@@ -347,7 +347,7 @@ fn find_negotiated_in(
     a: autobraid_lattice::Cell,
     b: autobraid_lattice::Cell,
 ) -> Option<BraidPath> {
-    telemetry::counter("router.pathfinder.searches", 1);
+    telemetry::fine_counter("router.pathfinder.searches", 1);
     let allowed = |v: Vertex| -> bool { base.is_free(grid, v) };
     let mut targets = [Vertex::new(0, 0); 4];
     let mut target_count = 0usize;
@@ -441,7 +441,7 @@ fn find_negotiated_reference(
 ) -> Option<BraidPath> {
     use std::collections::BinaryHeap;
 
-    telemetry::counter("router.pathfinder.searches", 1);
+    telemetry::fine_counter("router.pathfinder.searches", 1);
     let allowed = |v: Vertex| -> bool { base.is_free(grid, v) };
     let targets: Vec<Vertex> = b.corners().into_iter().filter(|&v| allowed(v)).collect();
     if targets.is_empty() {

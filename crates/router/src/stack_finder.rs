@@ -176,8 +176,8 @@ fn route_concurrent_impl(
     threads: usize,
     interference: Option<&InterferenceGraph>,
 ) -> RouteOutcome {
-    let _span = telemetry::span("route_concurrent");
-    telemetry::counter("router.route.requests", requests.len() as u64);
+    let _span = telemetry::fine_span("route_concurrent");
+    telemetry::fine_counter("router.route.requests", requests.len() as u64);
     let snapshot = occupancy.clone();
     let outcome = route_stack_order(grid, occupancy, requests, threads, interference);
     let chosen = if outcome.is_complete() {
@@ -190,7 +190,7 @@ fn route_concurrent_impl(
         let mut greedy_occupancy = snapshot;
         let greedy = route_greedy(grid, &mut greedy_occupancy, requests);
         if greedy.routed.len() > outcome.routed.len() {
-            telemetry::counter("router.route.greedy_fallback_wins", 1);
+            telemetry::fine_counter("router.route.greedy_fallback_wins", 1);
             *occupancy = greedy_occupancy;
             greedy
         } else {
@@ -200,7 +200,11 @@ fn route_concurrent_impl(
     // Decision events describe the *final* outcome of the step — emitted
     // once, after any greedy fallback, so a trace never shows a commit
     // that was later discarded.
-    if telemetry::decisions_enabled() {
+    // Per-gate commits and defers are both fine-grained (the commit
+    // path string is the most expensive payload in the crate, and burst
+    // workloads defer in bulk); an always-on flight recorder follows a
+    // request through its coarse lifecycle events instead.
+    if telemetry::fine_decisions_enabled() {
         for r in &chosen.routed {
             telemetry::decision(&telemetry::Decision::RouteCommit {
                 gate: r.request.id,
@@ -305,13 +309,13 @@ fn route_stack_order(
     // overlap), smallest groups first. Larger LLGs fall through to the
     // global stack-based search.
     let llgs = crate::llg::decompose(requests);
-    if telemetry::is_enabled() {
+    if telemetry::fine_metrics_enabled() {
         telemetry::counter("router.llg.groups", llgs.len() as u64);
         for group in &llgs {
             telemetry::observe("router.llg.size", group.size() as f64);
         }
     }
-    if telemetry::decisions_enabled() {
+    if telemetry::fine_decisions_enabled() {
         for group in &llgs {
             telemetry::decision(&telemetry::Decision::LlgFormed {
                 gates: group.size(),
@@ -354,7 +358,7 @@ fn route_stack_order(
             graph.remove(i);
         }
     }
-    telemetry::observe("router.stack.initial_degree", graph.max_degree() as f64);
+    telemetry::fine_observe("router.stack.initial_degree", graph.max_degree() as f64);
     let mut stack: Vec<usize> = Vec::new();
     while graph.max_degree() > 2 {
         let candidates = graph.max_degree_nodes();
@@ -362,7 +366,7 @@ fn route_stack_order(
             .iter()
             .max_by_key(|&&i| tie_break_key(&requests[i]))
             .expect("max_degree > 2 implies a live node");
-        if telemetry::decisions_enabled() {
+        if telemetry::fine_decisions_enabled() {
             telemetry::decision(&telemetry::Decision::StackPeel {
                 gate: requests[chosen].id,
                 degree: graph.max_degree(),
@@ -371,8 +375,8 @@ fn route_stack_order(
         stack.push(chosen);
         graph.remove(chosen);
     }
-    telemetry::observe("router.stack.peel_depth", stack.len() as f64);
-    telemetry::observe("router.stack.residual_degree", graph.max_degree() as f64);
+    telemetry::fine_observe("router.stack.peel_depth", stack.len() as f64);
+    telemetry::fine_observe("router.stack.residual_degree", graph.max_degree() as f64);
 
     // Route the residual graph, smallest bounding boxes first so short
     // local pairs keep their short paths.
@@ -446,7 +450,7 @@ fn repair_failures(
     failed.sort_by_key(|&id| std::cmp::Reverse(request_by_id(id).priority));
 
     for id in failed {
-        telemetry::counter("router.repair.attempts", 1);
+        telemetry::fine_counter("router.repair.attempts", 1);
         let req = *request_by_id(id);
         let zone = req.outer_bbox().expanded(1, grid.cells_per_side());
         let candidates: Vec<usize> = (0..outcome.routed.len())
@@ -486,7 +490,7 @@ fn repair_failures(
                     request: req,
                     path: new_path,
                 });
-                telemetry::counter("router.repair.successes", 1);
+                telemetry::fine_counter("router.repair.successes", 1);
                 fixed = true;
                 break;
             }
@@ -673,11 +677,11 @@ fn route_small_llgs_parallel(
                         "confined plans of boundary-disjoint groups cannot collide"
                     );
                 }
-                telemetry::counter("router.llg.parallel_commits", 1);
+                telemetry::fine_counter("router.llg.parallel_commits", 1);
                 outcome.routed.extend(routed);
             }
             _ => {
-                telemetry::counter("router.llg.parallel_replans", 1);
+                telemetry::fine_counter("router.llg.parallel_replans", 1);
                 route_small_llg(grid, occupancy, requests, group, outcome);
             }
         }

@@ -9,6 +9,8 @@
 //! autobraid-client --addr HOST:PORT stream FILE [--label NAME]
 //!     [--strategy NAME] [--fault-row R] [--fault-col C] [--stall N]
 //!     [--trace-out PATH]
+//! autobraid-client --addr HOST:PORT metrics [--prom]
+//! autobraid-client --addr HOST:PORT top [--interval-ms MS] [--iterations N]
 //! ```
 //!
 //! `compile` auto-detects conformance repro files by their
@@ -22,20 +24,30 @@
 //! closes. The stable output lines `gates=`, `fault.injected=`, and
 //! `fault.recovered=` let CI assert recovery; `--trace-out` writes the
 //! session's Chrome trace for artifact upload.
+//!
+//! `metrics` fetches the `autobraid.metrics/v1` frame (pretty JSON by
+//! default; `--prom` renders a Prometheus-style text exposition for
+//! scrapers). `top` is a live ANSI dashboard that redraws the windowed
+//! latency percentiles, throughput, cache hit-rate, admission queue,
+//! and session gauges every `--interval-ms` (forever, or for
+//! `--iterations` refreshes when scripted). See `docs/METRICS.md`.
 
 use autobraid::pipeline::Strategy;
 use autobraid::streaming::FaultEvent;
 use autobraid_circuit::{qasm, Gate};
 use autobraid_service::protocol::{SessionOpen, SourceFormat};
 use autobraid_service::{Client, CompileRequest};
+use autobraid_telemetry::JsonValue;
 use std::io::Read;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: autobraid-client --addr HOST:PORT <ping|stats|compile FILE|stream FILE> \
+        "usage: autobraid-client --addr HOST:PORT \
+         <ping|stats|metrics|top|compile FILE|stream FILE> \
          [--label NAME] [--format qasm|conformance] [--strategy NAME] \
          [--no-cache] [--telemetry] [--trace] [--distance D] [--timeout-ms MS] \
-         [--fault-row R] [--fault-col C] [--stall N] [--trace-out PATH]"
+         [--fault-row R] [--fault-col C] [--stall N] [--trace-out PATH] \
+         [--prom] [--interval-ms MS] [--iterations N]"
     );
     std::process::exit(2)
 }
@@ -61,6 +73,9 @@ struct Args {
     fault_col: u32,
     stall: u64,
     trace_out: Option<String>,
+    prom: bool,
+    interval_ms: u64,
+    iterations: u64,
 }
 
 fn parse_args() -> Args {
@@ -80,6 +95,9 @@ fn parse_args() -> Args {
         fault_col: 1,
         stall: 2,
         trace_out: None,
+        prom: false,
+        interval_ms: 1000,
+        iterations: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -141,6 +159,17 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| fail("bad --stall"))
             }
             "--trace-out" => parsed.trace_out = Some(value("--trace-out")),
+            "--prom" => parsed.prom = true,
+            "--interval-ms" => {
+                parsed.interval_ms = value("--interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --interval-ms"))
+            }
+            "--iterations" => {
+                parsed.iterations = value("--iterations")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --iterations"))
+            }
             "--help" | "-h" => usage(),
             other if other.starts_with("--") => {
                 eprintln!("autobraid-client: unknown flag `{other}`");
@@ -167,17 +196,246 @@ fn main() {
         Client::connect(&addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")));
     match args.command.as_deref() {
         Some("ping") => {
-            client.ping().unwrap_or_else(|e| fail(e));
-            println!("pong");
+            let pong = client.ping().unwrap_or_else(|e| fail(e));
+            println!(
+                "pong version={} uptime_ms={}",
+                pong.get("version")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?"),
+                pong.get("uptime_ms")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+            );
         }
         Some("stats") => {
             let stats = client.stats().unwrap_or_else(|e| fail(e));
+            println!(
+                "version={} uptime_ms={}",
+                stats
+                    .get("version")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?"),
+                stats
+                    .get("uptime_ms")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+            );
             println!("{}", stats.render_pretty());
         }
+        Some("metrics") => run_metrics(&mut client, &args),
+        Some("top") => run_top(&mut client, &addr, &args),
         Some("compile") => run_compile(&mut client, &args),
         Some("stream") => run_stream(&mut client, &args),
         _ => usage(),
     }
+}
+
+/// The scrape path: fetch one `autobraid.metrics/v1` frame and print
+/// it, either as pretty JSON or as a Prometheus-style text exposition.
+fn run_metrics(client: &mut Client, args: &Args) {
+    let frame = client.metrics().unwrap_or_else(|e| fail(e));
+    if args.prom {
+        print!("{}", prometheus_exposition(&frame));
+    } else {
+        println!("{}", frame.render_pretty());
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_]`, no leading digit thanks to the `autobraid_`
+/// prefix every caller adds).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the metrics frame as Prometheus text exposition format.
+/// Lifetime series keep the plain `autobraid_` prefix; the rolling
+/// window is a different time basis, so its series get
+/// `autobraid_window_` instead of a label (scrapers must never sum
+/// the two). Histograms come out as summaries with quantile labels.
+fn prometheus_exposition(frame: &JsonValue) -> String {
+    let mut out = String::new();
+    let version = frame
+        .get("version")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("unknown");
+    out.push_str("# TYPE autobraid_build_info gauge\n");
+    out.push_str(&format!(
+        "autobraid_build_info{{version=\"{version}\"}} 1\n"
+    ));
+    out.push_str("# TYPE autobraid_uptime_milliseconds gauge\n");
+    out.push_str(&format!(
+        "autobraid_uptime_milliseconds {}\n",
+        frame
+            .get("uptime_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    ));
+    for (section, prefix) in [("lifetime", "autobraid"), ("window", "autobraid_window")] {
+        let Some(doc) = frame.get(section) else {
+            continue;
+        };
+        if let Some(JsonValue::Object(counters)) = doc.get("counters") {
+            for (name, value) in counters {
+                let metric = format!("{prefix}_{}_total", prom_name(name));
+                out.push_str(&format!("# TYPE {metric} counter\n"));
+                out.push_str(&format!("{metric} {}\n", value.as_u64().unwrap_or(0)));
+            }
+        }
+        if let Some(JsonValue::Object(histograms)) = doc.get("histograms") {
+            for (name, h) in histograms {
+                let metric = format!("{prefix}_{}", prom_name(name));
+                let field = |key: &str| h.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+                out.push_str(&format!("# TYPE {metric} summary\n"));
+                for (quantile, key) in [("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")] {
+                    out.push_str(&format!(
+                        "{metric}{{quantile=\"{quantile}\"}} {}\n",
+                        field(key)
+                    ));
+                }
+                out.push_str(&format!("{metric}_sum {}\n", field("sum")));
+                out.push_str(&format!(
+                    "{metric}_count {}\n",
+                    h.get("count").and_then(JsonValue::as_u64).unwrap_or(0)
+                ));
+            }
+        }
+    }
+    if let Some(gauges) = frame.get("gauges") {
+        push_prom_gauges(&mut out, "autobraid", gauges);
+    }
+    out
+}
+
+/// Flattens the (possibly nested) `gauges` object into
+/// `autobraid_<path>` gauge lines.
+fn push_prom_gauges(out: &mut String, prefix: &str, doc: &JsonValue) {
+    let JsonValue::Object(fields) = doc else {
+        return;
+    };
+    for (name, value) in fields {
+        let path = format!("{prefix}_{}", prom_name(name));
+        match value {
+            JsonValue::Object(_) => push_prom_gauges(out, &path, value),
+            other => {
+                out.push_str(&format!("# TYPE {path} gauge\n"));
+                out.push_str(&format!("{path} {}\n", other.as_f64().unwrap_or(0.0)));
+            }
+        }
+    }
+}
+
+/// The live dashboard: redraw a fixed-height ANSI frame from the
+/// windowed metrics every interval. `--iterations 0` runs until the
+/// process is killed; a nonzero count makes it scriptable (CI renders
+/// one frame and exits).
+fn run_top(client: &mut Client, addr: &str, args: &Args) {
+    let interval = std::time::Duration::from_millis(args.interval_ms.max(50));
+    let mut remaining = args.iterations;
+    loop {
+        let frame = client.metrics().unwrap_or_else(|e| fail(e));
+        // Clear screen + home, then redraw; plain ANSI keeps this
+        // std-only and works in any terminal CI gives us.
+        print!("\x1b[2J\x1b[H{}", render_top(addr, &frame, interval));
+        let _ = std::io::Write::flush(&mut std::io::stdout());
+        if args.iterations > 0 {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Formats one dashboard frame from a metrics response.
+fn render_top(addr: &str, frame: &JsonValue, interval: std::time::Duration) -> String {
+    let str_at = |doc: &JsonValue, path: &[&str]| -> Option<String> {
+        let mut node = doc.clone();
+        for key in path {
+            node = node.get(key)?.clone();
+        }
+        node.as_str().map(str::to_string)
+    };
+    let num = |doc: &JsonValue, path: &[&str]| -> f64 {
+        let mut node = Some(doc);
+        for key in path {
+            node = node.and_then(|n| n.get(key));
+        }
+        node.and_then(JsonValue::as_f64).unwrap_or(0.0)
+    };
+
+    let version = str_at(frame, &["version"]).unwrap_or_else(|| "?".into());
+    let uptime_s = num(frame, &["uptime_ms"]) / 1000.0;
+    let window_s = num(frame, &["window", "window_seconds"]).max(1.0);
+
+    let p50 = num(
+        frame,
+        &["window", "histograms", "service.latency_ms", "p50"],
+    );
+    let p99 = num(
+        frame,
+        &["window", "histograms", "service.latency_ms", "p99"],
+    );
+    let latency_n = num(
+        frame,
+        &["window", "histograms", "service.latency_ms", "count"],
+    );
+
+    let windowed_counter = |name: &str| num(frame, &["window", "counters", name]);
+    let requests = windowed_counter("service.requests.ping")
+        + windowed_counter("service.requests.stats")
+        + windowed_counter("service.requests.metrics")
+        + windowed_counter("service.requests.compile")
+        + windowed_counter("service.requests.session");
+    let hits = windowed_counter("service.cache.hit");
+    let misses = windowed_counter("service.cache.miss");
+    let lookups = hits + misses;
+    let hit_rate = if lookups > 0.0 {
+        100.0 * hits / lookups
+    } else {
+        0.0
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "autobraid top — {addr} — v{version} up {uptime_s:.0}s (refresh {:.1}s)\n\n",
+        interval.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  latency ({window_s:.0}s window)  p50 {p50:.2} ms   p99 {p99:.2} ms   n {latency_n:.0}\n"
+    ));
+    out.push_str(&format!(
+        "  throughput           {:.1} req/s ({requests:.0} requests in window)\n",
+        requests / window_s
+    ));
+    out.push_str(&format!(
+        "  cache                hit {hit_rate:.1}%  hits {hits:.0}  misses {misses:.0}  \
+         entries {:.0}/{:.0}\n",
+        num(frame, &["gauges", "cache", "entries"]),
+        num(frame, &["gauges", "cache", "capacity"]),
+    ));
+    out.push_str(&format!(
+        "  admission            in-flight {:.0}  queue capacity {:.0}  overloaded {:.0}\n",
+        num(frame, &["gauges", "in_flight"]),
+        num(frame, &["gauges", "queue_capacity"]),
+        windowed_counter("service.overloaded"),
+    ));
+    out.push_str(&format!(
+        "  sessions             active {:.0}  opened {:.0}  closed {:.0}\n",
+        num(frame, &["gauges", "sessions_active"]),
+        windowed_counter("service.sessions.opened"),
+        windowed_counter("service.sessions.closed"),
+    ));
+    out.push_str(&format!(
+        "  flight recorder      dumps {:.0}  ring {:.0}  overwritten {:.0}\n",
+        windowed_counter("service.flight.dumps"),
+        num(frame, &["gauges", "flight", "capacity"]),
+        num(frame, &["gauges", "flight", "dropped"]),
+    ));
+    out
 }
 
 fn run_compile(client: &mut Client, args: &Args) {

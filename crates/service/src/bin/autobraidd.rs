@@ -3,6 +3,7 @@
 //! ```text
 //! autobraidd [--addr HOST:PORT] [--threads N] [--queue N] [--cache N]
 //!            [--timeout-ms MS] [--idle-timeout-ms MS] [--max-steps N]
+//!            [--slow-ms MS] [--dump-dir DIR]
 //! ```
 //!
 //! Binds, prints `autobraidd listening on <addr>` on stdout (port 0 in
@@ -15,7 +16,8 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: autobraidd [--addr HOST:PORT] [--threads N] [--queue N] \
-         [--cache N] [--timeout-ms MS] [--idle-timeout-ms MS] [--max-steps N]"
+         [--cache N] [--timeout-ms MS] [--idle-timeout-ms MS] [--max-steps N] \
+         [--slow-ms MS] [--dump-dir DIR]"
     );
     std::process::exit(2)
 }
@@ -42,9 +44,9 @@ fn main() {
                 config.session_idle_timeout_ms =
                     parse(&value("--idle-timeout-ms"), "--idle-timeout-ms")
             }
-            "--max-steps" => {
-                config.max_session_steps = parse(&value("--max-steps"), "--max-steps")
-            }
+            "--max-steps" => config.max_session_steps = parse(&value("--max-steps"), "--max-steps"),
+            "--slow-ms" => config.slow_request_ms = parse(&value("--slow-ms"), "--slow-ms"),
+            "--dump-dir" => config.dump_dir = value("--dump-dir"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("autobraidd: unknown flag `{other}`");

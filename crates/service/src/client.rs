@@ -131,18 +131,19 @@ impl Client {
         }
     }
 
-    /// Liveness probe.
+    /// Liveness probe. Returns the pong frame, which carries the
+    /// daemon's crate `version` and `uptime_ms`.
     ///
     /// # Errors
     ///
     /// [`ClientError`] on failure.
-    pub fn ping(&mut self) -> Result<(), ClientError> {
+    pub fn ping(&mut self) -> Result<JsonValue, ClientError> {
         let response = self.request(&JsonValue::object([
             ("proto", JsonValue::from(PROTOCOL)),
             ("kind", JsonValue::from("ping")),
         ]))?;
         match response.get("kind").and_then(JsonValue::as_str) {
-            Some("pong") => Ok(()),
+            Some("pong") => Ok(response),
             other => Err(ClientError::Protocol(format!(
                 "expected pong, got {other:?}"
             ))),
@@ -160,6 +161,26 @@ impl Client {
             ("proto", JsonValue::from(PROTOCOL)),
             ("kind", JsonValue::from("stats")),
         ]))
+    }
+
+    /// Fetches the live-operations frame: the `autobraid.metrics/v1`
+    /// windowed snapshot, lifetime aggregates, gauges, daemon version,
+    /// and uptime (see `docs/METRICS.md`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on failure.
+    pub fn metrics(&mut self) -> Result<JsonValue, ClientError> {
+        let response = self.request(&JsonValue::object([
+            ("proto", JsonValue::from(PROTOCOL)),
+            ("kind", JsonValue::from("metrics")),
+        ]))?;
+        match response.get("kind").and_then(JsonValue::as_str) {
+            Some("metrics") => Ok(response),
+            other => Err(ClientError::Protocol(format!(
+                "expected metrics frame, got {other:?}"
+            ))),
+        }
     }
 
     /// Submits a compile and waits for the report.

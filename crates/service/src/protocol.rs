@@ -681,6 +681,9 @@ pub enum Request {
     Ping,
     /// Service counters, cache statistics, and latency percentiles.
     Stats,
+    /// The live-operations frame: the `autobraid.metrics/v1` windowed
+    /// snapshot plus lifetime aggregates and gauges (`docs/METRICS.md`).
+    Metrics,
     /// A compile submission.
     Compile(Box<CompileRequest>),
     /// Opens a streaming session (holds one queue slot until closed).
@@ -718,6 +721,7 @@ impl Request {
         match doc.get("kind").and_then(JsonValue::as_str) {
             Some("ping") => Ok(Request::Ping),
             Some("stats") => Ok(Request::Stats),
+            Some("metrics") => Ok(Request::Metrics),
             Some("compile") => {
                 let source = doc
                     .get("source")
@@ -835,8 +839,9 @@ impl Request {
             Some("session.inject") => Ok(Request::SessionInject(fault_from_json(doc)?)),
             Some("session.close") => Ok(Request::SessionClose),
             Some(other) => Err(proto_err(format!(
-                "unknown request kind `{other}` (ping|stats|compile|session.open|\
-                 session.gate|session.step|session.inject|session.close)"
+                "unknown request kind `{other}` (ping|stats|metrics|compile|\
+                 session.open|session.gate|session.step|session.inject|\
+                 session.close)"
             ))),
             None => Err(proto_err("missing request `kind`".to_string())),
         }

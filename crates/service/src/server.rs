@@ -22,11 +22,13 @@ use autobraid_circuit::qasm;
 use autobraid_conformance::ConformanceCase;
 use autobraid_lattice::{CodeParams, TimingModel};
 use autobraid_telemetry::{
-    self as telemetry, FanoutRecorder, JsonValue, MemoryRecorder, Recorder, TraceRecorder,
+    self as telemetry, Decision, FanoutRecorder, FlightRecorder, JsonValue, MemoryRecorder,
+    Recorder, TraceRecorder, WindowedRecorder, METRICS_SCHEMA,
 };
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +64,15 @@ pub struct ServiceConfig {
     /// count from pinning a connection thread and growing an unbounded
     /// response — per-frame work stays bounded like everything else.
     pub max_session_steps: u64,
+    /// Slow-request latency threshold, in milliseconds. A request that
+    /// completes successfully but takes longer than this gets its
+    /// flight-recorder history dumped like an errored one. 0 disables
+    /// the slow-path trigger (errors and shed requests still dump).
+    pub slow_request_ms: u64,
+    /// Directory flight-recorder dumps are written to
+    /// (`req-<id>-<reason>.trace.json`). Empty disables dumping
+    /// entirely; the directory is created on first dump.
+    pub dump_dir: String,
     /// Compile defaults a request can override per-field (`threads` is
     /// ignored: batch parallelism belongs to the pool).
     pub defaults: CompileOptions,
@@ -79,6 +90,8 @@ impl Default for ServiceConfig {
             max_frame_bytes: crate::protocol::DEFAULT_MAX_FRAME,
             session_idle_timeout_ms: 30_000,
             max_session_steps: 4096,
+            slow_request_ms: 0,
+            dump_dir: "target/flight-dumps".to_string(),
             defaults: CompileOptions::default(),
         }
     }
@@ -96,6 +109,21 @@ struct Shared {
     /// alive through `Shared`.
     in_flight: Arc<AtomicUsize>,
     recorder: Arc<MemoryRecorder>,
+    /// Rolling per-second buckets of the same counter/histogram stream
+    /// the lifetime recorder sees (the `autobraid.metrics/v1` source).
+    windowed: Arc<WindowedRecorder>,
+    /// Always-on ring of coarse decisions, dumped on error/slow/shed
+    /// requests.
+    flight: Arc<FlightRecorder>,
+    /// The fanout of the three recorders above, installed on every
+    /// connection thread and inherited by the worker pool.
+    ambient: Arc<dyn Recorder>,
+    /// Streaming sessions currently open (gauge for `metrics`).
+    sessions_active: Arc<AtomicUsize>,
+    /// Request-id source; ids are unique per daemon process, assigned
+    /// at frame decode.
+    next_request_id: AtomicU64,
+    started: Instant,
     shutting_down: AtomicBool,
     /// Read halves of live connections, shut down to unblock their
     /// threads on server shutdown.
@@ -120,19 +148,33 @@ impl Server {
     pub fn start(config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.bind_addr)?;
         let addr = listener.local_addr()?;
-        let recorder = Arc::new(MemoryRecorder::new());
-        // Create the pool with the service recorder ambient so every
+        let recorder = Arc::new(MemoryRecorder::ambient());
+        let windowed = Arc::new(WindowedRecorder::new());
+        let flight = Arc::new(FlightRecorder::new());
+        let ambient: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+            Arc::clone(&recorder) as Arc<dyn Recorder>,
+            Arc::clone(&windowed) as Arc<dyn Recorder>,
+            Arc::clone(&flight) as Arc<dyn Recorder>,
+        ]));
+        // Create the pool with the service fanout ambient so every
         // worker inherits it (WorkerPool propagates the creator's
-        // recorder) — compile-side service counters land in the same
-        // snapshot as connection-side ones.
+        // recorder) — compile-side counters and coarse decisions land
+        // in the same lifetime/windowed/flight sinks as
+        // connection-side ones.
         let pool = {
-            let _guard = telemetry::install(Arc::clone(&recorder) as Arc<dyn Recorder>);
+            let _guard = telemetry::install(Arc::clone(&ambient));
             WorkerPool::new(config.threads.max(1))
         };
         let shared = Arc::new(Shared {
             cache: Mutex::new(ReportCache::new(config.cache_capacity)),
             in_flight: Arc::new(AtomicUsize::new(0)),
             recorder,
+            windowed,
+            flight,
+            ambient,
+            sessions_active: Arc::new(AtomicUsize::new(0)),
+            next_request_id: AtomicU64::new(0),
+            started: Instant::now(),
             shutting_down: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
             pool,
@@ -169,6 +211,17 @@ impl Server {
     /// counters, cache counters, `service.latency_ms` percentiles).
     pub fn telemetry(&self) -> telemetry::TelemetrySnapshot {
         self.shared.recorder.snapshot()
+    }
+
+    /// Snapshot of the trailing metrics window (the same data the
+    /// `metrics` wire request serves; see `docs/METRICS.md`).
+    pub fn windowed(&self) -> telemetry::WindowedSnapshot {
+        self.shared.windowed.snapshot()
+    }
+
+    /// Snapshot of the always-on flight-recorder ring.
+    pub fn flight(&self) -> telemetry::Trace {
+        self.shared.flight.snapshot()
     }
 
     /// Stops accepting, unblocks and joins every connection thread, and
@@ -230,11 +283,16 @@ fn accept_loop(
 /// correctly even when the connection dies without a `session.close`.
 struct SlotHold {
     in_flight: Arc<AtomicUsize>,
+    /// Open-sessions gauge, decremented with the slot so `metrics`
+    /// stays honest on every exit path (close, idle timeout, dropped
+    /// connection).
+    sessions_active: Arc<AtomicUsize>,
 }
 
 impl Drop for SlotHold {
     fn drop(&mut self) {
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.sessions_active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -244,6 +302,9 @@ struct OpenSession {
     /// Decisions recorded during this session's steps, when the open
     /// frame asked for a trace.
     tracer: Option<Arc<TraceRecorder>>,
+    /// Request id of the `session.open` frame; session lifecycle
+    /// decisions correlate to it.
+    id: u64,
     start: Instant,
     _slot: SlotHold,
 }
@@ -259,7 +320,7 @@ impl OpenSession {
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _guard = telemetry::install(Arc::clone(&shared.recorder) as Arc<dyn Recorder>);
+    let _guard = telemetry::install(Arc::clone(&shared.ambient));
     let mut read = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -313,10 +374,26 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
             Err(FrameError::Io(_)) => break,
         };
-        let response = match process(shared, &mut session, &payload) {
-            Ok(ok) => ok,
-            Err(err) => err.to_response(),
+        // The request id is born here, at frame decode: everything the
+        // frame causes — trace events, flight-recorder entries, pool
+        // work — happens inside this scope and carries the id.
+        let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let req_scope = telemetry::begin_request(request_id);
+        let started = Instant::now();
+        let (response, outcome) = match process(shared, &mut session, &payload, request_id) {
+            Ok(ok) => (ok, "ok"),
+            Err(err) => {
+                let outcome = err.kind.name();
+                (err.to_response(), outcome)
+            }
         };
+        telemetry::decision(&Decision::RequestEnd {
+            id: request_id,
+            outcome: outcome.to_string(),
+        });
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+        maybe_dump_flight(shared, request_id, outcome, elapsed_ms);
+        drop(req_scope);
         if write_frame(&mut write, &response.render_compact()).is_err() {
             break;
         }
@@ -335,29 +412,41 @@ fn process(
     shared: &Arc<Shared>,
     session: &mut Option<OpenSession>,
     payload: &str,
+    request_id: u64,
 ) -> Result<JsonValue, ServiceError> {
     let doc = JsonValue::parse(payload)
         .map_err(|e| ServiceError::new(ErrorKind::Protocol, format!("invalid JSON: {e}")))?;
-    match Request::from_json(&doc)? {
+    let request = Request::from_json(&doc)?;
+    telemetry::decision(&Decision::RequestBegin {
+        id: request_id,
+        kind: request_kind(&request).to_string(),
+    });
+    match request {
         Request::Ping => {
             telemetry::counter("service.requests.ping", 1);
             Ok(JsonValue::object([
                 ("proto", JsonValue::from(PROTOCOL)),
                 ("status", JsonValue::from("ok")),
                 ("kind", JsonValue::from("pong")),
+                ("version", JsonValue::from(env!("CARGO_PKG_VERSION"))),
+                ("uptime_ms", JsonValue::from(uptime_ms(shared))),
             ]))
         }
         Request::Stats => {
             telemetry::counter("service.requests.stats", 1);
             Ok(stats_response(shared))
         }
+        Request::Metrics => {
+            telemetry::counter("service.requests.metrics", 1);
+            Ok(metrics_response(shared))
+        }
         Request::Compile(req) => {
             telemetry::counter("service.requests.compile", 1);
-            handle_compile(shared, &req)
+            handle_compile(shared, &req, request_id)
         }
         Request::SessionOpen(open) => {
             telemetry::counter("service.requests.session", 1);
-            handle_session_open(shared, session, &open)
+            handle_session_open(shared, session, &open, request_id)
         }
         Request::SessionGate(gates) => {
             telemetry::counter("service.requests.session", 1);
@@ -433,12 +522,17 @@ fn process(
             let OpenSession {
                 stream,
                 tracer,
+                id,
                 start,
                 _slot,
             } = session
                 .take()
                 .ok_or_else(|| ServiceError::new(ErrorKind::Protocol, "no open session"))?;
             telemetry::counter("service.sessions.closed", 1);
+            telemetry::decision(&Decision::SessionClosed {
+                id,
+                steps: stream.steps_taken(),
+            });
             // Drain inside the trace scope so the final decisions land
             // in the session trace too. The slot is held (by `_slot`)
             // until the drain finishes — admission stays honest.
@@ -480,6 +574,7 @@ fn handle_session_open(
     shared: &Arc<Shared>,
     session: &mut Option<OpenSession>,
     open: &SessionOpen,
+    request_id: u64,
 ) -> Result<JsonValue, ServiceError> {
     if session.is_some() {
         return Err(ServiceError::new(
@@ -490,10 +585,13 @@ fn handle_session_open(
     // Admission control: an open stream is held work, exactly like an
     // in-flight batch compile.
     admit(shared)?;
+    shared.sessions_active.fetch_add(1, Ordering::SeqCst);
     let slot = SlotHold {
         in_flight: Arc::clone(&shared.in_flight),
+        sessions_active: Arc::clone(&shared.sessions_active),
     };
     telemetry::counter("service.sessions.opened", 1);
+    telemetry::decision(&Decision::SessionOpened { id: request_id });
     let strategy = open.strategy.unwrap_or(shared.config.defaults.strategy);
     let mut options = StreamingOptions::default()
         .with_strategy(strategy)
@@ -512,6 +610,7 @@ fn handle_session_open(
     *session = Some(OpenSession {
         stream,
         tracer,
+        id: request_id,
         start: Instant::now(),
         _slot: slot,
     });
@@ -525,9 +624,7 @@ fn handle_session_open(
 }
 
 /// The open session on this connection, or a typed protocol error.
-fn require_session(
-    session: &mut Option<OpenSession>,
-) -> Result<&mut OpenSession, ServiceError> {
+fn require_session(session: &mut Option<OpenSession>) -> Result<&mut OpenSession, ServiceError> {
     session
         .as_mut()
         .ok_or_else(|| ServiceError::new(ErrorKind::Protocol, "no open session"))
@@ -577,6 +674,106 @@ fn session_response(op: &str, extra: Vec<(String, JsonValue)>) -> JsonValue {
     JsonValue::Object(fields)
 }
 
+/// Milliseconds this daemon has been serving.
+fn uptime_ms(shared: &Arc<Shared>) -> u64 {
+    u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// The wire kind string a parsed request arrived under (for
+/// `request.begin` decisions).
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Compile(_) => "compile",
+        Request::SessionOpen(_) => "session.open",
+        Request::SessionGate(_) => "session.gate",
+        Request::SessionStep { .. } => "session.step",
+        Request::SessionInject(_) => "session.inject",
+        Request::SessionClose => "session.close",
+    }
+}
+
+/// Dumps the flight-recorder history of `request_id` when the request
+/// errored (including shed/`overloaded` and timed-out ones) or ran
+/// slower than the configured threshold. The dump is the Perfetto
+/// Chrome-trace JSON of the request's events, written to
+/// `<dump_dir>/req-<id>-<reason>.trace.json`.
+fn maybe_dump_flight(shared: &Arc<Shared>, request_id: u64, outcome: &str, elapsed_ms: f64) {
+    if shared.config.dump_dir.is_empty() {
+        return;
+    }
+    let slow = shared.config.slow_request_ms;
+    let reason = if outcome != "ok" {
+        outcome.to_string()
+    } else if slow > 0 && elapsed_ms >= slow as f64 {
+        "slow".to_string()
+    } else {
+        return;
+    };
+    let trace = shared.flight.dump_for(request_id);
+    let dir = PathBuf::from(&shared.config.dump_dir);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("req-{request_id}-{reason}.trace.json"));
+    if std::fs::write(&path, trace.to_chrome_json()).is_ok() {
+        telemetry::counter("service.flight.dumps", 1);
+    }
+}
+
+/// The `autobraid.metrics/v1` live-operations frame: windowed
+/// counters/histograms, lifetime aggregates, and point-in-time gauges.
+fn metrics_response(shared: &Arc<Shared>) -> JsonValue {
+    let cache = shared.cache.lock().expect("cache poisoned").stats();
+    let windowed = shared.windowed.snapshot();
+    let lifetime = shared.recorder.snapshot();
+    JsonValue::object([
+        ("proto", JsonValue::from(PROTOCOL)),
+        ("status", JsonValue::from("ok")),
+        ("kind", JsonValue::from("metrics")),
+        ("schema", JsonValue::from(METRICS_SCHEMA)),
+        ("version", JsonValue::from(env!("CARGO_PKG_VERSION"))),
+        ("uptime_ms", JsonValue::from(uptime_ms(shared))),
+        ("window", windowed.to_json_value()),
+        ("lifetime", lifetime.to_json_value()),
+        (
+            "gauges",
+            JsonValue::object([
+                (
+                    "in_flight",
+                    JsonValue::from(shared.in_flight.load(Ordering::SeqCst)),
+                ),
+                (
+                    "queue_capacity",
+                    JsonValue::from(shared.config.queue_capacity),
+                ),
+                (
+                    "sessions_active",
+                    JsonValue::from(shared.sessions_active.load(Ordering::SeqCst)),
+                ),
+                (
+                    "cache",
+                    JsonValue::object([
+                        ("hits", JsonValue::from(cache.hits)),
+                        ("misses", JsonValue::from(cache.misses)),
+                        ("entries", JsonValue::from(cache.entries)),
+                        ("capacity", JsonValue::from(cache.capacity)),
+                    ]),
+                ),
+                (
+                    "flight",
+                    JsonValue::object([
+                        ("capacity", JsonValue::from(shared.flight.capacity())),
+                        ("dropped", JsonValue::from(shared.flight.overwritten())),
+                    ]),
+                ),
+            ]),
+        ),
+    ])
+}
+
 fn stats_response(shared: &Arc<Shared>) -> JsonValue {
     let cache = shared.cache.lock().expect("cache poisoned").stats();
     let snapshot = shared.recorder.snapshot();
@@ -595,14 +792,18 @@ fn stats_response(shared: &Arc<Shared>) -> JsonValue {
     let counter_names = [
         "service.requests.ping",
         "service.requests.stats",
+        "service.requests.metrics",
         "service.requests.compile",
         "service.overloaded",
         "service.timeouts",
+        "service.flight.dumps",
     ];
     JsonValue::object([
         ("proto", JsonValue::from(PROTOCOL)),
         ("status", JsonValue::from("ok")),
         ("kind", JsonValue::from("stats")),
+        ("version", JsonValue::from(env!("CARGO_PKG_VERSION"))),
+        ("uptime_ms", JsonValue::from(uptime_ms(shared))),
         (
             "in_flight",
             JsonValue::from(shared.in_flight.load(Ordering::SeqCst)),
@@ -642,7 +843,11 @@ struct Effective {
     verify: bool,
 }
 
-fn handle_compile(shared: &Arc<Shared>, req: &CompileRequest) -> Result<JsonValue, ServiceError> {
+fn handle_compile(
+    shared: &Arc<Shared>,
+    req: &CompileRequest,
+    request_id: u64,
+) -> Result<JsonValue, ServiceError> {
     let start = Instant::now();
     let circuit = parse_source(req)?;
     let effective = Effective {
@@ -676,6 +881,10 @@ fn handle_compile(shared: &Arc<Shared>, req: &CompileRequest) -> Result<JsonValu
         let cached = shared.cache.lock().expect("cache poisoned").get(&key);
         if let Some(report_json) = cached {
             telemetry::counter("service.cache.hit", 1);
+            telemetry::decision(&Decision::CacheLookup {
+                id: request_id,
+                status: CacheStatus::Hit.name(),
+            });
             let elapsed = start.elapsed().as_secs_f64() * 1e3;
             telemetry::observe("service.latency_ms", elapsed);
             let report = JsonValue::parse(&report_json).map_err(|e| {
@@ -690,8 +899,16 @@ fn handle_compile(shared: &Arc<Shared>, req: &CompileRequest) -> Result<JsonValu
             ));
         }
         telemetry::counter("service.cache.miss", 1);
+        telemetry::decision(&Decision::CacheLookup {
+            id: request_id,
+            status: CacheStatus::Miss.name(),
+        });
     } else {
         telemetry::counter("service.cache.bypass", 1);
+        telemetry::decision(&Decision::CacheLookup {
+            id: request_id,
+            status: CacheStatus::Bypass.name(),
+        });
     }
 
     let pipeline = build_pipeline(req, &effective)?;

@@ -278,3 +278,152 @@ fn stats_report_counters_cache_and_latency() {
     // The queue is idle again.
     assert_eq!(stats.get("in_flight").and_then(|v| v.as_u64()), Some(0));
 }
+
+#[test]
+fn ping_and_stats_carry_version_and_uptime() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for frame in [client.ping().expect("ping"), client.stats().expect("stats")] {
+        assert_eq!(
+            frame.get("version").and_then(|v| v.as_str()),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(frame.get("uptime_ms").and_then(|v| v.as_u64()).is_some());
+    }
+}
+
+#[test]
+fn metrics_frame_has_window_lifetime_and_gauges_and_advances() {
+    let server = server(|_| {});
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .compile(&CompileRequest::qasm(BELL_QASM))
+        .expect("compile");
+    let first = client.metrics().expect("metrics");
+    assert_eq!(
+        first.get("schema").and_then(|v| v.as_str()),
+        Some("autobraid.metrics/v1")
+    );
+    let windowed = |frame: &autobraid_telemetry::JsonValue, name: &str| {
+        frame
+            .get("window")
+            .and_then(|w| w.get("counters"))
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    assert_eq!(windowed(&first, "service.requests.compile"), 1);
+    // Lifetime aggregates ride along in the telemetry/v1 layout.
+    let lifetime = first.get("lifetime").expect("lifetime block");
+    assert_eq!(
+        lifetime.get("schema").and_then(|v| v.as_str()),
+        Some("autobraid.telemetry/v1")
+    );
+    // Point-in-time gauges: queue, sessions, cache, flight ring.
+    let gauges = first.get("gauges").expect("gauges block");
+    assert_eq!(gauges.get("in_flight").and_then(|v| v.as_u64()), Some(0));
+    assert!(gauges.get("cache").and_then(|c| c.get("entries")).is_some());
+    let flight = gauges.get("flight").expect("flight gauges");
+    assert!(flight.get("capacity").and_then(|v| v.as_u64()).unwrap_or(0) > 0);
+    // A second scrape sees the first one land in the window.
+    let second = client.metrics().expect("metrics again");
+    assert!(windowed(&second, "service.requests.metrics") >= 1);
+}
+
+#[test]
+fn flight_dump_is_written_on_error_and_parses_as_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("autobraid-flight-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = server(|c| c.dump_dir = dir.to_string_lossy().into_owned());
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (kind, _) = expect_service_error(client.compile(&CompileRequest::qasm("qreg q[2")));
+    assert_eq!(kind, ErrorKind::Parse);
+    // The dump is written before the error response, so it is on disk
+    // by the time the client sees the reply.
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .map(|e| e.expect("entry").path())
+        .collect();
+    assert_eq!(dumps.len(), 1, "one dump for the one failed request");
+    let name = dumps[0].file_name().unwrap().to_string_lossy().into_owned();
+    assert!(
+        name.starts_with("req-") && name.ends_with("-parse.trace.json"),
+        "dump name carries request id and reason: {name}"
+    );
+    let text = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    let json = autobraid_telemetry::JsonValue::parse(&text).expect("dump is valid JSON");
+    // Chrome's bare-array trace format: a flat list of event objects.
+    let events = json.as_array().expect("chrome trace events");
+    assert!(!events.is_empty(), "dump holds the request's events");
+    // The dump covers exactly the failed request: its begin marker is in there.
+    let rendered = json.render_compact();
+    assert!(rendered.contains("request"), "request demarcation present");
+    // The daemon counted the dump.
+    let stats = client.stats().expect("stats");
+    let dumped = stats
+        .get("counters")
+        .and_then(|c| c.get("service.flight.dumps"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(dumped, Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_request_threshold_triggers_a_dump() {
+    let dir = std::env::temp_dir().join(format!("autobraid-slow-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = server(|c| {
+        c.dump_dir = dir.to_string_lossy().into_owned();
+        c.slow_request_ms = 1; // any real compile crosses 1 ms
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .compile(&CompileRequest::qasm(slow_qasm()))
+        .expect("slow but successful compile");
+    let slow_dumps = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .ends_with("-slow.trace.json")
+        })
+        .count();
+    assert_eq!(slow_dumps, 1, "the slow compile dumped its flight history");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn canonical_report_is_byte_identical_with_ambient_observability() {
+    use autobraid_telemetry::{
+        FanoutRecorder, FlightRecorder, MemoryRecorder, Recorder, WindowedRecorder,
+    };
+    use std::sync::Arc;
+    let bare = Pipeline::new()
+        .compile_qasm(BELL_QASM)
+        .expect("bare compile")
+        .canonical_json();
+    let ambient: Arc<dyn Recorder> = Arc::new(FanoutRecorder::new(vec![
+        Arc::new(MemoryRecorder::ambient()),
+        Arc::new(WindowedRecorder::new()),
+        Arc::new(FlightRecorder::new()),
+    ]));
+    let observed = {
+        let _guard = autobraid_telemetry::install(ambient);
+        Pipeline::new()
+            .compile_qasm(BELL_QASM)
+            .expect("observed compile")
+            .canonical_json()
+    };
+    assert_eq!(bare, observed, "observability must not perturb results");
+    // The full-fidelity path agrees too.
+    let full = {
+        let _guard = autobraid_telemetry::install(Arc::new(MemoryRecorder::new()));
+        Pipeline::new()
+            .compile_qasm(BELL_QASM)
+            .expect("fully profiled compile")
+            .canonical_json()
+    };
+    assert_eq!(bare, full);
+}

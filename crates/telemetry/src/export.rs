@@ -48,7 +48,10 @@ pub fn chrome_trace_json(trace: &Trace) -> JsonValue {
     let mut schema_meta = event_base("autobraid.trace", "M", 0.0, 0);
     schema_meta.push((
         "args".to_string(),
-        JsonValue::object([("schema", JsonValue::from(TRACE_SCHEMA))]),
+        JsonValue::object([
+            ("schema", JsonValue::from(TRACE_SCHEMA)),
+            ("dropped", JsonValue::from(normalized.dropped)),
+        ]),
     ));
     events.push(JsonValue::Object(schema_meta));
 
@@ -97,7 +100,16 @@ pub fn chrome_trace_json(trace: &Trace) -> JsonValue {
             TraceEventKind::Decision(decision) => {
                 let mut i = event_base(decision.name(), "i", ts_us, event.track);
                 i.push(("s".to_string(), JsonValue::from("t")));
-                i.push(("args".to_string(), decision.args()));
+                let mut args = decision.args();
+                // Request correlation: tag the instant with the request
+                // scope it was recorded under, so a flight-recorder dump
+                // filters to one request in the Perfetto UI.
+                if event.request != 0 {
+                    if let JsonValue::Object(fields) = &mut args {
+                        fields.push(("request".to_string(), JsonValue::from(event.request)));
+                    }
+                }
+                i.push(("args".to_string(), args));
                 events.push(JsonValue::Object(i));
             }
         }
@@ -206,10 +218,12 @@ mod tests {
                 ts_ns: 1000,
                 track: 0,
                 seq: 0,
+                request: 0,
                 kind: crate::TraceEventKind::SpanBegin {
                     path: "pipeline".into(),
                 },
             }],
+            dropped: 0,
         };
         let json = chrome_trace_json(&trace);
         let phases: Vec<&str> = events_of(&json)

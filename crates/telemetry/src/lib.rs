@@ -61,26 +61,41 @@
 pub mod bench;
 pub mod explain;
 pub mod export;
+mod flight;
 mod json;
 mod memory;
 mod recorder;
 mod reference;
+mod request;
 mod rng;
 mod span;
 pub mod trace;
+mod window;
 
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use json::JsonValue;
 pub use memory::{HistogramSummary, MemoryRecorder, SpanStat, TelemetrySnapshot, SCHEMA};
 pub use recorder::{current, install, is_enabled, FanoutRecorder, Recorder, RecorderGuard};
 pub use reference::{reference_mode, set_reference_mode};
+pub use request::{begin_request, current_request, RequestGuard};
 pub use rng::{Rng64, SampleRange};
 pub use span::Span;
 pub use trace::{Decision, Trace, TraceEvent, TraceEventKind, TraceRecorder, TRACE_SCHEMA};
+pub use window::{WindowedRecorder, WindowedSnapshot, DEFAULT_WINDOW_SECONDS, METRICS_SCHEMA};
 
 /// Opens a timing span named `name`; the returned [`Span`] reports its
 /// wall-clock duration (under the current nesting path) when dropped.
 pub fn span(name: &'static str) -> Span {
     Span::enter(name)
+}
+
+/// [`span`], but only live when the installed recorder wants
+/// fine-grained metrics (see [`fine_metrics_enabled`]). Per-step spans
+/// use this so the ambient stack skips their record/path cost; the
+/// coarse stage spans (`parse`, `schedule`, `engine`, `verify`) stay
+/// on [`span`] and remain visible in lifetime aggregates.
+pub fn fine_span(name: &'static str) -> Span {
+    Span::enter_fine(name)
 }
 
 /// Adds `delta` to the monotonic counter `name` on the installed
@@ -95,14 +110,37 @@ pub fn observe(name: &str, value: f64) {
     recorder::with_recorder(|r| r.observe(name, value));
 }
 
+/// [`counter`], but only when the installed recorder wants
+/// fine-grained metrics (see [`fine_metrics_enabled`]). Inner-loop
+/// profiling counters use this so the always-on ambient stack costs
+/// nothing on the hot paths.
+pub fn fine_counter(name: &str, delta: u64) {
+    if recorder::caps().fine_metrics {
+        recorder::with_recorder(|r| r.add(name, delta));
+    }
+}
+
+/// [`observe`], but only when the installed recorder wants
+/// fine-grained metrics (see [`fine_metrics_enabled`]).
+pub fn fine_observe(name: &str, value: f64) {
+    if recorder::caps().fine_metrics {
+        recorder::with_recorder(|r| r.observe(name, value));
+    }
+}
+
 /// Records a typed [`Decision`] event on the installed recorder, if it
-/// wants decisions (see [`decisions_enabled`]).
+/// wants decisions of that class (see [`decisions_enabled`] and
+/// [`fine_decisions_enabled`]).
 pub fn decision(decision: &Decision) {
-    recorder::with_recorder(|r| {
-        if r.wants_decisions() {
-            r.record_decision(decision);
-        }
-    });
+    let caps = recorder::caps();
+    let wants = if decision.is_fine() {
+        caps.fine_decisions
+    } else {
+        caps.decisions
+    };
+    if wants {
+        recorder::with_recorder(|r| r.record_decision(decision));
+    }
 }
 
 /// Whether the installed recorder wants decision events.
@@ -111,7 +149,32 @@ pub fn decision(decision: &Decision) {
 /// (string formatting, path serialization) when nothing would record
 /// them — the same discipline as [`is_enabled`] for metrics.
 pub fn decisions_enabled() -> bool {
-    recorder::with_recorder(|r| r.wants_decisions()).unwrap_or(false)
+    recorder::caps().decisions
+}
+
+/// Whether the installed recorder wants *fine-grained* decision events
+/// (per-gate route commits, stack peels, A* searches, annealing
+/// accepts — see [`Decision::is_fine`]).
+///
+/// Inner loops guard on this instead of [`decisions_enabled`], so an
+/// always-on [`FlightRecorder`] — which records only coarse lifecycle
+/// decisions — leaves the hot paths payload-free.
+pub fn fine_decisions_enabled() -> bool {
+    recorder::caps().fine_decisions
+}
+
+/// Whether the installed recorder wants *fine-grained metrics* — the
+/// per-search / per-iteration counters and histogram observations from
+/// compile inner loops (see [`Recorder::wants_fine_metrics`]).
+///
+/// Hot paths guard their profiling `counter`/`observe` calls on this
+/// instead of [`is_enabled`]: a `--telemetry` request or a trace
+/// capture still collects the full profile, while the service's
+/// always-on ambient stack (lifetime + windowed + flight) skips the
+/// roughly thousand per-compile sink calls those loops would otherwise
+/// pay for (`bench observe` enforces the <2% budget).
+pub fn fine_metrics_enabled() -> bool {
+    recorder::caps().fine_metrics
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ pub const SCHEMA: &str = "autobraid.telemetry/v1";
 /// Retained-sample cap per histogram; beyond this the reservoir
 /// decimates (keeps every 2nd, then 4th, ... observation), so
 /// percentiles stay exact up to the cap and approximate past it.
-const SAMPLE_CAP: usize = 8192;
+pub(crate) const SAMPLE_CAP: usize = 8192;
 
 #[derive(Default)]
 struct SpanAgg {
@@ -23,8 +23,12 @@ struct SpanAgg {
     total: Duration,
 }
 
-#[derive(Default)]
-struct Histogram {
+/// The reservoir-backed histogram shared by [`MemoryRecorder`]
+/// (lifetime aggregates) and [`crate::WindowedRecorder`] (per-second
+/// buckets) — crate-internal; consumers only ever see
+/// [`HistogramSummary`].
+#[derive(Default, Clone)]
+pub(crate) struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
@@ -35,7 +39,7 @@ struct Histogram {
 }
 
 impl Histogram {
-    fn observe(&mut self, value: f64) {
+    pub(crate) fn observe(&mut self, value: f64) {
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -59,7 +63,39 @@ impl Histogram {
         }
     }
 
-    fn summary(&self) -> HistogramSummary {
+    /// Merges `other` into `self`, reservoir included: exact for
+    /// count/sum/min/max, and the percentile reservoir becomes the
+    /// concatenation of both sides' retained samples (re-decimated if
+    /// the union exceeds the cap). Unlike
+    /// [`TelemetrySnapshot::merge_from`] — which only has summaries to
+    /// work with — this merge keeps percentiles exact as long as both
+    /// inputs were below the cap.
+    pub(crate) fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+        self.samples.extend_from_slice(&other.samples);
+        self.shift = self.shift.max(other.shift);
+        while self.samples.len() >= SAMPLE_CAP {
+            let mut keep = 0;
+            for i in (0..self.samples.len()).step_by(2) {
+                self.samples[keep] = self.samples[i];
+                keep += 1;
+            }
+            self.samples.truncate(keep);
+            self.shift += 1;
+        }
+    }
+
+    pub(crate) fn summary(&self) -> HistogramSummary {
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let pct = |q: f64| -> f64 {
@@ -99,15 +135,41 @@ struct Inner {
 /// sum, histograms keep exact count/sum/min/max plus a bounded sample
 /// reservoir for percentiles. Call [`MemoryRecorder::snapshot`] at any
 /// point to extract the current [`TelemetrySnapshot`].
-#[derive(Default)]
 pub struct MemoryRecorder {
     inner: Mutex<Inner>,
+    /// Whether this recorder wants fine-grained (inner-loop) metrics.
+    /// True for explicitly-requested recorders, false for the
+    /// service's always-on ambient instance ([`MemoryRecorder::ambient`]).
+    fine: bool,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> MemoryRecorder {
+        MemoryRecorder {
+            inner: Mutex::default(),
+            fine: true,
+        }
+    }
 }
 
 impl MemoryRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty recorder that collects the full profile,
+    /// including fine-grained inner-loop metrics.
     pub fn new() -> MemoryRecorder {
         MemoryRecorder::default()
+    }
+
+    /// Creates an empty recorder for always-on ambient use: it declines
+    /// fine-grained metrics (see [`crate::fine_metrics_enabled`]) so
+    /// compile inner loops skip their profiling counters/observations
+    /// entirely, keeping service observability inside its <2% overhead
+    /// budget. Lifetime aggregates of spans and coarse metrics are
+    /// still collected.
+    pub fn ambient() -> MemoryRecorder {
+        MemoryRecorder {
+            fine: false,
+            ..MemoryRecorder::new()
+        }
     }
 
     /// Extracts an immutable aggregate of everything recorded so far.
@@ -134,6 +196,10 @@ impl MemoryRecorder {
 }
 
 impl Recorder for MemoryRecorder {
+    fn wants_fine_metrics(&self) -> bool {
+        self.fine
+    }
+
     fn record_span(&self, path: &str, wall: Duration) {
         let mut inner = self.inner.lock().unwrap();
         let agg = inner.spans.entry(path.to_string()).or_default();
@@ -520,6 +586,113 @@ mod tests {
         assert_eq!(merged, snap);
         let merged = TelemetrySnapshot::merged([&TelemetrySnapshot::default(), &snap]);
         assert_eq!(merged, snap);
+    }
+
+    #[test]
+    fn metric_names_with_quotes_backslashes_and_controls_roundtrip() {
+        // Metric and span names are user-influenced (circuit labels
+        // flow into span paths); the JSON writer must escape quotes,
+        // backslashes, and control characters so the snapshot stays
+        // parseable.
+        let rec = MemoryRecorder::new();
+        let hostile = "he said \"hi\"\\path\nnewline\ttab\u{1}ctl";
+        rec.add(hostile, 3);
+        rec.observe(hostile, 1.5);
+        rec.record_span(hostile, Duration::from_millis(1));
+        let rendered = rec.snapshot().to_json();
+        let parsed = JsonValue::parse(&rendered).expect("escaped output parses");
+        assert_eq!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get(hostile))
+                .and_then(JsonValue::as_u64),
+            Some(3),
+            "counter name did not survive the escape/parse roundtrip"
+        );
+        assert!(parsed
+            .get("histograms")
+            .and_then(|h| h.get(hostile))
+            .is_some());
+    }
+
+    #[test]
+    fn merge_from_with_both_reservoirs_at_the_cap() {
+        // Two snapshots whose histograms each saturated the reservoir:
+        // merge_from must keep exact fields exact and produce in-range,
+        // ordered percentiles (they are approximate by contract).
+        let n = SAMPLE_CAP as u64 * 2;
+        let a = MemoryRecorder::new();
+        let b = MemoryRecorder::new();
+        for v in 0..n {
+            a.observe("h", v as f64);
+            b.observe("h", (v + n) as f64);
+        }
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.count, 2 * n);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, (2 * n - 1) as f64);
+        let expected_sum = (0..2 * n).map(|v| v as f64).sum::<f64>();
+        assert!((h.sum - expected_sum).abs() < 1e-6);
+        assert!((h.mean - expected_sum / (2 * n) as f64).abs() < 1e-6);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99, "percentiles unordered");
+        for p in [h.p50, h.p90, h.p99] {
+            assert!((0.0..=(2 * n - 1) as f64).contains(&p));
+        }
+    }
+
+    #[test]
+    fn percentiles_exact_at_cap_minus_one_approximate_at_cap() {
+        // The documented boundary (docs/METRICS.md): with cap-1
+        // observations nothing has been decimated and percentiles are
+        // exact; the observation that fills the reservoir triggers the
+        // first decimation, after which percentiles come from every 2nd
+        // sample.
+        let mut h = Histogram::default();
+        for v in 0..(SAMPLE_CAP as u64 - 1) {
+            h.observe(v as f64);
+        }
+        let exact = h.summary();
+        let last = (SAMPLE_CAP - 2) as f64;
+        assert_eq!(exact.p50, (last * 0.50).round());
+        assert_eq!(exact.p90, (last * 0.90).round());
+        assert_eq!(exact.p99, (last * 0.99).round());
+        // One more observation reaches the cap: decimation halves the
+        // reservoir, percentiles become approximate but stay within
+        // one decimation stride of the truth.
+        h.observe((SAMPLE_CAP - 1) as f64);
+        let approx = h.summary();
+        assert_eq!(approx.count, SAMPLE_CAP as u64);
+        let last = (SAMPLE_CAP - 1) as f64;
+        assert!(
+            (approx.p50 - last * 0.50).abs() <= 2.0,
+            "p50={}",
+            approx.p50
+        );
+        assert!(
+            (approx.p99 - last * 0.99).abs() <= 2.0,
+            "p99={}",
+            approx.p99
+        );
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_below_the_cap() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in 0..100u64 {
+            a.observe(v as f64);
+            b.observe((v + 100) as f64);
+        }
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 200);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 199.0);
+        // The merged reservoir holds every observation, so the median
+        // is exact (sorted concatenation).
+        assert!((s.p50 - 100.0).abs() <= 1.0, "p50={}", s.p50);
     }
 
     #[test]

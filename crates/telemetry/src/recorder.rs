@@ -5,7 +5,7 @@
 //! wants one). When no recorder is installed every telemetry call is a
 //! single thread-local flag check — the hot path costs nothing.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,6 +48,32 @@ pub trait Recorder: Send + Sync {
     /// decision payloads (see [`crate::decisions_enabled`]).
     fn wants_decisions(&self) -> bool {
         false
+    }
+
+    /// Whether this recorder also wants *fine-grained* decisions —
+    /// the per-gate / per-iteration events for which
+    /// [`crate::trace::Decision::is_fine`] returns true. Defaults to
+    /// [`Recorder::wants_decisions`], so a full [`crate::TraceRecorder`]
+    /// keeps everything; always-on recorders like
+    /// [`crate::FlightRecorder`] override this to false so hot loops
+    /// skip building the expensive payloads (path strings, per-accept
+    /// events) entirely (see [`crate::fine_decisions_enabled`]).
+    fn wants_fine_decisions(&self) -> bool {
+        self.wants_decisions()
+    }
+
+    /// Whether this recorder wants *fine-grained metrics* — the
+    /// per-search / per-iteration counters and histogram observations
+    /// emitted from compile inner loops (A* expansions, annealing
+    /// objectives, LLG sizes, per-step batch shapes). Defaults to true
+    /// so explicitly-installed recorders (a `--telemetry` request, a
+    /// trace capture) keep the full profile; always-on ambient sinks
+    /// ([`crate::MemoryRecorder::ambient`], [`crate::WindowedRecorder`],
+    /// [`crate::FlightRecorder`]) decline so hot loops skip the calls
+    /// entirely (see [`crate::fine_metrics_enabled`]) — this is what
+    /// keeps service observability inside its <2% overhead budget.
+    fn wants_fine_metrics(&self) -> bool {
+        true
     }
 }
 
@@ -99,8 +125,14 @@ impl Recorder for FanoutRecorder {
     }
 
     fn record_decision(&self, decision: &crate::trace::Decision) {
+        let fine = decision.is_fine();
         for sink in &self.sinks {
-            if sink.wants_decisions() {
+            let wants = if fine {
+                sink.wants_fine_decisions()
+            } else {
+                sink.wants_decisions()
+            };
+            if wants {
                 sink.record_decision(decision);
             }
         }
@@ -109,18 +141,69 @@ impl Recorder for FanoutRecorder {
     fn wants_decisions(&self) -> bool {
         self.sinks.iter().any(|s| s.wants_decisions())
     }
+
+    fn wants_fine_decisions(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_fine_decisions())
+    }
+
+    fn wants_fine_metrics(&self) -> bool {
+        self.sinks.iter().any(|s| s.wants_fine_metrics())
+    }
+}
+
+/// The installed recorder's capabilities, snapshotted at [`install`]
+/// time so the hot-path guards ([`crate::fine_metrics_enabled`],
+/// [`crate::fine_decisions_enabled`], …) are one thread-local read
+/// instead of a dynamic dispatch chain through a fanout. Sound because
+/// a recorder's `wants_*` answers are fixed for its lifetime.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Caps {
+    pub(crate) decisions: bool,
+    pub(crate) fine_decisions: bool,
+    pub(crate) fine_metrics: bool,
+    pub(crate) span_events: bool,
+}
+
+impl Caps {
+    fn of(recorder: &dyn Recorder) -> Caps {
+        Caps {
+            decisions: recorder.wants_decisions(),
+            fine_decisions: recorder.wants_fine_decisions(),
+            fine_metrics: recorder.wants_fine_metrics(),
+            span_events: recorder.wants_span_events(),
+        }
+    }
 }
 
 thread_local! {
     static CURRENT: RefCell<Option<Arc<dyn Recorder>>> = const { RefCell::new(None) };
+    static CAPS: Cell<Caps> = const {
+        Cell::new(Caps {
+            decisions: false,
+            fine_decisions: false,
+            fine_metrics: false,
+            span_events: false,
+        })
+    };
 }
 
 /// Installs `recorder` as this thread's telemetry sink and returns a
 /// guard. Dropping the guard restores whatever recorder (possibly
 /// none) was installed before — installations nest.
 pub fn install(recorder: Arc<dyn Recorder>) -> RecorderGuard {
+    let caps = Caps::of(recorder.as_ref());
     let previous = CURRENT.with(|c| c.borrow_mut().replace(recorder));
-    RecorderGuard { previous }
+    let previous_caps = CAPS.with(|c| c.replace(caps));
+    RecorderGuard {
+        previous,
+        previous_caps,
+    }
+}
+
+/// This thread's cached capability snapshot (all-false when no
+/// recorder is installed).
+pub(crate) fn caps() -> Caps {
+    CAPS.with(Cell::get)
 }
 
 /// Returns true when a recorder is installed on this thread.
@@ -154,12 +237,14 @@ pub(crate) fn with_recorder<R>(f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> 
 #[must_use = "dropping the guard immediately uninstalls the recorder"]
 pub struct RecorderGuard {
     previous: Option<Arc<dyn Recorder>>,
+    previous_caps: Caps,
 }
 
 impl Drop for RecorderGuard {
     fn drop(&mut self) {
         let previous = self.previous.take();
         CURRENT.with(|c| *c.borrow_mut() = previous);
+        CAPS.with(|c| c.set(self.previous_caps));
     }
 }
 

@@ -1,0 +1,74 @@
+//! Thread-local request correlation.
+//!
+//! The service generates a request id at frame decode and brackets the
+//! work with [`begin_request`]; every [`crate::trace::TraceEvent`]
+//! recorded while the guard is live carries the id in its
+//! [`request`](crate::trace::TraceEvent::request) field. The id is a
+//! plain `u64` (0 = no request), so handing it across threads — a pool
+//! worker re-enters the scope with the same id — costs one register.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Marks this thread as working on request `id` and returns a guard.
+/// Dropping the guard restores the previous request id (scopes nest,
+/// mirroring [`crate::install`]). Passing `0` clears the scope.
+pub fn begin_request(id: u64) -> RequestGuard {
+    let previous = CURRENT_REQUEST.with(|c| c.replace(id));
+    RequestGuard { previous }
+}
+
+/// The request id this thread is currently working on, or 0 when no
+/// request scope is open.
+pub fn current_request() -> u64 {
+    CURRENT_REQUEST.with(|c| c.get())
+}
+
+/// RAII guard returned by [`begin_request`]; restores the previous
+/// request id on drop.
+#[must_use = "dropping the guard immediately closes the request scope"]
+pub struct RequestGuard {
+    previous: u64,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current_request(), 0);
+        {
+            let _outer = begin_request(7);
+            assert_eq!(current_request(), 7);
+            {
+                let _inner = begin_request(9);
+                assert_eq!(current_request(), 9);
+            }
+            assert_eq!(current_request(), 7);
+        }
+        assert_eq!(current_request(), 0);
+    }
+
+    #[test]
+    fn fresh_threads_have_no_request() {
+        let _guard = begin_request(42);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert_eq!(current_request(), 0);
+                let _g = begin_request(42);
+                assert_eq!(current_request(), 42);
+            });
+        });
+        assert_eq!(current_request(), 42);
+    }
+}

@@ -28,13 +28,24 @@ impl Span {
         PATH_STACK.with(|s| s.borrow_mut().push(name));
         // Event recorders also want the *open* edge (aggregating
         // recorders only need the duration reported at drop).
-        if crate::recorder::with_recorder(|r| r.wants_span_events()).unwrap_or(false) {
+        if crate::recorder::caps().span_events {
             let path = PATH_STACK.with(|s| s.borrow().join("/"));
             crate::recorder::with_recorder(|r| r.record_span_begin(&path));
         }
         Span {
             start: Some(Instant::now()),
         }
+    }
+
+    /// [`Span::enter`], but inert unless the installed recorder wants
+    /// fine-grained metrics — used for per-step spans (routing batches,
+    /// anneal runs) that would otherwise dominate the always-on ambient
+    /// stack's overhead (see [`crate::fine_span`]).
+    pub(crate) fn enter_fine(name: &'static str) -> Span {
+        if !crate::recorder::caps().fine_metrics {
+            return Span { start: None };
+        }
+        Span::enter(name)
     }
 }
 

@@ -167,6 +167,40 @@ pub enum Decision {
         /// Zero-based index of the first step committed after the fault.
         step: u64,
     },
+    /// A service request entered the system (emitted at frame decode).
+    RequestBegin {
+        /// Request id, unique per daemon process.
+        id: u64,
+        /// Wire request kind (`compile`, `session.open`, ...).
+        kind: String,
+    },
+    /// A service request left the system.
+    RequestEnd {
+        /// Request id, unique per daemon process.
+        id: u64,
+        /// Outcome: `ok`, or an error kind (`overloaded`, `timeout`,
+        /// `internal`, ...).
+        outcome: String,
+    },
+    /// The service report cache answered a compile lookup.
+    CacheLookup {
+        /// Request id of the compile being served.
+        id: u64,
+        /// Cache outcome: `hit`, `miss`, or `bypass`.
+        status: &'static str,
+    },
+    /// A streaming session opened on the daemon.
+    SessionOpened {
+        /// Request id that opened the session.
+        id: u64,
+    },
+    /// A streaming session closed (or was evicted) on the daemon.
+    SessionClosed {
+        /// Request id that opened the session.
+        id: u64,
+        /// Braiding steps the session committed before closing.
+        steps: u64,
+    },
 }
 
 impl Decision {
@@ -188,7 +222,37 @@ impl Decision {
             Decision::JobFinish { .. } => "job.finish",
             Decision::FaultInjected { .. } => "fault.injected",
             Decision::FaultRecovered { .. } => "fault.recovered",
+            Decision::RequestBegin { .. } => "request.begin",
+            Decision::RequestEnd { .. } => "request.end",
+            Decision::CacheLookup { .. } => "cache.lookup",
+            Decision::SessionOpened { .. } => "session.opened",
+            Decision::SessionClosed { .. } => "session.closed",
         }
+    }
+
+    /// Whether this decision is *fine-grained*: emitted per step, per
+    /// gate, or per inner-loop iteration during a compile. Always-on
+    /// recorders like [`crate::FlightRecorder`] opt out of fine
+    /// decisions via [`crate::Recorder::wants_fine_decisions`], and the
+    /// emission sites guard payload construction behind
+    /// [`crate::fine_decisions_enabled`], so a hot loop never builds a
+    /// payload nobody wants. Only rare lifecycle landmarks are coarse —
+    /// engine begin, fault injection/recovery, and the service's
+    /// request/session/cache events — which is what keeps the ambient
+    /// observability stack inside its <2% overhead budget
+    /// (`bench observe`, docs/METRICS.md).
+    pub fn is_fine(&self) -> bool {
+        !matches!(
+            self,
+            Decision::EngineBegin { .. }
+                | Decision::FaultInjected { .. }
+                | Decision::FaultRecovered { .. }
+                | Decision::RequestBegin { .. }
+                | Decision::RequestEnd { .. }
+                | Decision::CacheLookup { .. }
+                | Decision::SessionOpened { .. }
+                | Decision::SessionClosed { .. }
+        )
     }
 
     /// The decision's fields as a JSON object (the exported `args`).
@@ -281,6 +345,23 @@ impl Decision {
                 ("kind", JsonValue::from(kind.as_str())),
                 ("step", JsonValue::from(*step)),
             ]),
+            Decision::RequestBegin { id, kind } => JsonValue::object([
+                ("id", JsonValue::from(*id)),
+                ("kind", JsonValue::from(kind.as_str())),
+            ]),
+            Decision::RequestEnd { id, outcome } => JsonValue::object([
+                ("id", JsonValue::from(*id)),
+                ("outcome", JsonValue::from(outcome.as_str())),
+            ]),
+            Decision::CacheLookup { id, status } => JsonValue::object([
+                ("id", JsonValue::from(*id)),
+                ("status", JsonValue::from(*status)),
+            ]),
+            Decision::SessionOpened { id } => JsonValue::object([("id", JsonValue::from(*id))]),
+            Decision::SessionClosed { id, steps } => JsonValue::object([
+                ("id", JsonValue::from(*id)),
+                ("steps", JsonValue::from(*steps)),
+            ]),
         }
     }
 }
@@ -314,6 +395,9 @@ pub struct TraceEvent {
     /// recovers temporal order exactly, and it is deterministic for a
     /// given recording (unlike `ts_ns`, which can collide).
     pub seq: u64,
+    /// Service request id active on the recording thread (see
+    /// [`crate::begin_request`]), or 0 outside any request scope.
+    pub request: u64,
     /// What happened.
     pub kind: TraceEventKind,
 }
@@ -326,6 +410,11 @@ pub struct Trace {
     pub tracks: Vec<String>,
     /// The recorded events, in global record order.
     pub events: Vec<TraceEvent>,
+    /// Events the recorder received but did not keep: `add`/`observe`
+    /// calls routed to an event recorder, plus ring-buffer evictions in
+    /// a [`crate::FlightRecorder`]. Surfaced as the documented
+    /// `trace.dropped` count (see `docs/METRICS.md`).
+    pub dropped: u64,
 }
 
 impl Trace {
@@ -362,17 +451,26 @@ thread_local! {
     static THREAD_KEY: u64 = NEXT_THREAD_KEY.fetch_add(1, Ordering::Relaxed);
 }
 
+/// This thread's stable track key, shared by every event recorder
+/// ([`TraceRecorder`], [`crate::FlightRecorder`]) so the same thread
+/// maps to the same track in each.
+pub(crate) fn thread_key() -> u64 {
+    THREAD_KEY.with(|k| *k)
+}
+
 /// A [`Recorder`] that keeps every event.
 ///
 /// Install it like any recorder ([`crate::install`] / RAII guard);
 /// threads that share the same `Arc` get their own track, named after
-/// the recording thread. `add`/`observe` calls are intentionally
-/// ignored — aggregates belong to [`crate::MemoryRecorder`]; combine
-/// both with [`crate::FanoutRecorder`] to capture a trace and a
-/// snapshot in one run.
+/// the recording thread. `add`/`observe` calls are *dropped* —
+/// aggregates belong to [`crate::MemoryRecorder`]; combine both with
+/// [`crate::FanoutRecorder`] to capture a trace and a snapshot in one
+/// run. Each dropped call increments the [`Trace::dropped`] count so
+/// the loss is visible in the snapshot instead of silent.
 pub struct TraceRecorder {
     epoch: Instant,
     inner: Mutex<TraceInner>,
+    dropped: AtomicU64,
 }
 
 impl Default for TraceRecorder {
@@ -387,6 +485,7 @@ impl TraceRecorder {
         TraceRecorder {
             epoch: Instant::now(),
             inner: Mutex::new(TraceInner::default()),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -396,12 +495,14 @@ impl TraceRecorder {
         Trace {
             tracks: inner.tracks.iter().map(|(_, name)| name.clone()).collect(),
             events: inner.events.clone(),
+            dropped: self.dropped.load(Ordering::Relaxed),
         }
     }
 
     fn push(&self, kind: TraceEventKind) {
         let ts_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let key = THREAD_KEY.with(|k| *k);
+        let key = thread_key();
+        let request = crate::current_request();
         let mut inner = self.inner.lock().unwrap();
         let track = match inner.tracks.iter().position(|(k, _)| *k == key) {
             Some(i) => i,
@@ -419,6 +520,7 @@ impl TraceRecorder {
             ts_ns,
             track,
             seq,
+            request,
             kind,
         });
     }
@@ -431,9 +533,13 @@ impl Recorder for TraceRecorder {
         });
     }
 
-    fn add(&self, _name: &str, _delta: u64) {}
+    fn add(&self, _name: &str, _delta: u64) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
 
-    fn observe(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _value: f64) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
 
     fn record_span_begin(&self, path: &str) {
         self.push(TraceEventKind::SpanBegin {
@@ -499,6 +605,36 @@ mod tests {
             trace.events[0].kind,
             TraceEventKind::Decision(Decision::StackPeel { gate: 4, degree: 3 })
         );
+        // The ignored counter and histogram are counted, not silent.
+        assert_eq!(trace.dropped, 2);
+    }
+
+    #[test]
+    fn events_carry_the_active_request_id() {
+        let rec = Arc::new(TraceRecorder::new());
+        {
+            let _guard = crate::install(rec.clone());
+            crate::decision(&Decision::StepBegin {
+                step: 0,
+                braids: 1,
+                locals: 0,
+            });
+            {
+                let _req = crate::begin_request(77);
+                crate::decision(&Decision::StepBegin {
+                    step: 1,
+                    braids: 1,
+                    locals: 0,
+                });
+            }
+            crate::decision(&Decision::StepBegin {
+                step: 2,
+                braids: 1,
+                locals: 0,
+            });
+        }
+        let requests: Vec<u64> = rec.snapshot().events.iter().map(|e| e.request).collect();
+        assert_eq!(requests, vec![0, 77, 0]);
     }
 
     #[test]
@@ -546,12 +682,14 @@ mod tests {
                     ts_ns: 9,
                     track: 1,
                     seq: 2,
+                    request: 0,
                     kind: TraceEventKind::SpanEnd { path: "x".into() },
                 },
                 TraceEvent {
                     ts_ns: 5,
                     track: 0,
                     seq: 1,
+                    request: 0,
                     kind: TraceEventKind::SpanEnd { path: "y".into() },
                 },
                 TraceEvent {
@@ -560,15 +698,18 @@ mod tests {
                     ts_ns: 1,
                     track: 1,
                     seq: 0,
+                    request: 0,
                     kind: TraceEventKind::SpanBegin { path: "x".into() },
                 },
                 TraceEvent {
                     ts_ns: 1,
                     track: 0,
                     seq: 3,
+                    request: 0,
                     kind: TraceEventKind::SpanBegin { path: "y".into() },
                 },
             ],
+            dropped: 0,
         };
         let sorted = trace.normalized();
         let keys: Vec<(usize, u64)> = sorted.events.iter().map(|e| (e.track, e.seq)).collect();
